@@ -1,0 +1,55 @@
+//! Experiment E2: static branching degree before vs after closing.
+//!
+//! The paper (§1) claims the transformation "preserves, or may even
+//! reduce, the static degree of branching of the original code". This
+//! bench sweeps a generated corpus and prints the distribution of
+//! degree deltas — including the (rare) duplication cases where the
+//! claim fails because one eliminated region is entered by several
+//! preserved arcs (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::close;
+use std::hint::black_box;
+use switchsim::progen::{self, Shape};
+
+fn report() {
+    println!("--- E2: branching degree over a 90-program corpus ---");
+    let mut reduced = 0usize;
+    let mut equal = 0usize;
+    let mut grew = 0usize;
+    let mut total_before = 0usize;
+    let mut total_after = 0usize;
+    for shape in [Shape::Straight, Shape::Branchy, Shape::Loopy] {
+        for seed in 0..30u64 {
+            let open = progen::compile(shape, 48, seed);
+            let closed = close(&open);
+            for r in closer::compare(&open, &closed.program) {
+                total_before += r.degree_before;
+                total_after += r.degree_after;
+                match r.degree_after.cmp(&r.degree_before) {
+                    std::cmp::Ordering::Less => reduced += 1,
+                    std::cmp::Ordering::Equal => equal += 1,
+                    std::cmp::Ordering::Greater => grew += 1,
+                }
+            }
+        }
+    }
+    println!("reduced: {reduced}, preserved: {equal}, grew (shared-region duplication): {grew}");
+    println!("total degree: {total_before} -> {total_after}");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let open = progen::compile(Shape::Branchy, 128, 7);
+    c.bench_function("branching/compare", |b| {
+        let closed = close(&open);
+        b.iter(|| closer::compare(black_box(&open), black_box(&closed.program)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiment F2 (paper Figure 2): transform procedure `p`.
+//!
+//! Prints the transformation-shape row (toss nodes, removed parameters,
+//! branching degree) and the strict-over-approximation evidence (trace
+//! counts), then times the closing transformation on `p`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::{close, closed_config, compile, enumerate_config, trace_config, FIG2_P};
+use std::hint::black_box;
+
+fn report() {
+    let open = compile(FIG2_P);
+    let closed = close(&open);
+    let rep = &closed.reports[0];
+    let cmp = &closer::compare(&open, &closed.program)[0];
+    println!("--- Figure 2: procedure p ---");
+    println!(
+        "nodes {} -> {} (+{} toss), params removed: {}, branching degree {} -> {}",
+        rep.nodes_before,
+        rep.nodes_kept,
+        rep.toss_nodes_inserted,
+        rep.params_removed,
+        cmp.degree_before,
+        cmp.degree_after
+    );
+    let open_traces = verisoft::explore(
+        &open,
+        &verisoft::Config {
+            collect_traces: true,
+            por: false,
+            sleep_sets: false,
+            ..enumerate_config(64)
+        },
+    )
+    .traces;
+    let closed_traces = verisoft::explore(&closed.program, &trace_config(64)).traces;
+    println!(
+        "|traces(p x E_S)| = {}   |traces(p')| = {}   (paper: strict upper approximation)",
+        open_traces.len(),
+        closed_traces.len()
+    );
+    assert!(open_traces.len() < closed_traces.len());
+    assert!(open_traces.iter().all(|t| closed_traces.contains(t)));
+    let r = verisoft::explore(&closed.program, &closed_config(64));
+    println!(
+        "closed exploration: {} states, {} transitions, clean = {}",
+        r.states,
+        r.transitions,
+        r.clean()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let open = compile(FIG2_P);
+    c.bench_function("fig2/close_p", |b| {
+        b.iter(|| close(black_box(&open)))
+    });
+    let closed = close(&open);
+    c.bench_function("fig2/explore_closed_p", |b| {
+        b.iter(|| verisoft::explore(black_box(&closed.program), &closed_config(64)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

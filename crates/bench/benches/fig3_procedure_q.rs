@@ -1,0 +1,59 @@
+//! Experiment F3 (paper Figure 3): transform procedure `q`.
+//!
+//! Prints the headline equality `G'_q ≅ G'_p`, the optimality evidence
+//! (trace-set equality against `q × E_S` over all 1024 inputs), then
+//! times closing and the isomorphism check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::{close, compile, trace_config, FIG2_P, FIG3_Q};
+use std::hint::black_box;
+use verisoft::EnvMode;
+
+fn report() {
+    let open_q = compile(FIG3_Q);
+    let closed_q = close(&open_q);
+    let closed_p = close(&compile(FIG2_P));
+    println!("--- Figure 3: procedure q ---");
+    let iso = cfgir::isomorphic(
+        closed_p.program.proc_by_name("p").unwrap(),
+        closed_q.program.proc_by_name("q").unwrap(),
+    );
+    println!("G'_q isomorphic to G'_p: {iso}   (paper: \"Gp' and Gq' are equivalent\")");
+    assert!(iso);
+    let open_traces = verisoft::explore(
+        &open_q,
+        &verisoft::Config {
+            env_mode: EnvMode::Enumerate,
+            ..trace_config(64)
+        },
+    )
+    .traces;
+    let closed_traces = verisoft::explore(&closed_q.program, &trace_config(64)).traces;
+    println!(
+        "|traces(q x E_S)| = {}   |traces(q')| = {}   equal = {}   (paper: optimal translation)",
+        open_traces.len(),
+        closed_traces.len(),
+        open_traces == closed_traces
+    );
+    assert_eq!(open_traces, closed_traces);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let open_q = compile(FIG3_Q);
+    c.bench_function("fig3/close_q", |b| b.iter(|| close(black_box(&open_q))));
+    let closed_p = close(&compile(FIG2_P));
+    let closed_q = close(&open_q);
+    let p = closed_p.program.proc_by_name("p").unwrap().clone();
+    let q = closed_q.program.proc_by_name("q").unwrap().clone();
+    c.bench_function("fig3/isomorphism_check", |b| {
+        b.iter(|| cfgir::isomorphic(black_box(&p), black_box(&q)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

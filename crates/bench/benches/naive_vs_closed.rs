@@ -1,0 +1,55 @@
+//! Experiment E1: tractability of naive closing vs the transformation.
+//!
+//! Sweeps the input-domain bit width and prints the table of transitions
+//! executed (and states) for `S × E_S` (domain enumeration, §3's naive
+//! closing) against the automatically closed `S'`. The naive column grows
+//! linearly in the domain (exponentially in bits); the closed column is
+//! constant — the paper's core tractability argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reclose_bench::{close, closed_config, compile, enumerate_config, parity_program};
+use std::hint::black_box;
+
+fn report() {
+    println!("--- E1: naive E_S enumeration vs automatic closing (4-iteration parity loop) ---");
+    println!(
+        "{:>5} {:>10} {:>14} {:>14} {:>14}",
+        "bits", "|domain|", "naive-trans", "closed-trans", "ratio"
+    );
+    for bits in [1u32, 2, 4, 6, 8, 10, 12, 14] {
+        let src = parity_program(bits, 4);
+        let open = compile(&src);
+        let closed = close(&open);
+        let naive = verisoft::explore(&open, &enumerate_config(64));
+        let fast = verisoft::explore(&closed.program, &closed_config(64));
+        assert!(naive.clean() && fast.clean());
+        println!(
+            "{bits:>5} {:>10} {:>14} {:>14} {:>14.1}",
+            1u64 << bits,
+            naive.transitions,
+            fast.transitions,
+            naive.transitions as f64 / fast.transitions as f64
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("naive_vs_closed");
+    group.sample_size(10);
+    for bits in [2u32, 6, 10] {
+        let src = parity_program(bits, 4);
+        let open = compile(&src);
+        let closed = close(&open);
+        group.bench_with_input(BenchmarkId::new("naive", bits), &open, |b, p| {
+            b.iter(|| verisoft::explore(black_box(p), &enumerate_config(64)))
+        });
+        group.bench_with_input(BenchmarkId::new("closed", bits), &closed.program, |b, p| {
+            b.iter(|| verisoft::explore(black_box(p), &closed_config(64)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E6: partial-order-reduction ablation.
+//!
+//! The paper's substrate claim (\[God97\]): partial-order methods are
+//! "the key to make this approach tractable". This bench explores systems
+//! of independent workers with reductions on and off and prints the
+//! state/transition counts (exponential interleaving vs near-linear), on
+//! both the worker family and the closed switch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reclose_bench::{close, compile, independent_workers};
+use std::hint::black_box;
+use switchsim::SwitchConfig;
+use verisoft::Config;
+
+fn cfg(por: bool, sleep: bool) -> Config {
+    Config {
+        por,
+        sleep_sets: sleep,
+        max_violations: usize::MAX,
+        max_depth: 300,
+        max_transitions: 2_000_000,
+        ..Config::default()
+    }
+}
+
+fn report() {
+    println!("--- E6: POR ablation on n independent workers (2 messages each) ---");
+    println!(
+        "{:>3} {:>14} {:>14} {:>14} {:>10}",
+        "n", "full-states", "por-states", "por+sleep", "reduction"
+    );
+    for n in [2usize, 3, 4, 5] {
+        let prog = compile(&independent_workers(n, 2));
+        let full = verisoft::explore(&prog, &cfg(false, false));
+        let por = verisoft::explore(&prog, &cfg(true, false));
+        let both = verisoft::explore(&prog, &cfg(true, true));
+        assert!(full.clean() && por.clean() && both.clean());
+        println!(
+            "{n:>3} {:>14} {:>14} {:>14} {:>9.1}x",
+            full.states,
+            por.states,
+            both.states,
+            full.states as f64 / both.states as f64
+        );
+    }
+
+    println!("\nclosed switch (2 lines, 1 event each):");
+    let open = cfgir::compile(&switchsim::generate(&SwitchConfig {
+        lines: 2,
+        events_per_line: 1,
+        ..SwitchConfig::default()
+    }))
+    .unwrap();
+    let closed = close(&open);
+    let full = verisoft::explore(&closed.program, &cfg(false, false));
+    let both = verisoft::explore(&closed.program, &cfg(true, true));
+    println!(
+        "  full: {} states{}  por+sleep: {} states{}",
+        full.states,
+        if full.truncated { " (cap)" } else { "" },
+        both.states,
+        if both.truncated { " (cap)" } else { "" },
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let prog = compile(&independent_workers(4, 2));
+    let mut group = c.benchmark_group("por_ablation");
+    group.sample_size(10);
+    for (name, por, sleep) in [("full", false, false), ("por", true, false), ("por+sleep", true, true)] {
+        group.bench_with_input(BenchmarkId::new(name, 4), &prog, |b, p| {
+            b.iter(|| verisoft::explore(black_box(p), &cfg(por, sleep)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

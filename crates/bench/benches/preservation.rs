@@ -1,0 +1,148 @@
+//! Experiment E4: Theorem 7 preservation, measured.
+//!
+//! For a family of open programs with environment-triggered defects,
+//! prints a verdict table — defect found in `S × E_S` (ground truth by
+//! enumeration) vs found in the automatically closed `S'` — and times
+//! the two detection routes. Every ground-truth defect must reappear in
+//! the closed system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::{close, closed_config, compile, enumerate_config};
+use std::hint::black_box;
+use verisoft::ViolationKind;
+
+struct Case {
+    name: &'static str,
+    src: String,
+}
+
+fn cases() -> Vec<Case> {
+    let mut v = vec![
+        Case {
+            name: "input-gated lock order",
+            src: r#"
+                input x : 0..7;
+                sem l1 = 1; sem l2 = 1;
+                proc a() {
+                    int q = env_input(x);
+                    if (q == 3) { sem_wait(l1); sem_wait(l2); sem_signal(l2); sem_signal(l1); }
+                    else { sem_wait(l2); sem_wait(l1); sem_signal(l1); sem_signal(l2); }
+                }
+                proc b() { sem_wait(l2); sem_wait(l1); sem_signal(l1); sem_signal(l2); }
+                process a();
+                process b();
+            "#
+            .into(),
+        },
+        Case {
+            name: "billing overcharge",
+            src: r#"
+                input x : 0..3;
+                chan c[1];
+                proc m() {
+                    int d = env_input(x);
+                    int amount = 0;
+                    if (d % 2 == 0) { amount = 2; } else { amount = 3; }
+                    send(c, amount);
+                    int got = recv(c);
+                    VS_assert(got <= 2);
+                }
+                process m();
+            "#
+            .into(),
+        },
+        Case {
+            name: "channel overflow deadlock",
+            src: r#"
+                input x : 0..1;
+                chan c[1];
+                proc prod() {
+                    int v = env_input(x);
+                    send(c, 1);
+                    if (v == 1) { send(c, 2); send(c, 3); }
+                }
+                proc cons() { int a = recv(c); }
+                process prod();
+                process cons();
+            "#
+            .into(),
+        },
+    ];
+    // The seeded switch variants.
+    for (name, d, a) in [
+        ("switch trunk leak", true, false),
+        ("switch billing bug", false, true),
+    ] {
+        let cfg = switchsim::SwitchConfig {
+            lines: 1,
+            trunks: 1,
+            events_per_line: if d { 2 } else { 1 },
+            seed_deadlock: d,
+            seed_assert: a,
+            manual_stub_line0: false,
+            with_voicemail: false,
+        };
+        v.push(Case {
+            name,
+            src: switchsim::generate(&cfg),
+        });
+    }
+    v
+}
+
+fn found(r: &verisoft::Report) -> (bool, bool) {
+    (
+        r.count(|k| *k == ViolationKind::Deadlock) > 0,
+        r.count(|k| *k == ViolationKind::AssertionViolation) > 0,
+    )
+}
+
+fn report() {
+    println!("--- E4: Theorem 7 preservation (deadlocks / assertions) ---");
+    println!(
+        "{:<28} {:>14} {:>14} {:>10}",
+        "case", "S x E_S", "closed S'", "preserved"
+    );
+    for case in cases() {
+        let open = compile(&case.src);
+        let closed = close(&open);
+        let g = found(&verisoft::explore(&open, &enumerate_config(300)));
+        let t = found(&verisoft::explore(&closed.program, &closed_config(300)));
+        let fmt = |(d, a): (bool, bool)| {
+            format!(
+                "{}{}",
+                if d { "deadlock " } else { "" },
+                if a { "assert" } else { "" }
+            )
+        };
+        let preserved = (!g.0 || t.0) && (!g.1 || t.1);
+        println!(
+            "{:<28} {:>14} {:>14} {:>10}",
+            case.name,
+            fmt(g),
+            fmt(t),
+            preserved
+        );
+        assert!(preserved, "Theorem 7 violated on {}", case.name);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let case = &cases()[1];
+    let open = compile(&case.src);
+    let closed = close(&open);
+    c.bench_function("preservation/ground_truth_enumeration", |b| {
+        b.iter(|| verisoft::explore(black_box(&open), &enumerate_config(300)))
+    });
+    c.bench_function("preservation/closed_detection", |b| {
+        b.iter(|| verisoft::explore(black_box(&closed.program), &closed_config(300)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Experiment E5: the §6 case study — the synthetic switch.
+//!
+//! Reproduces the paper's qualitative finding quantitatively: automatic
+//! closing makes state-space exploration of a multi-process
+//! call-processing application feasible (and finds the seeded defects),
+//! while the explored space grows steeply with the number of lines. Also
+//! exercises the paper's manual-stub + auto-close methodology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reclose_bench::close;
+use std::hint::black_box;
+use switchsim::SwitchConfig;
+use verisoft::Config;
+
+fn explore_cfg(max_transitions: usize) -> Config {
+    Config {
+        max_depth: 400,
+        max_transitions,
+        max_violations: usize::MAX,
+        ..Config::default()
+    }
+}
+
+fn report() {
+    println!("--- E5: switch case study (auto-closed, exhaustive up to caps) ---");
+    println!(
+        "{:>6} {:>7} {:>9} {:>12} {:>12} {:>8} {:>12}",
+        "lines", "procs", "nodes", "states", "transitions", "capped", "violations"
+    );
+    for lines in [1usize, 2, 3] {
+        let cfg = SwitchConfig {
+            lines,
+            events_per_line: 1,
+            ..SwitchConfig::default()
+        };
+        let open = cfgir::compile(&switchsim::generate(&cfg)).unwrap();
+        let closed = close(&open);
+        let cap = 300_000;
+        let r = verisoft::explore(&closed.program, &explore_cfg(cap));
+        println!(
+            "{lines:>6} {:>7} {:>9} {:>12} {:>12} {:>8} {:>12}",
+            closed.program.processes.len(),
+            closed.program.node_count(),
+            r.states,
+            r.transitions,
+            r.truncated,
+            r.violations.len()
+        );
+    }
+    println!("\nseeded defects (1 line):");
+    for (name, d, a, e) in [("trunk leak", true, false, 2), ("billing bug", false, true, 1)] {
+        let cfg = SwitchConfig {
+            lines: 1,
+            events_per_line: e,
+            seed_deadlock: d,
+            seed_assert: a,
+            ..SwitchConfig::default()
+        };
+        let open = cfgir::compile(&switchsim::generate(&cfg)).unwrap();
+        let closed = close(&open);
+        let r = verisoft::explore(
+            &closed.program,
+            &Config {
+                max_depth: 400,
+                max_transitions: 2_000_000,
+                ..Config::default()
+            },
+        );
+        println!(
+            "  {name:<12} -> {}",
+            r.violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "NOT FOUND".into())
+        );
+        assert!(!r.violations.is_empty());
+    }
+    println!("\nmanual stub for line 0 + auto-close (paper §6 methodology):");
+    let cfg = SwitchConfig {
+        lines: 2,
+        events_per_line: 1,
+        manual_stub_line0: true,
+        ..SwitchConfig::default()
+    };
+    let open = cfgir::compile(&switchsim::generate(&cfg)).unwrap();
+    let closed = close(&open);
+    let r = verisoft::explore(&closed.program, &explore_cfg(300_000));
+    println!(
+        "  states = {}, transitions = {}, violations = {}",
+        r.states,
+        r.transitions,
+        r.violations.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("switch_case_study");
+    group.sample_size(10);
+    for lines in [1usize, 2] {
+        let cfg = SwitchConfig {
+            lines,
+            events_per_line: 1,
+            ..SwitchConfig::default()
+        };
+        let open = cfgir::compile(&switchsim::generate(&cfg)).unwrap();
+        group.bench_with_input(BenchmarkId::new("close", lines), &open, |b, p| {
+            b.iter(|| close(black_box(p)))
+        });
+        let closed = close(&open);
+        group.bench_with_input(
+            BenchmarkId::new("explore_capped", lines),
+            &closed.program,
+            |b, p| b.iter(|| verisoft::explore(black_box(p), &explore_cfg(50_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment E3: transformation wall time vs program size.
+//!
+//! The paper: "The overall time complexity of the above algorithm is
+//! essentially linear in the size of G_j and G̃_j." Criterion timings over
+//! a size sweep show the scaling; the printed table reports nodes and
+//! per-node time so linearity is visible at a glance. (The define-use
+//! construction that *feeds* the algorithm is itself super-linear in the
+//! worst case; the table separates analysis and transformation time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+use switchsim::progen::{self, Shape};
+
+fn report() {
+    println!("--- E3: transformation scaling (Branchy shape) ---");
+    println!(
+        "{:>7} {:>8} {:>12} {:>12} {:>14}",
+        "stmts", "nodes", "analyze-ms", "close-ms", "close ns/node"
+    );
+    for stmts in [32usize, 64, 128, 256, 512, 1024, 2048] {
+        let open = progen::compile(Shape::Branchy, stmts, 11);
+        let nodes = open.node_count();
+        let t0 = Instant::now();
+        let analysis = dataflow::analyze(&open);
+        let analyze_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let reps = 10;
+        for _ in 0..reps {
+            black_box(closer::close(&open, &analysis));
+        }
+        let close_s = t1.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "{stmts:>7} {nodes:>8} {analyze_ms:>12.2} {:>12.3} {:>14.1}",
+            close_s * 1e3,
+            close_s * 1e9 / nodes as f64
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("transform_scaling");
+    group.sample_size(15);
+    for stmts in [64usize, 256, 1024] {
+        let open = progen::compile(Shape::Branchy, stmts, 11);
+        let nodes = open.node_count();
+        group.throughput(Throughput::Elements(nodes as u64));
+        let analysis = dataflow::analyze(&open);
+        group.bench_with_input(BenchmarkId::new("close", nodes), &open, |b, p| {
+            b.iter(|| closer::close(black_box(p), &analysis))
+        });
+        group.bench_with_input(BenchmarkId::new("analyze", nodes), &open, |b, p| {
+            b.iter(|| dataflow::analyze(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Shared fixtures and helpers for the benchmark harness.
+//!
+//! One bench target exists per experiment row of DESIGN.md §4; each prints
+//! the rows/series the corresponding figure or claim of the paper defines
+//! (shape reproduction — absolute numbers are machine-dependent) and then
+//! times the relevant operation with Criterion.
+
+use verisoft::{Config, EnvMode};
+
+/// The paper's Figure 2 procedure `p`.
+pub const FIG2_P: &str = r#"
+    extern chan evens;
+    extern chan odds;
+    input x : 0..1023;
+    proc p(int x) {
+        int y = x % 2;
+        int cnt = 0;
+        while (cnt < 10) {
+            if (y == 0) send(evens, cnt);
+            else send(odds, cnt + 1);
+            cnt = cnt + 1;
+        }
+    }
+    process p(x);
+"#;
+
+/// The paper's Figure 3 procedure `q`.
+pub const FIG3_Q: &str = r#"
+    extern chan evens;
+    extern chan odds;
+    input x : 0..1023;
+    proc q(int x) {
+        int cnt = 0;
+        while (cnt < 10) {
+            int y = x % 2;
+            if (y == 0) send(evens, cnt);
+            else send(odds, cnt + 1);
+            x = x / 2;
+            cnt = cnt + 1;
+        }
+    }
+    process q(x);
+"#;
+
+/// Config for exhaustive trace collection (no reductions).
+pub fn trace_config(max_depth: usize) -> Config {
+    Config {
+        collect_traces: true,
+        por: false,
+        sleep_sets: false,
+        max_violations: usize::MAX,
+        max_depth,
+        ..Config::default()
+    }
+}
+
+/// Config for exploring `S × E_S` by domain enumeration.
+pub fn enumerate_config(max_depth: usize) -> Config {
+    Config {
+        env_mode: EnvMode::Enumerate,
+        max_violations: usize::MAX,
+        max_depth,
+        ..Config::default()
+    }
+}
+
+/// Config for sweeping a closed program exhaustively.
+pub fn closed_config(max_depth: usize) -> Config {
+    Config {
+        max_violations: usize::MAX,
+        max_depth,
+        ..Config::default()
+    }
+}
+
+/// Compile source, panicking with the diagnostics on failure.
+pub fn compile(src: &str) -> cfgir::CfgProgram {
+    cfgir::compile(src).unwrap_or_else(|d| panic!("bench fixture invalid: {d}"))
+}
+
+/// Close a program end to end.
+pub fn close(prog: &cfgir::CfgProgram) -> closer::Closed {
+    closer::close(prog, &dataflow::analyze(prog))
+}
+
+/// A parity-loop program with a configurable input bit width and loop
+/// count — the `naive_vs_closed` sweep family.
+pub fn parity_program(bits: u32, iters: u32) -> String {
+    let hi = (1u64 << bits) - 1;
+    format!(
+        r#"
+        extern chan out;
+        input x : 0..{hi};
+        proc p(int x) {{
+            int y = x % 2;
+            int cnt = 0;
+            while (cnt < {iters}) {{
+                if (y == 0) send(out, cnt);
+                else send(out, cnt + 100);
+                cnt = cnt + 1;
+            }}
+        }}
+        process p(x);
+        "#
+    )
+}
+
+/// `n` pairs of independent worker processes on private channels — the
+/// POR ablation family.
+pub fn independent_workers(n: usize, msgs: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        s.push_str(&format!("chan w{i}[{msgs}];\n"));
+    }
+    for i in 0..n {
+        s.push_str(&format!("proc worker{i}() {{\n"));
+        for m in 0..msgs {
+            s.push_str(&format!("    send(w{i}, {m});\n"));
+        }
+        for m in 0..msgs {
+            s.push_str(&format!("    int r{m} = recv(w{i});\n"));
+        }
+        s.push_str("}\n");
+    }
+    for i in 0..n {
+        s.push_str(&format!("process worker{i}();\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_compile() {
+        compile(FIG2_P);
+        compile(FIG3_Q);
+        compile(&parity_program(4, 3));
+        compile(&independent_workers(3, 2));
+    }
+
+    #[test]
+    fn parity_program_scales_domain_only() {
+        let a = compile(&parity_program(2, 3));
+        let b = compile(&parity_program(10, 3));
+        assert_eq!(a.node_count(), b.node_count());
+        assert_ne!(a.inputs[0].domain, b.inputs[0].domain);
+    }
+}

@@ -1,0 +1,972 @@
+//! Build [`CfgProgram`]s from normalized MiniC.
+//!
+//! Lowering maps each statement to one node. Structured control flow
+//! (`if`/`while`/`for`/`switch`/`break`/`continue`) becomes guarded arcs;
+//! pending arcs are patched forward as nodes are created.
+
+use crate::ir::*;
+use minic::ast::{self, Expr, LValue, Stmt};
+use minic::builtins::Builtin;
+use minic::sema::SymbolTable;
+use minic::span::Span;
+use std::collections::HashMap;
+
+/// Lower a normalized, checked program into CFG form.
+///
+/// # Panics
+///
+/// Panics when the program violates normal form or was not checked — this
+/// function trusts [`minic::sema::check`] and
+/// [`minic::normalize::normalize`].
+pub fn build(prog: &ast::Program, table: &SymbolTable) -> CfgProgram {
+    assert!(
+        minic::normalize::verify(prog).is_ok(),
+        "cfg builder requires a normalized program"
+    );
+    let proc_ids: HashMap<String, ProcId> = table
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), ProcId(i as u32)))
+        .collect();
+    let mut out = CfgProgram {
+        objects: table.objects.clone(),
+        globals: table.globals.clone(),
+        inputs: table.inputs.clone(),
+        procs: Vec::new(),
+        processes: Vec::new(),
+    };
+    // Keep CfgProgram.procs aligned with SymbolTable.procs so that
+    // ProcId == table index.
+    for psym in &table.procs {
+        let decl = prog
+            .proc(&psym.name)
+            .expect("symbol table lists only existing procedures");
+        let id = proc_ids[&psym.name];
+        out.procs
+            .push(ProcBuilder::new(decl, id, table, &proc_ids).lower());
+    }
+    for ps in &table.processes {
+        out.processes.push(ProcessSpec {
+            name: ps.name.clone(),
+            proc: ProcId(ps.proc as u32),
+            args: ps
+                .args
+                .iter()
+                .map(|a| match a {
+                    minic::sema::ProcessArgSym::Const(v) => SpawnArg::Const(*v),
+                    minic::sema::ProcessArgSym::Input(i) => SpawnArg::Input(InputId(*i as u32)),
+                })
+                .collect(),
+            daemon: false,
+        });
+    }
+    out
+}
+
+/// Convenience: run the whole front end (`parse` → `check` → `normalize` →
+/// `build`) on source text.
+///
+/// # Errors
+///
+/// Returns front-end diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = cfgir::compile("chan c[1]; proc m() { send(c, 1); } process m();")?;
+/// assert_eq!(cfg.procs.len(), 1);
+/// assert!(cfg.is_closed());
+/// # Ok::<(), minic::Diagnostics>(())
+/// ```
+pub fn compile(src: &str) -> Result<CfgProgram, minic::Diagnostics> {
+    let (prog, table) = minic::frontend(src)?;
+    let cfg = build(&prog, &table);
+    debug_assert!(crate::validate::validate(&cfg).is_ok());
+    Ok(cfg)
+}
+
+/// Arcs waiting to be pointed at the next node created.
+type Pending = Vec<(NodeId, Guard)>;
+
+struct LoopCtx {
+    breaks: Pending,
+    continues: Pending,
+}
+
+struct ProcBuilder<'a> {
+    decl: &'a ast::ProcDecl,
+    cfg: CfgProc,
+    scopes: Vec<HashMap<String, VarId>>,
+    global_cache: HashMap<GlobalId, VarId>,
+    table: &'a SymbolTable,
+    proc_ids: &'a HashMap<String, ProcId>,
+    loops: Vec<LoopCtx>,
+    temp_count: u32,
+}
+
+impl<'a> ProcBuilder<'a> {
+    fn new(
+        decl: &'a ast::ProcDecl,
+        id: ProcId,
+        table: &'a SymbolTable,
+        proc_ids: &'a HashMap<String, ProcId>,
+    ) -> Self {
+        let mut cfg = CfgProc {
+            name: decl.name.name.clone(),
+            id,
+            params: Vec::new(),
+            vars: Vec::new(),
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            start: NodeId(0),
+        };
+        let mut scope = HashMap::new();
+        for (i, p) in decl.params.iter().enumerate() {
+            let v = cfg.push_var(VarInfo {
+                name: p.name.name.clone(),
+                ty: p.ty,
+                kind: VarKind::Param(i),
+            });
+            cfg.params.push(v);
+            scope.insert(p.name.name.clone(), v);
+        }
+        ProcBuilder {
+            decl,
+            cfg,
+            scopes: vec![scope],
+            global_cache: HashMap::new(),
+            table,
+            proc_ids,
+            loops: Vec::new(),
+            temp_count: 0,
+        }
+    }
+
+    fn lower(mut self) -> CfgProc {
+        let start = self.cfg.push_node(NodeKind::Start, self.decl.span);
+        self.cfg.start = start;
+        let pending = self.block(&self.decl.body.clone(), vec![(start, Guard::Always)]);
+        if !pending.is_empty() {
+            // Implicit `return;` at the end of the body.
+            let ret = self
+                .cfg
+                .push_node(NodeKind::Return { value: None }, self.decl.span);
+            self.seal(pending, ret);
+        }
+        self.cfg
+    }
+
+    fn seal(&mut self, pending: Pending, target: NodeId) {
+        for (from, guard) in pending {
+            self.cfg.add_arc(from, guard, target);
+        }
+    }
+
+    /// Create a node, attach all pending arcs to it, and return a fresh
+    /// pending list of its sole `Always` out-arc owner.
+    fn node(&mut self, kind: NodeKind, span: Span, pending: Pending) -> (NodeId, Pending) {
+        let id = self.cfg.push_node(kind, span);
+        self.seal(pending, id);
+        (id, vec![(id, Guard::Always)])
+    }
+
+    // ------------------------------------------------------------------
+    // Name resolution
+    // ------------------------------------------------------------------
+
+    fn declare(&mut self, name: &str, ty: ast::Ty, kind: VarKind) -> VarId {
+        let v = self.cfg.push_var(VarInfo {
+            name: name.to_owned(),
+            ty,
+            kind,
+        });
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), v);
+        v
+    }
+
+    fn fresh_temp(&mut self, ty: ast::Ty) -> VarId {
+        let name = format!("__d{}", self.temp_count);
+        self.temp_count += 1;
+        self.cfg.push_var(VarInfo {
+            name,
+            ty,
+            kind: VarKind::Temp,
+        })
+    }
+
+    fn resolve(&mut self, name: &str) -> VarId {
+        for s in self.scopes.iter().rev() {
+            if let Some(v) = s.get(name) {
+                return *v;
+            }
+        }
+        let gid = GlobalId(
+            self.table
+                .global(name)
+                .unwrap_or_else(|| panic!("sema guarantees `{name}` resolves")) as u32,
+        );
+        if let Some(v) = self.global_cache.get(&gid) {
+            return *v;
+        }
+        let v = self.cfg.push_var(VarInfo {
+            name: name.to_owned(),
+            ty: ast::Ty::Int,
+            kind: VarKind::Global(gid),
+        });
+        self.global_cache.insert(gid, v);
+        v
+    }
+
+    fn obj_id(&self, e: &Expr) -> ObjId {
+        let Expr::Var(name) = e else {
+            panic!("object argument is a name after normalization")
+        };
+        ObjId(
+            self.table
+                .object(&name.name)
+                .expect("sema checked object names") as u32,
+        )
+    }
+
+    fn input_id(&self, e: &Expr) -> InputId {
+        let Expr::Var(name) = e else {
+            panic!("input argument is a name after normalization")
+        };
+        InputId(
+            self.table
+                .input(&name.name)
+                .expect("sema checked input names") as u32,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Expression lowering
+    // ------------------------------------------------------------------
+
+    fn operand(&mut self, e: &Expr) -> Operand {
+        match e {
+            Expr::Int(v, _) => Operand::Const(*v),
+            Expr::Var(i) => Operand::Var(self.resolve(&i.name)),
+            _ => panic!("operand position holds an atom after normalization"),
+        }
+    }
+
+    fn pure_expr(&mut self, e: &Expr) -> PureExpr {
+        match e {
+            Expr::Int(v, _) => PureExpr::constant(*v),
+            Expr::Var(i) => PureExpr::var(self.resolve(&i.name)),
+            Expr::Unary { op, expr, .. } => PureExpr::Unary {
+                op: *op,
+                expr: Box::new(self.pure_expr(expr)),
+            },
+            Expr::Binary { op, lhs, rhs, .. } => PureExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.pure_expr(lhs)),
+                rhs: Box::new(self.pure_expr(rhs)),
+            },
+            _ => panic!("impure expression in pure position after normalization"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statement lowering
+    // ------------------------------------------------------------------
+
+    fn block(&mut self, b: &ast::Block, mut pending: Pending) -> Pending {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            pending = self.stmt(s, pending);
+        }
+        self.scopes.pop();
+        pending
+    }
+
+    fn substmt(&mut self, s: &Stmt, pending: Pending) -> Pending {
+        self.scopes.push(HashMap::new());
+        let p = self.stmt(s, pending);
+        self.scopes.pop();
+        p
+    }
+
+    fn stmt(&mut self, s: &Stmt, pending: Pending) -> Pending {
+        match s {
+            Stmt::Local {
+                name, ty, init, ..
+            } => {
+                // The variable enters scope only after its initializer is
+                // lowered (C scoping), so lower init against the old scope.
+                match init {
+                    Some(e) => {
+                        // Resolve the initializer in the *old* scope (C
+                        // scoping), then declare and assign.
+                        let lowered = self.classify_rhs(e);
+                        let v = self.declare(&name.name, *ty, VarKind::Local);
+                        self.emit_classified(lowered, Place::Var(v), s.span(), pending)
+                    }
+                    None => {
+                        self.declare(&name.name, *ty, VarKind::Local);
+                        pending
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let place = match lhs {
+                    LValue::Var(i) => Place::Var(self.resolve(&i.name)),
+                    LValue::Deref(i, _) => Place::Deref(self.resolve(&i.name)),
+                };
+                self.lower_assign_to_place(rhs, *span, pending, place)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
+                let expr = self.pure_expr(cond);
+                let (c, _) = self.node(NodeKind::Cond { expr }, *span, pending);
+                let mut out = self.substmt(then_branch, vec![(c, Guard::BoolEq(true))]);
+                match else_branch {
+                    Some(e) => {
+                        let p = self.substmt(e, vec![(c, Guard::BoolEq(false))]);
+                        out.extend(p);
+                    }
+                    None => out.push((c, Guard::BoolEq(false))),
+                }
+                out
+            }
+            Stmt::While { cond, body, span } => {
+                let expr = self.pure_expr(cond);
+                let (c, _) = self.node(NodeKind::Cond { expr }, *span, pending);
+                self.loops.push(LoopCtx {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                let body_out = self.substmt(body, vec![(c, Guard::BoolEq(true))]);
+                let ctx = self.loops.pop().expect("pushed above");
+                // Back edges: body exits and continues return to the test.
+                self.seal(body_out, c);
+                self.seal(ctx.continues, c);
+                let mut out = ctx.breaks;
+                out.push((c, Guard::BoolEq(false)));
+                out
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
+                self.scopes.push(HashMap::new());
+                let mut pending = pending;
+                if let Some(i) = init {
+                    pending = self.stmt(i, pending);
+                }
+                // A missing condition becomes a constant-true test so that
+                // the loop has a well-formed conditional node.
+                let expr = match cond {
+                    Some(c) => self.pure_expr(c),
+                    None => PureExpr::constant(1),
+                };
+                let (c, _) = self.node(NodeKind::Cond { expr }, *span, pending);
+                self.loops.push(LoopCtx {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                let body_out = self.substmt(body, vec![(c, Guard::BoolEq(true))]);
+                let ctx = self.loops.pop().expect("pushed above");
+                // The step runs after the body and after `continue`.
+                let mut step_in = body_out;
+                step_in.extend(ctx.continues);
+                let before = self.cfg.nodes.len();
+                let step_out = match step {
+                    Some(st) => self.stmt(st, step_in.clone()),
+                    None => step_in.clone(),
+                };
+                let created = self.cfg.nodes.len() > before;
+                if created {
+                    self.seal(step_out, c);
+                } else {
+                    self.seal(step_in, c);
+                }
+                self.scopes.pop();
+                let mut out = ctx.breaks;
+                out.push((c, Guard::BoolEq(false)));
+                out
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                span,
+            } => {
+                let expr = self.pure_expr(scrutinee);
+                let (sw, _) = self.node(NodeKind::Switch { expr }, *span, pending);
+                let mut out = Vec::new();
+                for c in cases {
+                    let arm_pending: Pending = c
+                        .labels
+                        .iter()
+                        .map(|l| (sw, Guard::CaseEq(*l)))
+                        .collect();
+                    out.extend(self.block(&c.body, arm_pending));
+                }
+                match default {
+                    Some(d) => out.extend(self.block(d, vec![(sw, Guard::CaseElse)])),
+                    None => out.push((sw, Guard::CaseElse)),
+                }
+                out
+            }
+            Stmt::Return { value, span } => {
+                let value = value.as_ref().map(|v| self.pure_expr(v));
+                // Return nodes have no out-arcs: discard the pending arc
+                // `node` hands back.
+                let _ = self.node(NodeKind::Return { value }, *span, pending);
+                Vec::new()
+            }
+            Stmt::Break { .. } => {
+                self.loops
+                    .last_mut()
+                    .expect("sema rejects break outside loops")
+                    .breaks
+                    .extend(pending);
+                Vec::new()
+            }
+            Stmt::Continue { .. } => {
+                self.loops
+                    .last_mut()
+                    .expect("sema rejects continue outside loops")
+                    .continues
+                    .extend(pending);
+                Vec::new()
+            }
+            Stmt::Expr { expr, span } => {
+                let Expr::Call { callee, args, .. } = expr else {
+                    panic!("non-call expression statement after normalization")
+                };
+                self.lower_call(callee, args, *span, pending, None)
+            }
+            Stmt::Block(b) => self.block(b, pending),
+            Stmt::Empty { .. } => pending,
+        }
+    }
+
+    fn lower_assign_to_place(
+        &mut self,
+        rhs: &Expr,
+        span: Span,
+        pending: Pending,
+        place: Place,
+    ) -> Pending {
+        let lowered = self.classify_rhs(rhs);
+        self.emit_classified(lowered, place, span, pending)
+    }
+
+    fn lower_call(
+        &mut self,
+        callee: &ast::Ident,
+        args: &[Expr],
+        span: Span,
+        pending: Pending,
+        dst: Option<VarId>,
+    ) -> Pending {
+        match Builtin::from_name(&callee.name) {
+            Some(Builtin::Send) => {
+                let chan = self.obj_id(&args[0]);
+                let val = Some(self.operand(&args[1]));
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::Send { chan, val },
+                        dst: None,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::Recv) => {
+                let chan = self.obj_id(&args[0]);
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::Recv { chan },
+                        dst,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::SemWait) => {
+                let o = self.obj_id(&args[0]);
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::SemWait(o),
+                        dst: None,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::SemSignal) => {
+                let o = self.obj_id(&args[0]);
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::SemSignal(o),
+                        dst: None,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::ShWrite) => {
+                let var = self.obj_id(&args[0]);
+                let val = Some(self.operand(&args[1]));
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::ShWrite { var, val },
+                        dst: None,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::ShRead) => {
+                let var = self.obj_id(&args[0]);
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::ShRead(var),
+                        dst,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::VsAssert) => {
+                let cond = Some(self.operand(&args[0]));
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::Assert { cond },
+                        dst: None,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::VsToss) => {
+                let bound = self.operand(&args[0]);
+                let dst = dst.unwrap_or_else(|| self.fresh_temp(ast::Ty::Int));
+                let (_, p) = self.node(
+                    NodeKind::Assign {
+                        dst: Place::Var(dst),
+                        src: Rvalue::Toss(bound),
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Some(Builtin::EnvInput) => {
+                let input = self.input_id(&args[0]);
+                let dst = dst.unwrap_or_else(|| self.fresh_temp(ast::Ty::Int));
+                let (_, p) = self.node(
+                    NodeKind::Assign {
+                        dst: Place::Var(dst),
+                        src: Rvalue::EnvInput(input),
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            None => {
+                let callee_id = *self
+                    .proc_ids
+                    .get(&callee.name)
+                    .expect("sema checked call targets");
+                let arg_vars: Vec<VarId> = args
+                    .iter()
+                    .map(|a| {
+                        let Expr::Var(i) = a else {
+                            panic!("user call arguments are variables after normalization")
+                        };
+                        self.resolve(&i.name)
+                    })
+                    .collect();
+                let (_, p) = self.node(
+                    NodeKind::Call {
+                        callee: callee_id,
+                        args: arg_vars,
+                        dst,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+        }
+    }
+
+    fn classify_rhs(&mut self, rhs: &Expr) -> ClassifiedRhs {
+        match rhs {
+            Expr::Call { callee, args, .. } => ClassifiedRhs::Call {
+                callee: callee.clone(),
+                args: args.clone(),
+            },
+            Expr::Deref { var, .. } => ClassifiedRhs::Load(self.resolve(&var.name)),
+            Expr::AddrOf { var, .. } => ClassifiedRhs::AddrOf(self.resolve(&var.name)),
+            other => ClassifiedRhs::Pure(self.pure_expr(other)),
+        }
+    }
+
+    fn emit_classified(
+        &mut self,
+        rhs: ClassifiedRhs,
+        place: Place,
+        span: Span,
+        pending: Pending,
+    ) -> Pending {
+        match rhs {
+            ClassifiedRhs::Call { callee, args } => {
+                let Place::Var(dst) = place else {
+                    panic!("call results are stored into plain variables after normalization")
+                };
+                self.lower_call(&callee, &args, span, pending, Some(dst))
+            }
+            ClassifiedRhs::Load(p) => {
+                let (_, pd) = self.node(
+                    NodeKind::Assign {
+                        dst: place,
+                        src: Rvalue::Load(p),
+                    },
+                    span,
+                    pending,
+                );
+                pd
+            }
+            ClassifiedRhs::AddrOf(v) => {
+                let (_, pd) = self.node(
+                    NodeKind::Assign {
+                        dst: place,
+                        src: Rvalue::AddrOf(v),
+                    },
+                    span,
+                    pending,
+                );
+                pd
+            }
+            ClassifiedRhs::Pure(e) => {
+                let (_, pd) = self.node(
+                    NodeKind::Assign {
+                        dst: place,
+                        src: Rvalue::Pure(e),
+                    },
+                    span,
+                    pending,
+                );
+                pd
+            }
+        }
+    }
+}
+
+enum ClassifiedRhs {
+    Call { callee: ast::Ident, args: Vec<Expr> },
+    Load(VarId),
+    AddrOf(VarId),
+    Pure(PureExpr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(src: &str) -> CfgProgram {
+        let prog = compile(src).expect("compile");
+        crate::validate::validate(&prog).expect("valid cfg");
+        prog
+    }
+
+    fn proc<'a>(p: &'a CfgProgram, name: &str) -> &'a CfgProc {
+        p.proc_by_name(name).expect("proc exists")
+    }
+
+    fn count_kind(p: &CfgProc, pred: impl Fn(&NodeKind) -> bool) -> usize {
+        p.nodes.iter().filter(|n| pred(&n.kind)).count()
+    }
+
+    #[test]
+    fn straight_line_chains() {
+        let prog = cfg_of("proc m() { int a = 1; int b = a + 2; } process m();");
+        let m = proc(&prog, "m");
+        // Start, 2 assigns, implicit return.
+        assert_eq!(m.nodes.len(), 4);
+        assert!(matches!(m.node(m.start).kind, NodeKind::Start));
+        assert_eq!(m.reachable().len(), 4);
+        assert_eq!(m.branching_degree(), 0);
+    }
+
+    #[test]
+    fn if_produces_two_guarded_arcs() {
+        let prog = cfg_of("proc m(int x) { if (x > 0) x = 1; else x = 2; } process m(0);");
+        let m = proc(&prog, "m");
+        let cond = m
+            .node_ids()
+            .find(|n| matches!(m.node(*n).kind, NodeKind::Cond { .. }))
+            .expect("has cond");
+        let mut guards: Vec<Guard> = m.arcs(cond).iter().map(|a| a.guard).collect();
+        guards.sort();
+        assert_eq!(guards, vec![Guard::BoolEq(false), Guard::BoolEq(true)]);
+        // Both branch targets join at the same return node.
+        assert_eq!(count_kind(m, |k| matches!(k, NodeKind::Return { .. })), 1);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let prog =
+            cfg_of("proc m() { int i = 0; while (i < 3) { i = i + 1; } } process m();");
+        let m = proc(&prog, "m");
+        let cond = m
+            .node_ids()
+            .find(|n| matches!(m.node(*n).kind, NodeKind::Cond { .. }))
+            .expect("has cond");
+        let body = m
+            .arcs(cond)
+            .iter()
+            .find(|a| a.guard == Guard::BoolEq(true))
+            .unwrap()
+            .target;
+        // The body assign loops back to the condition.
+        assert_eq!(m.arcs(body)[0].target, cond);
+    }
+
+    #[test]
+    fn for_loop_continue_goes_to_step() {
+        let prog = cfg_of(
+            "proc m() { for (int i = 0; i < 4; i = i + 1) { if (i == 2) continue; i = i + 0; } } process m();",
+        );
+        let m = proc(&prog, "m");
+        // Find the step assign (i = i + 1): the continue arc must reach it
+        // without passing the body tail. Check structurally: the Cond for
+        // `i == 2` has a true-arc leading to a node that is the step.
+        let eq2 = m
+            .node_ids()
+            .find(|n| match &m.node(*n).kind {
+                NodeKind::Cond { expr } => matches!(
+                    expr,
+                    PureExpr::Binary { op: minic::ast::BinOp::Eq, .. }
+                ),
+                _ => false,
+            })
+            .expect("has i == 2 cond");
+        let cont_target = m
+            .arcs(eq2)
+            .iter()
+            .find(|a| a.guard == Guard::BoolEq(true))
+            .unwrap()
+            .target;
+        assert!(
+            matches!(m.node(cont_target).kind, NodeKind::Assign { .. }),
+            "continue lands on the step assignment"
+        );
+    }
+
+    #[test]
+    fn infinite_for_gets_constant_condition() {
+        let prog = cfg_of("proc m() { for (;;) { break; } } process m();");
+        let m = proc(&prog, "m");
+        assert_eq!(count_kind(m, |k| matches!(k, NodeKind::Cond { .. })), 1);
+        // break exits to the implicit return.
+        assert_eq!(count_kind(m, |k| matches!(k, NodeKind::Return { .. })), 1);
+    }
+
+    #[test]
+    fn switch_arcs_cover_labels_and_else() {
+        let prog = cfg_of(
+            "proc m(int x) { switch (x) { case 1: case 2: x = 0; case 3: x = 1; } } process m(0);",
+        );
+        let m = proc(&prog, "m");
+        let sw = m
+            .node_ids()
+            .find(|n| matches!(m.node(*n).kind, NodeKind::Switch { .. }))
+            .unwrap();
+        let mut guards: Vec<Guard> = m.arcs(sw).iter().map(|a| a.guard).collect();
+        guards.sort();
+        assert_eq!(
+            guards,
+            vec![
+                Guard::CaseEq(1),
+                Guard::CaseEq(2),
+                Guard::CaseEq(3),
+                Guard::CaseElse
+            ]
+        );
+    }
+
+    #[test]
+    fn visible_ops_lower_to_visible_nodes() {
+        let prog = cfg_of(
+            r#"
+            chan c[2]; sem s = 1; shared v = 0;
+            proc m() {
+                sem_wait(s);
+                send(c, 5);
+                int x = recv(c);
+                sh_write(v, x);
+                int y = sh_read(v);
+                VS_assert(y == 5);
+                sem_signal(s);
+            }
+            process m();
+            "#,
+        );
+        let m = proc(&prog, "m");
+        // VS_assert's argument is an expression -> hoisted to a temp by
+        // normalization, so one extra Assign node appears.
+        assert_eq!(count_kind(m, |k| matches!(k, NodeKind::Visible { .. })), 7);
+    }
+
+    #[test]
+    fn toss_and_env_input_lower_to_assigns() {
+        let prog = cfg_of(
+            "input q : 0..7; proc m() { int a = VS_toss(3); int b = env_input(q); } process m();",
+        );
+        let m = proc(&prog, "m");
+        assert_eq!(
+            count_kind(m, |k| matches!(
+                k,
+                NodeKind::Assign {
+                    src: Rvalue::Toss(_),
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            count_kind(m, |k| matches!(
+                k,
+                NodeKind::Assign {
+                    src: Rvalue::EnvInput(_),
+                    ..
+                }
+            )),
+            1
+        );
+        assert!(prog.has_env_reads());
+        assert!(!prog.is_closed());
+    }
+
+    #[test]
+    fn user_calls_lower_with_variable_args() {
+        let prog = cfg_of(
+            "proc g(int a) { } proc m() { int r = g(3); } process m();",
+        );
+        let m = proc(&prog, "m");
+        let call = m
+            .node_ids()
+            .find(|n| matches!(m.node(*n).kind, NodeKind::Call { .. }))
+            .unwrap();
+        let NodeKind::Call { args, dst, .. } = &m.node(call).kind else {
+            unreachable!()
+        };
+        assert_eq!(args.len(), 1);
+        assert!(dst.is_some());
+        // Call nodes have exactly one successor.
+        assert_eq!(m.arcs(call).len(), 1);
+    }
+
+    #[test]
+    fn sibling_scopes_get_distinct_vars() {
+        let prog = cfg_of("proc m() { { int t = 1; } { int t = 2; } } process m();");
+        let m = proc(&prog, "m");
+        let t_vars = m.vars.iter().filter(|v| v.name == "t").count();
+        assert_eq!(t_vars, 2);
+    }
+
+    #[test]
+    fn globals_resolve_to_one_var_entry() {
+        let prog = cfg_of("int g = 7; proc m() { g = g + 1; int x = g; } process m();");
+        let m = proc(&prog, "m");
+        let g_vars: Vec<&VarInfo> = m
+            .vars
+            .iter()
+            .filter(|v| matches!(v.kind, VarKind::Global(_)))
+            .collect();
+        assert_eq!(g_vars.len(), 1);
+        assert_eq!(g_vars[0].name, "g");
+    }
+
+    #[test]
+    fn process_specs_carry_spawn_args() {
+        let prog = cfg_of("input x : 0..3; proc m(int a, int b) { } process m(x, 9);");
+        assert_eq!(prog.processes.len(), 1);
+        assert_eq!(
+            prog.processes[0].args,
+            vec![SpawnArg::Input(InputId(0)), SpawnArg::Const(9)]
+        );
+    }
+
+    #[test]
+    fn figure2_p_has_expected_shape() {
+        let prog = cfg_of(
+            r#"
+            extern chan evens;
+            extern chan odds;
+            input x : 0..1023;
+            proc p(int x) {
+                int y = x % 2;
+                int cnt = 0;
+                while (cnt < 10) {
+                    if (y == 0) send(evens, cnt);
+                    else send(odds, cnt + 1);
+                    cnt = cnt + 1;
+                }
+            }
+            process p(x);
+            "#,
+        );
+        let p = proc(&prog, "p");
+        // start, y=, cnt=, while-cond, if-cond, send, send(+temp for cnt+1
+        // stays an operand: cnt+1 is an expression -> hoisted), cnt=cnt+1,
+        // return.
+        assert_eq!(count_kind(p, |k| matches!(k, NodeKind::Cond { .. })), 2);
+        assert_eq!(count_kind(p, |k| matches!(k, NodeKind::Visible { .. })), 2);
+        assert_eq!(p.branching_degree(), 2);
+    }
+
+    #[test]
+    fn return_nodes_have_no_successors() {
+        let prog = cfg_of("proc m(int x) { if (x) return 1; return 0; } process m(0);");
+        let m = proc(&prog, "m");
+        for n in m.node_ids() {
+            if matches!(m.node(n).kind, NodeKind::Return { .. }) {
+                assert!(m.arcs(n).is_empty());
+            }
+        }
+        assert_eq!(count_kind(m, |k| matches!(k, NodeKind::Return { .. })), 2);
+    }
+
+    #[test]
+    fn empty_while_body_self_loops() {
+        let prog = cfg_of("proc m() { while (1) { } } process m();");
+        let m = proc(&prog, "m");
+        let cond = m
+            .node_ids()
+            .find(|n| matches!(m.node(*n).kind, NodeKind::Cond { .. }))
+            .unwrap();
+        let t = m
+            .arcs(cond)
+            .iter()
+            .find(|a| a.guard == Guard::BoolEq(true))
+            .unwrap();
+        assert_eq!(t.target, cond);
+    }
+}

@@ -1,0 +1,139 @@
+//! Graphviz DOT export and human-readable listings of CFGs.
+//!
+//! [`proc_to_dot`] renders one procedure; [`program_to_dot`] renders every
+//! procedure as a cluster. [`proc_to_listing`] prints the numbered-node
+//! textual form used in examples and EXPERIMENTS.md.
+
+use crate::canon::render_kind;
+use crate::ir::*;
+use std::fmt::Write as _;
+
+/// Render one procedure graph as a Graphviz `digraph`.
+pub fn proc_to_dot(p: &CfgProc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", p.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    emit_proc_body(&mut out, p, "");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render every procedure of the program as one DOT file with clusters.
+pub fn program_to_dot(prog: &CfgProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph program {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (i, p) in prog.procs.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{i} {{");
+        let _ = writeln!(out, "    label=\"{}\";", p.name);
+        emit_proc_body(&mut out, p, &format!("c{i}_"));
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn emit_proc_body(out: &mut String, p: &CfgProc, prefix: &str) {
+    let vn = |v: VarId| p.var(v).name.clone();
+    for nid in p.reachable() {
+        let label = render_kind(&p.node(nid).kind, &vn)
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"");
+        let shape = match p.node(nid).kind {
+            NodeKind::Cond { .. } | NodeKind::Switch { .. } | NodeKind::TossCond { .. } => {
+                ", shape=diamond"
+            }
+            NodeKind::Start => ", shape=circle",
+            NodeKind::Return { .. } => ", shape=doublecircle",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  {prefix}n{} [label=\"{label}\"{shape}];",
+            nid.index()
+        );
+        let mut arcs: Vec<Arc> = p.arcs(nid).to_vec();
+        arcs.sort_by_key(|a| a.guard);
+        for a in arcs {
+            let glabel = match a.guard {
+                Guard::Always => String::new(),
+                g => format!(" [label=\"{g}\"]"),
+            };
+            let _ = writeln!(
+                out,
+                "  {prefix}n{} -> {prefix}n{}{glabel};",
+                nid.index(),
+                a.target.index()
+            );
+        }
+    }
+}
+
+/// A compact numbered listing of a procedure graph, e.g.
+///
+/// ```text
+/// proc p (params: x)
+///   n0: start -> n1
+///   n1: y = (x % 2) -> n2
+///   ...
+/// ```
+pub fn proc_to_listing(p: &CfgProc) -> String {
+    let vn = |v: VarId| p.var(v).name.clone();
+    let mut out = String::new();
+    let params: Vec<String> = p.params.iter().map(|v| p.var(*v).name.clone()).collect();
+    let _ = writeln!(out, "proc {} (params: {})", p.name, params.join(", "));
+    for nid in p.reachable() {
+        let _ = write!(out, "  n{}: {}", nid.index(), render_kind(&p.node(nid).kind, &vn));
+        let mut arcs: Vec<Arc> = p.arcs(nid).to_vec();
+        arcs.sort_by_key(|a| a.guard);
+        if !arcs.is_empty() {
+            let targets: Vec<String> = arcs
+                .iter()
+                .map(|a| match a.guard {
+                    Guard::Always => format!("n{}", a.target.index()),
+                    g => format!("[{g}] n{}", a.target.index()),
+                })
+                .collect();
+            let _ = write!(out, " -> {}", targets.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::compile;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let prog =
+            compile("proc m(int x) { if (x) x = 1; else x = 2; } process m(0);").unwrap();
+        let dot = proc_to_dot(prog.proc_by_name("m").unwrap());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("label=\"true\"") || dot.contains("label=\"false\""));
+        assert_eq!(dot.matches("digraph").count(), 1);
+    }
+
+    #[test]
+    fn program_dot_has_cluster_per_proc() {
+        let prog = compile("proc a() { } proc b() { } process a(); process b();").unwrap();
+        let dot = program_to_dot(&prog);
+        assert_eq!(dot.matches("subgraph cluster_").count(), 2);
+    }
+
+    #[test]
+    fn listing_mentions_every_reachable_node() {
+        let prog = compile("proc m(int x) { while (x) { x = x - 1; } } process m(3);").unwrap();
+        let p = prog.proc_by_name("m").unwrap();
+        let listing = proc_to_listing(p);
+        for nid in p.reachable() {
+            assert!(listing.contains(&format!("n{}:", nid.index())));
+        }
+    }
+}

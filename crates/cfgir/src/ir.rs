@@ -1,0 +1,787 @@
+//! The control-flow-graph IR.
+//!
+//! A [`CfgProgram`] is the mid-level representation of a MiniC program:
+//! one [`CfgProc`] per procedure, each a graph of statement [`Node`]s
+//! connected by guard-labeled [`Arc`]s — the paper's `G_j = (N_j, A_j)`
+//! where "each arc `(n, n')` is labeled with a boolean expression … for
+//! every node the boolean expressions that label arcs from `n` are mutually
+//! exclusive, and their disjunction is a tautology."
+//!
+//! The guard structure makes that invariant syntactic: a [`NodeKind::Cond`]
+//! node has exactly a [`Guard::BoolEq`]`(true)` and a
+//! [`Guard::BoolEq`]`(false)` arc, a [`NodeKind::Switch`] node has distinct
+//! [`Guard::CaseEq`] arcs plus a [`Guard::CaseElse`] arc, and so on
+//! (checked by [`crate::validate()`]).
+
+use minic::ast::{BinOp, Ty, UnOp};
+use minic::span::Span;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap().to_lowercase(), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a node within one procedure's CFG.
+    NodeId
+);
+define_id!(
+    /// Index of a variable within one procedure's variable table.
+    VarId
+);
+define_id!(
+    /// Index of a procedure within a [`CfgProgram`].
+    ProcId
+);
+define_id!(
+    /// Index of a communication object within a [`CfgProgram`].
+    ObjId
+);
+define_id!(
+    /// Index of a declared environment input within a [`CfgProgram`].
+    InputId
+);
+define_id!(
+    /// Index of a per-process global within a [`CfgProgram`].
+    GlobalId
+);
+
+/// Storage class of a variable in a procedure's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// The `index`-th formal parameter.
+    Param(usize),
+    /// A source-level local.
+    Local,
+    /// A compiler-introduced temporary.
+    Temp,
+    /// A reference to per-process global storage.
+    Global(GlobalId),
+}
+
+/// A variable table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Display name (source name, possibly disambiguated).
+    pub name: String,
+    /// Value type.
+    pub ty: Ty,
+    /// Storage class.
+    pub kind: VarKind,
+}
+
+/// A leaf value in a pure expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An integer constant.
+    Const(i64),
+    /// A variable read.
+    Var(VarId),
+}
+
+impl Operand {
+    /// The variable read by this operand, if any.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(*v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// A call-free, memory-free expression over operands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PureExpr {
+    /// A constant or variable.
+    Atom(Operand),
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand expression.
+        expr: Box<PureExpr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<PureExpr>,
+        /// Right operand.
+        rhs: Box<PureExpr>,
+    },
+}
+
+impl PureExpr {
+    /// A constant expression.
+    pub fn constant(v: i64) -> Self {
+        PureExpr::Atom(Operand::Const(v))
+    }
+
+    /// A variable expression.
+    pub fn var(v: VarId) -> Self {
+        PureExpr::Atom(Operand::Var(v))
+    }
+
+    /// Visit every variable read in the expression.
+    pub fn for_each_var<F: FnMut(VarId)>(&self, f: &mut F) {
+        match self {
+            PureExpr::Atom(Operand::Var(v)) => f(*v),
+            PureExpr::Atom(Operand::Const(_)) => {}
+            PureExpr::Unary { expr, .. } => expr.for_each_var(f),
+            PureExpr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_var(f);
+                rhs.for_each_var(f);
+            }
+        }
+    }
+
+    /// Collect the variables read, in first-occurrence order, deduplicated.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.for_each_var(&mut |v| {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        });
+        out
+    }
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// A direct variable: `x = …`.
+    Var(VarId),
+    /// A store through a pointer variable: `*p = …` (the [`VarId`] is `p`).
+    Deref(VarId),
+}
+
+impl Place {
+    /// The syntactic base variable (for `Deref`, the pointer itself).
+    pub fn base(&self) -> VarId {
+        match self {
+            Place::Var(v) | Place::Deref(v) => *v,
+        }
+    }
+}
+
+/// The right-hand side of an assignment node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rvalue {
+    /// A pure expression.
+    Pure(PureExpr),
+    /// A pointer load `*p` (the [`VarId`] is `p`).
+    Load(VarId),
+    /// `&x` — the address of variable `x`.
+    AddrOf(VarId),
+    /// `VS_toss(bound)` — nondeterministic value in `[0, bound]`.
+    Toss(Operand),
+    /// `env_input(i)` — a fresh environment-supplied value. Open programs
+    /// only; eliminated by the closing transformation.
+    EnvInput(InputId),
+}
+
+impl Rvalue {
+    /// Variables read by this rvalue. (May-alias reads through `Load` are
+    /// the dataflow analysis's concern; syntactically a load reads `p`.)
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            Rvalue::Pure(e) => e.vars(),
+            Rvalue::Load(p) => vec![*p],
+            // Taking an address reads no value.
+            Rvalue::AddrOf(_) => vec![],
+            Rvalue::Toss(op) => op.as_var().into_iter().collect(),
+            Rvalue::EnvInput(_) => vec![],
+        }
+    }
+}
+
+/// A visible operation: an operation on a communication object, or an
+/// assertion (§2 of the paper: assertions are visible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisOp {
+    /// `send(chan, val)`. A `val` of `None` sends the *opaque* value: the
+    /// closing transformation erased an environment-dependent payload
+    /// (enabledness never depends on values, so behavior is preserved).
+    Send {
+        /// Target channel.
+        chan: ObjId,
+        /// Sent value; `None` after taint elimination.
+        val: Option<Operand>,
+    },
+    /// `recv(chan)`.
+    Recv {
+        /// Source channel.
+        chan: ObjId,
+    },
+    /// `sem_wait(s)`.
+    SemWait(ObjId),
+    /// `sem_signal(s)`.
+    SemSignal(ObjId),
+    /// `sh_write(v, val)`; `None` after taint elimination.
+    ShWrite {
+        /// Target shared variable.
+        var: ObjId,
+        /// Written value; `None` after taint elimination.
+        val: Option<Operand>,
+    },
+    /// `sh_read(v)`.
+    ShRead(ObjId),
+    /// `VS_assert(cond)`; violated when `cond` evaluates to zero. A `cond`
+    /// of `None` is a *vacuous* assertion whose argument was eliminated by
+    /// the transformation (such assertions are not "preserved" in the
+    /// paper's Theorem 7 sense and never fire).
+    Assert {
+        /// Asserted value; `None` when eliminated.
+        cond: Option<Operand>,
+    },
+}
+
+impl VisOp {
+    /// The communication object this operation touches, if any.
+    pub fn object(&self) -> Option<ObjId> {
+        match self {
+            VisOp::Send { chan, .. } | VisOp::Recv { chan } => Some(*chan),
+            VisOp::SemWait(o) | VisOp::SemSignal(o) => Some(*o),
+            VisOp::ShWrite { var, .. } | VisOp::ShRead(var) => Some(*var),
+            VisOp::Assert { .. } => None,
+        }
+    }
+
+    /// Variables read by the operation.
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            VisOp::Send { val, .. } | VisOp::ShWrite { val, .. } => {
+                val.and_then(|o| o.as_var()).into_iter().collect()
+            }
+            VisOp::Assert { cond } => cond.and_then(|o| o.as_var()).into_iter().collect(),
+            _ => vec![],
+        }
+    }
+
+    /// True when the operation produces a value (recv, sh_read).
+    pub fn has_result(&self) -> bool {
+        matches!(self, VisOp::Recv { .. } | VisOp::ShRead(_))
+    }
+}
+
+/// What a CFG node does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The unique start node: "start nodes do not use nor define any
+    /// variables." Exactly one per procedure.
+    Start,
+    /// An assignment statement — "every execution of an assignment
+    /// statement defines the value of exactly one variable."
+    Assign {
+        /// Target place.
+        dst: Place,
+        /// Source rvalue.
+        src: Rvalue,
+    },
+    /// A two-way conditional; out-arcs carry [`Guard::BoolEq`].
+    Cond {
+        /// The tested expression.
+        expr: PureExpr,
+    },
+    /// A multi-way switch; out-arcs carry [`Guard::CaseEq`] /
+    /// [`Guard::CaseElse`].
+    Switch {
+        /// The scrutinee.
+        expr: PureExpr,
+    },
+    /// A conditional on a fresh `VS_toss(bound)` result, as inserted by
+    /// Step 4 of the closing algorithm; out-arcs carry [`Guard::TossEq`]
+    /// for every value in `0..=bound`.
+    TossCond {
+        /// Upper bound (inclusive) of the toss.
+        bound: u32,
+    },
+    /// A call to another procedure of the system. Arguments are variables
+    /// ("we assume that each argument of a procedure call is a variable").
+    Call {
+        /// Callee.
+        callee: ProcId,
+        /// Argument variables, one per remaining callee parameter.
+        args: Vec<VarId>,
+        /// Destination of the returned value, if used.
+        dst: Option<VarId>,
+    },
+    /// A visible operation.
+    Visible {
+        /// The operation.
+        op: VisOp,
+        /// Destination of the result, for `recv`/`sh_read`.
+        dst: Option<VarId>,
+    },
+    /// A termination statement. No out-arcs. Top-level returns block
+    /// forever (§2: the number of processes is constant).
+    Return {
+        /// Returned value, if any.
+        value: Option<PureExpr>,
+    },
+}
+
+impl NodeKind {
+    /// Variables *used* (read) by the node, per the paper's definition:
+    /// "a variable v is used in node n if the value of v may be required
+    /// during some execution of the statement corresponding to n."
+    pub fn uses(&self) -> Vec<VarId> {
+        match self {
+            NodeKind::Start => vec![],
+            NodeKind::Assign { dst, src } => {
+                let mut vs = src.vars();
+                // A store through *p reads the pointer p.
+                if let Place::Deref(p) = dst {
+                    if !vs.contains(p) {
+                        vs.push(*p);
+                    }
+                }
+                vs
+            }
+            NodeKind::Cond { expr } | NodeKind::Switch { expr } => expr.vars(),
+            NodeKind::TossCond { .. } => vec![],
+            NodeKind::Call { args, .. } => {
+                let mut vs = Vec::new();
+                for a in args {
+                    if !vs.contains(a) {
+                        vs.push(*a);
+                    }
+                }
+                vs
+            }
+            NodeKind::Visible { op, .. } => op.vars(),
+            NodeKind::Return { value } => value.as_ref().map(|e| e.vars()).unwrap_or_default(),
+        }
+    }
+
+    /// The place *defined* (written) by the node, if any. Conditional and
+    /// termination statements define nothing (paper §4).
+    pub fn def(&self) -> Option<Place> {
+        match self {
+            NodeKind::Assign { dst, .. } => Some(*dst),
+            NodeKind::Call { dst, .. } | NodeKind::Visible { dst, .. } => {
+                dst.map(Place::Var)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for nodes whose first operation is visible (delimits
+    /// transitions in the VeriSoft execution model).
+    pub fn is_visible(&self) -> bool {
+        matches!(self, NodeKind::Visible { .. })
+    }
+}
+
+/// A node: kind plus originating source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// What the node does.
+    pub kind: NodeKind,
+    /// Source location of the originating statement.
+    pub span: Span,
+}
+
+/// The guard labeling an arc. Guards from one node are mutually exclusive
+/// and jointly exhaustive by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Guard {
+    /// Unconditional (sole out-arc).
+    Always,
+    /// Condition evaluated to this truth value.
+    BoolEq(bool),
+    /// Switch scrutinee equals this label.
+    CaseEq(i64),
+    /// No sibling `CaseEq` label matched.
+    CaseElse,
+    /// The `VS_toss` performed at the node returned this value.
+    TossEq(u32),
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guard::Always => write!(f, "true"),
+            Guard::BoolEq(b) => write!(f, "{b}"),
+            Guard::CaseEq(v) => write!(f, "== {v}"),
+            Guard::CaseElse => write!(f, "else"),
+            Guard::TossEq(v) => write!(f, "toss == {v}"),
+        }
+    }
+}
+
+/// A guarded control-flow arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    /// The guard under which this arc is taken.
+    pub guard: Guard,
+    /// Destination node.
+    pub target: NodeId,
+}
+
+/// One procedure's control-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfgProc {
+    /// Procedure name.
+    pub name: String,
+    /// This procedure's id within the program.
+    pub id: ProcId,
+    /// Parameter variables, in declaration order.
+    pub params: Vec<VarId>,
+    /// The variable table.
+    pub vars: Vec<VarInfo>,
+    /// All nodes; `NodeId` indexes into this.
+    pub nodes: Vec<Node>,
+    /// Out-arcs of each node, parallel to `nodes`.
+    pub succs: Vec<Vec<Arc>>,
+    /// The start node.
+    pub start: NodeId,
+}
+
+impl CfgProc {
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Out-arcs of a node.
+    pub fn arcs(&self, id: NodeId) -> &[Arc] {
+        &self.succs[id.index()]
+    }
+
+    /// Variable info.
+    pub fn var(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.index()]
+    }
+
+    /// Ids of all nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes reachable from the start node, in BFS order with arcs sorted
+    /// by guard (a deterministic order).
+    pub fn reachable(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.start.index()] = true;
+        queue.push_back(self.start);
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            let mut arcs: Vec<Arc> = self.arcs(n).to_vec();
+            arcs.sort_by_key(|a| a.guard);
+            for a in arcs {
+                if !seen[a.target.index()] {
+                    seen[a.target.index()] = true;
+                    queue.push_back(a.target);
+                }
+            }
+        }
+        order
+    }
+
+    /// Total static branching degree: the sum over reachable nodes of
+    /// `max(outdegree - 1, 0)` — the quantity the paper claims the
+    /// transformation "preserves, or may even reduce."
+    pub fn branching_degree(&self) -> usize {
+        self.reachable()
+            .iter()
+            .map(|n| self.arcs(*n).len().saturating_sub(1))
+            .sum()
+    }
+
+    /// Maximum out-degree over reachable nodes.
+    pub fn max_outdegree(&self) -> usize {
+        self.reachable()
+            .iter()
+            .map(|n| self.arcs(*n).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Append a node, returning its id. The caller must add arcs.
+    pub fn push_node(&mut self, kind: NodeKind, span: Span) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, span });
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Append a variable, returning its id.
+    pub fn push_var(&mut self, info: VarInfo) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(info);
+        id
+    }
+
+    /// Add an arc.
+    pub fn add_arc(&mut self, from: NodeId, guard: Guard, target: NodeId) {
+        self.succs[from.index()].push(Arc { guard, target });
+    }
+}
+
+/// How a process parameter is supplied at spawn time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnArg {
+    /// A constant.
+    Const(i64),
+    /// Supplied by the environment from the given input's domain. Open
+    /// programs only; eliminated by the closing transformation.
+    Input(InputId),
+}
+
+/// A process instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessSpec {
+    /// Display name.
+    pub name: String,
+    /// Top-level procedure.
+    pub proc: ProcId,
+    /// Spawn arguments, one per (remaining) parameter.
+    pub args: Vec<SpawnArg>,
+    /// Daemon processes model the environment (synthesized `E_S`
+    /// feeders/drains): they are excluded from deadlock detection — a
+    /// blocked environment is not a system deadlock.
+    pub daemon: bool,
+}
+
+/// A whole program in CFG form.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CfgProgram {
+    /// Communication objects (indexed by [`ObjId`]).
+    pub objects: Vec<minic::sema::ObjectSym>,
+    /// Per-process globals (indexed by [`GlobalId`]).
+    pub globals: Vec<minic::sema::GlobalSym>,
+    /// Declared environment inputs (indexed by [`InputId`]).
+    pub inputs: Vec<minic::sema::InputSym>,
+    /// Procedures (indexed by [`ProcId`]).
+    pub procs: Vec<CfgProc>,
+    /// Process instantiations.
+    pub processes: Vec<ProcessSpec>,
+}
+
+impl CfgProgram {
+    /// The procedure with the given id.
+    pub fn proc(&self, id: ProcId) -> &CfgProc {
+        &self.procs[id.index()]
+    }
+
+    /// Look up a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<&CfgProc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// True when the program still has open-interface elements: `env_input`
+    /// reads, environment-supplied spawn arguments, or declared inputs
+    /// reachable from uses. External channels do **not** make a program
+    /// unexecutable (their data side is what the transformation erases), so
+    /// they are not counted here; see [`CfgProgram::is_closed`].
+    pub fn has_env_reads(&self) -> bool {
+        let spawn_input = self
+            .processes
+            .iter()
+            .any(|p| p.args.iter().any(|a| matches!(a, SpawnArg::Input(_))));
+        let env_nodes = self.procs.iter().any(|p| {
+            p.nodes.iter().any(|n| {
+                matches!(
+                    n.kind,
+                    NodeKind::Assign {
+                        src: Rvalue::EnvInput(_),
+                        ..
+                    }
+                )
+            })
+        });
+        spawn_input || env_nodes
+    }
+
+    /// True when the program is closed (self-executable): no `env_input`
+    /// nodes and no environment-supplied spawn arguments. Operations on
+    /// external channels may remain — they never block and carry no data
+    /// after the transformation, so they do not require an environment.
+    pub fn is_closed(&self) -> bool {
+        !self.has_env_reads()
+    }
+
+    /// True when the program has *any* open-interface element, including
+    /// external channels (whose erased data side keeps a closed program
+    /// executable, but which still connect it to an environment).
+    pub fn has_open_interface(&self) -> bool {
+        self.has_env_reads()
+            || self
+                .objects
+                .iter()
+                .any(|o| o.kind == minic::sema::ObjectKind::ExternChan)
+    }
+
+    /// Total number of nodes across all procedures.
+    pub fn node_count(&self) -> usize {
+        self.procs.iter().map(|p| p.nodes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_proc() -> CfgProc {
+        let mut p = CfgProc {
+            name: "t".into(),
+            id: ProcId(0),
+            params: vec![],
+            vars: vec![],
+            nodes: vec![],
+            succs: vec![],
+            start: NodeId(0),
+        };
+        let x = p.push_var(VarInfo {
+            name: "x".into(),
+            ty: Ty::Int,
+            kind: VarKind::Local,
+        });
+        let start = p.push_node(NodeKind::Start, Span::dummy());
+        let cond = p.push_node(
+            NodeKind::Cond {
+                expr: PureExpr::var(x),
+            },
+            Span::dummy(),
+        );
+        let a1 = p.push_node(
+            NodeKind::Assign {
+                dst: Place::Var(x),
+                src: Rvalue::Pure(PureExpr::constant(1)),
+            },
+            Span::dummy(),
+        );
+        let ret = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(start, Guard::Always, cond);
+        p.add_arc(cond, Guard::BoolEq(true), a1);
+        p.add_arc(cond, Guard::BoolEq(false), ret);
+        p.add_arc(a1, Guard::Always, ret);
+        p.start = start;
+        p
+    }
+
+    #[test]
+    fn reachable_covers_all_in_connected_graph() {
+        let p = tiny_proc();
+        assert_eq!(p.reachable().len(), 4);
+    }
+
+    #[test]
+    fn reachable_skips_orphans() {
+        let mut p = tiny_proc();
+        p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        assert_eq!(p.reachable().len(), 4);
+        assert_eq!(p.nodes.len(), 5);
+    }
+
+    #[test]
+    fn branching_degree_counts_extra_arcs() {
+        let p = tiny_proc();
+        // Only the Cond node has outdegree 2.
+        assert_eq!(p.branching_degree(), 1);
+        assert_eq!(p.max_outdegree(), 2);
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let x = VarId(0);
+        let p = VarId(1);
+        let assign = NodeKind::Assign {
+            dst: Place::Deref(p),
+            src: Rvalue::Pure(PureExpr::var(x)),
+        };
+        assert_eq!(assign.uses(), vec![x, p]);
+        assert_eq!(assign.def(), Some(Place::Deref(p)));
+
+        let load = NodeKind::Assign {
+            dst: Place::Var(x),
+            src: Rvalue::Load(p),
+        };
+        assert_eq!(load.uses(), vec![p]);
+
+        let addr = NodeKind::Assign {
+            dst: Place::Var(p),
+            src: Rvalue::AddrOf(x),
+        };
+        assert!(addr.uses().is_empty(), "&x does not read x");
+
+        assert!(NodeKind::Start.uses().is_empty());
+        assert_eq!(NodeKind::Start.def(), None);
+    }
+
+    #[test]
+    fn visible_op_objects() {
+        let op = VisOp::Send {
+            chan: ObjId(3),
+            val: Some(Operand::Var(VarId(0))),
+        };
+        assert_eq!(op.object(), Some(ObjId(3)));
+        assert_eq!(op.vars(), vec![VarId(0)]);
+        let a = VisOp::Assert { cond: None };
+        assert_eq!(a.object(), None);
+        assert!(a.vars().is_empty());
+    }
+
+    #[test]
+    fn opaque_send_reads_nothing() {
+        let op = VisOp::Send {
+            chan: ObjId(0),
+            val: None,
+        };
+        assert!(op.vars().is_empty());
+    }
+
+    #[test]
+    fn guard_ordering_is_total_and_deterministic() {
+        let mut gs = vec![
+            Guard::TossEq(1),
+            Guard::CaseElse,
+            Guard::Always,
+            Guard::BoolEq(false),
+            Guard::CaseEq(5),
+            Guard::TossEq(0),
+            Guard::BoolEq(true),
+        ];
+        gs.sort();
+        let mut gs2 = gs.clone();
+        gs2.sort();
+        assert_eq!(gs, gs2);
+    }
+
+    #[test]
+    fn closedness_detection() {
+        let mut prog = CfgProgram::default();
+        assert!(prog.is_closed());
+        prog.processes.push(ProcessSpec {
+            name: "p".into(),
+            proc: ProcId(0),
+            args: vec![SpawnArg::Input(InputId(0))],
+            daemon: false,
+        });
+        assert!(!prog.is_closed());
+        prog.processes[0].args[0] = SpawnArg::Const(3);
+        assert!(prog.is_closed());
+    }
+}

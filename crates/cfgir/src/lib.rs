@@ -1,0 +1,49 @@
+//! # cfgir — control-flow graphs for MiniC programs
+//!
+//! The mid-level IR of the `reclose` toolchain: each procedure of a
+//! normalized MiniC program becomes a [`CfgProc`], a graph of statement
+//! nodes connected by guard-labeled arcs, exactly the `G_j = (N_j, A_j)`
+//! representation over which the PLDI 1998 closing algorithm is defined.
+//!
+//! - [`build::build`] / [`build::compile`] — lower MiniC to CFG form;
+//! - [`validate::validate`] — check the framework's structural invariants
+//!   (one start node; per-node guards mutually exclusive and exhaustive);
+//! - [`canon`] — canonical forms and graph isomorphism (used to verify the
+//!   paper's Figures 2–3 claim that two different open procedures close to
+//!   the same program);
+//! - [`dot`] — Graphviz export and textual listings.
+//!
+//! ## Example
+//!
+//! ```
+//! use cfgir::compile;
+//!
+//! let cfg = compile(r#"
+//!     chan link[1];
+//!     proc producer() { send(link, 42); }
+//!     proc consumer() { int v = recv(link); VS_assert(v == 42); }
+//!     process producer();
+//!     process consumer();
+//! "#)?;
+//! assert_eq!(cfg.procs.len(), 2);
+//! assert!(cfg.is_closed());
+//! cfgir::validate(&cfg).unwrap();
+//! # Ok::<(), minic::Diagnostics>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod canon;
+pub mod dot;
+pub mod ir;
+pub mod validate;
+
+pub use build::{build, compile};
+pub use canon::{canonical_form, isomorphic, CanonForm};
+pub use dot::{proc_to_dot, proc_to_listing, program_to_dot};
+pub use ir::{
+    Arc, CfgProc, CfgProgram, GlobalId, Guard, InputId, Node, NodeId, NodeKind, ObjId, Operand,
+    Place, ProcId, ProcessSpec, PureExpr, Rvalue, SpawnArg, VarId, VarInfo, VarKind, VisOp,
+};
+pub use validate::{validate, ValidateError};

@@ -1,0 +1,403 @@
+//! Structural validation of [`CfgProgram`]s.
+//!
+//! Checks the invariants the paper's framework assumes:
+//!
+//! - exactly one [`NodeKind::Start`] node per procedure, which is the
+//!   designated start, uses/defines nothing, and has a single `Always` arc;
+//! - per-node guard sets are *mutually exclusive and jointly exhaustive*:
+//!   `Cond` has `true`+`false`, `Switch` has distinct `CaseEq`s + `CaseElse`,
+//!   `TossCond { bound }` has exactly `TossEq(0..=bound)`, every other
+//!   non-`Return` node has a single `Always` arc, and `Return` has none;
+//! - every arc targets an existing node, all ids are in range;
+//! - call arity matches the callee's parameter count;
+//! - variable references are well-typed for memory operations
+//!   (`Load`/`Deref`/`AddrOf` bases).
+
+use crate::ir::*;
+use minic::ast::Ty;
+use std::collections::BTreeSet;
+
+/// A validation failure, with the procedure and node it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Procedure name.
+    pub proc: String,
+    /// Offending node, when applicable.
+    pub node: Option<NodeId>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "{}/{}: {}", self.proc, n, self.message),
+            None => write!(f, "{}: {}", self.proc, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate an entire program.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate(prog: &CfgProgram) -> Result<(), ValidateError> {
+    for p in &prog.procs {
+        validate_proc(prog, p)?;
+    }
+    for (i, ps) in prog.processes.iter().enumerate() {
+        if ps.proc.index() >= prog.procs.len() {
+            return Err(ValidateError {
+                proc: format!("<process {i}>"),
+                node: None,
+                message: "process references out-of-range procedure".into(),
+            });
+        }
+        let callee = prog.proc(ps.proc);
+        if callee.params.len() != ps.args.len() {
+            return Err(ValidateError {
+                proc: ps.name.clone(),
+                node: None,
+                message: format!(
+                    "spawn arity {} != procedure arity {}",
+                    ps.args.len(),
+                    callee.params.len()
+                ),
+            });
+        }
+        for a in &ps.args {
+            if let SpawnArg::Input(i) = a {
+                if i.index() >= prog.inputs.len() {
+                    return Err(ValidateError {
+                        proc: ps.name.clone(),
+                        node: None,
+                        message: "spawn argument references unknown input".into(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn err(p: &CfgProc, node: Option<NodeId>, msg: impl Into<String>) -> ValidateError {
+    ValidateError {
+        proc: p.name.clone(),
+        node,
+        message: msg.into(),
+    }
+}
+
+fn validate_proc(prog: &CfgProgram, p: &CfgProc) -> Result<(), ValidateError> {
+    // Start node shape.
+    let starts = p
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Start))
+        .count();
+    if starts != 1 {
+        return Err(err(p, None, format!("expected 1 start node, found {starts}")));
+    }
+    if !matches!(p.node(p.start).kind, NodeKind::Start) {
+        return Err(err(p, Some(p.start), "designated start is not a Start node"));
+    }
+    if p.succs.len() != p.nodes.len() {
+        return Err(err(p, None, "succs table length mismatch"));
+    }
+    for v in &p.params {
+        if v.index() >= p.vars.len() {
+            return Err(err(p, None, "parameter id out of range"));
+        }
+    }
+    for nid in p.node_ids() {
+        let node = p.node(nid);
+        // Arc targets in range.
+        for a in p.arcs(nid) {
+            if a.target.index() >= p.nodes.len() {
+                return Err(err(p, Some(nid), "arc target out of range"));
+            }
+        }
+        // Variable ids in range.
+        for v in node.kind.uses() {
+            if v.index() >= p.vars.len() {
+                return Err(err(p, Some(nid), "used variable id out of range"));
+            }
+        }
+        if let Some(d) = node.kind.def() {
+            if d.base().index() >= p.vars.len() {
+                return Err(err(p, Some(nid), "defined variable id out of range"));
+            }
+        }
+        validate_guards(p, nid)?;
+        validate_kind(prog, p, nid)?;
+    }
+    Ok(())
+}
+
+fn validate_guards(p: &CfgProc, nid: NodeId) -> Result<(), ValidateError> {
+    let arcs = p.arcs(nid);
+    let guards: Vec<Guard> = arcs.iter().map(|a| a.guard).collect();
+    match &p.node(nid).kind {
+        NodeKind::Return { .. } => {
+            if !arcs.is_empty() {
+                return Err(err(p, Some(nid), "return node has out-arcs"));
+            }
+        }
+        NodeKind::Cond { .. } => {
+            let set: BTreeSet<Guard> = guards.iter().copied().collect();
+            let want: BTreeSet<Guard> =
+                [Guard::BoolEq(true), Guard::BoolEq(false)].into_iter().collect();
+            if set != want || guards.len() != 2 {
+                return Err(err(
+                    p,
+                    Some(nid),
+                    format!("cond node guards not {{true,false}}: {guards:?}"),
+                ));
+            }
+        }
+        NodeKind::Switch { .. } => {
+            let mut labels = BTreeSet::new();
+            let mut else_count = 0;
+            for g in &guards {
+                match g {
+                    Guard::CaseEq(v) => {
+                        if !labels.insert(*v) {
+                            return Err(err(p, Some(nid), format!("duplicate case guard {v}")));
+                        }
+                    }
+                    Guard::CaseElse => else_count += 1,
+                    other => {
+                        return Err(err(
+                            p,
+                            Some(nid),
+                            format!("switch node has non-case guard {other}"),
+                        ))
+                    }
+                }
+            }
+            if else_count != 1 {
+                return Err(err(
+                    p,
+                    Some(nid),
+                    format!("switch node has {else_count} else arcs (want 1)"),
+                ));
+            }
+        }
+        NodeKind::TossCond { bound } => {
+            let want: BTreeSet<Guard> = (0..=*bound).map(Guard::TossEq).collect();
+            let got: BTreeSet<Guard> = guards.iter().copied().collect();
+            if got != want || guards.len() != (*bound as usize + 1) {
+                return Err(err(
+                    p,
+                    Some(nid),
+                    format!("toss node guards do not cover 0..={bound} exactly: {guards:?}"),
+                ));
+            }
+        }
+        _ => {
+            if guards.len() != 1 || guards[0] != Guard::Always {
+                return Err(err(
+                    p,
+                    Some(nid),
+                    format!("expected single Always arc, found {guards:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_kind(prog: &CfgProgram, p: &CfgProc, nid: NodeId) -> Result<(), ValidateError> {
+    match &p.node(nid).kind {
+        NodeKind::Call { callee, args, .. } => {
+            if callee.index() >= prog.procs.len() {
+                return Err(err(p, Some(nid), "call to out-of-range procedure"));
+            }
+            let target = prog.proc(*callee);
+            if target.params.len() != args.len() {
+                return Err(err(
+                    p,
+                    Some(nid),
+                    format!(
+                        "call passes {} args to `{}` which takes {}",
+                        args.len(),
+                        target.name,
+                        target.params.len()
+                    ),
+                ));
+            }
+        }
+        NodeKind::Visible { op, dst } => {
+            if let Some(o) = op.object() {
+                if o.index() >= prog.objects.len() {
+                    return Err(err(p, Some(nid), "visible op on out-of-range object"));
+                }
+            }
+            if dst.is_some() && !op.has_result() {
+                return Err(err(p, Some(nid), "resultless visible op has a dst"));
+            }
+        }
+        NodeKind::Assign { dst, src } => {
+            if let Place::Deref(ptr) = dst {
+                if p.var(*ptr).ty != Ty::IntPtr {
+                    return Err(err(p, Some(nid), "store through a non-pointer variable"));
+                }
+            }
+            match src {
+                Rvalue::Load(ptr) => {
+                    if p.var(*ptr).ty != Ty::IntPtr {
+                        return Err(err(p, Some(nid), "load through a non-pointer variable"));
+                    }
+                }
+                Rvalue::AddrOf(v) => {
+                    if p.var(*v).ty != Ty::Int {
+                        return Err(err(p, Some(nid), "address-of a non-int variable"));
+                    }
+                }
+                Rvalue::EnvInput(i) => {
+                    if i.index() >= prog.inputs.len() {
+                        return Err(err(p, Some(nid), "env_input of out-of-range input"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::span::Span;
+
+    fn empty_proc(name: &str) -> CfgProc {
+        CfgProc {
+            name: name.into(),
+            id: ProcId(0),
+            params: vec![],
+            vars: vec![],
+            nodes: vec![],
+            succs: vec![],
+            start: NodeId(0),
+        }
+    }
+
+    fn prog_with(p: CfgProc) -> CfgProgram {
+        CfgProgram {
+            objects: vec![],
+            globals: vec![],
+            inputs: vec![],
+            procs: vec![p],
+            processes: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_minimal_proc() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        let r = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(s, Guard::Always, r);
+        p.start = s;
+        validate(&prog_with(p)).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_start() {
+        let mut p = empty_proc("m");
+        p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        let e = validate(&prog_with(p)).unwrap_err();
+        assert!(e.message.contains("start"));
+    }
+
+    #[test]
+    fn rejects_return_with_arcs() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        let r = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(s, Guard::Always, r);
+        p.add_arc(r, Guard::Always, s);
+        p.start = s;
+        let e = validate(&prog_with(p)).unwrap_err();
+        assert!(e.message.contains("return node has out-arcs"));
+    }
+
+    #[test]
+    fn rejects_cond_missing_false_arc() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        let c = p.push_node(
+            NodeKind::Cond {
+                expr: PureExpr::constant(1),
+            },
+            Span::dummy(),
+        );
+        let r = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(s, Guard::Always, c);
+        p.add_arc(c, Guard::BoolEq(true), r);
+        p.start = s;
+        let e = validate(&prog_with(p)).unwrap_err();
+        assert!(e.message.contains("cond node guards"));
+    }
+
+    #[test]
+    fn rejects_incomplete_toss_cover() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        let t = p.push_node(NodeKind::TossCond { bound: 2 }, Span::dummy());
+        let r = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(s, Guard::Always, t);
+        p.add_arc(t, Guard::TossEq(0), r);
+        p.add_arc(t, Guard::TossEq(1), r);
+        // TossEq(2) missing.
+        p.start = s;
+        let e = validate(&prog_with(p)).unwrap_err();
+        assert!(e.message.contains("toss node guards"));
+    }
+
+    #[test]
+    fn accepts_complete_toss() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        let t = p.push_node(NodeKind::TossCond { bound: 1 }, Span::dummy());
+        let r = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(s, Guard::Always, t);
+        p.add_arc(t, Guard::TossEq(0), r);
+        p.add_arc(t, Guard::TossEq(1), r);
+        p.start = s;
+        validate(&prog_with(p)).unwrap();
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_in_spawn() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        let r = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(s, Guard::Always, r);
+        p.start = s;
+        let mut prog = prog_with(p);
+        prog.processes.push(ProcessSpec {
+            name: "x".into(),
+            proc: ProcId(0),
+            args: vec![SpawnArg::Const(1)],
+            daemon: false,
+        });
+        let e = validate(&prog).unwrap_err();
+        assert!(e.message.contains("spawn arity"));
+    }
+
+    #[test]
+    fn rejects_dangling_arc_target() {
+        let mut p = empty_proc("m");
+        let s = p.push_node(NodeKind::Start, Span::dummy());
+        p.add_arc(s, Guard::Always, NodeId(99));
+        p.start = s;
+        let e = validate(&prog_with(p)).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+}

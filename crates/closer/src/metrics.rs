@@ -1,0 +1,82 @@
+//! Transformation metrics: static branching degree and size accounting.
+//!
+//! The paper claims (§1) that the transformation "preserves, or may even
+//! reduce, the static degree of branching of the original code" — in
+//! contrast to the naive most-general environment, which is "infinitely
+//! branching whenever the set of inputs is infinite". These metrics back
+//! the `branching_degree` bench (experiment E2 in DESIGN.md).
+
+use cfgir::CfgProgram;
+
+/// Branching / size comparison of one procedure before and after closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchingReport {
+    /// Procedure name.
+    pub name: String,
+    /// Σ max(outdeg − 1, 0) over reachable nodes, before.
+    pub degree_before: usize,
+    /// Σ max(outdeg − 1, 0) over reachable nodes, after.
+    pub degree_after: usize,
+    /// Maximum out-degree before.
+    pub max_outdeg_before: usize,
+    /// Maximum out-degree after.
+    pub max_outdeg_after: usize,
+    /// Reachable node count before.
+    pub nodes_before: usize,
+    /// Reachable node count after.
+    pub nodes_after: usize,
+}
+
+impl BranchingReport {
+    /// True when the paper's branching claim holds for this procedure.
+    pub fn branching_preserved_or_reduced(&self) -> bool {
+        self.degree_after <= self.degree_before
+    }
+}
+
+/// Compare every procedure of `before` against its counterpart in `after`
+/// (matched by [`cfgir::ProcId`]; the transformation preserves ids).
+pub fn compare(before: &CfgProgram, after: &CfgProgram) -> Vec<BranchingReport> {
+    before
+        .procs
+        .iter()
+        .zip(after.procs.iter())
+        .map(|(b, a)| {
+            debug_assert_eq!(b.name, a.name);
+            BranchingReport {
+                name: b.name.clone(),
+                degree_before: b.branching_degree(),
+                degree_after: a.branching_degree(),
+                max_outdeg_before: b.max_outdegree(),
+                max_outdeg_after: a.max_outdegree(),
+                nodes_before: b.reachable().len(),
+                nodes_after: a.reachable().len(),
+            }
+        })
+        .collect()
+}
+
+/// Program-wide totals of a comparison.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Σ degree before.
+    pub degree_before: usize,
+    /// Σ degree after.
+    pub degree_after: usize,
+    /// Σ reachable nodes before.
+    pub nodes_before: usize,
+    /// Σ reachable nodes after.
+    pub nodes_after: usize,
+}
+
+/// Aggregate per-procedure reports.
+pub fn totals(reports: &[BranchingReport]) -> Totals {
+    let mut t = Totals::default();
+    for r in reports {
+        t.degree_before += r.degree_before;
+        t.degree_after += r.degree_after;
+        t.nodes_before += r.nodes_before;
+        t.nodes_after += r.nodes_after;
+    }
+    t
+}

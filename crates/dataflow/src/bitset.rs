@@ -1,0 +1,203 @@
+//! A compact fixed-universe bit set used by the dataflow fixpoints.
+
+/// A set of `usize` elements drawn from a fixed universe `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`; returns true when it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bitset index {i} out of universe {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    /// Remove `i`; returns true when it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bitset index {i} out of universe {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old & (1 << b) != 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// `self |= other`; returns true when `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched universes.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a | *b;
+            if next != *a {
+                *a = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `self &= !other` (set difference in place).
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// True when no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose universe is one past the maximum element.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map(|m| m + 1).unwrap_or(0);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "reinsert reports false");
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn out_of_universe_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_insert_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.insert(3);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn subtract_removes() {
+        let mut a: BitSet = [1usize, 2, 3].into_iter().collect();
+        let mut b = BitSet::new(a.universe());
+        b.insert(2);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = BitSet::new(200);
+        for i in [150, 7, 64, 63, 0] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 7, 63, 64, 150]);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = BitSet::new(10);
+        s.insert(5);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: BitSet = [1usize, 2].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Define-use graphs — the paper's `G̃_j = (N_j, Ã_j)`.
+//!
+//! There is an arc `(n, n')` labeled `v` when node `n` (or the procedure
+//! entry) defines variable `v`, node `n'` uses `v`, and a definition-free
+//! control path for `v` connects them — i.e. the definition *reaches* the
+//! use. Uses include *may*-uses through pointers: a load `x = *p` uses
+//! every variable `p` may point to.
+
+use crate::loc::loc_of;
+use crate::modref::ModRef;
+use crate::pointsto::PointsTo;
+use crate::reachdefs::{self, ReachingDefs};
+use cfgir::{CfgProc, CfgProgram, NodeId, NodeKind, Rvalue, VarId};
+
+/// An incoming define-use arc at a use node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UseArc {
+    /// Index into [`ReachingDefs::defs`] of the reaching definition.
+    pub def: usize,
+    /// The used variable labeling the arc.
+    pub var: VarId,
+}
+
+/// The define-use graph of one procedure.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// The underlying reaching-definitions solution.
+    pub rd: ReachingDefs,
+    /// Per node: incoming define-use arcs.
+    pub uses_of_node: Vec<Vec<UseArc>>,
+    /// Per definition site: the nodes it flows to (with the variable).
+    pub uses_of_def: Vec<Vec<(NodeId, VarId)>>,
+    /// Per node: the variables it may use (syntactic uses plus pointees of
+    /// loads).
+    pub may_uses: Vec<Vec<VarId>>,
+}
+
+impl DefUse {
+    /// Total number of define-use arcs.
+    pub fn arc_count(&self) -> usize {
+        self.uses_of_node.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// Variables of `proc` that node `nid` may use: its syntactic uses, plus —
+/// for a load `x = *p` — every variable of this procedure that `p` may
+/// point to.
+pub fn may_uses(proc: &CfgProc, nid: NodeId, pts: &PointsTo) -> Vec<VarId> {
+    let kind = &proc.node(nid).kind;
+    let mut out = kind.uses();
+    if let NodeKind::Assign {
+        src: Rvalue::Load(p),
+        ..
+    } = kind
+    {
+        let targets = pts.of_loc(loc_of(proc, *p));
+        for (vi, _) in proc.vars.iter().enumerate() {
+            let v = VarId(vi as u32);
+            if targets.contains(&loc_of(proc, v)) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Build the define-use graph of `proc`.
+pub fn analyze(
+    prog: &CfgProgram,
+    proc: &CfgProc,
+    pts: &PointsTo,
+    modref: &ModRef,
+) -> DefUse {
+    let rd = reachdefs::analyze(prog, proc, pts, modref);
+    let nnodes = proc.nodes.len();
+    let mut uses_of_node: Vec<Vec<UseArc>> = vec![Vec::new(); nnodes];
+    let mut uses_of_def: Vec<Vec<(NodeId, VarId)>> = vec![Vec::new(); rd.defs.len()];
+    let mut may_uses_v: Vec<Vec<VarId>> = vec![Vec::new(); nnodes];
+
+    for nid in proc.node_ids() {
+        let used = may_uses(proc, nid, pts);
+        for &v in &used {
+            for def in rd.reaching(nid, v) {
+                uses_of_node[nid.index()].push(UseArc { def, var: v });
+                uses_of_def[def].push((nid, v));
+            }
+        }
+        may_uses_v[nid.index()] = used;
+    }
+
+    DefUse {
+        rd,
+        uses_of_node,
+        uses_of_def,
+        may_uses: may_uses_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::compile;
+
+    fn setup(src: &str, proc: &str) -> (CfgProgram, DefUse, cfgir::ProcId) {
+        let prog = compile(src).unwrap();
+        let pts = crate::pointsto::analyze(&prog);
+        let mr = crate::modref::analyze(&prog, &pts);
+        let p = prog.proc_by_name(proc).unwrap();
+        let du = analyze(&prog, p, &pts, &mr);
+        (prog.clone(), du, p.id)
+    }
+
+    fn var(prog: &CfgProgram, pid: cfgir::ProcId, name: &str) -> VarId {
+        let p = prog.proc(pid);
+        VarId(p.vars.iter().position(|v| v.name == name).unwrap() as u32)
+    }
+
+    #[test]
+    fn simple_chain_has_arcs() {
+        // a=x%2; b=a+1; c=b  — the paper's first §5 example.
+        let (prog, du, pid) = setup(
+            "proc m(int x) { int a = x % 2; int b = a + 1; int c = b; } process m(0);",
+            "m",
+        );
+        let p = prog.proc(pid);
+        let b_assign = p
+            .node_ids()
+            .find(|n| match &p.node(*n).kind {
+                NodeKind::Assign { dst, .. } => *dst == cfgir::Place::Var(var(&prog, pid, "b")),
+                _ => false,
+            })
+            .unwrap();
+        let arcs = &du.uses_of_node[b_assign.index()];
+        assert_eq!(arcs.len(), 1);
+        assert_eq!(arcs[0].var, var(&prog, pid, "a"));
+        // The def flows from the a-assignment, not from entry.
+        assert!(du.rd.defs[arcs[0].def].node.is_some());
+    }
+
+    #[test]
+    fn param_use_comes_from_entry() {
+        let (prog, du, pid) = setup(
+            "proc m(int x) { int a = x + 1; } process m(0);",
+            "m",
+        );
+        let p = prog.proc(pid);
+        let assign = p
+            .node_ids()
+            .find(|n| matches!(p.node(*n).kind, NodeKind::Assign { .. }))
+            .unwrap();
+        let arcs = &du.uses_of_node[assign.index()];
+        assert_eq!(arcs.len(), 1);
+        assert!(du.rd.defs[arcs[0].def].node.is_none());
+    }
+
+    #[test]
+    fn load_may_use_pointees() {
+        let (prog, du, pid) = setup(
+            r#"proc m(int z) {
+                int a = 1; int b = 2;
+                int *p = &a;
+                if (z) p = &b;
+                int y = *p;
+            } process m(0);"#,
+            "m",
+        );
+        let p = prog.proc(pid);
+        let load = p
+            .node_ids()
+            .find(|n| {
+                matches!(
+                    p.node(*n).kind,
+                    NodeKind::Assign {
+                        src: Rvalue::Load(_),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        let used = &du.may_uses[load.index()];
+        assert!(used.contains(&var(&prog, pid, "a")));
+        assert!(used.contains(&var(&prog, pid, "b")));
+        assert!(used.contains(&var(&prog, pid, "p")));
+    }
+
+    #[test]
+    fn composed_arcs_overapproximate() {
+        // a=x+1; b=a-x: the paper notes a classic dataflow analysis
+        // "will report incorrectly that b is dependent upon x" — our
+        // graph contains those arcs by design.
+        let (prog, du, pid) = setup(
+            "proc m(int x) { int a = x + 1; int b = a - x; } process m(0);",
+            "m",
+        );
+        let p = prog.proc(pid);
+        let b_assign = p
+            .node_ids()
+            .filter(|n| matches!(p.node(*n).kind, NodeKind::Assign { .. }))
+            .nth(1)
+            .unwrap();
+        let arcs = &du.uses_of_node[b_assign.index()];
+        // Uses both a (from the assignment) and x (from entry).
+        assert_eq!(arcs.len(), 2);
+    }
+
+    #[test]
+    fn no_arc_when_def_is_killed() {
+        let (prog, du, pid) = setup(
+            "proc m() { int a = 1; a = 2; int b = a; } process m();",
+            "m",
+        );
+        let p = prog.proc(pid);
+        let b_assign = p
+            .node_ids()
+            .filter(|n| matches!(p.node(*n).kind, NodeKind::Assign { .. }))
+            .nth(2)
+            .unwrap();
+        let arcs = &du.uses_of_node[b_assign.index()];
+        assert_eq!(arcs.len(), 1, "only a=2 flows to b");
+        let d = du.rd.defs[arcs[0].def];
+        let NodeKind::Assign { src, .. } = &p.node(d.node.unwrap()).kind else {
+            panic!()
+        };
+        assert_eq!(*src, Rvalue::Pure(cfgir::PureExpr::constant(2)));
+    }
+
+    #[test]
+    fn arc_count_is_symmetric() {
+        let (_, du, _) = setup(
+            "proc m(int x) { int a = x; int b = a + x; int c = a + b; } process m(0);",
+            "m",
+        );
+        let from_uses: usize = du.uses_of_node.iter().map(|v| v.len()).sum();
+        let from_defs: usize = du.uses_of_def.iter().map(|v| v.len()).sum();
+        assert_eq!(from_uses, from_defs);
+        assert_eq!(du.arc_count(), from_uses);
+    }
+}

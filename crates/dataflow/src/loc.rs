@@ -1,0 +1,191 @@
+//! Abstract memory locations.
+//!
+//! The paper's "variables" are *memory locations* ("a variable is thus a
+//! semantic object rather than a syntactic one"). [`Loc`] is the
+//! whole-program name of such a location: per-process global storage, or a
+//! local/parameter slot of a procedure (context-insensitively: all
+//! activations of a procedure share one abstract location per slot, the
+//! usual conservative choice).
+
+use cfgir::{CfgProc, CfgProgram, GlobalId, ProcId, VarId, VarKind};
+
+/// An abstract memory location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// Per-process global storage.
+    Global(GlobalId),
+    /// A local or parameter slot of a procedure (all activations merged).
+    Slot(ProcId, VarId),
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Loc::Global(g) => write!(f, "{g}"),
+            Loc::Slot(p, v) => write!(f, "{p}.{v}"),
+        }
+    }
+}
+
+/// The location a variable of a procedure denotes.
+pub fn loc_of(proc: &CfgProc, var: VarId) -> Loc {
+    match proc.var(var).kind {
+        VarKind::Global(g) => Loc::Global(g),
+        _ => Loc::Slot(proc.id, var),
+    }
+}
+
+/// The variable of `proc` denoting `loc`, if any. Globals map back to the
+/// procedure's cached global-reference variable when the procedure
+/// references them.
+pub fn var_of(proc: &CfgProc, loc: Loc) -> Option<VarId> {
+    match loc {
+        Loc::Slot(p, v) if p == proc.id => Some(v),
+        Loc::Slot(..) => None,
+        Loc::Global(g) => (0..proc.vars.len() as u32)
+            .map(VarId)
+            .find(|v| proc.var(*v).kind == VarKind::Global(g)),
+    }
+}
+
+/// A dense numbering of every location in the program, for bitset-indexed
+/// analyses.
+#[derive(Debug, Clone, Default)]
+pub struct LocTable {
+    locs: Vec<Loc>,
+    index: std::collections::HashMap<Loc, usize>,
+}
+
+impl LocTable {
+    /// Enumerate all locations of a program: one per global, one per
+    /// procedure variable slot (skipping global-reference slots, which
+    /// alias their global).
+    pub fn build(prog: &CfgProgram) -> Self {
+        let mut t = LocTable::default();
+        for g in 0..prog.globals.len() as u32 {
+            t.intern(Loc::Global(GlobalId(g)));
+        }
+        for p in &prog.procs {
+            for v in 0..p.vars.len() as u32 {
+                let v = VarId(v);
+                if !matches!(p.var(v).kind, VarKind::Global(_)) {
+                    t.intern(Loc::Slot(p.id, v));
+                }
+            }
+        }
+        t
+    }
+
+    fn intern(&mut self, loc: Loc) -> usize {
+        if let Some(i) = self.index.get(&loc) {
+            return *i;
+        }
+        let i = self.locs.len();
+        self.locs.push(loc);
+        self.index.insert(loc, i);
+        i
+    }
+
+    /// Dense index of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the location was not enumerated (unknown program).
+    pub fn idx(&self, loc: Loc) -> usize {
+        *self
+            .index
+            .get(&loc)
+            .unwrap_or_else(|| panic!("location {loc} not in table"))
+    }
+
+    /// The location with dense index `i`.
+    pub fn loc(&self, i: usize) -> Loc {
+        self.locs[i]
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// True when the program has no locations at all.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::compile;
+
+    #[test]
+    fn globals_share_loc_across_procs() {
+        let prog = compile(
+            "int g = 0; proc a() { g = 1; } proc b() { g = 2; } process a(); process b();",
+        )
+        .unwrap();
+        let a = prog.proc_by_name("a").unwrap();
+        let b = prog.proc_by_name("b").unwrap();
+        let ga = a
+            .vars
+            .iter()
+            .position(|v| v.name == "g")
+            .map(|i| VarId(i as u32))
+            .unwrap();
+        let gb = b
+            .vars
+            .iter()
+            .position(|v| v.name == "g")
+            .map(|i| VarId(i as u32))
+            .unwrap();
+        assert_eq!(loc_of(a, ga), loc_of(b, gb));
+    }
+
+    #[test]
+    fn locals_have_distinct_locs() {
+        let prog =
+            compile("proc a(int x) { int y = x; } process a(1);").unwrap();
+        let a = prog.proc_by_name("a").unwrap();
+        assert_ne!(loc_of(a, VarId(0)), loc_of(a, VarId(1)));
+    }
+
+    #[test]
+    fn table_enumerates_without_global_duplicates() {
+        let prog = compile(
+            "int g = 0; proc a(int x) { g = x; } process a(1);",
+        )
+        .unwrap();
+        let t = LocTable::build(&prog);
+        // g + param x (+ any temps); the proc's global-ref var must not
+        // add a second entry for g.
+        let globals = (0..t.len())
+            .filter(|i| matches!(t.loc(*i), Loc::Global(_)))
+            .count();
+        assert_eq!(globals, 1);
+        let a = prog.proc_by_name("a").unwrap();
+        let gvar = a
+            .vars
+            .iter()
+            .position(|v| v.name == "g")
+            .map(|i| VarId(i as u32))
+            .unwrap();
+        assert_eq!(t.idx(loc_of(a, gvar)), 0);
+    }
+
+    #[test]
+    fn var_of_roundtrips() {
+        let prog = compile("int g = 0; proc a(int x) { g = x; } process a(1);").unwrap();
+        let a = prog.proc_by_name("a").unwrap();
+        let x = VarId(0);
+        assert_eq!(var_of(a, loc_of(a, x)), Some(x));
+        let gvar = a
+            .vars
+            .iter()
+            .position(|v| v.name == "g")
+            .map(|i| VarId(i as u32))
+            .unwrap();
+        assert_eq!(var_of(a, loc_of(a, gvar)), Some(gvar));
+        assert_eq!(var_of(a, Loc::Slot(ProcId(99), VarId(0))), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Interprocedural MOD/REF (side-effect) summaries.
+//!
+//! For every procedure, the set of abstract locations it may write (MOD)
+//! and may read (REF), transitively through calls and pointers — in the
+//! tradition of Cooper–Kennedy interprocedural side-effect analysis
+//! (\[CK88\] in the paper's bibliography). Reaching definitions uses MOD to
+//! model call nodes as weak definitions of the caller's variables, and the
+//! taint analysis uses both to propagate environment dependence across
+//! procedure boundaries.
+
+use crate::bitset::BitSet;
+use crate::loc::{loc_of, Loc, LocTable};
+use crate::pointsto::PointsTo;
+use cfgir::{CfgProc, CfgProgram, NodeId, NodeKind, Place, ProcId, Rvalue};
+use std::collections::BTreeSet;
+
+/// MOD/REF summaries for every procedure.
+#[derive(Debug, Clone)]
+pub struct ModRef {
+    table: LocTable,
+    mods: Vec<BitSet>,
+    refs: Vec<BitSet>,
+}
+
+impl ModRef {
+    /// Locations procedure `p` may write, transitively.
+    pub fn mod_of(&self, p: ProcId) -> BTreeSet<Loc> {
+        self.mods[p.index()].iter().map(|i| self.table.loc(i)).collect()
+    }
+
+    /// Locations procedure `p` may read, transitively.
+    pub fn ref_of(&self, p: ProcId) -> BTreeSet<Loc> {
+        self.refs[p.index()].iter().map(|i| self.table.loc(i)).collect()
+    }
+
+    /// True when `p` may write `loc`.
+    pub fn may_mod(&self, p: ProcId, loc: Loc) -> bool {
+        self.mods[p.index()].contains(self.table.idx(loc))
+    }
+
+    /// True when `p` may read `loc`.
+    pub fn may_ref(&self, p: ProcId, loc: Loc) -> bool {
+        self.refs[p.index()].contains(self.table.idx(loc))
+    }
+}
+
+/// Compute MOD/REF for all procedures.
+pub fn analyze(prog: &CfgProgram, pts: &PointsTo) -> ModRef {
+    let table = LocTable::build(prog);
+    let n = table.len();
+    let nprocs = prog.procs.len();
+    let mut mods: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(n)).collect();
+    let mut refs: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(n)).collect();
+
+    // Direct effects.
+    for proc in &prog.procs {
+        let pi = proc.id.index();
+        for nid in proc.node_ids() {
+            let (m, r) = direct_effects(proc, nid, pts, &table);
+            for l in m {
+                mods[pi].insert(l);
+            }
+            for l in r {
+                refs[pi].insert(l);
+            }
+        }
+    }
+
+    // Transitive closure over the call graph.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for proc in &prog.procs {
+            let pi = proc.id.index();
+            for nid in proc.node_ids() {
+                if let NodeKind::Call { callee, .. } = &proc.node(nid).kind {
+                    let ci = callee.index();
+                    if ci != pi {
+                        let callee_mods = mods[ci].clone();
+                        let callee_refs = refs[ci].clone();
+                        changed |= mods[pi].union_with(&callee_mods);
+                        changed |= refs[pi].union_with(&callee_refs);
+                    }
+                }
+            }
+        }
+    }
+
+    ModRef { table, mods, refs }
+}
+
+/// The locations a single node directly writes / reads (not counting
+/// callee effects), as dense indices.
+fn direct_effects(
+    proc: &CfgProc,
+    nid: NodeId,
+    pts: &PointsTo,
+    table: &LocTable,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut m = Vec::new();
+    let mut r = Vec::new();
+    let kind = &proc.node(nid).kind;
+    // Syntactic uses read their locations.
+    for v in kind.uses() {
+        r.push(table.idx(loc_of(proc, v)));
+    }
+    match kind {
+        NodeKind::Assign { dst, src } => {
+            match dst {
+                Place::Var(x) => m.push(table.idx(loc_of(proc, *x))),
+                Place::Deref(p) => {
+                    for l in pts_of(pts, proc, *p) {
+                        m.push(table.idx(l));
+                    }
+                }
+            }
+            if let Rvalue::Load(p) = src {
+                for l in pts_of(pts, proc, *p) {
+                    r.push(table.idx(l));
+                }
+            }
+        }
+        NodeKind::Visible { dst, .. } | NodeKind::Call { dst, .. } => {
+            if let Some(d) = dst {
+                m.push(table.idx(loc_of(proc, *d)));
+            }
+        }
+        _ => {}
+    }
+    (m, r)
+}
+
+/// Points-to set of `p` in `proc`, via the location directly.
+fn pts_of(pts: &PointsTo, proc: &CfgProc, p: cfgir::VarId) -> BTreeSet<Loc> {
+    pts.of_loc(loc_of(proc, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::compile;
+
+    fn setup(src: &str) -> (CfgProgram, ModRef) {
+        let prog = compile(src).unwrap();
+        let pts = crate::pointsto::analyze(&prog);
+        let mr = analyze(&prog, &pts);
+        (prog, mr)
+    }
+
+    fn loc_named(prog: &CfgProgram, proc: &str, var: &str) -> Loc {
+        let p = prog.proc_by_name(proc).unwrap();
+        let v = p.vars.iter().position(|v| v.name == var).unwrap();
+        loc_of(p, cfgir::VarId(v as u32))
+    }
+
+    #[test]
+    fn direct_global_write_in_mod() {
+        let (prog, mr) = setup("int g = 0; proc m() { g = 1; } process m();");
+        let m = prog.proc_by_name("m").unwrap();
+        assert!(mr.may_mod(m.id, loc_named(&prog, "m", "g")));
+    }
+
+    #[test]
+    fn transitive_mod_through_call() {
+        let (prog, mr) = setup(
+            r#"
+            int g = 0;
+            proc inner() { g = 1; }
+            proc outer() { inner(); }
+            process outer();
+            "#,
+        );
+        let outer = prog.proc_by_name("outer").unwrap();
+        assert!(mr.may_mod(outer.id, loc_named(&prog, "inner", "g")));
+    }
+
+    #[test]
+    fn pointer_store_mods_targets() {
+        let (prog, mr) = setup(
+            r#"
+            proc callee(int *r) { *r = 9; }
+            proc m() { int a = 0; int *pa = &a; callee(pa); }
+            process m();
+            "#,
+        );
+        let callee = prog.proc_by_name("callee").unwrap();
+        let m = prog.proc_by_name("m").unwrap();
+        let a_loc = loc_named(&prog, "m", "a");
+        assert!(mr.may_mod(callee.id, a_loc), "callee writes m.a via pointer");
+        assert!(mr.may_mod(m.id, a_loc), "caller inherits the effect");
+    }
+
+    #[test]
+    fn transitive_ref_through_call() {
+        let (prog, mr) = setup(
+            r#"
+            int g = 0;
+            proc inner() { int x = g; }
+            proc outer() { inner(); }
+            process outer();
+            "#,
+        );
+        let outer = prog.proc_by_name("outer").unwrap();
+        assert!(mr.may_ref(outer.id, loc_named(&prog, "inner", "g")));
+    }
+
+    #[test]
+    fn recursive_procedures_terminate() {
+        let (prog, mr) = setup(
+            r#"
+            int g = 0;
+            proc f(int n) { if (n > 0) { g = n; f(n - 1); } }
+            process f(3);
+            "#,
+        );
+        let f = prog.proc_by_name("f").unwrap();
+        assert!(mr.may_mod(f.id, loc_named(&prog, "f", "g")));
+    }
+
+    #[test]
+    fn pure_proc_has_empty_mod_of_globals() {
+        let (prog, mr) = setup(
+            "int g = 0; proc m(int x) { int y = x + 1; } process m(1);",
+        );
+        let m = prog.proc_by_name("m").unwrap();
+        // m writes only its own local y.
+        let mods = mr.mod_of(m.id);
+        assert!(mods.iter().all(|l| matches!(l, Loc::Slot(p, _) if *p == m.id)));
+    }
+
+    #[test]
+    fn load_refs_pointee() {
+        let (prog, mr) = setup(
+            r#"
+            proc callee(int *r) { int v = *r; }
+            proc m() { int a = 0; int *pa = &a; callee(pa); }
+            process m();
+            "#,
+        );
+        let callee = prog.proc_by_name("callee").unwrap();
+        assert!(mr.may_ref(callee.id, loc_named(&prog, "m", "a")));
+    }
+}

@@ -1,0 +1,304 @@
+//! Andersen-style may-points-to analysis.
+//!
+//! Flow-insensitive, context-insensitive, inclusion-based — the classic
+//! conservative may-alias solution the paper's define-use computation
+//! requires ("these techniques rely on a (conservative) solution to the
+//! aliasing problem", citing \[CWZ90, Lan91, Deu94, Ruf95\]).
+//!
+//! MiniC has a deliberately simple pointer language (`int *` only, no
+//! `int **`, no pointer returns), so the constraint system has two forms:
+//!
+//! - `p = &x`   →   `{x} ⊆ pts(p)`
+//! - `p = q` (including parameter binding at calls)  →  `pts(q) ⊆ pts(p)`
+//!
+//! and the solution is reached by a simple worklist over the copy graph.
+
+use crate::bitset::BitSet;
+use crate::loc::{loc_of, Loc, LocTable};
+use cfgir::{CfgProgram, NodeKind, Operand, Place, ProcId, PureExpr, Rvalue, VarId};
+use minic::ast::Ty;
+use std::collections::{BTreeSet, HashMap};
+
+/// The result of the points-to analysis: for each pointer location, the set
+/// of pointed-to locations.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    table: LocTable,
+    sets: HashMap<Loc, BitSet>,
+}
+
+impl PointsTo {
+    /// The points-to set of the pointer variable `var` of `proc`.
+    pub fn of(&self, prog: &CfgProgram, proc: ProcId, var: VarId) -> BTreeSet<Loc> {
+        let l = loc_of(prog.proc(proc), var);
+        self.of_loc(l)
+    }
+
+    /// The points-to set of a pointer location.
+    pub fn of_loc(&self, l: Loc) -> BTreeSet<Loc> {
+        match self.sets.get(&l) {
+            Some(s) => s.iter().map(|i| self.table.loc(i)).collect(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// True when the two pointer variables may alias (their points-to sets
+    /// intersect).
+    pub fn may_alias(&self, prog: &CfgProgram, a: (ProcId, VarId), b: (ProcId, VarId)) -> bool {
+        let sa = self.of(prog, a.0, a.1);
+        let sb = self.of(prog, b.0, b.1);
+        sa.intersection(&sb).next().is_some()
+    }
+
+    /// The location table used for dense indexing.
+    pub fn loc_table(&self) -> &LocTable {
+        &self.table
+    }
+}
+
+/// Run the analysis over a whole program.
+pub fn analyze(prog: &CfgProgram) -> PointsTo {
+    let table = LocTable::build(prog);
+    let n = table.len();
+    // pts and the copy graph are keyed by dense loc index of the pointer.
+    let mut pts: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    // copy_to[q] = pointers p with constraint pts(q) ⊆ pts(p).
+    let mut copy_to: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut worklist: Vec<usize> = Vec::new();
+
+    let add_addr = |pts: &mut Vec<BitSet>, worklist: &mut Vec<usize>, p: usize, x: usize| {
+        if pts[p].insert(x) {
+            worklist.push(p);
+        }
+    };
+
+    for proc in &prog.procs {
+        for nid in proc.node_ids() {
+            match &proc.node(nid).kind {
+                NodeKind::Assign { dst, src } => {
+                    let Place::Var(d) = dst else { continue };
+                    if proc.var(*d).ty != Ty::IntPtr {
+                        continue;
+                    }
+                    let di = table.idx(loc_of(proc, *d));
+                    match src {
+                        Rvalue::AddrOf(x) => {
+                            let xi = table.idx(loc_of(proc, *x));
+                            add_addr(&mut pts, &mut worklist, di, xi);
+                        }
+                        Rvalue::Pure(PureExpr::Atom(Operand::Var(q)))
+                            if proc.var(*q).ty == Ty::IntPtr =>
+                        {
+                            let qi = table.idx(loc_of(proc, *q));
+                            copy_to[qi].push(di);
+                            if !pts[qi].is_empty() {
+                                worklist.push(qi);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                NodeKind::Call { callee, args, .. } => {
+                    let target = prog.proc(*callee);
+                    for (arg, param) in args.iter().zip(target.params.iter()) {
+                        if proc.var(*arg).ty == Ty::IntPtr {
+                            let ai = table.idx(loc_of(proc, *arg));
+                            let pi = table.idx(loc_of(target, *param));
+                            copy_to[ai].push(pi);
+                            if !pts[ai].is_empty() {
+                                worklist.push(ai);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Propagate along the copy graph to a fixpoint.
+    while let Some(q) = worklist.pop() {
+        let src = pts[q].clone();
+        // Note: indices in copy_to may repeat; union_with is idempotent.
+        let targets = copy_to[q].clone();
+        for p in targets {
+            if pts[p].union_with(&src) {
+                worklist.push(p);
+            }
+        }
+    }
+
+    let sets = (0..n)
+        .filter(|i| !pts[*i].is_empty())
+        .map(|i| (table.loc(i), pts[i].clone()))
+        .collect();
+    PointsTo { table, sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::compile;
+
+    fn var(prog: &CfgProgram, proc: &str, name: &str) -> (ProcId, VarId) {
+        let p = prog.proc_by_name(proc).unwrap();
+        let v = p
+            .vars
+            .iter()
+            .position(|v| v.name == name)
+            .unwrap_or_else(|| panic!("no var {name} in {proc}"));
+        (p.id, VarId(v as u32))
+    }
+
+    fn names(prog: &CfgProgram, set: &BTreeSet<Loc>) -> BTreeSet<String> {
+        set.iter()
+            .map(|l| match l {
+                Loc::Global(g) => prog.globals[g.index()].name.clone(),
+                Loc::Slot(p, v) => format!(
+                    "{}.{}",
+                    prog.proc(*p).name,
+                    prog.proc(*p).var(*v).name
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn addr_of_flows_to_pointer() {
+        let prog = compile(
+            "proc m() { int x = 0; int *p = &x; *p = 1; } process m();",
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let (pid, p) = var(&prog, "m", "p");
+        let set = pt.of(&prog, pid, p);
+        assert_eq!(names(&prog, &set), ["m.x".to_string()].into());
+    }
+
+    #[test]
+    fn pointer_copies_merge() {
+        let prog = compile(
+            r#"proc m(int c) {
+                int x = 0; int y = 0;
+                int *p = &x; int *q = &y;
+                if (c) p = q;
+                *p = 5;
+            } process m(1);"#,
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let (pid, p) = var(&prog, "m", "p");
+        let set = names(&prog, &pt.of(&prog, pid, p));
+        // Flow-insensitive: p may point to x or y.
+        assert_eq!(set, ["m.x".to_string(), "m.y".to_string()].into());
+        let (_, q) = var(&prog, "m", "q");
+        assert_eq!(
+            names(&prog, &pt.of(&prog, pid, q)),
+            ["m.y".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn parameter_binding_crosses_procedures() {
+        let prog = compile(
+            r#"
+            proc callee(int *r) { *r = 9; }
+            proc m() { int a = 0; int *pa = &a; callee(pa); }
+            process m();
+            "#,
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let (cid, r) = var(&prog, "callee", "r");
+        assert_eq!(
+            names(&prog, &pt.of(&prog, cid, r)),
+            ["m.a".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn global_targets_resolve_to_global_loc() {
+        let prog = compile(
+            "int g = 0; proc m() { int *p = &g; *p = 2; } process m();",
+        )
+        .unwrap();
+        // &g of a global: sema types globals as int, address-of allowed.
+        let pt = analyze(&prog);
+        let (pid, p) = var(&prog, "m", "p");
+        let set = pt.of(&prog, pid, p);
+        assert!(matches!(set.first(), Some(Loc::Global(_))));
+    }
+
+    #[test]
+    fn may_alias_via_shared_target() {
+        let prog = compile(
+            r#"proc m() {
+                int x = 0;
+                int *p = &x; int *q = &x;
+            } process m();"#,
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let a = var(&prog, "m", "p");
+        let b = var(&prog, "m", "q");
+        assert!(pt.may_alias(&prog, a, b));
+    }
+
+    #[test]
+    fn no_alias_between_disjoint_pointers() {
+        let prog = compile(
+            r#"proc m() {
+                int x = 0; int y = 0;
+                int *p = &x; int *q = &y;
+            } process m();"#,
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let a = var(&prog, "m", "p");
+        let b = var(&prog, "m", "q");
+        assert!(!pt.may_alias(&prog, a, b));
+    }
+
+    #[test]
+    fn transitive_copy_chain() {
+        let prog = compile(
+            r#"proc m() {
+                int x = 0;
+                int *a = &x; int *b = a; int *c = b;
+            } process m();"#,
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let (pid, c) = var(&prog, "m", "c");
+        assert_eq!(
+            names(&prog, &pt.of(&prog, pid, c)),
+            ["m.x".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let prog = compile(
+            r#"
+            proc f(int *p, int n) { if (n > 0) f(p, n - 1); }
+            proc m() { int x = 0; int *q = &x; f(q, 3); }
+            process m();
+            "#,
+        )
+        .unwrap();
+        let pt = analyze(&prog);
+        let (fid, p) = var(&prog, "f", "p");
+        assert_eq!(
+            names(&prog, &pt.of(&prog, fid, p)),
+            ["m.x".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn int_vars_have_empty_pts() {
+        let prog = compile("proc m() { int x = 1; int y = x; } process m();").unwrap();
+        let pt = analyze(&prog);
+        let (pid, x) = var(&prog, "m", "x");
+        assert!(pt.of(&prog, pid, x).is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Environment-taint analysis — Step 2 of the paper's Figure 1, extended
+//! interprocedurally.
+//!
+//! For every node `n` of every procedure the analysis computes:
+//!
+//! - membership in `N_I` — the nodes reachable from `N_ES` (nodes using an
+//!   environment-defined value) by define-use arcs, and
+//! - `V_I(n)` — the used variables that are environment-defined at `n`, or
+//!   label a define-use arc from an `N_I` node (Lemma 1's
+//!   over-approximation of functional dependence on the environment).
+//!
+//! Environment-defined values enter through:
+//!
+//! - `process p(x)` spawn arguments naming an `input` (tainted parameters);
+//! - `env_input(x)` reads;
+//! - `recv` on an external channel, or on any channel some `send` may have
+//!   given an environment-dependent payload (taint flows through
+//!   communication objects — values "passed through the object" never
+//!   affect enabledness, but they do flow to the receiver);
+//! - `sh_read` of a shared variable some `sh_write` may have tainted;
+//! - calls to procedures whose return value may be environment-dependent;
+//! - loads through pointers whose target location may hold an
+//!   environment-dependent value (tracked flow-insensitively in
+//!   [`Taint::tainted_locs`], the conservative cross-frame channel).
+//!
+//! The paper's §5 "Interprocedural issues" allows either a manual
+//! specification or "an interprocedural analysis on top of our
+//! intraprocedural analysis" — this module is that analysis: a whole-program
+//! fixpoint over per-procedure summaries (tainted parameters, tainted
+//! returns, tainted objects and locations).
+
+use crate::bitset::BitSet;
+use crate::defuse::DefUse;
+use crate::loc::{loc_of, Loc};
+use cfgir::{
+    CfgProc, CfgProgram, NodeId, NodeKind, ObjId, Place, ProcId, Rvalue, SpawnArg, VarId, VarKind,
+    VisOp,
+};
+use minic::sema::ObjectKind;
+use std::collections::BTreeSet;
+
+/// Per-procedure taint facts.
+#[derive(Debug, Clone)]
+pub struct ProcTaint {
+    /// Nodes in `N_I` (use an environment-dependent value, directly or
+    /// transitively).
+    pub n_i: BitSet,
+    /// Per node: `V_I(n)` — the environment-dependent used variables.
+    pub v_i: Vec<BTreeSet<VarId>>,
+    /// Nodes that read environment-dependent values *through memory*
+    /// (loads whose pointee location is tainted); such nodes are in `N_I`
+    /// even when `V_I` over named variables is empty.
+    pub reads_env_mem: BitSet,
+}
+
+impl ProcTaint {
+    /// True when node `n` is in `N_I`.
+    pub fn in_n_i(&self, n: NodeId) -> bool {
+        self.n_i.contains(n.index())
+    }
+
+    /// `V_I(n)`.
+    pub fn v_i(&self, n: NodeId) -> &BTreeSet<VarId> {
+        &self.v_i[n.index()]
+    }
+}
+
+/// Whole-program taint results.
+#[derive(Debug, Clone)]
+pub struct Taint {
+    /// Per procedure (indexed by [`ProcId`]): node-level facts.
+    pub per_proc: Vec<ProcTaint>,
+    /// Per procedure: indices of parameters that may receive
+    /// environment-dependent values at some call or spawn site. Step 5 of
+    /// the algorithm removes exactly these.
+    pub tainted_params: Vec<BTreeSet<usize>>,
+    /// Per procedure: whether its return value may be
+    /// environment-dependent.
+    pub ret_tainted: Vec<bool>,
+    /// Channels and shared variables whose payloads may be
+    /// environment-dependent (external channels always are).
+    pub tainted_objects: BTreeSet<ObjId>,
+    /// Locations that may hold environment-dependent values at some point
+    /// (flow-insensitive; consulted by loads and call-effect defs).
+    pub tainted_locs: BTreeSet<Loc>,
+}
+
+impl Taint {
+    /// Facts for one procedure.
+    pub fn proc(&self, p: ProcId) -> &ProcTaint {
+        &self.per_proc[p.index()]
+    }
+
+    /// True when nothing in the program depends on the environment.
+    pub fn is_clean(&self) -> bool {
+        self.per_proc.iter().all(|pt| pt.n_i.is_empty())
+            && self.tainted_params.iter().all(|s| s.is_empty())
+            && self.tainted_objects.is_empty()
+    }
+}
+
+/// Run the analysis. `defuse` must be indexed by [`ProcId`].
+pub fn analyze(prog: &CfgProgram, defuse: &[DefUse], pts: &crate::pointsto::PointsTo) -> Taint {
+    let nprocs = prog.procs.len();
+    let mut st = State {
+        tainted_params: vec![BTreeSet::new(); nprocs],
+        ret_tainted: vec![false; nprocs],
+        tainted_objects: BTreeSet::new(),
+        tainted_locs: BTreeSet::new(),
+    };
+
+    // Seeds: external channels and environment-supplied spawn arguments.
+    for (oi, o) in prog.objects.iter().enumerate() {
+        if o.kind == ObjectKind::ExternChan {
+            st.tainted_objects.insert(ObjId(oi as u32));
+        }
+    }
+    for ps in &prog.processes {
+        for (i, a) in ps.args.iter().enumerate() {
+            if matches!(a, SpawnArg::Input(_)) {
+                st.tainted_params[ps.proc.index()].insert(i);
+            }
+        }
+    }
+
+    // Global fixpoint: rerun the intraprocedural pass until summaries
+    // stabilize. Everything grows monotonically, so this terminates.
+    let mut per_proc;
+    loop {
+        let mut changed = false;
+        per_proc = Vec::with_capacity(nprocs);
+        for proc in &prog.procs {
+            let (pt, contrib) = intraproc(proc, &defuse[proc.id.index()], pts, &st);
+            changed |= st.absorb(contrib);
+            per_proc.push(pt);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Taint {
+        per_proc,
+        tainted_params: st.tainted_params,
+        ret_tainted: st.ret_tainted,
+        tainted_objects: st.tainted_objects,
+        tainted_locs: st.tainted_locs,
+    }
+}
+
+struct State {
+    tainted_params: Vec<BTreeSet<usize>>,
+    ret_tainted: Vec<bool>,
+    tainted_objects: BTreeSet<ObjId>,
+    tainted_locs: BTreeSet<Loc>,
+}
+
+impl State {
+    fn absorb(&mut self, c: Contrib) -> bool {
+        let mut changed = false;
+        for (p, i) in c.tainted_params {
+            changed |= self.tainted_params[p.index()].insert(i);
+        }
+        for p in c.ret_tainted {
+            if !self.ret_tainted[p.index()] {
+                self.ret_tainted[p.index()] = true;
+                changed = true;
+            }
+        }
+        for o in c.tainted_objects {
+            changed |= self.tainted_objects.insert(o);
+        }
+        for l in c.tainted_locs {
+            changed |= self.tainted_locs.insert(l);
+        }
+        changed
+    }
+}
+
+#[derive(Default)]
+struct Contrib {
+    tainted_params: Vec<(ProcId, usize)>,
+    ret_tainted: Vec<ProcId>,
+    tainted_objects: Vec<ObjId>,
+    tainted_locs: Vec<Loc>,
+}
+
+/// One intraprocedural pass under the current interprocedural assumptions.
+fn intraproc(
+    proc: &CfgProc,
+    du: &DefUse,
+    pts: &crate::pointsto::PointsTo,
+    st: &State,
+) -> (ProcTaint, Contrib) {
+    let nnodes = proc.nodes.len();
+    let ndefs = du.rd.defs.len();
+    let mut env_defs = BitSet::new(ndefs);
+    let mut n_i = BitSet::new(nnodes);
+    let mut reads_env_mem = BitSet::new(nnodes);
+    let mut v_i: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); nnodes];
+    let mut worklist: Vec<usize> = Vec::new();
+
+    let mark_env_def = |d: usize, env_defs: &mut BitSet, worklist: &mut Vec<usize>| {
+        if env_defs.insert(d) {
+            worklist.push(d);
+        }
+    };
+
+    // --- Seed environment definitions ---------------------------------
+    // Entry pseudo-definitions of tainted parameters and tainted globals.
+    for &d in &du.rd.entry_defs {
+        let var = du.rd.defs[d].var;
+        let env = match proc.var(var).kind {
+            VarKind::Param(i) => st.tainted_params[proc.id.index()].contains(&i),
+            VarKind::Global(_) => st.tainted_locs.contains(&loc_of(proc, var)),
+            _ => false,
+        };
+        if env {
+            mark_env_def(d, &mut env_defs, &mut worklist);
+        }
+    }
+    // Node-level environment definitions.
+    for nid in proc.node_ids() {
+        let node_env_defines: bool = match &proc.node(nid).kind {
+            NodeKind::Assign {
+                src: Rvalue::EnvInput(_),
+                ..
+            } => true,
+            NodeKind::Visible {
+                op: VisOp::Recv { chan },
+                dst: Some(_),
+            } => st.tainted_objects.contains(chan),
+            NodeKind::Visible {
+                op: VisOp::ShRead(var),
+                dst: Some(_),
+            } => st.tainted_objects.contains(var),
+            NodeKind::Call { callee, dst, .. } => {
+                // The returned value may be environment-dependent, and the
+                // callee's side effects may taint weakly-defined variables.
+                let ret = dst.is_some() && st.ret_tainted[callee.index()];
+                for &d in &du.rd.defs_of_node[nid.index()] {
+                    let ds = du.rd.defs[d];
+                    let is_dst = Some(ds.var) == *dst;
+                    if (is_dst && ret)
+                        || (!is_dst && st.tainted_locs.contains(&loc_of(proc, ds.var)))
+                    {
+                        mark_env_def(d, &mut env_defs, &mut worklist);
+                    }
+                }
+                false // handled per-def above
+            }
+            NodeKind::Assign {
+                src: Rvalue::Load(p),
+                ..
+            } => {
+                // Load through a pointer to a tainted location.
+                let targets = pts.of_loc(loc_of(proc, *p));
+                if targets.iter().any(|l| st.tainted_locs.contains(l)) {
+                    reads_env_mem.insert(nid.index());
+                    n_i.insert(nid.index());
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if node_env_defines {
+            for &d in &du.rd.defs_of_node[nid.index()] {
+                mark_env_def(d, &mut env_defs, &mut worklist);
+            }
+        }
+    }
+
+    // --- Propagate along define-use arcs -------------------------------
+    while let Some(d) = worklist.pop() {
+        for &(use_node, var) in &du.uses_of_def[d] {
+            v_i[use_node.index()].insert(var);
+            n_i.insert(use_node.index());
+            // An assignment-class node in N_I defines environment-dependent
+            // values; calls and visible ops are governed by summaries and
+            // object taint instead.
+            if matches!(proc.node(use_node).kind, NodeKind::Assign { .. }) {
+                for &nd in &du.rd.defs_of_node[use_node.index()] {
+                    if env_defs.insert(nd) {
+                        worklist.push(nd);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Collect interprocedural contributions -------------------------
+    let mut contrib = Contrib::default();
+    for nid in proc.node_ids() {
+        match &proc.node(nid).kind {
+            NodeKind::Call { callee, args, .. } => {
+                for (i, a) in args.iter().enumerate() {
+                    if v_i[nid.index()].contains(a) {
+                        contrib.tainted_params.push((*callee, i));
+                    }
+                    // A pointer argument whose pointees are tainted exposes
+                    // the taint to the callee via tainted_locs, which is
+                    // already global state — nothing to add here.
+                }
+            }
+            NodeKind::Return { value: Some(e) } => {
+                if e.vars().iter().any(|v| v_i[nid.index()].contains(v)) {
+                    contrib.ret_tainted.push(proc.id);
+                }
+            }
+            NodeKind::Visible {
+                op: VisOp::Send { chan, val },
+                ..
+            } => {
+                if let Some(v) = val.and_then(|o| o.as_var()) {
+                    if v_i[nid.index()].contains(&v) {
+                        contrib.tainted_objects.push(*chan);
+                    }
+                }
+            }
+            NodeKind::Visible {
+                op: VisOp::ShWrite { var, val },
+                ..
+            } => {
+                if let Some(v) = val.and_then(|o| o.as_var()) {
+                    if v_i[nid.index()].contains(&v) {
+                        contrib.tainted_objects.push(*var);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Every environment definition taints its location (cross-frame flow).
+    for d in env_defs.iter() {
+        let var = du.rd.defs[d].var;
+        contrib.tainted_locs.push(loc_of(proc, var));
+    }
+    // A store through a pointer at an N_I node taints the pointees.
+    for nid in proc.node_ids() {
+        if !n_i.contains(nid.index()) {
+            continue;
+        }
+        if let NodeKind::Assign {
+            dst: Place::Deref(p),
+            ..
+        } = &proc.node(nid).kind
+        {
+            for l in pts.of_loc(loc_of(proc, *p)) {
+                contrib.tainted_locs.push(l);
+            }
+        }
+    }
+
+    (
+        ProcTaint {
+            n_i,
+            v_i,
+            reads_env_mem,
+        },
+        contrib,
+    )
+}

@@ -1,0 +1,154 @@
+//! Black-box tests of the analysis stack on larger programs.
+
+use cfgir::{compile, NodeKind, VarId};
+use dataflow::{analyze, Loc};
+
+#[test]
+fn analysis_scales_to_the_switch() {
+    let cfg = switchsim_src(4);
+    let prog = compile(&cfg).unwrap();
+    let a = analyze(&prog);
+    // Every line's event channel is external => tainted object.
+    let tainted_names: Vec<&str> = a
+        .taint
+        .tainted_objects
+        .iter()
+        .map(|o| prog.objects[o.index()].name.as_str())
+        .collect();
+    for i in 0..4 {
+        let ev = format!("ev{i}");
+        assert!(
+            tainted_names.contains(&ev.as_str()),
+            "{ev} missing from {tainted_names:?}"
+        );
+    }
+    // The route_req channel carries only line indices (constants): clean.
+    assert!(
+        !tainted_names.contains(&"route_req"),
+        "route ids are untainted constants"
+    );
+    // The biller totals derive from constant charges: its assertion is
+    // preserved (its condition variable untainted at the assert).
+    let biller = prog.proc_by_name("biller").unwrap();
+    let t = a.taint.proc(biller.id);
+    for n in biller.node_ids() {
+        if let NodeKind::Visible {
+            op: cfgir::VisOp::Assert { cond: Some(c) },
+            ..
+        } = &biller.node(n).kind
+        {
+            if let Some(v) = c.as_var() {
+                assert!(!t.v_i(n).contains(&v), "biller assert must survive");
+            }
+        }
+    }
+}
+
+fn switchsim_src(lines: usize) -> String {
+    switchsim::generate(&switchsim::SwitchConfig {
+        lines,
+        ..switchsim::SwitchConfig::default()
+    })
+}
+
+#[test]
+fn modref_summaries_cover_call_chains() {
+    let src = r#"
+        int g1 = 0; int g2 = 0;
+        proc leaf1() { g1 = 1; }
+        proc leaf2() { int x = g2; }
+        proc mid() { leaf1(); leaf2(); }
+        proc top() { mid(); }
+        process top();
+    "#;
+    let prog = compile(src).unwrap();
+    let a = analyze(&prog);
+    let top = prog.proc_by_name("top").unwrap();
+    let mods = a.modref.mod_of(top.id);
+    let refs = a.modref.ref_of(top.id);
+    let has_global = |set: &std::collections::BTreeSet<Loc>, name: &str| {
+        set.iter().any(|l| match l {
+            Loc::Global(g) => prog.globals[g.index()].name == name,
+            _ => false,
+        })
+    };
+    assert!(has_global(&mods, "g1"));
+    assert!(has_global(&refs, "g2"));
+    assert!(!has_global(&mods, "g2"), "g2 is only read");
+}
+
+#[test]
+fn defuse_arc_counts_grow_with_program_size() {
+    use switchsim::progen::{self, Shape};
+    let small = progen::compile(Shape::Straight, 16, 5);
+    let large = progen::compile(Shape::Straight, 256, 5);
+    let a_small: usize = analyze(&small).defuse.iter().map(|d| d.arc_count()).sum();
+    let a_large: usize = analyze(&large).defuse.iter().map(|d| d.arc_count()).sum();
+    assert!(a_large > a_small * 4, "{a_small} vs {a_large}");
+}
+
+#[test]
+fn taint_fixpoint_handles_mutual_recursion() {
+    let src = r#"
+        input x : 0..3;
+        extern chan out;
+        proc even(int n) { if (n > 0) { odd(n - 1); } }
+        proc odd(int n) { if (n > 0) { even(n - 1); } send(out, 1); }
+        proc m() { int v = env_input(x); even(v); }
+        process m();
+    "#;
+    let prog = compile(src).unwrap();
+    let a = analyze(&prog);
+    let even = prog.proc_by_name("even").unwrap();
+    let odd = prog.proc_by_name("odd").unwrap();
+    // The tainted argument flows through the mutual recursion.
+    assert!(a.taint.tainted_params[even.id.index()].contains(&0));
+    assert!(a.taint.tainted_params[odd.id.index()].contains(&0));
+}
+
+#[test]
+fn points_to_remains_sound_through_recursive_pointer_passing() {
+    let src = r#"
+        proc walk(int *acc, int n) {
+            *acc = *acc + n;
+            if (n > 0) { walk(acc, n - 1); }
+        }
+        proc m() {
+            int total = 0;
+            int *p = &total;
+            walk(p, 3);
+            VS_assert(total == 6);
+        }
+        process m();
+    "#;
+    let prog = compile(src).unwrap();
+    let a = analyze(&prog);
+    let walk = prog.proc_by_name("walk").unwrap();
+    let acc = VarId(0);
+    let pts = a.pts.of(&prog, walk.id, acc);
+    assert_eq!(pts.len(), 1, "acc points exactly at m.total");
+    // And the interpreter agrees with the expected sum.
+    let r = verisoft::explore(&prog, &verisoft::Config::default());
+    assert!(r.clean(), "{r}");
+}
+
+#[test]
+fn clean_switch_closes_with_biller_assertions_alive() {
+    let prog = compile(&switchsim_src(1)).unwrap();
+    let a = analyze(&prog);
+    let closed = closer::close(&prog, &a);
+    let biller = closed.program.proc_by_name("biller").unwrap();
+    let live_asserts = biller
+        .node_ids()
+        .filter(|n| {
+            matches!(
+                biller.node(*n).kind,
+                NodeKind::Visible {
+                    op: cfgir::VisOp::Assert { cond: Some(_) },
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(live_asserts >= 1, "billing invariant survives closing");
+}

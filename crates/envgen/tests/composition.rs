@@ -1,0 +1,161 @@
+//! Black-box tests of the explicit `E_S` composition on richer systems.
+
+use envgen::{synthesize, EnvGenError};
+use verisoft::{explore, Config, EnvMode, ViolationKind};
+
+fn exhaustive(max_depth: usize) -> Config {
+    Config {
+        max_depth,
+        max_transitions: 3_000_000,
+        max_violations: usize::MAX,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn multiple_inputs_get_independent_feeders() {
+    let prog = cfgir::compile(
+        r#"
+        input a : 0..2;
+        input b : 5..6;
+        chan c[1];
+        proc m() {
+            int x = env_input(a);
+            int y = env_input(b);
+            send(c, 1);
+            int z = recv(c);
+            VS_assert(x >= 0 && x <= 2);
+            VS_assert(y >= 5 && y <= 6);
+        }
+        process m();
+        "#,
+    )
+    .unwrap();
+    let syn = synthesize(&prog).unwrap();
+    assert_eq!(syn.report.env_processes, 2);
+    assert_eq!(syn.report.env_channels, 2);
+    assert_eq!(syn.report.total_domain_values, 3 + 2);
+    let r = explore(&syn.program, &exhaustive(60));
+    assert!(r.clean(), "{r}");
+}
+
+#[test]
+fn unused_inputs_get_no_feeder() {
+    let prog = cfgir::compile(
+        r#"
+        input unused : 0..1000000;
+        chan c[1];
+        proc m() { send(c, 1); int x = recv(c); }
+        process m();
+        "#,
+    )
+    .unwrap();
+    let syn = synthesize(&prog).unwrap();
+    assert_eq!(syn.report.env_processes, 0, "unused input needs no E_S");
+}
+
+#[test]
+fn multi_process_system_composes() {
+    // Two system processes plus E_S; defect verdicts must match the
+    // semantic enumeration.
+    let src = r#"
+        input x : 0..1;
+        chan c[1];
+        proc prod() {
+            int v = env_input(x);
+            send(c, 1);
+            if (v == 1) { send(c, 2); send(c, 3); }
+        }
+        proc cons() { int a = recv(c); }
+        process prod();
+        process cons();
+    "#;
+    let prog = cfgir::compile(src).unwrap();
+    let syn = synthesize(&prog).unwrap();
+    let explicit = explore(&syn.program, &exhaustive(120));
+    let semantic = explore(
+        &prog,
+        &Config {
+            env_mode: EnvMode::Enumerate,
+            ..exhaustive(120)
+        },
+    );
+    assert_eq!(
+        explicit.count(|k| *k == ViolationKind::Deadlock) > 0,
+        semantic.count(|k| *k == ViolationKind::Deadlock) > 0
+    );
+    assert!(explicit.first_deadlock().is_some());
+}
+
+#[test]
+fn daemon_environment_never_masks_system_deadlock() {
+    // The system deadlocks; the feeder could still run forever. The
+    // deadlock must be reported regardless (daemon processes are excluded
+    // from deadlock detection but do not suppress it).
+    let src = r#"
+        input x : 0..3;
+        chan c[1];
+        proc a() { int v = env_input(x); int w = recv(c); }
+        process a();
+    "#;
+    let prog = cfgir::compile(src).unwrap();
+    let syn = synthesize(&prog).unwrap();
+    let r = explore(&syn.program, &exhaustive(100));
+    assert!(
+        r.first_deadlock().is_some(),
+        "recv on an empty channel with no sender: {r}"
+    );
+}
+
+#[test]
+fn domain_too_large_is_reported() {
+    let prog = cfgir::compile(
+        r#"
+        input huge : 0..99999999999;
+        proc m() { int v = env_input(huge); }
+        process m();
+        "#,
+    )
+    .unwrap();
+    assert!(matches!(
+        synthesize(&prog),
+        Err(EnvGenError::DomainTooLarge(_))
+    ));
+}
+
+#[test]
+fn switch_composes_explicitly_at_tiny_size() {
+    // The whole switch with explicit E_S: compiles, validates, explores
+    // (bounded) without runtime errors — and is dramatically more work
+    // than the closed version, which is the point.
+    let cfg = switchsim::SwitchConfig {
+        lines: 1,
+        events_per_line: 1,
+        ..switchsim::SwitchConfig::default()
+    };
+    let prog = cfgir::compile(&switchsim::generate(&cfg)).unwrap();
+    let syn = synthesize(&prog).unwrap();
+    assert!(syn.report.env_processes >= 1);
+    let explicit = explore(
+        &syn.program,
+        &Config {
+            max_depth: 200,
+            max_transitions: 300_000,
+            max_violations: usize::MAX,
+            ..Config::default()
+        },
+    );
+    assert_eq!(
+        explicit.count(|k| matches!(k, ViolationKind::RuntimeError(_))),
+        0,
+        "{explicit}"
+    );
+    let closed = closer::close(&prog, &dataflow::analyze(&prog));
+    let fast = explore(&closed.program, &exhaustive(200));
+    assert!(
+        explicit.transitions > fast.transitions * 10,
+        "explicit E_S {} vs closed {}",
+        explicit.transitions,
+        fast.transitions
+    );
+}

@@ -1,0 +1,699 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! MiniC is the small C-like language over which the closing transformation
+//! is defined. A [`Program`] is a sequence of top-level items: communication
+//! object declarations (channels, semaphores, shared variables), per-process
+//! global variables, declared environment inputs, process instantiations,
+//! and procedure definitions.
+//!
+//! Processes communicate **only** through communication objects, matching
+//! the concurrency model of Godefroid's VeriSoft framework that the paper
+//! builds on: `int` globals are *per-process* storage (each process gets its
+//! own copy, as C globals in separate UNIX processes would).
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct an identifier with a dummy span (for synthesized nodes).
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::dummy(),
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// MiniC value types: 64-bit integers and pointers to integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `int` — a 64-bit signed integer.
+    Int,
+    /// `int *` — a pointer to an integer variable.
+    IntPtr,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::IntPtr => write!(f, "int *"),
+        }
+    }
+}
+
+/// An entire MiniC compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterate over all procedure definitions.
+    pub fn procs(&self) -> impl Iterator<Item = &ProcDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Proc(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Look up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&ProcDecl> {
+        self.procs().find(|p| p.name.name == name)
+    }
+
+    /// Iterate over all process instantiations.
+    pub fn processes(&self) -> impl Iterator<Item = &ProcessDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Process(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Iterate over all channel declarations.
+    pub fn chans(&self) -> impl Iterator<Item = &ChanDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Chan(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Iterate over all declared environment inputs.
+    pub fn inputs(&self) -> impl Iterator<Item = &InputDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Input(c) => Some(c),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `chan name[cap];` or `extern chan name : lo..hi;`
+    Chan(ChanDecl),
+    /// `sem name = n;`
+    Sem(SemDecl),
+    /// `shared name = n;`
+    Shared(SharedDecl),
+    /// `int name = n;` — per-process global storage.
+    Global(GlobalDecl),
+    /// `input name : lo..hi;` — a named environment input with its domain.
+    Input(InputDecl),
+    /// `process [name =] proc(arg, ...);`
+    Process(ProcessDecl),
+    /// `proc name(params) { ... }`
+    Proc(ProcDecl),
+}
+
+impl Item {
+    /// The source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Chan(c) => c.span,
+            Item::Sem(s) => s.span,
+            Item::Shared(s) => s.span,
+            Item::Global(g) => g.span,
+            Item::Input(i) => i.span,
+            Item::Process(p) => p.span,
+            Item::Proc(p) => p.span,
+        }
+    }
+}
+
+/// A FIFO channel communication object.
+///
+/// Internal channels (`chan c[4];`) have a bounded capacity: `send` blocks
+/// when full, `recv` blocks when empty. External channels
+/// (`extern chan ev : 0..7;`) model the open interface: `send` never blocks
+/// (the most general environment accepts any output) and `recv` never blocks
+/// (the environment can provide any input at any time), with received values
+/// drawn from the declared domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChanDecl {
+    /// Object name.
+    pub name: Ident,
+    /// Queue capacity; `None` for external channels.
+    pub capacity: Option<u32>,
+    /// True for `extern chan` — an environment-facing channel.
+    pub external: bool,
+    /// Domain `lo..hi` (inclusive) of environment-provided values; external
+    /// channels only.
+    pub domain: Option<(i64, i64)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A counting semaphore communication object: `sem s = 1;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemDecl {
+    /// Object name.
+    pub name: Ident,
+    /// Initial count.
+    pub initial: i64,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A shared-variable communication object: `shared v = 0;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedDecl {
+    /// Object name.
+    pub name: Ident,
+    /// Initial value.
+    pub initial: i64,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A per-process global integer: `int g = 0;` at the top level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: Ident,
+    /// Initial value (0 if omitted).
+    pub initial: i64,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A declared environment input: `input x : 0..1023;`.
+///
+/// Referenced either as a `process` argument (the environment supplies the
+/// initial parameter value) or by the `env_input(x)` builtin (the
+/// environment supplies a fresh value on each call).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputDecl {
+    /// Input name.
+    pub name: Ident,
+    /// Inclusive domain of values the environment may supply.
+    pub domain: (i64, i64),
+    /// Source location.
+    pub span: Span,
+}
+
+/// A process instantiation: `process orig = handler(x, 3);`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessDecl {
+    /// Optional process name (defaults to `<proc>#<index>`).
+    pub name: Option<Ident>,
+    /// The top-level procedure the process runs.
+    pub proc: Ident,
+    /// Spawn arguments.
+    pub args: Vec<ProcessArg>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An argument in a `process` instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessArg {
+    /// A compile-time integer constant.
+    Const(i64, Span),
+    /// A declared environment input: the environment supplies the value.
+    Input(Ident),
+}
+
+impl ProcessArg {
+    /// The source span of the argument.
+    pub fn span(&self) -> Span {
+        match self {
+            ProcessArg::Const(_, s) => *s,
+            ProcessArg::Input(i) => i.span,
+        }
+    }
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDecl {
+    /// Procedure name.
+    pub name: Ident,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Body block.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: Ident,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x = e;` or `int *p;` — a local declaration.
+    Local {
+        /// Variable name.
+        name: Ident,
+        /// Declared type.
+        ty: Ty,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `lhs = rhs;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned expression.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `if (cond) then [else els]`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when the condition is nonzero.
+        then_branch: Box<Stmt>,
+        /// Taken when the condition is zero.
+        else_branch: Option<Box<Stmt>>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) body`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Optional initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (true if omitted).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `switch (scrutinee) { case k: ... default: ... }`
+    ///
+    /// MiniC `switch` has no fall-through: each case body is a block.
+    Switch {
+        /// Switched-on expression.
+        scrutinee: Expr,
+        /// `(labels, body)` pairs; multiple labels may share a body.
+        cases: Vec<SwitchCase>,
+        /// Optional default body.
+        default: Option<Block>,
+        /// Source location.
+        span: Span,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Optional returned value.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `break;`
+    Break {
+        /// Source location.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Source location.
+        span: Span,
+    },
+    /// An expression statement — in well-formed MiniC, a call.
+    Expr {
+        /// The expression (its value is discarded).
+        expr: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// A nested block.
+    Block(Block),
+    /// `;`
+    Empty {
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Local { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Switch { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Break { span }
+            | Stmt::Continue { span }
+            | Stmt::Expr { span, .. }
+            | Stmt::Empty { span } => *span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// One `case` arm of a `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// The integer labels (`case 1: case 2:` share a body).
+    pub labels: Vec<i64>,
+    /// The arm body.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A plain variable: `x = ...`.
+    Var(Ident),
+    /// A store through a pointer variable: `*p = ...`.
+    Deref(Ident, Span),
+}
+
+impl LValue {
+    /// The source span of the lvalue.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var(i) => i.span,
+            LValue::Deref(_, s) => *s,
+        }
+    }
+
+    /// The variable named by the lvalue (the pointer for a deref).
+    pub fn base(&self) -> &Ident {
+        match self {
+            LValue::Var(i) => i,
+            LValue::Deref(i, _) => i,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (1 if zero, else 0).
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// Binary operators, C semantics over `i64` (wrapping arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; runtime error on divide-by-zero)
+    Div,
+    /// `%` (runtime error on zero modulus)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (non-short-circuit over already-evaluated operands)
+    And,
+    /// `||` (non-short-circuit over already-evaluated operands)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// True for operators producing 0/1 results.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Variable reference.
+    Var(Ident),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A call to a procedure or builtin: `f(a, b)`.
+    Call {
+        /// Callee name (resolved during semantic analysis).
+        callee: Ident,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Address-of a variable: `&x`.
+    AddrOf {
+        /// The variable whose address is taken.
+        var: Ident,
+        /// Source location.
+        span: Span,
+    },
+    /// Load through a pointer variable: `*p`.
+    Deref {
+        /// The pointer variable.
+        var: Ident,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s) => *s,
+            Expr::Var(i) => i.span,
+            Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::AddrOf { span, .. }
+            | Expr::Deref { span, .. } => *span,
+        }
+    }
+
+    /// True when the expression contains no calls (pure over variables).
+    pub fn is_call_free(&self) -> bool {
+        match self {
+            Expr::Int(..) | Expr::Var(_) | Expr::AddrOf { .. } | Expr::Deref { .. } => true,
+            Expr::Unary { expr, .. } => expr.is_call_free(),
+            Expr::Binary { lhs, rhs, .. } => lhs.is_call_free() && rhs.is_call_free(),
+            Expr::Call { .. } => false,
+        }
+    }
+
+    /// Visit every variable *use* in the expression (not address-of bases,
+    /// which name locations rather than read values — the pointer created by
+    /// `&x` does not read `x`).
+    pub fn for_each_use<F: FnMut(&Ident)>(&self, f: &mut F) {
+        match self {
+            Expr::Int(..) => {}
+            Expr::Var(i) => f(i),
+            Expr::Unary { expr, .. } => expr.for_each_use(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_use(f);
+                rhs.for_each_use(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.for_each_use(f);
+                }
+            }
+            Expr::AddrOf { .. } => {}
+            Expr::Deref { var, .. } => f(var),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Expr {
+        Expr::Var(Ident::synthetic(name))
+    }
+
+    #[test]
+    fn call_free_detection() {
+        let pure = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(var("a")),
+            rhs: Box::new(Expr::Int(1, Span::dummy())),
+            span: Span::dummy(),
+        };
+        assert!(pure.is_call_free());
+        let call = Expr::Call {
+            callee: Ident::synthetic("f"),
+            args: vec![pure.clone()],
+            span: Span::dummy(),
+        };
+        assert!(!call.is_call_free());
+        let nested = Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(call),
+            span: Span::dummy(),
+        };
+        assert!(!nested.is_call_free());
+    }
+
+    #[test]
+    fn for_each_use_skips_addrof() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::AddrOf {
+                var: Ident::synthetic("x"),
+                span: Span::dummy(),
+            }),
+            rhs: Box::new(Expr::Deref {
+                var: Ident::synthetic("p"),
+                span: Span::dummy(),
+            }),
+            span: Span::dummy(),
+        };
+        let mut uses = Vec::new();
+        e.for_each_use(&mut |i| uses.push(i.name.clone()));
+        assert_eq!(uses, vec!["p"]);
+    }
+
+    #[test]
+    fn program_lookups() {
+        let mut prog = Program::default();
+        prog.items.push(Item::Proc(ProcDecl {
+            name: Ident::synthetic("main"),
+            params: vec![],
+            body: Block::default(),
+            span: Span::dummy(),
+        }));
+        assert!(prog.proc("main").is_some());
+        assert!(prog.proc("other").is_none());
+        assert_eq!(prog.procs().count(), 1);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+    }
+}

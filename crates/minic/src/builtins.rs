@@ -1,0 +1,184 @@
+//! The MiniC builtin operations.
+//!
+//! Builtins are the only way a process interacts with communication objects
+//! or the environment. Following §2 of the paper, operations on
+//! communication objects are the *visible* operations; `VS_toss` and
+//! `env_input` are invisible (`VS_toss` is treated as invisible in this
+//! paper, unlike in \[God97\]).
+
+use std::fmt;
+
+/// A builtin operation, recognized by name at call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `send(chan, v)` — enqueue `v`; blocks while an internal channel is
+    /// full; never blocks on an external channel (the most general
+    /// environment accepts any output). Visible.
+    Send,
+    /// `recv(chan)` — dequeue a value; blocks while an internal channel is
+    /// empty; never blocks on an external channel (the most general
+    /// environment can provide any input at any time). Visible.
+    Recv,
+    /// `sem_wait(s)` — decrement; blocks while the count is zero. Visible.
+    SemWait,
+    /// `sem_signal(s)` — increment. Never blocks. Visible.
+    SemSignal,
+    /// `sh_write(v, x)` — write `x` to shared variable `v`. Visible.
+    ShWrite,
+    /// `sh_read(v)` — read shared variable `v`. Visible.
+    ShRead,
+    /// `VS_toss(n)` — nondeterministically return an integer in `[0, n]`.
+    /// Invisible (per this paper) but a branch point for the search.
+    VsToss,
+    /// `VS_assert(v)` — visible assertion; violated when `v` is zero.
+    VsAssert,
+    /// `env_input(x)` — invisible read of a fresh environment-supplied value
+    /// from declared input `x`. This is what makes a program *open*.
+    EnvInput,
+}
+
+impl Builtin {
+    /// Look up a builtin by its call-site name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "send" => Builtin::Send,
+            "recv" => Builtin::Recv,
+            "sem_wait" => Builtin::SemWait,
+            "sem_signal" => Builtin::SemSignal,
+            "sh_write" => Builtin::ShWrite,
+            "sh_read" => Builtin::ShRead,
+            "VS_toss" => Builtin::VsToss,
+            "VS_assert" => Builtin::VsAssert,
+            "env_input" => Builtin::EnvInput,
+            _ => return None,
+        })
+    }
+
+    /// The call-site name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Builtin::Send => "send",
+            Builtin::Recv => "recv",
+            Builtin::SemWait => "sem_wait",
+            Builtin::SemSignal => "sem_signal",
+            Builtin::ShWrite => "sh_write",
+            Builtin::ShRead => "sh_read",
+            Builtin::VsToss => "VS_toss",
+            Builtin::VsAssert => "VS_assert",
+            Builtin::EnvInput => "env_input",
+        }
+    }
+
+    /// Number of arguments the builtin requires (including the object).
+    pub fn arity(&self) -> usize {
+        match self {
+            Builtin::Send | Builtin::ShWrite => 2,
+            Builtin::Recv
+            | Builtin::SemWait
+            | Builtin::SemSignal
+            | Builtin::ShRead
+            | Builtin::VsToss
+            | Builtin::VsAssert
+            | Builtin::EnvInput => 1,
+        }
+    }
+
+    /// True when the operation is *visible* (an operation on a communication
+    /// object, per §2 of the paper). Visible operations delimit transitions.
+    pub fn is_visible(&self) -> bool {
+        !matches!(self, Builtin::VsToss | Builtin::EnvInput)
+    }
+
+    /// True when the operation yields a value usable in an expression.
+    pub fn has_result(&self) -> bool {
+        matches!(
+            self,
+            Builtin::Recv | Builtin::ShRead | Builtin::VsToss | Builtin::EnvInput
+        )
+    }
+
+    /// True when the first argument must name a communication object.
+    pub fn takes_object(&self) -> bool {
+        matches!(
+            self,
+            Builtin::Send
+                | Builtin::Recv
+                | Builtin::SemWait
+                | Builtin::SemSignal
+                | Builtin::ShWrite
+                | Builtin::ShRead
+        )
+    }
+
+    /// All builtins, for exhaustive testing.
+    pub fn all() -> [Builtin; 9] {
+        [
+            Builtin::Send,
+            Builtin::Recv,
+            Builtin::SemWait,
+            Builtin::SemSignal,
+            Builtin::ShWrite,
+            Builtin::ShRead,
+            Builtin::VsToss,
+            Builtin::VsAssert,
+            Builtin::EnvInput,
+        ]
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        for b in Builtin::all() {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("printf"), None);
+    }
+
+    #[test]
+    fn visibility_matches_paper() {
+        // Operations on communication objects and assertions are visible.
+        assert!(Builtin::Send.is_visible());
+        assert!(Builtin::Recv.is_visible());
+        assert!(Builtin::SemWait.is_visible());
+        assert!(Builtin::VsAssert.is_visible());
+        // VS_toss is invisible per this paper (§2), as is env_input.
+        assert!(!Builtin::VsToss.is_visible());
+        assert!(!Builtin::EnvInput.is_visible());
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(Builtin::Send.arity(), 2);
+        assert_eq!(Builtin::ShWrite.arity(), 2);
+        assert_eq!(Builtin::Recv.arity(), 1);
+        assert_eq!(Builtin::VsToss.arity(), 1);
+    }
+
+    #[test]
+    fn result_classification() {
+        assert!(Builtin::Recv.has_result());
+        assert!(Builtin::VsToss.has_result());
+        assert!(Builtin::EnvInput.has_result());
+        assert!(!Builtin::Send.has_result());
+        assert!(!Builtin::VsAssert.has_result());
+    }
+
+    #[test]
+    fn object_argument_classification() {
+        assert!(Builtin::Send.takes_object());
+        assert!(Builtin::ShRead.takes_object());
+        assert!(!Builtin::VsToss.takes_object());
+        assert!(!Builtin::VsAssert.takes_object());
+        assert!(!Builtin::EnvInput.takes_object());
+    }
+}

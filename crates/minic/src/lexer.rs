@@ -1,0 +1,356 @@
+//! The MiniC lexer.
+//!
+//! Converts source text into a [`Token`] stream. Supports `//` line comments
+//! and `/* ... */` block comments, decimal and hexadecimal integer literals,
+//! and the full MiniC operator set.
+
+use crate::span::{Diagnostic, Span};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenize `src` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns the first lexical error encountered (unknown character,
+/// unterminated block comment, or an integer literal out of `i64` range).
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos as u32;
+            let Some(c) = self.peek() else {
+                self.tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                });
+                return Ok(self.tokens);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.lex_number()?,
+                c if is_ident_start(c) => self.lex_ident(),
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b'{' => self.one(TokenKind::LBrace),
+                b'}' => self.one(TokenKind::RBrace),
+                b'[' => self.one(TokenKind::LBracket),
+                b']' => self.one(TokenKind::RBracket),
+                b';' => self.one(TokenKind::Semi),
+                b',' => self.one(TokenKind::Comma),
+                b':' => self.one(TokenKind::Colon),
+                b'+' => self.one(TokenKind::Plus),
+                b'-' => self.one(TokenKind::Minus),
+                b'*' => self.one(TokenKind::Star),
+                b'/' => self.one(TokenKind::Slash),
+                b'%' => self.one(TokenKind::Percent),
+                b'^' => self.one(TokenKind::Caret),
+                b'.' => {
+                    if self.peek_at(1) == Some(b'.') {
+                        self.pos += 2;
+                        TokenKind::DotDot
+                    } else {
+                        return Err(Diagnostic::error(
+                            "stray `.` (expected `..`)",
+                            Span::new(start, start + 1),
+                        ));
+                    }
+                }
+                b'=' => self.one_or_two(b'=', TokenKind::Assign, TokenKind::EqEq),
+                b'!' => self.one_or_two(b'=', TokenKind::Bang, TokenKind::NotEq),
+                b'<' => {
+                    if self.peek_at(1) == Some(b'<') {
+                        self.pos += 2;
+                        TokenKind::Shl
+                    } else {
+                        self.one_or_two(b'=', TokenKind::Lt, TokenKind::Le)
+                    }
+                }
+                b'>' => {
+                    if self.peek_at(1) == Some(b'>') {
+                        self.pos += 2;
+                        TokenKind::Shr
+                    } else {
+                        self.one_or_two(b'=', TokenKind::Gt, TokenKind::Ge)
+                    }
+                }
+                b'&' => self.one_or_two(b'&', TokenKind::Amp, TokenKind::AndAnd),
+                b'|' => self.one_or_two(b'|', TokenKind::Pipe, TokenKind::OrOr),
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("unknown character `{}`", other as char),
+                        Span::new(start, start + 1),
+                    ));
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                span: Span::new(start, self.pos as u32),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    /// Consume one char, or two if the next is `second`.
+    fn one_or_two(&mut self, second: u8, single: TokenKind, double: TokenKind) -> TokenKind {
+        if self.peek_at(1) == Some(second) {
+            self.pos += 2;
+            double
+        } else {
+            self.pos += 1;
+            single
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(Diagnostic::error(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos as u32),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        let radix = if self.peek() == Some(b'0')
+            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
+        {
+            self.pos += 2;
+            16
+        } else {
+            10
+        };
+        let digits_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || (radix == 16 && c.is_ascii_hexdigit()) || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .expect("lexer input is valid utf-8")
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if text.is_empty() {
+            return Err(Diagnostic::error(
+                "missing digits after `0x`",
+                Span::new(start as u32, self.pos as u32),
+            ));
+        }
+        match i64::from_str_radix(&text, radix) {
+            Ok(v) => Ok(TokenKind::Int(v)),
+            Err(_) => Err(Diagnostic::error(
+                "integer literal out of range for i64",
+                Span::new(start as u32, self.pos as u32),
+            )),
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("lexer input is valid utf-8");
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_source_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("proc main cnt"),
+            vec![
+                TokenKind::Keyword(Keyword::Proc),
+                TokenKind::Ident("main".into()),
+                TokenKind::Ident("cnt".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 0x1F 1_000"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Int(1000),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(lex("99999999999999999999999").is_err());
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn lexes_multichar_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || << >> .. = < >"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::DotDot,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_amp_from_andand() {
+        assert_eq!(
+            kinds("a & b && c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Amp,
+                TokenKind::Ident("b".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let src = "a // comment\nb /* multi\nline */ c";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("a /* never closed").is_err());
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unknown character"));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn stray_dot_is_error() {
+        assert!(lex("1 . 2").is_err());
+        assert!(lex("0 .. 5").is_ok());
+    }
+}

@@ -1,0 +1,109 @@
+//! # MiniC — the source language of the `reclose` toolchain
+//!
+//! MiniC is a small C-like imperative language: the concrete instantiation
+//! of the "full-fledged programming language such as C" over which the
+//! PLDI 1998 paper *Automatically Closing Open Reactive Programs* defines
+//! its transformation.
+//!
+//! A MiniC [`Program`] declares:
+//!
+//! - **communication objects** — FIFO channels (`chan ring[4];`),
+//!   semaphores (`sem lock = 1;`), and shared variables (`shared st = 0;`);
+//!   the *only* inter-process communication mechanism;
+//! - **the open interface** — external channels
+//!   (`extern chan events : 0..7;`) and named inputs
+//!   (`input x : 0..1023;`) read with `env_input(x)`;
+//! - **per-process globals** (`int g = 0;`);
+//! - **procedures** (`proc handler(int line) { ... }`);
+//! - **processes** (`process handler(3);`) — the concurrent system.
+//!
+//! The pipeline is: [`parse`] → [`sema::check`] → [`normalize::normalize`],
+//! after which `cfgir` builds control-flow graphs.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = r#"
+//!     extern chan evens;
+//!     input x : 0..1023;
+//!     proc p(int x) {
+//!         if (x % 2 == 0) send(evens, x);
+//!     }
+//!     process p(x);
+//! "#;
+//! let prog = minic::parse(src)?;
+//! let table = minic::sema::check(&prog).map_err(|d| d.to_string())?;
+//! assert!(table.is_open());
+//! let normalized = minic::normalize::normalize(&prog);
+//! minic::normalize::verify(&normalized).unwrap();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod span;
+pub mod token;
+
+pub use ast::{Block, Expr, Ident, Item, LValue, ProcDecl, Program, Stmt, Ty};
+pub use builtins::Builtin;
+pub use parser::parse;
+pub use span::{Diagnostic, Diagnostics, Span};
+
+/// Parse, check, and normalize in one call: the standard front half of the
+/// pipeline.
+///
+/// # Errors
+///
+/// Returns parse or semantic diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// let (prog, table) = minic::frontend("proc m() { } process m();")?;
+/// assert_eq!(table.processes.len(), 1);
+/// assert!(prog.proc("m").is_some());
+/// # Ok::<(), minic::Diagnostics>(())
+/// ```
+pub fn frontend(src: &str) -> Result<(Program, sema::SymbolTable), Diagnostics> {
+    let prog = parse(src).map_err(|d| {
+        let mut ds = Diagnostics::new();
+        ds.push(d);
+        ds
+    })?;
+    let table = sema::check(&prog)?;
+    let normalized = normalize::normalize(&prog);
+    debug_assert!(normalize::verify(&normalized).is_ok());
+    Ok((normalized, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_runs_full_pipeline() {
+        let (prog, table) = frontend(
+            "chan c[1]; proc m() { send(c, 1 + 2); } process m();",
+        )
+        .unwrap();
+        assert_eq!(table.objects.len(), 1);
+        normalize::verify(&prog).unwrap();
+    }
+
+    #[test]
+    fn frontend_propagates_parse_errors() {
+        assert!(frontend("proc {").is_err());
+    }
+
+    #[test]
+    fn frontend_propagates_sema_errors() {
+        assert!(frontend("proc m() { y = 1; } process m();").is_err());
+    }
+}

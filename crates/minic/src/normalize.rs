@@ -1,0 +1,800 @@
+//! Normalization: establish the structural assumptions of §4 of the paper.
+//!
+//! The closing algorithm is defined over programs in which:
+//!
+//! 1. **call arguments are variables** — "we assume that each argument of a
+//!    procedure call is a variable" (builtin *value* arguments may also be
+//!    integer literals; object/input name arguments are left untouched);
+//! 2. calls, pointer loads (`*p`) and address-taking (`&x`) appear only as
+//!    the *entire* right-hand side of an assignment, or (for calls) as a
+//!    bare statement — so every statement "defines the value of exactly one
+//!    variable";
+//! 3. branch conditions and switch scrutinees are *pure*: free of calls,
+//!    loads, and address-taking — conditional statements "do not define any
+//!    variables".
+//!
+//! [`normalize`] rewrites any checked program into this form by hoisting
+//! offending subexpressions into fresh `__tN` temporaries. Loop conditions
+//! that require hoisting are rewritten as
+//! `while (1) { __t = <cond>; if (!__t) break; ... }`, preserving
+//! per-iteration evaluation. [`verify`] checks the invariants and is used in
+//! tests and by the CFG builder.
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Rewrite `prog` into normal form. Idempotent: normalizing a normalized
+/// program returns it unchanged (up to temp numbering).
+pub fn normalize(prog: &Program) -> Program {
+    let items = prog
+        .items
+        .iter()
+        .map(|item| match item {
+            Item::Proc(p) => Item::Proc(normalize_proc(p)),
+            other => other.clone(),
+        })
+        .collect();
+    Program { items }
+}
+
+fn normalize_proc(p: &ProcDecl) -> ProcDecl {
+    let mut cx = Normalizer { next_temp: 0 };
+    ProcDecl {
+        name: p.name.clone(),
+        params: p.params.clone(),
+        body: cx.block(&p.body),
+        span: p.span,
+    }
+}
+
+struct Normalizer {
+    next_temp: u32,
+}
+
+impl Normalizer {
+    fn fresh(&mut self, ty: Ty, init: Expr, out: &mut Vec<Stmt>) -> Ident {
+        let name = Ident::synthetic(format!("__t{}", self.next_temp));
+        self.next_temp += 1;
+        out.push(Stmt::Local {
+            name: name.clone(),
+            ty,
+            init: Some(init),
+            span: Span::dummy(),
+        });
+        name
+    }
+
+    fn block(&mut self, b: &Block) -> Block {
+        let mut stmts = Vec::new();
+        for s in &b.stmts {
+            self.stmt(s, &mut stmts);
+        }
+        Block {
+            stmts,
+            span: b.span,
+        }
+    }
+
+    /// Normalize a sub-statement (loop/branch body) into a single statement,
+    /// wrapping in a block when hoisting introduced prefix statements.
+    fn substmt(&mut self, s: &Stmt) -> Box<Stmt> {
+        let mut out = Vec::new();
+        self.stmt(s, &mut out);
+        Box::new(match out.len() {
+            0 => Stmt::Empty { span: s.span() },
+            1 => out.pop().expect("len checked"),
+            _ => Stmt::Block(Block {
+                stmts: out,
+                span: s.span(),
+            }),
+        })
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) {
+        match s {
+            Stmt::Local {
+                name,
+                ty,
+                init,
+                span,
+            } => {
+                let init = init.as_ref().map(|e| self.rhs(e, out));
+                out.push(Stmt::Local {
+                    name: name.clone(),
+                    ty: *ty,
+                    init,
+                    span: *span,
+                });
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let mut rhs = self.rhs(rhs, out);
+                // A store through a pointer receives the value of a call via
+                // a temp, so call results are always defined into a plain
+                // variable (one definition per assignment, paper §4).
+                if matches!(lhs, LValue::Deref(..)) && matches!(rhs, Expr::Call { .. }) {
+                    let t = self.fresh(Ty::Int, rhs, out);
+                    rhs = Expr::Var(t);
+                }
+                out.push(Stmt::Assign {
+                    lhs: lhs.clone(),
+                    rhs,
+                    span: *span,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
+                let cond = self.pure(cond, out);
+                out.push(Stmt::If {
+                    cond,
+                    then_branch: self.substmt(then_branch),
+                    else_branch: else_branch.as_ref().map(|e| self.substmt(e)),
+                    span: *span,
+                });
+            }
+            Stmt::While { cond, body, span } => {
+                if is_pure(cond) {
+                    out.push(Stmt::While {
+                        cond: cond.clone(),
+                        body: self.substmt(body),
+                        span: *span,
+                    });
+                } else {
+                    // while (impure) body
+                    //   ==> while (1) { __t = <impure>; if (!__t) break; body }
+                    let mut inner = Vec::new();
+                    let cond_pure = self.pure(cond, &mut inner);
+                    inner.push(Stmt::If {
+                        cond: Expr::Unary {
+                            op: UnOp::Not,
+                            expr: Box::new(cond_pure),
+                            span: cond.span(),
+                        },
+                        then_branch: Box::new(Stmt::Break { span: cond.span() }),
+                        else_branch: None,
+                        span: cond.span(),
+                    });
+                    let body = self.substmt(body);
+                    inner.push(*body);
+                    out.push(Stmt::While {
+                        cond: Expr::Int(1, cond.span()),
+                        body: Box::new(Stmt::Block(Block {
+                            stmts: inner,
+                            span: *span,
+                        })),
+                        span: *span,
+                    });
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
+                let init = init.as_ref().map(|i| {
+                    let mut istmts = Vec::new();
+                    self.stmt(i, &mut istmts);
+                    // Hoisted prefix statements of the init run once, before
+                    // the loop; emit them to the outer block and keep the
+                    // last statement as the for-init.
+                    let last = istmts.pop().expect("init normalizes to >= 1 stmt");
+                    out.extend(istmts);
+                    Box::new(last)
+                });
+                let step = step.as_ref().map(|st| {
+                    let mut sstmts = Vec::new();
+                    self.stmt(st, &mut sstmts);
+                    Box::new(match sstmts.len() {
+                        0 => Stmt::Empty { span: st.span() },
+                        1 => sstmts.pop().expect("len checked"),
+                        _ => Stmt::Block(Block {
+                            stmts: sstmts,
+                            span: st.span(),
+                        }),
+                    })
+                });
+                match cond {
+                    Some(c) if !is_pure(c) => {
+                        // Move the impure test into the body, as for while.
+                        let mut inner = Vec::new();
+                        let cond_pure = self.pure(c, &mut inner);
+                        inner.push(Stmt::If {
+                            cond: Expr::Unary {
+                                op: UnOp::Not,
+                                expr: Box::new(cond_pure),
+                                span: c.span(),
+                            },
+                            then_branch: Box::new(Stmt::Break { span: c.span() }),
+                            else_branch: None,
+                            span: c.span(),
+                        });
+                        let body = self.substmt(body);
+                        inner.push(*body);
+                        out.push(Stmt::For {
+                            init,
+                            cond: None,
+                            step,
+                            body: Box::new(Stmt::Block(Block {
+                                stmts: inner,
+                                span: *span,
+                            })),
+                            span: *span,
+                        });
+                    }
+                    _ => {
+                        out.push(Stmt::For {
+                            init,
+                            cond: cond.clone(),
+                            step,
+                            body: self.substmt(body),
+                            span: *span,
+                        });
+                    }
+                }
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                span,
+            } => {
+                let scrutinee = self.pure(scrutinee, out);
+                out.push(Stmt::Switch {
+                    scrutinee,
+                    cases: cases
+                        .iter()
+                        .map(|c| SwitchCase {
+                            labels: c.labels.clone(),
+                            body: self.block(&c.body),
+                            span: c.span,
+                        })
+                        .collect(),
+                    default: default.as_ref().map(|d| self.block(d)),
+                    span: *span,
+                });
+            }
+            Stmt::Return { value, span } => {
+                let value = value.as_ref().map(|v| self.pure(v, out));
+                out.push(Stmt::Return {
+                    value,
+                    span: *span,
+                });
+            }
+            Stmt::Break { span } => out.push(Stmt::Break { span: *span }),
+            Stmt::Continue { span } => out.push(Stmt::Continue { span: *span }),
+            Stmt::Expr { expr, span } => match expr {
+                Expr::Call { callee, args, span: cspan } => {
+                    let args = self.call_args(callee, args, out);
+                    out.push(Stmt::Expr {
+                        expr: Expr::Call {
+                            callee: callee.clone(),
+                            args,
+                            span: *cspan,
+                        },
+                        span: *span,
+                    });
+                }
+                // Pure expression statements have no effect: drop them
+                // (sema already warned).
+                _ => {}
+            },
+            Stmt::Block(b) => {
+                let nb = self.block(b);
+                out.push(Stmt::Block(nb));
+            }
+            Stmt::Empty { .. } => {}
+        }
+    }
+
+    /// Normalize an assignment right-hand side: calls / loads / address-of
+    /// may remain at top level (with normalized arguments); anywhere deeper
+    /// they are hoisted.
+    fn rhs(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Expr {
+        match e {
+            Expr::Call { callee, args, span } => {
+                let args = self.call_args(callee, args, out);
+                Expr::Call {
+                    callee: callee.clone(),
+                    args,
+                    span: *span,
+                }
+            }
+            Expr::Deref { .. } | Expr::AddrOf { .. } => e.clone(),
+            _ => self.pure(e, out),
+        }
+    }
+
+    /// Normalize to a *pure* expression: hoist every call, load, and
+    /// address-of into a temp.
+    fn pure(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Expr {
+        match e {
+            Expr::Int(..) | Expr::Var(_) => e.clone(),
+            Expr::Unary { op, expr, span } => Expr::Unary {
+                op: *op,
+                expr: Box::new(self.pure(expr, out)),
+                span: *span,
+            },
+            Expr::Binary { op, lhs, rhs, span } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.pure(lhs, out)),
+                rhs: Box::new(self.pure(rhs, out)),
+                span: *span,
+            },
+            Expr::Call { callee, args, span } => {
+                let args = self.call_args(callee, args, out);
+                let call = Expr::Call {
+                    callee: callee.clone(),
+                    args,
+                    span: *span,
+                };
+                let t = self.fresh(Ty::Int, call, out);
+                Expr::Var(t)
+            }
+            Expr::Deref { .. } => {
+                let t = self.fresh(Ty::Int, e.clone(), out);
+                Expr::Var(t)
+            }
+            Expr::AddrOf { .. } => {
+                let t = self.fresh(Ty::IntPtr, e.clone(), out);
+                Expr::Var(t)
+            }
+        }
+    }
+
+    /// Normalize call arguments. User-procedure arguments become variables;
+    /// builtin object/input arguments are untouched; builtin value
+    /// arguments become atoms (variable or literal).
+    fn call_args(&mut self, callee: &Ident, args: &[Expr], out: &mut Vec<Stmt>) -> Vec<Expr> {
+        let builtin = crate::builtins::Builtin::from_name(&callee.name);
+        args.iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let keep_name = match builtin {
+                    Some(b) => i == 0 && (b.takes_object() || b == crate::builtins::Builtin::EnvInput),
+                    None => false,
+                };
+                if keep_name {
+                    return a.clone();
+                }
+                let allow_literal = builtin.is_some();
+                self.atom(a, allow_literal, out)
+            })
+            .collect()
+    }
+
+    /// Normalize to an atom: a variable (or, when allowed, an integer
+    /// literal). Pointer-typed variables pass through unchanged, so
+    /// pointer arguments remain variables as the paper requires.
+    fn atom(&mut self, e: &Expr, allow_literal: bool, out: &mut Vec<Stmt>) -> Expr {
+        match e {
+            Expr::Var(_) => e.clone(),
+            Expr::Int(..) if allow_literal => e.clone(),
+            Expr::AddrOf { .. } => {
+                let t = self.fresh(Ty::IntPtr, e.clone(), out);
+                Expr::Var(t)
+            }
+            _ => {
+                let pure = self.rhs(e, out);
+                match pure {
+                    Expr::Var(_) => pure,
+                    Expr::Int(..) if allow_literal => pure,
+                    other => {
+                        let ty = if matches!(other, Expr::AddrOf { .. }) {
+                            Ty::IntPtr
+                        } else {
+                            Ty::Int
+                        };
+                        let t = self.fresh(ty, other, out);
+                        Expr::Var(t)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// True when the expression is free of calls, loads, and address-of.
+pub fn is_pure(e: &Expr) -> bool {
+    match e {
+        Expr::Int(..) | Expr::Var(_) => true,
+        Expr::Unary { expr, .. } => is_pure(expr),
+        Expr::Binary { lhs, rhs, .. } => is_pure(lhs) && is_pure(rhs),
+        Expr::Call { .. } | Expr::Deref { .. } | Expr::AddrOf { .. } => false,
+    }
+}
+
+/// Check the normal-form invariants; returns a description of the first
+/// violation.
+///
+/// # Errors
+///
+/// Returns `Err` with a human-readable description of the violated
+/// invariant.
+pub fn verify(prog: &Program) -> Result<(), String> {
+    for p in prog.procs() {
+        verify_block(&p.body).map_err(|e| format!("proc {}: {e}", p.name.name))?;
+    }
+    Ok(())
+}
+
+fn verify_block(b: &Block) -> Result<(), String> {
+    for s in &b.stmts {
+        verify_stmt(s)?;
+    }
+    Ok(())
+}
+
+fn verify_stmt(s: &Stmt) -> Result<(), String> {
+    match s {
+        Stmt::Local { init, .. } => {
+            if let Some(e) = init {
+                verify_rhs(e)?;
+            }
+            Ok(())
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            if matches!(lhs, LValue::Deref(..)) && matches!(rhs, Expr::Call { .. }) {
+                return Err("call result stored through a pointer without a temp".into());
+            }
+            verify_rhs(rhs)
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            if !is_pure(cond) {
+                return Err("impure if condition".into());
+            }
+            verify_stmt(then_branch)?;
+            if let Some(e) = else_branch {
+                verify_stmt(e)?;
+            }
+            Ok(())
+        }
+        Stmt::While { cond, body, .. } => {
+            if !is_pure(cond) {
+                return Err("impure while condition".into());
+            }
+            verify_stmt(body)
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                verify_stmt(i)?;
+            }
+            if let Some(c) = cond {
+                if !is_pure(c) {
+                    return Err("impure for condition".into());
+                }
+            }
+            if let Some(st) = step {
+                verify_stmt(st)?;
+            }
+            verify_stmt(body)
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            ..
+        } => {
+            if !is_pure(scrutinee) {
+                return Err("impure switch scrutinee".into());
+            }
+            for c in cases {
+                verify_block(&c.body)?;
+            }
+            if let Some(d) = default {
+                verify_block(d)?;
+            }
+            Ok(())
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(v) = value {
+                if !is_pure(v) {
+                    return Err("impure return value".into());
+                }
+            }
+            Ok(())
+        }
+        Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } => Ok(()),
+        Stmt::Expr { expr, .. } => match expr {
+            Expr::Call { callee, args, .. } => verify_call(callee, args),
+            _ => Err("non-call expression statement survived normalization".into()),
+        },
+        Stmt::Block(b) => verify_block(b),
+    }
+}
+
+fn verify_rhs(e: &Expr) -> Result<(), String> {
+    match e {
+        Expr::Call { callee, args, .. } => verify_call(callee, args),
+        Expr::Deref { .. } | Expr::AddrOf { .. } => Ok(()),
+        _ if is_pure(e) => Ok(()),
+        _ => Err("assignment RHS mixes a call/load/address-of into a larger expression".into()),
+    }
+}
+
+fn verify_call(callee: &Ident, args: &[Expr]) -> Result<(), String> {
+    let builtin = crate::builtins::Builtin::from_name(&callee.name);
+    for (i, a) in args.iter().enumerate() {
+        let name_pos = match builtin {
+            Some(b) => i == 0 && (b.takes_object() || b == crate::builtins::Builtin::EnvInput),
+            None => false,
+        };
+        if name_pos {
+            continue;
+        }
+        let ok = match builtin {
+            Some(_) => matches!(a, Expr::Var(_) | Expr::Int(..)),
+            None => matches!(a, Expr::Var(_)),
+        };
+        if !ok {
+            return Err(format!(
+                "argument {i} of call to `{}` is not a variable",
+                callee.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn norm(src: &str) -> Program {
+        let prog = parse(src).expect("parse");
+        check(&prog).expect("sema");
+        let n = normalize(&prog);
+        verify(&n).expect("normal form");
+        n
+    }
+
+    #[test]
+    fn pure_program_unchanged_in_shape() {
+        let n = norm("proc m(int a) { int b = a + 1; if (b > 0) b = 2; } process m(0);");
+        let p = n.proc("m").unwrap();
+        assert_eq!(p.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn hoists_nested_call_arguments() {
+        let n = norm(
+            "proc g(int a) { } proc m(int x) { g(x + 1); } process m(0);",
+        );
+        let body = &n.proc("m").unwrap().body.stmts;
+        // __t0 = x + 1; g(__t0);
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[0], Stmt::Local { name, .. } if name.name == "__t0"));
+        let Stmt::Expr {
+            expr: Expr::Call { args, .. },
+            ..
+        } = &body[1]
+        else {
+            panic!()
+        };
+        assert!(matches!(&args[0], Expr::Var(v) if v.name == "__t0"));
+    }
+
+    #[test]
+    fn hoists_call_in_condition() {
+        let n = norm(
+            "chan c[1]; proc m() { if (recv(c) > 0) { send(c, 1); } } process m();",
+        );
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert!(body.len() >= 2);
+        let Stmt::If { cond, .. } = body.last().unwrap() else {
+            panic!("expected trailing if, got {:?}", body.last())
+        };
+        assert!(is_pure(cond));
+    }
+
+    #[test]
+    fn while_with_impure_condition_is_rewritten() {
+        let n = norm("chan c[1]; proc m() { while (recv(c)) { } } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        let Stmt::While { cond, body: wb, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(cond, Expr::Int(1, _)));
+        // Body contains the hoisted recv and the break-check.
+        let Stmt::Block(inner) = &**wb else { panic!() };
+        assert!(inner.stmts.len() >= 2);
+        assert!(matches!(inner.stmts.iter().nth(1), Some(Stmt::If { .. })));
+    }
+
+    #[test]
+    fn deref_isolated_from_larger_expression() {
+        let n = norm(
+            "proc m() { int x = 1; int *p = &x; int y = *p + 2; } process m();",
+        );
+        let body = &n.proc("m").unwrap().body.stmts;
+        // int x = 1; int *p = &x; __t0 = *p; int y = __t0 + 2;
+        assert_eq!(body.len(), 4);
+        assert!(matches!(
+            &body[2],
+            Stmt::Local {
+                init: Some(Expr::Deref { .. }),
+                ty: Ty::Int,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn plain_deref_rhs_stays() {
+        let n = norm("proc m() { int x = 1; int *p = &x; int y = *p; } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert_eq!(body.len(), 3);
+    }
+
+    #[test]
+    fn addr_of_as_user_call_arg_hoisted() {
+        let n = norm("proc g(int *p) { } proc m() { int x = 0; g(&x); } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert_eq!(body.len(), 3);
+        assert!(matches!(
+            &body[1],
+            Stmt::Local {
+                init: Some(Expr::AddrOf { .. }),
+                ty: Ty::IntPtr,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn literal_user_call_arg_becomes_variable() {
+        let n = norm("proc g(int a) { } proc m() { g(7); } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert_eq!(body.len(), 2);
+        let Stmt::Expr {
+            expr: Expr::Call { args, .. },
+            ..
+        } = &body[1]
+        else {
+            panic!()
+        };
+        assert!(matches!(&args[0], Expr::Var(_)));
+    }
+
+    #[test]
+    fn literal_builtin_value_arg_kept() {
+        let n = norm("chan c[1]; proc m() { send(c, 7); } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn toss_bound_literal_kept() {
+        let n = norm("proc m() { int x = VS_toss(3); } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn object_name_argument_untouched() {
+        let n = norm("extern chan ev : 0..3; proc m() { int x = recv(ev); } process m();");
+        let Stmt::Local {
+            init: Some(Expr::Call { args, .. }),
+            ..
+        } = &n.proc("m").unwrap().body.stmts[0]
+        else {
+            panic!()
+        };
+        assert!(matches!(&args[0], Expr::Var(v) if v.name == "ev"));
+    }
+
+    #[test]
+    fn normalization_is_idempotent_in_shape() {
+        let src = "chan c[2]; proc m(int x) { if (recv(c) == x) send(c, x * 2); } process m(1);";
+        let once = norm(src);
+        let twice = normalize(&once);
+        verify(&twice).unwrap();
+        // No further temps introduced.
+        fn count_locals(b: &Block) -> usize {
+            b.stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Local { .. } => 1,
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        let mut n = 0;
+                        if let Stmt::Block(bb) = &**then_branch {
+                            n += count_locals(bb);
+                        }
+                        if let Some(e) = else_branch {
+                            if let Stmt::Block(bb) = &**e {
+                                n += count_locals(bb);
+                            }
+                        }
+                        n
+                    }
+                    Stmt::Block(bb) => count_locals(bb),
+                    _ => 0,
+                })
+                .sum()
+        }
+        let a = count_locals(&once.proc("m").unwrap().body);
+        let b = count_locals(&twice.proc("m").unwrap().body);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn env_input_name_untouched() {
+        let n = norm("input x : 0..7; proc m() { int v = env_input(x); } process m();");
+        let Stmt::Local {
+            init: Some(Expr::Call { args, .. }),
+            ..
+        } = &n.proc("m").unwrap().body.stmts[0]
+        else {
+            panic!()
+        };
+        assert!(matches!(&args[0], Expr::Var(v) if v.name == "x"));
+    }
+
+    #[test]
+    fn verify_rejects_unnormalized() {
+        let prog = parse("proc g(int a) { } proc m(int x) { g(x + 1); } process m(0);").unwrap();
+        assert!(verify(&prog).is_err());
+    }
+
+    #[test]
+    fn call_result_through_pointer_hoisted() {
+        let n = norm(
+            "chan c[1]; proc m() { int x = 0; int *p = &x; *p = recv(c); } process m();",
+        );
+        let body = &n.proc("m").unwrap().body.stmts;
+        // int x; int *p = &x; __t0 = recv(c); *p = __t0;
+        assert_eq!(body.len(), 4);
+        assert!(matches!(
+            &body[3],
+            Stmt::Assign {
+                lhs: LValue::Deref(..),
+                rhs: Expr::Var(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn for_with_impure_condition_rewritten() {
+        let n = norm(
+            "chan c[1]; proc m() { for (int i = 0; recv(c) > 0; i = i + 1) { } } process m();",
+        );
+        let body = &n.proc("m").unwrap().body.stmts;
+        let Stmt::For { cond, .. } = body.last().unwrap() else {
+            panic!("expected for, got {:?}", body.last())
+        };
+        assert!(cond.is_none());
+    }
+
+    #[test]
+    fn impure_return_value_hoisted() {
+        let n = norm("chan c[1]; proc m() { return recv(c); } process m();");
+        let body = &n.proc("m").unwrap().body.stmts;
+        assert_eq!(body.len(), 2);
+        let Stmt::Return { value: Some(v), .. } = &body[1] else {
+            panic!()
+        };
+        assert!(is_pure(v));
+    }
+}

@@ -1,0 +1,430 @@
+//! Pretty-printer: render a [`Program`] back to MiniC source.
+//!
+//! The output re-parses to an equal AST (modulo spans), which the
+//! round-trip tests rely on.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a whole program as MiniC source.
+pub fn program_to_string(prog: &Program) -> String {
+    let mut p = Printer::new();
+    for item in &prog.items {
+        p.item(item);
+    }
+    p.out
+}
+
+/// Render a single expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(e, 0);
+    p.out
+}
+
+/// Render a single statement.
+pub fn stmt_to_string(s: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(s);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Chan(c) => {
+                if c.external {
+                    match c.domain {
+                        Some((lo, hi)) => {
+                            self.line(&format!("extern chan {} : {}..{};", c.name, lo, hi))
+                        }
+                        None => self.line(&format!("extern chan {};", c.name)),
+                    }
+                } else {
+                    self.line(&format!(
+                        "chan {}[{}];",
+                        c.name,
+                        c.capacity.expect("internal channels have a capacity")
+                    ));
+                }
+            }
+            Item::Sem(s) => self.line(&format!("sem {} = {};", s.name, s.initial)),
+            Item::Shared(s) => self.line(&format!("shared {} = {};", s.name, s.initial)),
+            Item::Global(g) => self.line(&format!("int {} = {};", g.name, g.initial)),
+            Item::Input(i) => {
+                self.line(&format!("input {} : {}..{};", i.name, i.domain.0, i.domain.1))
+            }
+            Item::Process(p) => {
+                let args: Vec<String> = p
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        ProcessArg::Const(v, _) => v.to_string(),
+                        ProcessArg::Input(i) => i.name.clone(),
+                    })
+                    .collect();
+                match &p.name {
+                    Some(n) => {
+                        self.line(&format!("process {} = {}({});", n, p.proc, args.join(", ")))
+                    }
+                    None => self.line(&format!("process {}({});", p.proc, args.join(", "))),
+                }
+            }
+            Item::Proc(p) => {
+                let params: Vec<String> = p
+                    .params
+                    .iter()
+                    .map(|pa| match pa.ty {
+                        Ty::Int => format!("int {}", pa.name),
+                        Ty::IntPtr => format!("int *{}", pa.name),
+                    })
+                    .collect();
+                self.line(&format!("proc {}({}) {{", p.name, params.join(", ")));
+                self.indent += 1;
+                for s in &p.body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Local { name, ty, init, .. } => {
+                let head = match ty {
+                    Ty::Int => format!("int {name}"),
+                    Ty::IntPtr => format!("int *{name}"),
+                };
+                match init {
+                    Some(e) => {
+                        let mut p = Printer::new();
+                        p.expr(e, 0);
+                        self.line(&format!("{head} = {};", p.out));
+                    }
+                    None => self.line(&format!("{head};")),
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let l = match lhs {
+                    LValue::Var(v) => v.name.clone(),
+                    LValue::Deref(v, _) => format!("*{}", v.name),
+                };
+                let mut p = Printer::new();
+                p.expr(rhs, 0);
+                self.line(&format!("{l} = {};", p.out));
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let mut p = Printer::new();
+                p.expr(cond, 0);
+                self.line(&format!("if ({}) {{", p.out));
+                self.indent += 1;
+                self.stmt_flat(then_branch);
+                self.indent -= 1;
+                match else_branch {
+                    Some(e) => {
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.stmt_flat(e);
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                    None => self.line("}"),
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut p = Printer::new();
+                p.expr(cond, 0);
+                self.line(&format!("while ({}) {{", p.out));
+                self.indent += 1;
+                self.stmt_flat(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let istr = init
+                    .as_ref()
+                    .map(|i| {
+                        let mut p = Printer::new();
+                        p.stmt(i);
+                        p.out.trim().trim_end_matches(';').to_owned()
+                    })
+                    .unwrap_or_default();
+                let cstr = cond
+                    .as_ref()
+                    .map(|c| {
+                        let mut p = Printer::new();
+                        p.expr(c, 0);
+                        p.out
+                    })
+                    .unwrap_or_default();
+                let sstr = step
+                    .as_ref()
+                    .map(|st| {
+                        let mut p = Printer::new();
+                        p.stmt(st);
+                        p.out.trim().trim_end_matches(';').to_owned()
+                    })
+                    .unwrap_or_default();
+                self.line(&format!("for ({istr}; {cstr}; {sstr}) {{"));
+                self.indent += 1;
+                self.stmt_flat(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                ..
+            } => {
+                let mut p = Printer::new();
+                p.expr(scrutinee, 0);
+                self.line(&format!("switch ({}) {{", p.out));
+                self.indent += 1;
+                for c in cases {
+                    let labels: Vec<String> =
+                        c.labels.iter().map(|l| format!("case {l}:")).collect();
+                    self.line(&labels.join(" "));
+                    self.indent += 1;
+                    for s in &c.body.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                if let Some(d) = default {
+                    self.line("default:");
+                    self.indent += 1;
+                    for s in &d.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Return { value, .. } => match value {
+                Some(v) => {
+                    let mut p = Printer::new();
+                    p.expr(v, 0);
+                    self.line(&format!("return {};", p.out));
+                }
+                None => self.line("return;"),
+            },
+            Stmt::Break { .. } => self.line("break;"),
+            Stmt::Continue { .. } => self.line("continue;"),
+            Stmt::Expr { expr, .. } => {
+                let mut p = Printer::new();
+                p.expr(expr, 0);
+                self.line(&format!("{};", p.out));
+            }
+            Stmt::Block(b) => {
+                self.line("{");
+                self.indent += 1;
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Empty { .. } => self.line(";"),
+        }
+    }
+
+    /// Print a branch/loop body statement, flattening a block into its
+    /// statements (the surrounding braces are already printed).
+    fn stmt_flat(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+            }
+            other => self.stmt(other),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, parent_prec: u8) {
+        match e {
+            Expr::Int(v, _) => {
+                let _ = write!(self.out, "{v}");
+            }
+            Expr::Var(i) => self.out.push_str(&i.name),
+            Expr::Unary { op, expr, .. } => {
+                let _ = write!(self.out, "{op}");
+                // Parenthesize all non-primary operands of unary ops.
+                if matches!(**expr, Expr::Int(..) | Expr::Var(_)) {
+                    self.expr(expr, 11);
+                } else {
+                    self.out.push('(');
+                    self.expr(expr, 0);
+                    self.out.push(')');
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let prec = prec_of(*op);
+                let need_parens = prec < parent_prec;
+                if need_parens {
+                    self.out.push('(');
+                }
+                self.expr(lhs, prec);
+                let _ = write!(self.out, " {op} ");
+                self.expr(rhs, prec + 1);
+                if need_parens {
+                    self.out.push(')');
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                self.out.push_str(&callee.name);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, 0);
+                }
+                self.out.push(')');
+            }
+            Expr::AddrOf { var, .. } => {
+                let _ = write!(self.out, "&{}", var.name);
+            }
+            Expr::Deref { var, .. } => {
+                let _ = write!(self.out, "*{}", var.name);
+            }
+        }
+    }
+}
+
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::BitOr => 3,
+        BinOp::BitXor => 4,
+        BinOp::BitAnd => 5,
+        BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strip spans so ASTs can be compared structurally after a roundtrip.
+    fn reparse(src: &str) -> String {
+        let prog = parse(src).expect("initial parse");
+        let printed = program_to_string(&prog);
+        let again = parse(&printed).expect("printed program re-parses");
+        // Compare by printing again: print ∘ parse is a fixpoint.
+        let printed2 = program_to_string(&again);
+        assert_eq!(printed, printed2, "pretty-print not a fixpoint");
+        printed
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        reparse("proc m(int a) { int b = a + 1; if (b > 0) b = 2; else b = 3; } process m(0);");
+    }
+
+    #[test]
+    fn roundtrip_figure2() {
+        reparse(
+            r#"
+            extern chan evens : 0..0;
+            extern chan odds : 0..0;
+            input x : 0..1023;
+            proc p(int x) {
+                int y = x % 2;
+                int cnt = 0;
+                while (cnt < 10) {
+                    if (y == 0) send(evens, cnt);
+                    else send(odds, cnt + 1);
+                    cnt = cnt + 1;
+                }
+            }
+            process p(x);
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_operators_preserve_precedence() {
+        let printed = reparse("proc m(int a, int b) { int c = (a + b) * 2; } process m(0, 0);");
+        assert!(printed.contains("(a + b) * 2"));
+    }
+
+    #[test]
+    fn roundtrip_right_nested_sub() {
+        // a - (b - c) must keep its parentheses.
+        let printed =
+            reparse("proc m(int a, int b, int c) { int d = a - (b - c); } process m(0, 0, 0);");
+        assert!(printed.contains("a - (b - c)"));
+    }
+
+    #[test]
+    fn roundtrip_pointers() {
+        reparse("proc m() { int x = 0; int *p = &x; *p = 3; int y = *p; } process m();");
+    }
+
+    #[test]
+    fn roundtrip_switch_for() {
+        reparse(
+            r#"
+            proc m(int x) {
+                for (int i = 0; i < 3; i = i + 1) {
+                    switch (x) {
+                        case 1: case 2:
+                            x = 0;
+                        default:
+                            x = 1;
+                    }
+                }
+            }
+            process m(5);
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_unary() {
+        let printed = reparse("proc m(int a) { int b = !(a + 1); int c = - a; } process m(0);");
+        assert!(printed.contains("!(a + 1)"));
+    }
+}

@@ -1,0 +1,1062 @@
+//! Semantic analysis for MiniC.
+//!
+//! [`check`] validates a parsed [`Program`] and produces a [`SymbolTable`]
+//! of its top-level entities. The later pipeline stages (normalization, CFG
+//! construction) assume a program that passed this check.
+//!
+//! Enforced rules include:
+//!
+//! - all top-level names (objects, globals, inputs, procedures, processes)
+//!   are mutually distinct, and locals never shadow top-level names;
+//! - expressions are well-typed over `int` / `int *` (no pointer
+//!   arithmetic, comparisons, or returns);
+//! - builtin calls have the right arity and object kinds
+//!   (`send`/`recv` on channels, `sem_wait`/`sem_signal` on semaphores,
+//!   `sh_read`/`sh_write` on shared variables, `env_input` on declared
+//!   inputs);
+//! - `break`/`continue` appear only inside loops;
+//! - `process` instantiations name existing all-`int` procedures, with
+//!   constant or declared-input arguments.
+
+use crate::ast::*;
+use crate::builtins::Builtin;
+use crate::span::{Diagnostic, Diagnostics, Span};
+use std::collections::HashMap;
+
+/// The kind of a communication object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// An internal FIFO channel with bounded capacity.
+    Chan,
+    /// An environment-facing channel (never blocks; part of the open
+    /// interface).
+    ExternChan,
+    /// A counting semaphore.
+    Sem,
+    /// A shared variable.
+    Shared,
+}
+
+impl std::fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjectKind::Chan => write!(f, "channel"),
+            ObjectKind::ExternChan => write!(f, "external channel"),
+            ObjectKind::Sem => write!(f, "semaphore"),
+            ObjectKind::Shared => write!(f, "shared variable"),
+        }
+    }
+}
+
+/// A resolved communication object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSym {
+    /// Object name.
+    pub name: String,
+    /// What kind of object.
+    pub kind: ObjectKind,
+    /// Channel capacity (internal channels only).
+    pub capacity: Option<u32>,
+    /// Environment value domain (external channels only).
+    pub domain: Option<(i64, i64)>,
+    /// Initial value (semaphores and shared variables).
+    pub initial: i64,
+}
+
+/// A resolved per-process global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSym {
+    /// Variable name.
+    pub name: String,
+    /// Initial value.
+    pub initial: i64,
+}
+
+/// A resolved environment input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSym {
+    /// Input name.
+    pub name: String,
+    /// Inclusive value domain.
+    pub domain: (i64, i64),
+}
+
+/// A resolved procedure signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcSym {
+    /// Procedure name.
+    pub name: String,
+    /// Parameter types in order.
+    pub params: Vec<Ty>,
+}
+
+/// A resolved process instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessSym {
+    /// Display name of the process instance.
+    pub name: String,
+    /// Index into [`SymbolTable::procs`] of the procedure it runs.
+    pub proc: usize,
+    /// Spawn arguments.
+    pub args: Vec<ProcessArgSym>,
+}
+
+/// A resolved `process` argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProcessArgSym {
+    /// A constant value.
+    Const(i64),
+    /// Index into [`SymbolTable::inputs`]: the environment supplies the
+    /// value from that input's domain.
+    Input(usize),
+}
+
+/// Symbol table of top-level entities, produced by [`check`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymbolTable {
+    /// Communication objects in declaration order.
+    pub objects: Vec<ObjectSym>,
+    /// Per-process globals in declaration order.
+    pub globals: Vec<GlobalSym>,
+    /// Environment inputs in declaration order.
+    pub inputs: Vec<InputSym>,
+    /// Procedures in declaration order.
+    pub procs: Vec<ProcSym>,
+    /// Process instantiations in declaration order.
+    pub processes: Vec<ProcessSym>,
+}
+
+impl SymbolTable {
+    /// Index of the object named `name`.
+    pub fn object(&self, name: &str) -> Option<usize> {
+        self.objects.iter().position(|o| o.name == name)
+    }
+
+    /// Index of the global named `name`.
+    pub fn global(&self, name: &str) -> Option<usize> {
+        self.globals.iter().position(|g| g.name == name)
+    }
+
+    /// Index of the input named `name`.
+    pub fn input(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|i| i.name == name)
+    }
+
+    /// Index of the procedure named `name`.
+    pub fn proc(&self, name: &str) -> Option<usize> {
+        self.procs.iter().position(|p| p.name == name)
+    }
+
+    /// True when the program declares any open-interface element
+    /// (environment inputs or external channels).
+    pub fn is_open(&self) -> bool {
+        !self.inputs.is_empty()
+            || self
+                .objects
+                .iter()
+                .any(|o| o.kind == ObjectKind::ExternChan)
+    }
+}
+
+/// What a name refers to at a use site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NameRef {
+    Object(usize),
+    Global(usize),
+    Input(usize),
+    Proc(usize),
+}
+
+/// Run semantic analysis on `prog`.
+///
+/// # Errors
+///
+/// Returns all diagnostics (errors and warnings) when any error exists.
+pub fn check(prog: &Program) -> Result<SymbolTable, Diagnostics> {
+    let mut cx = Checker {
+        diags: Diagnostics::new(),
+        table: SymbolTable::default(),
+        toplevel: HashMap::new(),
+    };
+    cx.collect_toplevel(prog);
+    for p in prog.procs() {
+        cx.check_proc(p);
+    }
+    cx.check_processes(prog);
+    if prog.processes().count() == 0 {
+        cx.diags.push(Diagnostic::warning(
+            "program declares no `process`; it is a library of procedures only",
+            Span::dummy(),
+        ));
+    }
+    if cx.diags.has_errors() {
+        Err(cx.diags)
+    } else {
+        Ok(cx.table)
+    }
+}
+
+struct Checker {
+    diags: Diagnostics,
+    table: SymbolTable,
+    toplevel: HashMap<String, NameRef>,
+}
+
+impl Checker {
+    fn err(&mut self, msg: impl Into<String>, span: Span) {
+        self.diags.push(Diagnostic::error(msg, span));
+    }
+
+    fn declare_toplevel(&mut self, name: &Ident, r: NameRef) {
+        if name.name.starts_with("__") {
+            self.err(
+                format!("name `{}` uses the reserved `__` prefix", name.name),
+                name.span,
+            );
+        }
+        if Builtin::from_name(&name.name).is_some() {
+            self.err(
+                format!("name `{}` collides with a builtin", name.name),
+                name.span,
+            );
+        }
+        if self.toplevel.insert(name.name.clone(), r).is_some() {
+            self.err(
+                format!("duplicate top-level name `{}`", name.name),
+                name.span,
+            );
+        }
+    }
+
+    fn collect_toplevel(&mut self, prog: &Program) {
+        for item in &prog.items {
+            match item {
+                Item::Chan(c) => {
+                    let idx = self.table.objects.len();
+                    self.declare_toplevel(&c.name, NameRef::Object(idx));
+                    self.table.objects.push(ObjectSym {
+                        name: c.name.name.clone(),
+                        kind: if c.external {
+                            ObjectKind::ExternChan
+                        } else {
+                            ObjectKind::Chan
+                        },
+                        capacity: c.capacity,
+                        domain: c.domain,
+                        initial: 0,
+                    });
+                }
+                Item::Sem(s) => {
+                    let idx = self.table.objects.len();
+                    self.declare_toplevel(&s.name, NameRef::Object(idx));
+                    self.table.objects.push(ObjectSym {
+                        name: s.name.name.clone(),
+                        kind: ObjectKind::Sem,
+                        capacity: None,
+                        domain: None,
+                        initial: s.initial,
+                    });
+                }
+                Item::Shared(s) => {
+                    let idx = self.table.objects.len();
+                    self.declare_toplevel(&s.name, NameRef::Object(idx));
+                    self.table.objects.push(ObjectSym {
+                        name: s.name.name.clone(),
+                        kind: ObjectKind::Shared,
+                        capacity: None,
+                        domain: None,
+                        initial: s.initial,
+                    });
+                }
+                Item::Global(g) => {
+                    let idx = self.table.globals.len();
+                    self.declare_toplevel(&g.name, NameRef::Global(idx));
+                    self.table.globals.push(GlobalSym {
+                        name: g.name.name.clone(),
+                        initial: g.initial,
+                    });
+                }
+                Item::Input(i) => {
+                    let idx = self.table.inputs.len();
+                    self.declare_toplevel(&i.name, NameRef::Input(idx));
+                    self.table.inputs.push(InputSym {
+                        name: i.name.name.clone(),
+                        domain: i.domain,
+                    });
+                }
+                Item::Proc(p) => {
+                    let idx = self.table.procs.len();
+                    self.declare_toplevel(&p.name, NameRef::Proc(idx));
+                    self.table.procs.push(ProcSym {
+                        name: p.name.name.clone(),
+                        params: p.params.iter().map(|pa| pa.ty).collect(),
+                    });
+                }
+                Item::Process(_) => {} // second pass, after procs exist
+            }
+        }
+    }
+
+    fn check_processes(&mut self, prog: &Program) {
+        let mut auto_index = 0usize;
+        let mut seen_names: HashMap<String, Span> = HashMap::new();
+        for pd in prog.processes() {
+            let Some(NameRef::Proc(pidx)) = self.toplevel.get(&pd.proc.name).copied() else {
+                self.err(
+                    format!("`process` names unknown procedure `{}`", pd.proc.name),
+                    pd.proc.span,
+                );
+                continue;
+            };
+            let sig = self.table.procs[pidx].clone();
+            if sig.params.len() != pd.args.len() {
+                self.err(
+                    format!(
+                        "process runs `{}` which takes {} parameter(s), but {} argument(s) given",
+                        sig.name,
+                        sig.params.len(),
+                        pd.args.len()
+                    ),
+                    pd.span,
+                );
+                continue;
+            }
+            if sig.params.iter().any(|t| *t != Ty::Int) {
+                self.err(
+                    format!(
+                        "procedure `{}` has pointer parameters and cannot be spawned as a process",
+                        sig.name
+                    ),
+                    pd.span,
+                );
+                continue;
+            }
+            let mut args = Vec::new();
+            let mut ok = true;
+            for a in &pd.args {
+                match a {
+                    ProcessArg::Const(v, _) => args.push(ProcessArgSym::Const(*v)),
+                    ProcessArg::Input(id) => match self.toplevel.get(&id.name).copied() {
+                        Some(NameRef::Input(iidx)) => args.push(ProcessArgSym::Input(iidx)),
+                        _ => {
+                            self.err(
+                                format!(
+                                    "process argument `{}` is not a declared `input`",
+                                    id.name
+                                ),
+                                id.span,
+                            );
+                            ok = false;
+                        }
+                    },
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let name = match &pd.name {
+                Some(n) => n.name.clone(),
+                None => {
+                    let n = format!("{}#{}", pd.proc.name, auto_index);
+                    auto_index += 1;
+                    n
+                }
+            };
+            if let Some(prev) = seen_names.insert(name.clone(), pd.span) {
+                self.err(format!("duplicate process name `{name}`"), prev);
+            }
+            self.table.processes.push(ProcessSym {
+                name,
+                proc: pidx,
+                args,
+            });
+        }
+    }
+
+    fn check_proc(&mut self, p: &ProcDecl) {
+        let mut scopes = ScopeStack::new();
+        scopes.enter();
+        for param in &p.params {
+            if self.shadows_toplevel(&param.name.name) {
+                self.err(
+                    format!(
+                        "parameter `{}` shadows a top-level name",
+                        param.name.name
+                    ),
+                    param.name.span,
+                );
+            } else if param.name.name.starts_with("__") {
+                self.err(
+                    format!(
+                        "parameter `{}` uses the reserved `__` prefix",
+                        param.name.name
+                    ),
+                    param.name.span,
+                );
+            } else if !scopes.declare(&param.name.name, param.ty) {
+                self.err(
+                    format!("duplicate parameter `{}`", param.name.name),
+                    param.name.span,
+                );
+            }
+        }
+        self.check_block(&p.body, &mut scopes, 0);
+        scopes.exit();
+    }
+
+    fn check_block(&mut self, b: &Block, scopes: &mut ScopeStack, loop_depth: u32) {
+        scopes.enter();
+        for s in &b.stmts {
+            self.check_stmt(s, scopes, loop_depth);
+        }
+        scopes.exit();
+    }
+
+    fn check_stmt(&mut self, s: &Stmt, scopes: &mut ScopeStack, loop_depth: u32) {
+        match s {
+            Stmt::Local {
+                name, ty, init, ..
+            } => {
+                if let Some(init) = init {
+                    let ity = self.check_expr(init, scopes, true);
+                    self.require_ty(*ty, ity, init.span());
+                }
+                if self.shadows_toplevel(&name.name) {
+                    self.err(
+                        format!("local `{}` shadows a top-level name", name.name),
+                        name.span,
+                    );
+                } else if name.name.starts_with("__") {
+                    self.err(
+                        format!("local `{}` uses the reserved `__` prefix", name.name),
+                        name.span,
+                    );
+                } else if !scopes.declare(&name.name, *ty) {
+                    self.err(
+                        format!("duplicate local `{}` in this scope", name.name),
+                        name.span,
+                    );
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let rty = self.check_expr(rhs, scopes, true);
+                match lhs {
+                    LValue::Var(v) => match self.resolve_var(v, scopes) {
+                        Some(ty) => self.require_ty(ty, rty, rhs.span()),
+                        None => {}
+                    },
+                    LValue::Deref(base, span) => {
+                        match self.resolve_var(base, scopes) {
+                            Some(Ty::IntPtr) => {}
+                            Some(Ty::Int) => {
+                                self.err(
+                                    format!("cannot store through non-pointer `{}`", base.name),
+                                    *span,
+                                );
+                            }
+                            None => {}
+                        }
+                        self.require_ty(Ty::Int, rty, rhs.span());
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let cty = self.check_expr(cond, scopes, true);
+                self.require_ty(Ty::Int, cty, cond.span());
+                self.check_substmt(then_branch, scopes, loop_depth);
+                if let Some(e) = else_branch {
+                    self.check_substmt(e, scopes, loop_depth);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                let cty = self.check_expr(cond, scopes, true);
+                self.require_ty(Ty::Int, cty, cond.span());
+                self.check_substmt(body, scopes, loop_depth + 1);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                scopes.enter();
+                if let Some(i) = init {
+                    self.check_stmt(i, scopes, loop_depth);
+                }
+                if let Some(c) = cond {
+                    let cty = self.check_expr(c, scopes, true);
+                    self.require_ty(Ty::Int, cty, c.span());
+                }
+                if let Some(st) = step {
+                    self.check_stmt(st, scopes, loop_depth + 1);
+                }
+                self.check_substmt(body, scopes, loop_depth + 1);
+                scopes.exit();
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                ..
+            } => {
+                let sty = self.check_expr(scrutinee, scopes, true);
+                self.require_ty(Ty::Int, sty, scrutinee.span());
+                let mut seen: HashMap<i64, ()> = HashMap::new();
+                for c in cases {
+                    for l in &c.labels {
+                        if seen.insert(*l, ()).is_some() {
+                            self.err(format!("duplicate case label `{l}`"), c.span);
+                        }
+                    }
+                    self.check_block(&c.body, scopes, loop_depth);
+                }
+                if let Some(d) = default {
+                    self.check_block(d, scopes, loop_depth);
+                }
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    let ty = self.check_expr(v, scopes, true);
+                    self.require_ty(Ty::Int, ty, v.span());
+                }
+            }
+            Stmt::Break { span } => {
+                if loop_depth == 0 {
+                    self.err("`break` outside of a loop", *span);
+                }
+            }
+            Stmt::Continue { span } => {
+                if loop_depth == 0 {
+                    self.err("`continue` outside of a loop", *span);
+                }
+            }
+            Stmt::Expr { expr, span } => match expr {
+                Expr::Call { .. } => {
+                    self.check_expr(expr, scopes, false);
+                }
+                _ => {
+                    self.diags.push(Diagnostic::warning(
+                        "expression statement has no effect",
+                        *span,
+                    ));
+                    self.check_expr(expr, scopes, true);
+                }
+            },
+            Stmt::Block(b) => self.check_block(b, scopes, loop_depth),
+            Stmt::Empty { .. } => {}
+        }
+    }
+
+    fn check_substmt(&mut self, s: &Stmt, scopes: &mut ScopeStack, loop_depth: u32) {
+        // A non-block sub-statement still gets its own scope so that
+        // `if (c) int x = 1;` declares x into a throwaway scope.
+        scopes.enter();
+        self.check_stmt(s, scopes, loop_depth);
+        scopes.exit();
+    }
+
+    /// Whether declaring `name` as a local/param would shadow a top-level
+    /// entity or a builtin. Shadowing `input` declarations is permitted —
+    /// the paper's figures name a procedure parameter after the input that
+    /// feeds it, and inputs are only ever referenced in the special
+    /// positions `env_input(<input>)` and `process p(<input>)`.
+    fn shadows_toplevel(&self, name: &str) -> bool {
+        Builtin::from_name(name).is_some()
+            || !matches!(
+                self.toplevel.get(name),
+                None | Some(NameRef::Input(_))
+            )
+    }
+
+    fn resolve_var(&mut self, id: &Ident, scopes: &ScopeStack) -> Option<Ty> {
+        if let Some(ty) = scopes.lookup(&id.name) {
+            return Some(ty);
+        }
+        match self.toplevel.get(&id.name).copied() {
+            Some(NameRef::Global(_)) => Some(Ty::Int),
+            Some(NameRef::Object(_)) => {
+                self.err(
+                    format!(
+                        "`{}` is a communication object, not a variable",
+                        id.name
+                    ),
+                    id.span,
+                );
+                None
+            }
+            Some(NameRef::Input(_)) => {
+                self.err(
+                    format!(
+                        "`{}` is an environment input; read it with `env_input({})`",
+                        id.name, id.name
+                    ),
+                    id.span,
+                );
+                None
+            }
+            Some(NameRef::Proc(_)) => {
+                self.err(
+                    format!("`{}` is a procedure, not a variable", id.name),
+                    id.span,
+                );
+                None
+            }
+            _ => {
+                self.err(format!("unknown variable `{}`", id.name), id.span);
+                None
+            }
+        }
+    }
+
+    fn require_ty(&mut self, want: Ty, got: Option<Ty>, span: Span) {
+        if let Some(got) = got {
+            if got != want {
+                self.err(format!("type mismatch: expected {want}, found {got}"), span);
+            }
+        }
+    }
+
+    /// Type-check an expression. `as_value` is false for call statements
+    /// whose result is discarded. Returns `None` when an error was emitted.
+    fn check_expr(&mut self, e: &Expr, scopes: &ScopeStack, as_value: bool) -> Option<Ty> {
+        match e {
+            Expr::Int(..) => Some(Ty::Int),
+            Expr::Var(id) => self.resolve_var(id, scopes),
+            Expr::Unary { op, expr, span } => {
+                let t = self.check_expr(expr, scopes, true);
+                if t == Some(Ty::IntPtr) {
+                    self.err(format!("unary `{op}` requires an int operand"), *span);
+                    return None;
+                }
+                Some(Ty::Int)
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.check_expr(lhs, scopes, true);
+                let rt = self.check_expr(rhs, scopes, true);
+                if lt == Some(Ty::IntPtr) || rt == Some(Ty::IntPtr) {
+                    self.err(
+                        format!("binary `{op}` requires int operands (no pointer arithmetic)"),
+                        *span,
+                    );
+                    return None;
+                }
+                Some(Ty::Int)
+            }
+            Expr::AddrOf { var, span } => {
+                match self.resolve_var(var, scopes) {
+                    Some(Ty::Int) => Some(Ty::IntPtr),
+                    Some(Ty::IntPtr) => {
+                        self.err(
+                            "cannot take the address of a pointer (no `int **`)",
+                            *span,
+                        );
+                        None
+                    }
+                    None => None,
+                }
+            }
+            Expr::Deref { var, span } => match self.resolve_var(var, scopes) {
+                Some(Ty::IntPtr) => Some(Ty::Int),
+                Some(Ty::Int) => {
+                    self.err(format!("cannot dereference non-pointer `{}`", var.name), *span);
+                    None
+                }
+                None => None,
+            },
+            Expr::Call { callee, args, span } => {
+                self.check_call(callee, args, *span, as_value, scopes)
+            }
+        }
+    }
+
+    fn check_call(
+        &mut self,
+        callee: &Ident,
+        args: &[Expr],
+        span: Span,
+        as_value: bool,
+        scopes: &ScopeStack,
+    ) -> Option<Ty> {
+        if let Some(b) = Builtin::from_name(&callee.name) {
+            return self.check_builtin_call(b, args, span, as_value, scopes);
+        }
+        match self.toplevel.get(&callee.name).copied() {
+            Some(NameRef::Proc(pidx)) => {
+                let sig = self.table.procs[pidx].clone();
+                if sig.params.len() != args.len() {
+                    self.err(
+                        format!(
+                            "`{}` takes {} argument(s), {} given",
+                            callee.name,
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        span,
+                    );
+                    return Some(Ty::Int);
+                }
+                for (a, want) in args.iter().zip(sig.params.iter()) {
+                    let got = self.check_expr(a, scopes, true);
+                    self.require_ty(*want, got, a.span());
+                }
+                Some(Ty::Int)
+            }
+            _ => {
+                self.err(format!("call to unknown procedure `{}`", callee.name), span);
+                None
+            }
+        }
+    }
+
+    fn check_builtin_call(
+        &mut self,
+        b: Builtin,
+        args: &[Expr],
+        span: Span,
+        as_value: bool,
+        scopes: &ScopeStack,
+    ) -> Option<Ty> {
+        if args.len() != b.arity() {
+            self.err(
+                format!(
+                    "`{}` takes {} argument(s), {} given",
+                    b,
+                    b.arity(),
+                    args.len()
+                ),
+                span,
+            );
+            return if b.has_result() { Some(Ty::Int) } else { None };
+        }
+        if as_value && !b.has_result() {
+            self.err(format!("`{b}` has no result value"), span);
+        }
+        let mut value_args: &[Expr] = args;
+        if b.takes_object() {
+            let Expr::Var(objname) = &args[0] else {
+                self.err(
+                    format!("first argument of `{b}` must name a communication object"),
+                    args[0].span(),
+                );
+                return if b.has_result() { Some(Ty::Int) } else { None };
+            };
+            match self.toplevel.get(&objname.name).copied() {
+                Some(NameRef::Object(oidx)) => {
+                    let kind = self.table.objects[oidx].kind;
+                    let ok = match b {
+                        Builtin::Send | Builtin::Recv => {
+                            matches!(kind, ObjectKind::Chan | ObjectKind::ExternChan)
+                        }
+                        Builtin::SemWait | Builtin::SemSignal => kind == ObjectKind::Sem,
+                        Builtin::ShWrite | Builtin::ShRead => kind == ObjectKind::Shared,
+                        _ => unreachable!("takes_object covers exactly the object builtins"),
+                    };
+                    if !ok {
+                        self.err(
+                            format!("`{b}` cannot operate on {kind} `{}`", objname.name),
+                            objname.span,
+                        );
+                    }
+                }
+                _ => {
+                    self.err(
+                        format!("`{}` is not a communication object", objname.name),
+                        objname.span,
+                    );
+                }
+            }
+            value_args = &args[1..];
+        }
+        if b == Builtin::EnvInput {
+            let Expr::Var(inpname) = &args[0] else {
+                self.err(
+                    "argument of `env_input` must name a declared `input`",
+                    args[0].span(),
+                );
+                return Some(Ty::Int);
+            };
+            if !matches!(
+                self.toplevel.get(&inpname.name).copied(),
+                Some(NameRef::Input(_))
+            ) {
+                self.err(
+                    format!("`{}` is not a declared `input`", inpname.name),
+                    inpname.span,
+                );
+            }
+            value_args = &[];
+        }
+        for a in value_args {
+            let got = self.check_expr(a, scopes, true);
+            self.require_ty(Ty::Int, got, a.span());
+        }
+        if b.has_result() {
+            Some(Ty::Int)
+        } else {
+            None
+        }
+    }
+}
+
+/// Lexical scope stack for locals and parameters.
+struct ScopeStack {
+    scopes: Vec<HashMap<String, Ty>>,
+}
+
+impl ScopeStack {
+    fn new() -> Self {
+        ScopeStack { scopes: Vec::new() }
+    }
+
+    fn enter(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn exit(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Declare in the innermost scope; false when already present there.
+    fn declare(&mut self, name: &str, ty: Ty) -> bool {
+        let top = self.scopes.last_mut().expect("scope stack is never empty");
+        top.insert(name.to_owned(), ty).is_none()
+    }
+
+    fn lookup(&self, name: &str) -> Option<Ty> {
+        for s in self.scopes.iter().rev() {
+            if let Some(t) = s.get(name) {
+                return Some(*t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<SymbolTable, Diagnostics> {
+        check(&parse(src).expect("parse failure in sema test"))
+    }
+
+    fn err_containing(src: &str, needle: &str) {
+        let ds = check_src(src).expect_err("expected a semantic error");
+        assert!(
+            ds.entries().iter().any(|d| d.message.contains(needle)),
+            "no diagnostic contains {needle:?}; got: {ds}"
+        );
+    }
+
+    #[test]
+    fn accepts_figure2_program() {
+        let tbl = check_src(
+            r#"
+            extern chan evens;
+            extern chan odds;
+            input x : 0..1023;
+            proc p(int x) {
+                int y = x % 2;
+                int cnt = 0;
+                while (cnt < 10) {
+                    if (y == 0) send(evens, cnt);
+                    else send(odds, cnt + 1);
+                    cnt = cnt + 1;
+                }
+            }
+            process p(x);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(tbl.objects.len(), 2);
+        assert_eq!(tbl.inputs.len(), 1);
+        assert_eq!(tbl.processes.len(), 1);
+        assert!(tbl.is_open());
+    }
+
+    #[test]
+    fn closed_program_is_not_open() {
+        let tbl = check_src("chan c[1]; proc m() { send(c, 0); } process m();").unwrap();
+        assert!(!tbl.is_open());
+    }
+
+    #[test]
+    fn rejects_duplicate_toplevel() {
+        err_containing("chan c[1]; sem c = 0; proc m() { } process m();", "duplicate");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        err_containing("proc m() { x = 1; } process m();", "unknown variable");
+    }
+
+    #[test]
+    fn rejects_local_shadowing_toplevel() {
+        err_containing(
+            "chan c[1]; proc m() { int c = 0; } process m();",
+            "shadows a top-level name",
+        );
+    }
+
+    #[test]
+    fn rejects_pointer_arithmetic() {
+        err_containing(
+            "proc m() { int x = 0; int *p = &x; int y = p + 1; } process m();",
+            "pointer arithmetic",
+        );
+    }
+
+    #[test]
+    fn rejects_deref_of_int() {
+        err_containing(
+            "proc m() { int x = 0; int y = *x; } process m();",
+            "cannot dereference",
+        );
+    }
+
+    #[test]
+    fn rejects_addr_of_pointer() {
+        err_containing(
+            "proc m() { int x = 0; int *p = &x; int *q = &p; } process m();",
+            "address of a pointer",
+        );
+    }
+
+    #[test]
+    fn rejects_send_on_semaphore() {
+        err_containing(
+            "sem s = 1; proc m() { send(s, 1); } process m();",
+            "cannot operate on semaphore",
+        );
+    }
+
+    #[test]
+    fn rejects_bad_builtin_arity() {
+        err_containing(
+            "chan c[1]; proc m() { send(c); } process m();",
+            "takes 2 argument(s)",
+        );
+    }
+
+    #[test]
+    fn rejects_send_result_as_value() {
+        err_containing(
+            "chan c[1]; proc m() { int x = send(c, 1); } process m();",
+            "no result value",
+        );
+    }
+
+    #[test]
+    fn rejects_env_input_of_non_input() {
+        err_containing(
+            "chan c[1]; proc m() { int x = env_input(c); } process m();",
+            "not a declared `input`",
+        );
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        err_containing("proc m() { break; } process m();", "outside of a loop");
+    }
+
+    #[test]
+    fn accepts_break_in_switch_in_loop() {
+        check_src(
+            "proc m(int x) { while (1) { switch (x) { case 1: break; } } } process m(0);",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_case_labels_across_arms() {
+        err_containing(
+            "proc m(int x) { switch (x) { case 1: x = 0; case 1: x = 2; } } process m(0);",
+        "duplicate case label",
+        );
+    }
+
+    #[test]
+    fn rejects_process_of_unknown_proc() {
+        err_containing("process nosuch();", "unknown procedure");
+    }
+
+    #[test]
+    fn rejects_process_arity_mismatch() {
+        err_containing("proc m(int a) { } process m();", "parameter(s)");
+    }
+
+    #[test]
+    fn rejects_process_with_pointer_params() {
+        err_containing(
+            "proc m(int *p) { } process m(1);",
+            "pointer parameters",
+        );
+    }
+
+    #[test]
+    fn rejects_spawn_arg_not_input() {
+        err_containing("proc m(int a) { } process m(bogus);", "not a declared `input`");
+    }
+
+    #[test]
+    fn process_args_resolve_inputs() {
+        let tbl =
+            check_src("input x : 0..3; proc m(int a, int b) { } process m(x, 7);").unwrap();
+        assert_eq!(
+            tbl.processes[0].args,
+            vec![ProcessArgSym::Input(0), ProcessArgSym::Const(7)]
+        );
+    }
+
+    #[test]
+    fn rejects_recursion_free_duplicate_param() {
+        err_containing("proc m(int a, int a) { } process m(1, 2);", "duplicate parameter");
+    }
+
+    #[test]
+    fn rejects_reserved_prefix() {
+        err_containing("proc m() { int __t = 0; } process m();", "reserved `__` prefix");
+    }
+
+    #[test]
+    fn warns_on_no_process() {
+        let tbl = check_src("proc m() { }");
+        // warning only — still Ok
+        assert!(tbl.is_ok());
+    }
+
+    #[test]
+    fn rejects_object_used_as_variable() {
+        err_containing(
+            "chan c[1]; proc m() { int x = c; } process m();",
+            "communication object, not a variable",
+        );
+    }
+
+    #[test]
+    fn globals_are_int_variables() {
+        check_src("int g = 5; proc m() { g = g + 1; } process m();").unwrap();
+    }
+
+    #[test]
+    fn recursion_is_allowed() {
+        check_src("proc f(int n) { if (n > 0) f(n - 1); } process f(3);").unwrap();
+    }
+
+    #[test]
+    fn rejects_builtin_name_collision() {
+        err_containing("chan send[1]; proc m() { } process m();", "collides with a builtin");
+    }
+
+    #[test]
+    fn sibling_scopes_may_reuse_names() {
+        check_src("proc m() { { int t = 1; } { int t = 2; } } process m();").unwrap();
+    }
+}

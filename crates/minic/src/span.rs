@@ -1,0 +1,273 @@
+//! Source positions, spans, and diagnostics.
+//!
+//! Every token and AST node carries a [`Span`] so that semantic errors and
+//! transformation reports can point back into the original MiniC source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The empty span at offset zero, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column pair, both 1-based, computed from a [`Span`] against the
+/// source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+/// Resolve the starting [`LineCol`] of a span inside `src`.
+pub fn line_col(src: &str, span: Span) -> LineCol {
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for (i, b) in src.bytes().enumerate() {
+        if i as u32 >= span.start {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Fatal: compilation cannot produce a usable program.
+    Error,
+    /// Non-fatal advisory.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// A compiler diagnostic: message plus source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Whether this kills compilation.
+    pub severity: Severity,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Where in the source the problem is.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render the diagnostic with `line:col` resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let lc = line_col(src, self.span);
+        format!("{}:{}: {}: {}", lc.line, lc.col, self.severity, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (at {})", self.severity, self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A list of diagnostics produced by one compilation stage.
+///
+/// Returned as the error type of [`crate::parse`] and
+/// [`crate::sema::check`]; contains at least one
+/// [`Severity::Error`] entry when returned as an `Err`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    entries: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Empty diagnostics collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.entries.push(d);
+    }
+
+    /// All entries in order of emission.
+    pub fn entries(&self) -> &[Diagnostic] {
+        &self.entries
+    }
+
+    /// True if any entry is an error.
+    pub fn has_errors(&self) -> bool {
+        self.entries.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no diagnostics were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render all diagnostics against `src`, one per line.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.entries {
+            out.push_str(&d.render(src));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "no diagnostics");
+        }
+        for (i, d) in self.entries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<T: IntoIterator<Item = Diagnostic>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 5).len(), 3);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(!Span::new(4, 5).is_empty());
+    }
+
+    #[test]
+    fn line_col_resolves_newlines() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, Span::new(0, 1)), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, Span::new(3, 4)), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, Span::new(5, 6)), LineCol { line: 2, col: 3 });
+        assert_eq!(line_col(src, Span::new(7, 8)), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn diagnostics_error_detection() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::warning("minor", Span::dummy()));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error("major", Span::dummy()));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn diagnostic_render_includes_position() {
+        let src = "x\nyz";
+        let d = Diagnostic::error("bad token", Span::new(2, 3));
+        assert_eq!(d.render(src), "2:1: error: bad token");
+    }
+}

@@ -1,0 +1,280 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token: kind plus source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// The kinds of MiniC tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier such as `cnt` or `send`.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// A reserved keyword.
+    Keyword(Keyword),
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `..`
+    DotDot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Shl => write!(f, "`<<`"),
+            TokenKind::Shr => write!(f, "`>>`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words of MiniC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    /// `proc` — procedure definition.
+    Proc,
+    /// `int` — the integer type.
+    Int,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `switch`
+    Switch,
+    /// `case`
+    Case,
+    /// `default`
+    Default,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `chan` — FIFO channel communication object.
+    Chan,
+    /// `sem` — semaphore communication object.
+    Sem,
+    /// `shared` — shared-variable communication object.
+    Shared,
+    /// `input` — declared environment input with a value domain.
+    Input,
+    /// `process` — process instantiation.
+    Process,
+    /// `extern` — marks a channel as environment-facing.
+    Extern,
+}
+
+impl Keyword {
+    /// Look up a keyword from its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "proc" => Keyword::Proc,
+            "int" => Keyword::Int,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "chan" => Keyword::Chan,
+            "sem" => Keyword::Sem,
+            "shared" => Keyword::Shared,
+            "input" => Keyword::Input,
+            "process" => Keyword::Process,
+            "extern" => Keyword::Extern,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Proc => "proc",
+            Keyword::Int => "int",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Switch => "switch",
+            Keyword::Case => "case",
+            Keyword::Default => "default",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Chan => "chan",
+            Keyword::Sem => "sem",
+            Keyword::Shared => "shared",
+            Keyword::Input => "input",
+            Keyword::Process => "process",
+            Keyword::Extern => "extern",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Proc,
+            Keyword::Int,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Switch,
+            Keyword::Case,
+            Keyword::Default,
+            Keyword::Return,
+            Keyword::Break,
+            Keyword::Continue,
+            Keyword::Chan,
+            Keyword::Sem,
+            Keyword::Shared,
+            Keyword::Input,
+            Keyword::Process,
+            Keyword::Extern,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(Keyword::from_str("send"), None);
+        assert_eq!(Keyword::from_str(""), None);
+        assert_eq!(Keyword::from_str("Int"), None);
+    }
+
+    #[test]
+    fn token_display_is_nonempty() {
+        let kinds = [
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(7),
+            TokenKind::Keyword(Keyword::While),
+            TokenKind::DotDot,
+            TokenKind::Eof,
+        ];
+        for k in kinds {
+            assert!(!format!("{k}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Black-box front-end tests: diagnostics quality, precedence, spans.
+
+use minic::{parse, sema, Diagnostics};
+
+fn check_err(src: &str) -> Diagnostics {
+    let prog = parse(src).expect("parses");
+    sema::check(&prog).expect_err("expected a semantic error")
+}
+
+#[test]
+fn parse_error_positions_are_line_accurate() {
+    let src = "proc m() {\n    int x = ;\n}";
+    let err = parse(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.starts_with("2:"), "points at line 2: {rendered}");
+}
+
+#[test]
+fn sema_errors_render_against_source() {
+    let src = "proc m() {\n    undefined_var = 1;\n}\nprocess m();";
+    let ds = check_err(src);
+    let rendered = ds.render(src);
+    assert!(rendered.contains("2:"), "{rendered}");
+    assert!(rendered.contains("unknown variable"), "{rendered}");
+}
+
+#[test]
+fn full_precedence_ladder() {
+    // One expression touching every precedence level; evaluated by the
+    // constant structure of the parse (spot checks).
+    let src = "proc m(int a, int b) {\
+        int r = a || b && a | b ^ a & b == a < b << a + b * a;\
+    } process m(1, 2);";
+    let prog = parse(src).unwrap();
+    let printed = minic::pretty::program_to_string(&prog);
+    let again = parse(&printed).unwrap();
+    assert_eq!(printed, minic::pretty::program_to_string(&again));
+}
+
+#[test]
+fn deeply_nested_blocks_parse() {
+    let mut src = String::from("proc m() { ");
+    for _ in 0..64 {
+        src.push_str("{ ");
+    }
+    src.push_str("int x = 1; ");
+    for _ in 0..64 {
+        src.push_str("} ");
+    }
+    src.push_str("} process m();");
+    parse(&src).unwrap();
+}
+
+#[test]
+fn long_chain_of_procedures() {
+    let mut src = String::new();
+    src.push_str("chan c[1];\nproc p0() { send(c, 0); }\n");
+    for i in 1..50 {
+        src.push_str(&format!("proc p{i}() {{ p{}(); }}\n", i - 1));
+    }
+    src.push_str("process p49();");
+    let prog = parse(&src).unwrap();
+    sema::check(&prog).unwrap();
+    assert_eq!(prog.procs().count(), 50);
+}
+
+#[test]
+fn hex_and_separator_literals() {
+    let src = "proc m() { int a = 0xFF; int b = 1_000_000; VS_assert(a == 255 && b == 1000000); } process m();";
+    let prog = parse(src).unwrap();
+    sema::check(&prog).unwrap();
+}
+
+#[test]
+fn keywords_cannot_be_identifiers() {
+    assert!(parse("proc while() { }").is_err());
+    assert!(parse("proc m() { int proc = 1; }").is_err());
+}
+
+#[test]
+fn builtin_names_reserved_for_calls() {
+    let ds = check_err("proc m() { int send = 1; } process m();");
+    assert!(ds.has_errors());
+    let ds2 = check_err("proc m(int recv) { } process m(0);");
+    assert!(ds2.has_errors());
+}
+
+#[test]
+fn process_auto_names_are_stable() {
+    let src = "proc m() { } process m(); process m(); process worker = m();";
+    let prog = parse(src).unwrap();
+    let table = sema::check(&prog).unwrap();
+    let names: Vec<&str> = table.processes.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, vec!["m#0", "m#1", "worker"]);
+}
+
+#[test]
+fn empty_procedure_and_empty_statements() {
+    let src = "proc m() { ; ; { } ; } process m();";
+    let prog = parse(src).unwrap();
+    sema::check(&prog).unwrap();
+    let n = minic::normalize::normalize(&prog);
+    minic::normalize::verify(&n).unwrap();
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = r#"
+        // leading
+        chan c[1]; /* inline */ proc m(/* args */) {
+            send(c, /* value */ 1); // trailing
+        } /* between */ process m();
+    "#;
+    let prog = parse(src).unwrap();
+    sema::check(&prog).unwrap();
+}
+
+#[test]
+fn diagnostics_accumulate_multiple_errors() {
+    let ds = check_err(
+        "proc m() { a = 1; b = 2; c = 3; } process m();",
+    );
+    assert!(ds.len() >= 3, "all three unknowns reported: {ds}");
+}

@@ -1,0 +1,144 @@
+//! Parameterized program generation for scaling experiments.
+//!
+//! The paper claims the transformation's "overall time complexity … is
+//! essentially linear in the size of `G_j` and `G̃_j`". These generators
+//! produce open MiniC programs of controlled size so the
+//! `transform_scaling` benchmark can measure wall time against node count,
+//! and `branching_degree` can sweep a corpus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Shape of a generated procedure body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Straight-line assignments, half of them environment-dependent.
+    Straight,
+    /// Nested conditionals alternating tainted and clean tests.
+    Branchy,
+    /// Loops around sends with tainted branch decisions (Figure 2 writ
+    /// large).
+    Loopy,
+}
+
+/// Generate an open program with roughly `stmts` statements in the given
+/// shape. Deterministic for a given `(shape, stmts, seed)`.
+pub fn generate(shape: Shape, stmts: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::new();
+    let _ = writeln!(s, "extern chan out;");
+    let _ = writeln!(s, "input x : 0..255;");
+    let _ = writeln!(s, "proc main(int x) {{");
+    let _ = writeln!(s, "    int acc = 0;");
+    let _ = writeln!(s, "    int env = x;");
+    match shape {
+        Shape::Straight => {
+            for i in 0..stmts {
+                if rng.random_bool(0.5) {
+                    // Environment-dependent chain.
+                    let _ = writeln!(s, "    env = env * {} + {};", rng.random_range(2..9), i);
+                } else {
+                    let _ = writeln!(s, "    acc = acc + {};", rng.random_range(1..5));
+                }
+            }
+            let _ = writeln!(s, "    send(out, acc);");
+        }
+        Shape::Branchy => {
+            let mut open = 0usize;
+            for i in 0..stmts {
+                match rng.random_range(0..4u32) {
+                    0 => {
+                        let _ = writeln!(s, "    if (env % {} == 0) {{", rng.random_range(2..5));
+                        open += 1;
+                    }
+                    1 if open > 0 => {
+                        let _ = writeln!(s, "    }}");
+                        open -= 1;
+                    }
+                    2 => {
+                        let _ = writeln!(s, "    if (acc < {i}) {{ acc = acc + 1; }}");
+                    }
+                    _ => {
+                        let _ = writeln!(s, "    send(out, acc + {i});");
+                    }
+                }
+            }
+            for _ in 0..open {
+                let _ = writeln!(s, "    }}");
+            }
+            let _ = writeln!(s, "    send(out, acc);");
+        }
+        Shape::Loopy => {
+            let loops = (stmts / 8).max(1);
+            let per_loop = 4;
+            for l in 0..loops {
+                let _ = writeln!(s, "    int i{l} = 0;");
+                let _ = writeln!(s, "    while (i{l} < {per_loop}) {{");
+                let _ = writeln!(s, "        if (env % 2 == 0) {{");
+                let _ = writeln!(s, "            send(out, i{l});");
+                let _ = writeln!(s, "        }} else {{");
+                let _ = writeln!(s, "            send(out, i{l} + 1);");
+                let _ = writeln!(s, "        }}");
+                let _ = writeln!(s, "        env = env / 2;");
+                let _ = writeln!(s, "        i{l} = i{l} + 1;");
+                let _ = writeln!(s, "    }}");
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "process main(x);");
+    s
+}
+
+/// Generate and compile, panicking on generator bugs.
+pub fn compile(shape: Shape, stmts: usize, seed: u64) -> cfgir::CfgProgram {
+    let src = generate(shape, stmts, seed);
+    cfgir::compile(&src)
+        .unwrap_or_else(|d| panic!("generated program invalid:\n{d}\nsource:\n{src}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_compile_at_many_sizes() {
+        for shape in [Shape::Straight, Shape::Branchy, Shape::Loopy] {
+            for stmts in [4, 16, 64, 256] {
+                let prog = compile(shape, stmts, 42);
+                assert!(prog.node_count() > 0);
+                assert!(!prog.is_closed(), "spawn input keeps the program open");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Shape::Branchy, 100, 7);
+        let b = generate(Shape::Branchy, 100, 7);
+        assert_eq!(a, b);
+        let c = generate(Shape::Branchy, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_scales_with_parameter() {
+        let small = compile(Shape::Straight, 16, 1).node_count();
+        let large = compile(Shape::Straight, 256, 1).node_count();
+        assert!(large > small * 4, "{small} vs {large}");
+    }
+
+    #[test]
+    fn generated_programs_close() {
+        for shape in [Shape::Straight, Shape::Branchy, Shape::Loopy] {
+            let prog = compile(shape, 64, 3);
+            let closed = closer::close(&prog, &dataflow::analyze(&prog));
+            assert!(closed.program.is_closed());
+            // Branching degree never grows (paper claim).
+            for r in closer::compare(&prog, &closed.program) {
+                assert!(r.branching_preserved_or_reduced(), "{r:?}");
+            }
+        }
+    }
+}

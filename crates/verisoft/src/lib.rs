@@ -1,0 +1,1153 @@
+//! # verisoft — systematic state-space exploration for closed programs
+//!
+//! A reimplementation of the VeriSoft framework the paper builds on
+//! (\[God97\]): a scheduler that executes the processes of a closed
+//! concurrent program, observes their visible operations (operations on
+//! communication objects, assertions) and `VS_toss` choices, and
+//! systematically explores all alternatives.
+//!
+//! - [`interp`] — transition semantics: one visible operation plus an
+//!   invisible suffix, per §2 of the paper;
+//! - [`search`] — the stateless (VeriSoft-faithful) and stateful engines,
+//!   with deterministic replay of reported traces;
+//! - [`por`] — persistent-set and sleep-set partial-order reduction;
+//! - [`report`] — violations (deadlock, assertion, divergence, runtime
+//!   error), statistics, trace sets.
+//!
+//! Detected properties match \[God97\]: deadlocks and assertion
+//! violations, plus divergences (a process exceeding the invisible-step
+//! bound) and runtime errors.
+//!
+//! ## Example
+//!
+//! ```
+//! use verisoft::{explore, Config};
+//!
+//! let prog = cfgir::compile(r#"
+//!     chan link[1];
+//!     proc producer() { send(link, 41); }
+//!     proc consumer() { int v = recv(link); VS_assert(v == 42); }
+//!     process producer();
+//!     process consumer();
+//! "#)?;
+//! let report = explore(&prog, &Config::default());
+//! assert!(report.first_assert().is_some(), "41 != 42 is caught");
+//! # Ok::<(), minic::Diagnostics>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod explain;
+pub mod interp;
+pub mod por;
+pub mod report;
+pub mod search;
+pub mod state;
+pub mod value;
+
+pub use coverage::Coverage;
+pub use explain::explain_violation;
+pub use interp::{
+    enabled, execute_transition, execute_transition_with, EnvMode, EventOp, ExecLimits,
+    RtError, TransitionResult, VisibleEvent,
+};
+pub use por::{enabled_processes, independent, persistent_set, StaticInfo};
+pub use report::{Decision, Report, Violation, ViolationKind};
+pub use search::{explore, replay, Config, Engine};
+pub use state::{Frame, GlobalState, ObjState, ProcState, Status};
+pub use value::{Addr, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::compile;
+
+    fn run(src: &str, cfg: &Config) -> Report {
+        let prog = compile(src).unwrap();
+        explore(&prog, cfg)
+    }
+
+    fn default_all_violations() -> Config {
+        Config {
+            max_violations: usize::MAX,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn clean_producer_consumer() {
+        let r = run(
+            r#"
+            chan link[1];
+            proc producer() { send(link, 42); }
+            proc consumer() { int v = recv(link); VS_assert(v == 42); }
+            process producer();
+            process consumer();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.clean(), "{r}");
+        assert!(!r.truncated);
+        assert!(r.states > 0 && r.transitions > 0);
+    }
+
+    #[test]
+    fn assertion_violation_found_and_replayable() {
+        let src = r#"
+            chan link[1];
+            proc producer() { send(link, 41); }
+            proc consumer() { int v = recv(link); VS_assert(v == 42); }
+            process producer();
+            process consumer();
+        "#;
+        let prog = compile(src).unwrap();
+        let r = explore(&prog, &Config::default());
+        let v = r.first_assert().expect("assertion violation found");
+        assert_eq!(v.process, Some(1));
+        // The trace replays to the violation.
+        let replayed = replay(&prog, &v.trace, EnvMode::Closed, &ExecLimits::default());
+        assert_eq!(replayed, Err(TransitionResult::AssertViolation));
+    }
+
+    #[test]
+    fn circular_channel_wait_deadlocks() {
+        let r = run(
+            r#"
+            chan a[1]; chan b[1];
+            proc p1() { int x = recv(a); send(b, 1); }
+            proc p2() { int y = recv(b); send(a, 2); }
+            process p1();
+            process p2();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.first_deadlock().is_some(), "{r}");
+    }
+
+    #[test]
+    fn semaphore_deadlock_classic() {
+        // Two locks taken in opposite orders.
+        let r = run(
+            r#"
+            sem l1 = 1; sem l2 = 1;
+            proc p1() { sem_wait(l1); sem_wait(l2); sem_signal(l2); sem_signal(l1); }
+            proc p2() { sem_wait(l2); sem_wait(l1); sem_signal(l1); sem_signal(l2); }
+            process p1();
+            process p2();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.first_deadlock().is_some(), "{r}");
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let r = run(
+            r#"
+            sem l1 = 1; sem l2 = 1;
+            proc p1() { sem_wait(l1); sem_wait(l2); sem_signal(l2); sem_signal(l1); }
+            proc p2() { sem_wait(l1); sem_wait(l2); sem_signal(l2); sem_signal(l1); }
+            process p1();
+            process p2();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn race_without_lock_found_via_shared_variable() {
+        // Two writers race; an assertion checks one specific outcome, so
+        // some interleaving must violate it.
+        let r = run(
+            r#"
+            shared cell = 0;
+            proc w1() { sh_write(cell, 1); }
+            proc w2() { sh_write(cell, 2); int v = sh_read(cell); VS_assert(v == 2); }
+            process w1();
+            process w2();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.first_assert().is_some(), "{r}");
+    }
+
+    #[test]
+    fn toss_branches_are_all_explored() {
+        let r = run(
+            r#"
+            proc m() {
+                int v = VS_toss(3);
+                VS_assert(v != 2);
+            }
+            process m();
+            "#,
+            &default_all_violations(),
+        );
+        assert_eq!(
+            r.count(|k| *k == ViolationKind::AssertionViolation),
+            1,
+            "exactly the v == 2 branch violates: {r}"
+        );
+    }
+
+    #[test]
+    fn divergence_detected() {
+        let r = run(
+            r#"
+            proc m() { while (1) { } }
+            process m();
+            "#,
+            &Config {
+                limits: ExecLimits {
+                    invisible_step_bound: 100,
+                    max_stack_depth: 16,
+                },
+                ..Config::default()
+            },
+        );
+        assert_eq!(r.count(|k| *k == ViolationKind::Divergence), 1, "{r}");
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let r = run(
+            r#"
+            chan c[1];
+            proc m() { send(c, 1); int z = 0; int x = 1 / z; }
+            process m();
+            "#,
+            &Config::default(),
+        );
+        assert_eq!(
+            r.count(|k| matches!(k, ViolationKind::RuntimeError(RtError::DivByZero))),
+            1,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn stack_overflow_on_unbounded_recursion() {
+        let r = run(
+            r#"
+            proc f(int n) { f(n + 1); }
+            process f(0);
+            "#,
+            &Config::default(),
+        );
+        assert_eq!(
+            r.count(|k| matches!(k, ViolationKind::RuntimeError(RtError::StackOverflow))),
+            1,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn all_terminated_is_not_a_deadlock_by_default() {
+        let r = run("proc m() { int x = 1; } process m();", &Config::default());
+        assert!(r.clean(), "{r}");
+        let strict = run(
+            "proc m() { int x = 1; } process m();",
+            &Config {
+                strict_termination_deadlock: true,
+                ..Config::default()
+            },
+        );
+        assert!(strict.first_deadlock().is_some());
+    }
+
+    #[test]
+    fn extern_channel_send_never_blocks() {
+        let r = run(
+            r#"
+            extern chan out;
+            proc m() { int i = 0; while (i < 20) { send(out, i); i = i + 1; } }
+            process m();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn open_program_errors_in_closed_mode() {
+        let r = run(
+            r#"
+            input x : 0..3;
+            proc m() { int v = env_input(x); }
+            process m();
+            "#,
+            &Config::default(),
+        );
+        assert_eq!(
+            r.count(|k| matches!(
+                k,
+                ViolationKind::RuntimeError(RtError::EnvReadInClosedMode)
+            )),
+            1,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn enumerate_mode_explores_whole_domain() {
+        let r = run(
+            r#"
+            input x : 0..7;
+            proc m() { int v = env_input(x); VS_assert(v != 5); }
+            process m();
+            "#,
+            &Config {
+                env_mode: EnvMode::Enumerate,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert_eq!(r.count(|k| *k == ViolationKind::AssertionViolation), 1);
+    }
+
+    #[test]
+    fn enumerate_mode_binds_spawn_inputs() {
+        let r = run(
+            r#"
+            input x : 3..5;
+            proc m(int a) { VS_assert(a != 4); }
+            process m(x);
+            "#,
+            &Config {
+                env_mode: EnvMode::Enumerate,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert_eq!(r.count(|k| *k == ViolationKind::AssertionViolation), 1);
+    }
+
+    #[test]
+    fn enumerate_extern_recv_uses_domain() {
+        let r = run(
+            r#"
+            extern chan ev : 1..3;
+            proc m() { int v = recv(ev); VS_assert(v >= 1 && v <= 3); }
+            process m();
+            "#,
+            &Config {
+                env_mode: EnvMode::Enumerate,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn stateful_and_stateless_agree_on_violations() {
+        let src = r#"
+            chan a[1]; chan b[1];
+            proc p1() { int x = recv(a); send(b, 1); }
+            proc p2() { int y = recv(b); send(a, 2); }
+            process p1();
+            process p2();
+        "#;
+        for engine in [Engine::Stateless, Engine::Stateful] {
+            let r = run(
+                src,
+                &Config {
+                    engine,
+                    ..Config::default()
+                },
+            );
+            assert!(r.first_deadlock().is_some(), "{engine:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn por_reduces_states_but_preserves_deadlock() {
+        // Independent workers plus a deadlocking pair.
+        let src = r#"
+            chan a[1]; chan b[1]; chan w1[1]; chan w2[1];
+            proc p1() { int x = recv(a); send(b, 1); }
+            proc p2() { int y = recv(b); send(a, 2); }
+            proc worker1() { send(w1, 1); send(w1, 2); int q = recv(w1); q = recv(w1); }
+            proc worker2() { send(w2, 1); send(w2, 2); int q = recv(w2); q = recv(w2); }
+            process p1();
+            process p2();
+            process worker1();
+            process worker2();
+        "#;
+        let with_por = run(src, &Config::default());
+        let without = run(
+            src,
+            &Config {
+                por: false,
+                sleep_sets: false,
+                ..Config::default()
+            },
+        );
+        assert!(with_por.first_deadlock().is_some());
+        assert!(without.first_deadlock().is_some());
+        // Both search to the first violation; the reduced one works less.
+        assert!(
+            with_por.transitions <= without.transitions,
+            "POR explored more: {} vs {}",
+            with_por.transitions,
+            without.transitions
+        );
+    }
+
+    #[test]
+    fn por_full_exploration_is_smaller() {
+        // No violations: both engines sweep everything reachable.
+        let src = r#"
+            chan w1[2]; chan w2[2]; chan w3[2];
+            proc worker1() { send(w1, 1); int q = recv(w1); }
+            proc worker2() { send(w2, 1); int q = recv(w2); }
+            proc worker3() { send(w3, 1); int q = recv(w3); }
+            process worker1();
+            process worker2();
+            process worker3();
+        "#;
+        let with_por = run(src, &default_all_violations());
+        let without = run(
+            src,
+            &Config {
+                por: false,
+                sleep_sets: false,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert!(with_por.clean() && without.clean());
+        assert!(
+            with_por.states < without.states,
+            "expected reduction: {} vs {}",
+            with_por.states,
+            without.states
+        );
+    }
+
+    #[test]
+    fn trace_collection_captures_toss_alternatives() {
+        let r = run(
+            r#"
+            extern chan out;
+            proc m() {
+                int v = VS_toss(1);
+                if (v == 0) send(out, 100);
+                else send(out, 200);
+            }
+            process m();
+            "#,
+            &Config {
+                collect_traces: true,
+                por: false,
+                sleep_sets: false,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert_eq!(r.traces.len(), 2);
+        let sent: std::collections::BTreeSet<Value> = r
+            .traces
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter_map(|e| match e.op {
+                EventOp::Send(_, v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent, [Value::Int(100), Value::Int(200)].into());
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let r = run(
+            r#"
+            chan c[1];
+            proc ping() { while (1) { send(c, 1); int x = recv(c); } }
+            proc pong() { while (1) { int y = recv(c); send(c, 2); } }
+            process ping();
+            process pong();
+            "#,
+            &Config {
+                max_depth: 10,
+                ..Config::default()
+            },
+        );
+        assert!(r.truncated);
+        assert!(r.max_depth_seen >= 10);
+    }
+
+    #[test]
+    fn stateful_engine_closes_cyclic_spaces() {
+        // The ping-pong system has a finite cyclic state space: the
+        // stateful engine terminates without a depth bound doing the work.
+        let r = run(
+            r#"
+            chan c[1];
+            proc ping() { while (1) { send(c, 1); int x = recv(c); } }
+            process ping();
+            "#,
+            &Config {
+                engine: Engine::Stateful,
+                max_depth: 1_000_000,
+                ..Config::default()
+            },
+        );
+        assert!(!r.truncated, "{r}");
+        assert!(r.states < 20, "tiny cyclic space: {}", r.states);
+    }
+
+    #[test]
+    fn mutual_exclusion_protocol_verified() {
+        let r = run(
+            r#"
+            sem lock = 1;
+            shared owner = 0;
+            proc worker1() {
+                sem_wait(lock);
+                sh_write(owner, 1);
+                int o = sh_read(owner);
+                VS_assert(o == 1);
+                sem_signal(lock);
+            }
+            proc worker2() {
+                sem_wait(lock);
+                sh_write(owner, 2);
+                int o = sh_read(owner);
+                VS_assert(o == 2);
+                sem_signal(lock);
+            }
+            process worker1();
+            process worker2();
+            "#,
+            &default_all_violations(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn broken_mutual_exclusion_caught() {
+        let r = run(
+            r#"
+            shared owner = 0;
+            proc worker1() {
+                sh_write(owner, 1);
+                int o = sh_read(owner);
+                VS_assert(o == 1);
+            }
+            proc worker2() {
+                sh_write(owner, 2);
+                int o = sh_read(owner);
+                VS_assert(o == 2);
+            }
+            process worker1();
+            process worker2();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.first_assert().is_some(), "{r}");
+    }
+
+    #[test]
+    fn pointer_programs_execute() {
+        let r = run(
+            r#"
+            proc fill(int *slot, int v) { *slot = v; }
+            proc m() {
+                int a = 0;
+                int *pa = &a;
+                fill(pa, 7);
+                int b = *pa;
+                VS_assert(b == 7);
+                VS_assert(a == 7);
+            }
+            process m();
+            "#,
+            &default_all_violations(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn channel_fifo_order_preserved() {
+        let r = run(
+            r#"
+            chan c[3];
+            proc prod() { send(c, 1); send(c, 2); send(c, 3); }
+            proc cons() {
+                int a = recv(c); int b = recv(c); int d = recv(c);
+                VS_assert(a == 1 && b == 2 && d == 3);
+            }
+            process prod();
+            process cons();
+            "#,
+            &default_all_violations(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn bounded_channel_blocks_sender() {
+        // Capacity 1: the producer cannot run ahead; with a consumer that
+        // never receives, the system deadlocks after one send.
+        let r = run(
+            r#"
+            chan c[1];
+            proc prod() { send(c, 1); send(c, 2); }
+            proc cons() { int x = 0; }
+            process prod();
+            process cons();
+            "#,
+            &Config::default(),
+        );
+        assert!(r.first_deadlock().is_some(), "{r}");
+    }
+
+    #[test]
+    fn closed_figure2_program_explores_all_parity_mixtures() {
+        // The closed p' from the paper's Figure 2 performs 10 binary
+        // tosses: 2^10 maximal traces.
+        let closed = closer_close(FIG2_P);
+        let r = explore(
+            &closed,
+            &Config {
+                collect_traces: true,
+                por: false,
+                sleep_sets: false,
+                max_violations: usize::MAX,
+                max_depth: 100,
+                ..Config::default()
+            },
+        );
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.traces.len(), 1024);
+    }
+
+    const FIG2_P: &str = r#"
+        extern chan evens;
+        extern chan odds;
+        input x : 0..1023;
+        proc p(int x) {
+            int y = x % 2;
+            int cnt = 0;
+            while (cnt < 10) {
+                if (y == 0) send(evens, cnt);
+                else send(odds, cnt + 1);
+                cnt = cnt + 1;
+            }
+        }
+        process p(x);
+    "#;
+
+    /// Minimal inline closing for tests (avoiding a dev-dependency cycle
+    /// with the `closer` crate): exercised properly in the workspace
+    /// integration tests; here we just need p' = close(p).
+    fn closer_close(src: &str) -> cfgir::CfgProgram {
+        // Reimplement via the public pipeline pieces available here: the
+        // test builds the closed graph by hand mirroring the paper's
+        // Figure 2 output.
+        use cfgir::{
+            CfgProc, CfgProgram, Guard, NodeId, NodeKind, Operand, Place, ProcId, PureExpr,
+            Rvalue, VarId, VarInfo, VarKind, VisOp,
+        };
+        use minic::ast::{BinOp, Ty};
+        use minic::span::Span;
+        let orig = compile(src).unwrap();
+        let mut p = CfgProc {
+            name: "p".into(),
+            id: ProcId(0),
+            params: vec![],
+            vars: vec![],
+            nodes: vec![],
+            succs: vec![],
+            start: NodeId(0),
+        };
+        let cnt = p.push_var(VarInfo {
+            name: "cnt".into(),
+            ty: Ty::Int,
+            kind: VarKind::Local,
+        });
+        let t0 = p.push_var(VarInfo {
+            name: "__t0".into(),
+            ty: Ty::Int,
+            kind: VarKind::Temp,
+        });
+        let start = p.push_node(NodeKind::Start, Span::dummy());
+        let init = p.push_node(
+            NodeKind::Assign {
+                dst: Place::Var(cnt),
+                src: Rvalue::Pure(PureExpr::constant(0)),
+            },
+            Span::dummy(),
+        );
+        let cond = p.push_node(
+            NodeKind::Cond {
+                expr: PureExpr::Binary {
+                    op: BinOp::Lt,
+                    lhs: Box::new(PureExpr::var(cnt)),
+                    rhs: Box::new(PureExpr::constant(10)),
+                },
+            },
+            Span::dummy(),
+        );
+        let toss = p.push_node(NodeKind::TossCond { bound: 1 }, Span::dummy());
+        let send_e = p.push_node(
+            NodeKind::Visible {
+                op: VisOp::Send {
+                    chan: cfgir::ObjId(0),
+                    val: Some(Operand::Var(cnt)),
+                },
+                dst: None,
+            },
+            Span::dummy(),
+        );
+        let tmp = p.push_node(
+            NodeKind::Assign {
+                dst: Place::Var(t0),
+                src: Rvalue::Pure(PureExpr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(PureExpr::var(cnt)),
+                    rhs: Box::new(PureExpr::constant(1)),
+                }),
+            },
+            Span::dummy(),
+        );
+        let send_o = p.push_node(
+            NodeKind::Visible {
+                op: VisOp::Send {
+                    chan: cfgir::ObjId(1),
+                    val: Some(Operand::Var(t0)),
+                },
+                dst: None,
+            },
+            Span::dummy(),
+        );
+        let inc = p.push_node(
+            NodeKind::Assign {
+                dst: Place::Var(cnt),
+                src: Rvalue::Pure(PureExpr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(PureExpr::var(cnt)),
+                    rhs: Box::new(PureExpr::constant(1)),
+                }),
+            },
+            Span::dummy(),
+        );
+        let ret = p.push_node(NodeKind::Return { value: None }, Span::dummy());
+        p.add_arc(start, Guard::Always, init);
+        p.add_arc(init, Guard::Always, cond);
+        p.add_arc(cond, Guard::BoolEq(true), toss);
+        p.add_arc(cond, Guard::BoolEq(false), ret);
+        p.add_arc(toss, Guard::TossEq(0), send_e);
+        p.add_arc(toss, Guard::TossEq(1), tmp);
+        p.add_arc(tmp, Guard::Always, send_o);
+        p.add_arc(send_e, Guard::Always, inc);
+        p.add_arc(send_o, Guard::Always, inc);
+        p.add_arc(inc, Guard::Always, cond);
+        let _ = VarId(0);
+        CfgProgram {
+            objects: orig.objects.clone(),
+            globals: vec![],
+            inputs: orig.inputs.clone(),
+            procs: vec![p],
+            processes: vec![cfgir::ProcessSpec {
+                name: "p#0".into(),
+                proc: ProcId(0),
+                args: vec![],
+                daemon: false,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use cfgir::compile;
+
+    #[test]
+    fn explains_assertion_violation_with_object_names() {
+        let prog = compile(
+            r#"
+            chan link[1];
+            proc producer() { send(link, 41); }
+            proc consumer() { int v = recv(link); VS_assert(v == 42); }
+            process producer();
+            process consumer();
+            "#,
+        )
+        .unwrap();
+        let r = explore(&prog, &Config::default());
+        let v = r.first_assert().unwrap();
+        let text = explain_violation(&prog, v, EnvMode::Closed, &ExecLimits::default());
+        assert!(text.contains("assertion violation"), "{text}");
+        assert!(text.contains("send(link, 41)"), "{text}");
+        assert!(text.contains("recv(link) = 41"), "{text}");
+        assert!(text.contains("VS_assert VIOLATED"), "{text}");
+    }
+
+    #[test]
+    fn explains_deadlock_with_blocked_positions() {
+        let prog = compile(
+            r#"
+            chan a[1]; chan b[1];
+            proc p1() { int x = recv(a); send(b, 1); }
+            proc p2() { int y = recv(b); send(a, 2); }
+            process p1();
+            process p2();
+            "#,
+        )
+        .unwrap();
+        let r = explore(&prog, &Config::default());
+        let v = r.first_deadlock().unwrap();
+        let text = explain_violation(&prog, v, EnvMode::Closed, &ExecLimits::default());
+        assert!(text.contains("deadlock"), "{text}");
+        assert!(text.contains("all processes blocked"), "{text}");
+        assert!(text.contains("blocked at"), "{text}");
+    }
+
+    #[test]
+    fn explains_toss_choices() {
+        let prog = compile(
+            "proc m() { int v = VS_toss(3); VS_assert(v != 2); } process m();",
+        )
+        .unwrap();
+        let r = explore(&prog, &Config::default());
+        let v = r.first_assert().unwrap();
+        let text = explain_violation(&prog, v, EnvMode::Closed, &ExecLimits::default());
+        assert!(text.contains("choices: 2"), "{text}");
+    }
+
+    #[test]
+    fn stale_trace_does_not_panic() {
+        let prog = compile(
+            "proc m() { int v = VS_toss(3); VS_assert(v != 2); } process m();",
+        )
+        .unwrap();
+        let v = Violation {
+            kind: ViolationKind::AssertionViolation,
+            process: Some(0),
+            trace: vec![Decision {
+                process: 0,
+                choices: vec![],
+            }],
+        };
+        let text = explain_violation(&prog, &v, EnvMode::Closed, &ExecLimits::default());
+        assert!(text.contains("needs a choice"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod bfs_tests {
+    use super::*;
+    use cfgir::compile;
+
+    #[test]
+    fn bfs_finds_shortest_counterexample() {
+        // Two routes to an assertion violation: a long one through many
+        // sends, and a short one. DFS tends to find whichever its order
+        // hits first; BFS must return the minimum-length trace.
+        let src = r#"
+            chan c[8];
+            proc m() {
+                int v = VS_toss(1);
+                if (v == 0) {
+                    send(c, 1); send(c, 2); send(c, 3); send(c, 4);
+                    VS_assert(0);
+                } else {
+                    VS_assert(0);
+                }
+            }
+            process m();
+        "#;
+        let prog = compile(src).unwrap();
+        let bfs = explore(
+            &prog,
+            &Config {
+                engine: Engine::Bfs,
+                ..Config::default()
+            },
+        );
+        let v = bfs.first_assert().expect("violation found");
+        // Shortest: init transition + failing assert = 2 decisions.
+        assert_eq!(v.trace.len(), 2, "shortest trace expected: {v}");
+    }
+
+    #[test]
+    fn bfs_agrees_with_dfs_on_verdicts() {
+        let src = r#"
+            chan a[1]; chan b[1];
+            proc p1() { int x = recv(a); send(b, 1); }
+            proc p2() { int y = recv(b); send(a, 2); }
+            process p1();
+            process p2();
+        "#;
+        let prog = compile(src).unwrap();
+        for engine in [Engine::Stateless, Engine::Stateful, Engine::Bfs] {
+            let r = explore(
+                &prog,
+                &Config {
+                    engine,
+                    ..Config::default()
+                },
+            );
+            assert!(r.first_deadlock().is_some(), "{engine:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn bfs_closes_cyclic_spaces() {
+        let src = r#"
+            chan c[1];
+            proc ping() { while (1) { send(c, 1); int x = recv(c); } }
+            process ping();
+        "#;
+        let prog = compile(src).unwrap();
+        let r = explore(
+            &prog,
+            &Config {
+                engine: Engine::Bfs,
+                max_depth: 1_000_000,
+                ..Config::default()
+            },
+        );
+        assert!(!r.truncated);
+        assert!(r.clean());
+    }
+}
+
+#[cfg(test)]
+mod interp_edge_tests {
+    use super::*;
+    use cfgir::compile;
+
+    fn run(src: &str, cfg: &Config) -> Report {
+        explore(&compile(src).unwrap(), cfg)
+    }
+
+    fn all() -> Config {
+        Config {
+            max_violations: usize::MAX,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn globals_are_per_process() {
+        // Two processes of the same procedure: each mutates its own copy.
+        let r = run(
+            r#"
+            int g = 0;
+            chan sync[2];
+            proc m(int id) {
+                g = g + id;
+                VS_assert(g == id);
+                send(sync, id);
+            }
+            process m(1);
+            process m(2);
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn recursion_computes_return_values() {
+        let r = run(
+            r#"
+            proc fact(int n) {
+                if (n <= 1) { return 1; }
+                int rest = fact(n - 1);
+                return n * rest;
+            }
+            proc m() {
+                int f = fact(5);
+                VS_assert(f == 120);
+            }
+            process m();
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn pointers_into_recursive_frames() {
+        // Each activation's local has its own address; writes through the
+        // passed pointer land in the right frame.
+        let r = run(
+            r#"
+            proc bump(int *slot) { *slot = *slot + 1; }
+            proc nest(int depth) {
+                int mine = depth;
+                int *p = &mine;
+                bump(p);
+                VS_assert(mine == depth + 1);
+                if (depth > 0) { nest(depth - 1); }
+                VS_assert(mine == depth + 1);
+            }
+            process nest(3);
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn valueless_return_consumed_as_zero() {
+        let r = run(
+            r#"
+            proc nothing() { return; }
+            proc m() {
+                int x = nothing();
+                VS_assert(x == 0);
+            }
+            process m();
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn extern_chan_without_domain_defaults_to_zero_in_enumerate() {
+        let r = run(
+            r#"
+            extern chan ev;
+            proc m() { int v = recv(ev); VS_assert(v == 0); }
+            process m();
+            "#,
+            &Config {
+                env_mode: EnvMode::Enumerate,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn negative_toss_bound_is_runtime_error() {
+        let r = run(
+            r#"
+            proc m() { int b = 0 - 1; int v = VS_toss(b); }
+            process m();
+            "#,
+            &all(),
+        );
+        assert_eq!(
+            r.count(|k| matches!(k, ViolationKind::RuntimeError(RtError::BadTossBound))),
+            1,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn deref_of_integer_is_runtime_error() {
+        // p is declared a pointer but never initialized: it holds Int(0).
+        let r = run(
+            r#"
+            proc m() { int *p; int v = *p; }
+            process m();
+            "#,
+            &all(),
+        );
+        assert_eq!(
+            r.count(|k| matches!(k, ViolationKind::RuntimeError(RtError::DerefNonPointer))),
+            1,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn switch_default_taken_for_unmatched_value() {
+        let r = run(
+            r#"
+            proc m(int x) {
+                int out = 0;
+                switch (x) {
+                    case 1: out = 10;
+                    case 2: out = 20;
+                    default: out = 99;
+                }
+                VS_assert(out == 99);
+            }
+            process m(7);
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn switch_without_default_falls_through_to_join() {
+        let r = run(
+            r#"
+            proc m(int x) {
+                int out = 5;
+                switch (x) {
+                    case 1: out = 10;
+                }
+                VS_assert(out == 5);
+            }
+            process m(7);
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn semaphore_counts_above_one() {
+        let r = run(
+            r#"
+            sem pool = 2;
+            chan done[3];
+            proc w1() { sem_wait(pool); send(done, 1); }
+            proc w2() { sem_wait(pool); send(done, 2); }
+            proc w3() { sem_wait(pool); send(done, 3); }
+            process w1();
+            process w2();
+            process w3();
+            "#,
+            &Config::default(),
+        );
+        // Third worker blocks forever: deadlock (nobody signals).
+        assert!(r.first_deadlock().is_some(), "{r}");
+    }
+
+    #[test]
+    fn wrapping_arithmetic_matches_c() {
+        let r = run(
+            r#"
+            proc m() {
+                int big = 0x7fffffffffffffff;
+                int wrapped = big + 1;
+                VS_assert(wrapped < 0);
+            }
+            process m();
+            "#,
+            &all(),
+        );
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn visible_ops_delimit_transitions() {
+        // A run of k sends = k + 1 transitions (init + one per send).
+        let prog = compile(
+            r#"
+            extern chan out;
+            proc m() { send(out, 1); send(out, 2); send(out, 3); }
+            process m();
+            "#,
+        )
+        .unwrap();
+        let r = explore(&prog, &Config::default());
+        assert_eq!(r.transitions, 4, "{r}");
+        assert_eq!(r.max_depth_seen, 4);
+    }
+}

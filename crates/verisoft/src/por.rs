@@ -1,0 +1,305 @@
+//! Partial-order reduction: persistent sets and sleep sets.
+//!
+//! VeriSoft's tractability rests on partial-order methods (\[God96\]; the
+//! paper: "the key to make this approach tractable is to use a new search
+//! algorithm built upon existing state-space pruning techniques known as
+//! partial-order methods"). This module implements:
+//!
+//! - **persistent sets** via a static conflict closure: operations on the
+//!   same communication object are dependent, operations on different
+//!   objects are independent, and an operation's enabledness can only be
+//!   changed by operations on the same object (§2's enabledness
+//!   assumption). Starting from a seed process, the closure adds every
+//!   process whose *future* operations (a static over-approximation: all
+//!   objects its current call stack can ever touch) intersect the next
+//!   operations of the set. Processes outside the closure can then never
+//!   interact with the set's next operations, making the enabled members a
+//!   persistent set;
+//! - **sleep sets**, the standard complementary technique, used by the
+//!   stateless engine.
+//!
+//! Completeness guarantees (deadlocks / assertion violations) hold for
+//! acyclic state spaces, matching the guarantee VeriSoft itself gives.
+
+use crate::interp::{enabled, next_op_object};
+use crate::state::{GlobalState, Status};
+use cfgir::{CfgProgram, NodeKind, ObjId};
+use std::collections::BTreeSet;
+
+/// Static per-procedure information used by the reduction.
+#[derive(Debug, Clone)]
+pub struct StaticInfo {
+    /// For each procedure: every communication object it (or a transitive
+    /// callee) may operate on.
+    pub proc_objects: Vec<BTreeSet<ObjId>>,
+}
+
+impl StaticInfo {
+    /// Precompute object footprints for every procedure of `prog`.
+    pub fn build(prog: &CfgProgram) -> StaticInfo {
+        let n = prog.procs.len();
+        let mut proc_objects: Vec<BTreeSet<ObjId>> = vec![BTreeSet::new(); n];
+        // Direct uses.
+        for p in &prog.procs {
+            for nid in p.node_ids() {
+                if let NodeKind::Visible { op, .. } = &p.node(nid).kind {
+                    if let Some(o) = op.object() {
+                        proc_objects[p.id.index()].insert(o);
+                    }
+                }
+            }
+        }
+        // Transitive closure over calls.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &prog.procs {
+                for nid in p.node_ids() {
+                    if let NodeKind::Call { callee, .. } = &p.node(nid).kind {
+                        if callee.index() != p.id.index() {
+                            let callee_objs = proc_objects[callee.index()].clone();
+                            let before = proc_objects[p.id.index()].len();
+                            proc_objects[p.id.index()].extend(callee_objs);
+                            changed |= proc_objects[p.id.index()].len() != before;
+                        }
+                    }
+                }
+            }
+        }
+        StaticInfo { proc_objects }
+    }
+
+    /// All objects the given process might still touch: the union of the
+    /// footprints of every procedure on its call stack.
+    pub fn future_objects(&self, state: &GlobalState, pid: usize) -> BTreeSet<ObjId> {
+        let mut out = BTreeSet::new();
+        if state.procs[pid].status == Status::Terminated {
+            return out;
+        }
+        for f in &state.procs[pid].frames {
+            out.extend(self.proc_objects[f.proc.index()].iter().copied());
+        }
+        out
+    }
+}
+
+/// Compute a persistent set of process indices at `state`, given the
+/// enabled processes. Always returns a nonempty subset of `enabled_pids`
+/// when that slice is nonempty.
+pub fn persistent_set(
+    prog: &CfgProgram,
+    info: &StaticInfo,
+    state: &GlobalState,
+    enabled_pids: &[usize],
+) -> Vec<usize> {
+    if enabled_pids.len() <= 1 {
+        return enabled_pids.to_vec();
+    }
+    let nprocs = state.procs.len();
+    let mut best: Option<Vec<usize>> = None;
+    for &seed in enabled_pids {
+        let mut in_c = vec![false; nprocs];
+        in_c[seed] = true;
+        // Objects of next visible operations of members.
+        let mut next_objs: BTreeSet<ObjId> = next_op_object(prog, state, seed)
+            .into_iter()
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for q in 0..nprocs {
+                if in_c[q] || state.procs[q].status == Status::Terminated {
+                    continue;
+                }
+                let fut = info.future_objects(state, q);
+                if fut.iter().any(|o| next_objs.contains(o)) {
+                    in_c[q] = true;
+                    next_objs.extend(next_op_object(prog, state, q));
+                    changed = true;
+                }
+            }
+        }
+        let members: Vec<usize> = enabled_pids
+            .iter()
+            .copied()
+            .filter(|p| in_c[*p])
+            .collect();
+        debug_assert!(!members.is_empty(), "seed is enabled and in its own set");
+        if best.as_ref().map(|b| members.len() < b.len()).unwrap_or(true) {
+            best = Some(members);
+        }
+        if best.as_ref().map(|b| b.len() == 1).unwrap_or(false) {
+            break; // cannot do better
+        }
+    }
+    best.unwrap_or_else(|| enabled_pids.to_vec())
+}
+
+/// True when the next operations of the two processes are independent:
+/// they touch different objects (or at least one touches none — local
+/// assertions commute with everything).
+pub fn independent(prog: &CfgProgram, state: &GlobalState, a: usize, b: usize) -> bool {
+    match (
+        next_op_object(prog, state, a),
+        next_op_object(prog, state, b),
+    ) {
+        (Some(oa), Some(ob)) => oa != ob,
+        _ => true,
+    }
+}
+
+/// Enabled process indices at `state`.
+pub fn enabled_processes(prog: &CfgProgram, state: &GlobalState) -> Vec<usize> {
+    (0..state.procs.len())
+        .filter(|p| enabled(prog, state, *p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute_transition, EnvMode, ExecLimits, TransitionResult};
+    use cfgir::compile;
+
+    /// Run initialization (invisible prefixes) so every process sits at a
+    /// visible op or has terminated.
+    fn init(prog: &CfgProgram) -> GlobalState {
+        let mut s = GlobalState::initial(prog);
+        for pid in 0..s.procs.len() {
+            let r = execute_transition(
+                prog,
+                &mut s,
+                pid,
+                &[],
+                EnvMode::Closed,
+                &ExecLimits::default(),
+            );
+            assert!(matches!(r, TransitionResult::Completed { .. }), "{r:?}");
+        }
+        s
+    }
+
+    #[test]
+    fn disjoint_objects_give_singleton_persistent_sets() {
+        let prog = compile(
+            r#"
+            chan a[1]; chan b[1];
+            proc pa() { send(a, 1); }
+            proc pb() { send(b, 1); }
+            process pa();
+            process pb();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        let s = init(&prog);
+        let en = enabled_processes(&prog, &s);
+        assert_eq!(en, vec![0, 1]);
+        let ps = persistent_set(&prog, &info, &s, &en);
+        assert_eq!(ps.len(), 1, "independent sends need not interleave");
+        assert!(independent(&prog, &s, 0, 1));
+    }
+
+    #[test]
+    fn same_object_forces_full_set() {
+        let prog = compile(
+            r#"
+            chan a[2];
+            proc pa() { send(a, 1); }
+            proc pb() { send(a, 2); }
+            process pa();
+            process pb();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        let s = init(&prog);
+        let en = enabled_processes(&prog, &s);
+        let ps = persistent_set(&prog, &info, &s, &en);
+        assert_eq!(ps.len(), 2, "competing senders must both be explored");
+        assert!(!independent(&prog, &s, 0, 1));
+    }
+
+    #[test]
+    fn future_conflict_accounted_for() {
+        // pa's next op is on `a`; pb's next is on `b` but pb *later*
+        // touches `a`. Seeding from pa must therefore pull in pb (its
+        // future conflicts), making that candidate {pa, pb}. Seeding from
+        // pb yields the singleton {pb} — valid, since nothing else ever
+        // touches `b` — and the smaller candidate wins.
+        let prog = compile(
+            r#"
+            chan a[2]; chan b[2];
+            proc pa() { send(a, 1); }
+            proc pb() { send(b, 1); send(a, 2); }
+            process pa();
+            process pb();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        let s = init(&prog);
+        let en = enabled_processes(&prog, &s);
+        let ps = persistent_set(&prog, &info, &s, &en);
+        assert_eq!(ps, vec![1], "the {{pb}} singleton is chosen");
+        // And the pa-seeded candidate indeed needs both processes: check
+        // via the future-objects footprint.
+        assert!(info.future_objects(&s, 1).contains(&cfgir::ObjId(0)));
+    }
+
+    #[test]
+    fn footprints_cross_calls() {
+        let prog = compile(
+            r#"
+            chan a[1];
+            proc inner() { send(a, 1); }
+            proc outer() { inner(); }
+            process outer();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        let outer = prog.proc_by_name("outer").unwrap();
+        assert_eq!(info.proc_objects[outer.id.index()].len(), 1);
+    }
+
+    #[test]
+    fn assert_only_process_is_independent_of_all() {
+        let prog = compile(
+            r#"
+            chan a[1];
+            proc pa() { send(a, 1); }
+            proc pb() { int x = 1; VS_assert(x); }
+            process pa();
+            process pb();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        let s = init(&prog);
+        let en = enabled_processes(&prog, &s);
+        let ps = persistent_set(&prog, &info, &s, &en);
+        assert_eq!(ps.len(), 1);
+        assert!(independent(&prog, &s, 0, 1));
+    }
+
+    #[test]
+    fn terminated_processes_have_empty_future() {
+        let prog = compile(
+            r#"
+            chan a[1];
+            proc pa() { send(a, 1); }
+            proc pb() { int x = 0; }
+            process pa();
+            process pb();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        let s = init(&prog);
+        assert_eq!(s.procs[1].status, Status::Terminated);
+        assert!(info.future_objects(&s, 1).is_empty());
+        let en = enabled_processes(&prog, &s);
+        assert_eq!(en, vec![0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Search results: violations, decisions, traces, statistics.
+
+use crate::interp::{RtError, VisibleEvent};
+use std::collections::BTreeSet;
+
+/// One scheduling decision: which process ran, with which nondeterministic
+/// choices (toss values and — under enumeration — environment values).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Decision {
+    /// Process index.
+    pub process: usize,
+    /// Choices consumed within the transition, in order.
+    pub choices: Vec<u32>,
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.choices.is_empty() {
+            write!(f, "P{}", self.process)
+        } else {
+            let cs: Vec<String> = self.choices.iter().map(|c| c.to_string()).collect();
+            write!(f, "P{}[{}]", self.process, cs.join(","))
+        }
+    }
+}
+
+/// What kind of property was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A reachable global state where every process is blocked (and not
+    /// all merely terminated, unless strict termination semantics are on).
+    Deadlock,
+    /// A `VS_assert` evaluated to zero.
+    AssertionViolation,
+    /// A process exceeded the invisible-step bound within one transition.
+    Divergence,
+    /// A runtime error (division by zero, bad dereference, …).
+    RuntimeError(RtError),
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Deadlock => write!(f, "deadlock"),
+            ViolationKind::AssertionViolation => write!(f, "assertion violation"),
+            ViolationKind::Divergence => write!(f, "divergence"),
+            ViolationKind::RuntimeError(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+/// A property violation with its reproducing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The process at fault (`None` for deadlocks).
+    pub process: Option<usize>,
+    /// The decision sequence from the initial state that reproduces the
+    /// violation (replayable: VeriSoft-style deterministic replay).
+    pub trace: Vec<Decision>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(p) = self.process {
+            write!(f, " in P{p}")?;
+        }
+        let t: Vec<String> = self.trace.iter().map(|d| d.to_string()).collect();
+        write!(f, " after [{}]", t.join(" "))
+    }
+}
+
+/// Aggregate results of one state-space exploration.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Distinct global states visited (stateful engine) or search-tree
+    /// nodes expanded (stateless engine).
+    pub states: usize,
+    /// Transitions executed (including re-executions for choice
+    /// enumeration).
+    pub transitions: usize,
+    /// Deepest path reached, in transitions.
+    pub max_depth_seen: usize,
+    /// True when a depth/state cap cut the exploration short — results
+    /// are then a lower bound ("complete coverage of the state space up to
+    /// some depth", as the paper puts it).
+    pub truncated: bool,
+    /// All violations found (up to the configured maximum).
+    pub violations: Vec<Violation>,
+    /// The set of maximal visible-event traces, when trace collection is
+    /// on (used for the Figure 3 optimality experiment).
+    pub traces: BTreeSet<Vec<VisibleEvent>>,
+    /// Executed-node coverage, when [`crate::Config::track_coverage`] is
+    /// on.
+    pub coverage: Option<crate::coverage::Coverage>,
+}
+
+impl Report {
+    /// The first deadlock found, if any.
+    pub fn first_deadlock(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::Deadlock)
+    }
+
+    /// The first assertion violation found, if any.
+    pub fn first_assert(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::AssertionViolation)
+    }
+
+    /// True when no violations were found.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count violations of a given kind.
+    pub fn count(&self, pred: impl Fn(&ViolationKind) -> bool) -> usize {
+        self.violations.iter().filter(|v| pred(&v.kind)).count()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "states: {}, transitions: {}, max depth: {}{}",
+            self.states,
+            self.transitions,
+            self.max_depth_seen,
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        if self.violations.is_empty() {
+            write!(f, "no violations")?;
+        } else {
+            write!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                write!(f, "\n  {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_display() {
+        let d = Decision {
+            process: 2,
+            choices: vec![],
+        };
+        assert_eq!(d.to_string(), "P2");
+        let d = Decision {
+            process: 0,
+            choices: vec![1, 0],
+        };
+        assert_eq!(d.to_string(), "P0[1,0]");
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = Report::default();
+        assert!(r.clean());
+        r.violations.push(Violation {
+            kind: ViolationKind::Deadlock,
+            process: None,
+            trace: vec![],
+        });
+        r.violations.push(Violation {
+            kind: ViolationKind::AssertionViolation,
+            process: Some(1),
+            trace: vec![],
+        });
+        assert!(!r.clean());
+        assert!(r.first_deadlock().is_some());
+        assert_eq!(r.first_assert().unwrap().process, Some(1));
+        assert_eq!(r.count(|k| *k == ViolationKind::Deadlock), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = Report::default();
+        assert!(r.to_string().contains("no violations"));
+        let v = Violation {
+            kind: ViolationKind::RuntimeError(RtError::DivByZero),
+            process: Some(0),
+            trace: vec![Decision {
+                process: 0,
+                choices: vec![3],
+            }],
+        };
+        assert!(v.to_string().contains("division by zero"));
+        assert!(v.to_string().contains("P0[3]"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Systematic state-space exploration.
+//!
+//! Two engines over the same transition semantics:
+//!
+//! - [`Engine::Stateless`] — the faithful VeriSoft search: no state is
+//!   ever stored; the depth-bounded tree of decision sequences is explored
+//!   with persistent sets and sleep sets pruning it. Completeness for
+//!   deadlocks and assertion violations holds on acyclic state spaces (and
+//!   "complete coverage up to some depth" in general), exactly the
+//!   guarantee \[God97\] gives.
+//! - [`Engine::Stateful`] — a conventional explicit-state DFS that stores
+//!   full visited states (not hashes, so no collision unsoundness), used
+//!   when the state space has cycles or when benchmarks need exhaustive
+//!   state counts.
+//!
+//! Both treat a `VS_toss` inside a transition as a branch point, observed
+//! and controlled by the scheduler exactly as VeriSoft observes toss
+//! operations.
+
+use crate::coverage::Coverage;
+use crate::interp::{
+    execute_transition_with, EnvMode, ExecLimits, TransitionResult, VisibleEvent,
+};
+use crate::por::{enabled_processes, independent, persistent_set, StaticInfo};
+use crate::report::{Decision, Report, Violation, ViolationKind};
+use crate::state::{GlobalState, Status};
+use cfgir::{CfgProgram, NodeKind};
+use std::collections::{BTreeSet, HashSet};
+
+/// Which exploration engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Depth-bounded stateless search with deterministic replayable traces
+    /// (VeriSoft's approach).
+    #[default]
+    Stateless,
+    /// Explicit-state DFS storing visited states.
+    Stateful,
+    /// Explicit-state breadth-first search: the first violation reported
+    /// has a *shortest* reproducing trace (best for debugging; stores
+    /// visited states like [`Engine::Stateful`]).
+    Bfs,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Engine selection.
+    pub engine: Engine,
+    /// Open-interface runtime behavior.
+    pub env_mode: EnvMode,
+    /// Interpreter limits.
+    pub limits: ExecLimits,
+    /// Maximum path length in transitions.
+    pub max_depth: usize,
+    /// Hard cap on transitions executed; exceeded ⇒ `truncated`.
+    pub max_transitions: usize,
+    /// Use persistent-set partial-order reduction.
+    pub por: bool,
+    /// Use sleep sets (stateless engine only).
+    pub sleep_sets: bool,
+    /// Stop after this many violations.
+    pub max_violations: usize,
+    /// Treat the all-terminated state as a deadlock (the paper's strict
+    /// reading: top-level termination blocks forever).
+    pub strict_termination_deadlock: bool,
+    /// Collect the set of maximal visible-event traces (stateless engine;
+    /// disable reductions for exact trace sets).
+    pub collect_traces: bool,
+    /// Record which CFG nodes were executed ([`Report::coverage`]).
+    pub track_coverage: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            engine: Engine::Stateless,
+            env_mode: EnvMode::Closed,
+            limits: ExecLimits::default(),
+            max_depth: 2_000,
+            max_transitions: 5_000_000,
+            por: true,
+            sleep_sets: true,
+            max_violations: 1,
+            strict_termination_deadlock: false,
+            collect_traces: false,
+            track_coverage: false,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with every reduction disabled — full interleaving
+    /// semantics, exact trace sets.
+    pub fn exhaustive() -> Self {
+        Config {
+            por: false,
+            sleep_sets: false,
+            max_violations: usize::MAX,
+            ..Config::default()
+        }
+    }
+}
+
+/// Explore the state space of `prog` under `config`.
+///
+/// # Panics
+///
+/// Panics when `prog` fails [`cfgir::validate()`] (malformed graphs).
+pub fn explore(prog: &CfgProgram, config: &Config) -> Report {
+    cfgir::validate(prog).expect("explore requires a validated program");
+    let info = StaticInfo::build(prog);
+    let mut cx = Search {
+        prog,
+        cfg: config,
+        info,
+        report: Report::default(),
+        stop: false,
+        path: Vec::new(),
+        events: Vec::new(),
+        coverage: if config.track_coverage {
+            Some(Coverage::new(prog))
+        } else {
+            None
+        },
+    };
+    let initial = GlobalState::initial(prog);
+    match config.engine {
+        Engine::Stateless => cx.stateless(initial, 0, BTreeSet::new()),
+        Engine::Stateful => cx.stateful(initial, false),
+        Engine::Bfs => cx.stateful(initial, true),
+    }
+    cx.report.coverage = cx.coverage;
+    cx.report
+}
+
+enum Scheduled {
+    /// Initialization: run this process's invisible prefix (deterministic
+    /// choice of process — toss branching may still occur inside).
+    Init(usize),
+    /// Explore these processes' transitions.
+    Procs(Vec<usize>),
+    /// No enabled transitions.
+    DeadEnd {
+        deadlock: bool,
+    },
+}
+
+enum SuccOutcome {
+    State(Box<GlobalState>, Option<VisibleEvent>),
+    Violation(ViolationKind, Option<usize>),
+}
+
+struct Search<'a> {
+    prog: &'a CfgProgram,
+    cfg: &'a Config,
+    info: StaticInfo,
+    report: Report,
+    stop: bool,
+    path: Vec<Decision>,
+    events: Vec<VisibleEvent>,
+    coverage: Option<Coverage>,
+}
+
+impl<'a> Search<'a> {
+    fn schedule(&self, state: &GlobalState) -> Scheduled {
+        // Initialization: processes still positioned at an invisible node
+        // run first, lowest index first — the system reaches its initial
+        // global state s0 before any scheduling choice is made (§2).
+        for (pid, ps) in state.procs.iter().enumerate() {
+            if let Status::AtNode(n) = ps.status {
+                let proc = self.prog.proc(ps.top().proc);
+                if !matches!(proc.node(n).kind, NodeKind::Visible { .. }) {
+                    return Scheduled::Init(pid);
+                }
+            }
+        }
+        let enabled = enabled_processes(self.prog, state);
+        if enabled.is_empty() {
+            // A blocked *environment* (daemon) process is not a system
+            // deadlock: only non-daemon processes count.
+            let deadlock = self.cfg.strict_termination_deadlock
+                || state.procs.iter().any(|p| {
+                    p.status != Status::Terminated && !self.prog.processes[p.spec].daemon
+                });
+            return Scheduled::DeadEnd { deadlock };
+        }
+        let procs = if self.cfg.por {
+            persistent_set(self.prog, &self.info, state, &enabled)
+        } else {
+            enabled
+        };
+        Scheduled::Procs(procs)
+    }
+
+    /// Enumerate every outcome of process `pid`'s next transition from
+    /// `state` (branching over toss / environment choices).
+    fn successors(&mut self, state: &GlobalState, pid: usize) -> Vec<(Vec<u32>, SuccOutcome)> {
+        let mut out = Vec::new();
+        let mut pending: Vec<Vec<u32>> = vec![Vec::new()];
+        while let Some(choices) = pending.pop() {
+            if self.report.transitions >= self.cfg.max_transitions {
+                self.report.truncated = true;
+                self.stop = true;
+                break;
+            }
+            let mut s = state.clone();
+            self.report.transitions += 1;
+            match execute_transition_with(
+                self.prog,
+                &mut s,
+                pid,
+                &choices,
+                self.cfg.env_mode,
+                &self.cfg.limits,
+                self.coverage.as_mut(),
+            ) {
+                TransitionResult::Completed { event } => {
+                    out.push((choices, SuccOutcome::State(Box::new(s), event)));
+                }
+                TransitionResult::NeedChoice { bound } => {
+                    // Push in reverse so choice 0 is explored first.
+                    for c in (0..=bound).rev() {
+                        let mut cs = choices.clone();
+                        cs.push(c);
+                        pending.push(cs);
+                    }
+                }
+                TransitionResult::AssertViolation => {
+                    out.push((
+                        choices,
+                        SuccOutcome::Violation(ViolationKind::AssertionViolation, Some(pid)),
+                    ));
+                }
+                TransitionResult::RuntimeError(e) => {
+                    out.push((
+                        choices,
+                        SuccOutcome::Violation(ViolationKind::RuntimeError(e), Some(pid)),
+                    ));
+                }
+                TransitionResult::Diverged => {
+                    out.push((
+                        choices,
+                        SuccOutcome::Violation(ViolationKind::Divergence, Some(pid)),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn record_violation(&mut self, kind: ViolationKind, process: Option<usize>) {
+        self.report.violations.push(Violation {
+            kind,
+            process,
+            trace: self.path.clone(),
+        });
+        if self.report.violations.len() >= self.cfg.max_violations {
+            self.stop = true;
+        }
+    }
+
+    fn record_trace_end(&mut self) {
+        if self.cfg.collect_traces {
+            self.report.traces.insert(self.events.clone());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stateless engine
+    // ------------------------------------------------------------------
+
+    fn stateless(&mut self, state: GlobalState, depth: usize, sleep: BTreeSet<usize>) {
+        if self.stop {
+            return;
+        }
+        self.report.states += 1;
+        self.report.max_depth_seen = self.report.max_depth_seen.max(depth);
+        if depth >= self.cfg.max_depth {
+            self.report.truncated = true;
+            self.record_trace_end();
+            return;
+        }
+        match self.schedule(&state) {
+            Scheduled::DeadEnd { deadlock } => {
+                self.record_trace_end();
+                if deadlock {
+                    self.record_violation(ViolationKind::Deadlock, None);
+                }
+            }
+            Scheduled::Init(pid) => {
+                for (choices, outcome) in self.successors(&state, pid) {
+                    if self.stop {
+                        return;
+                    }
+                    self.path.push(Decision {
+                        process: pid,
+                        choices,
+                    });
+                    match outcome {
+                        SuccOutcome::State(s, ev) => {
+                            debug_assert!(ev.is_none(), "init transitions are invisible");
+                            self.stateless(*s, depth + 1, sleep.clone());
+                        }
+                        SuccOutcome::Violation(k, p) => self.record_violation(k, p),
+                    }
+                    self.path.pop();
+                }
+            }
+            Scheduled::Procs(procs) => {
+                let mut done: Vec<usize> = Vec::new();
+                let mut explored_any = false;
+                for t in procs {
+                    if self.stop {
+                        return;
+                    }
+                    if self.cfg.sleep_sets && sleep.contains(&t) {
+                        continue;
+                    }
+                    explored_any = true;
+                    let child_sleep: BTreeSet<usize> = if self.cfg.sleep_sets {
+                        sleep
+                            .iter()
+                            .chain(done.iter())
+                            .copied()
+                            .filter(|u| independent(self.prog, &state, *u, t))
+                            .collect()
+                    } else {
+                        BTreeSet::new()
+                    };
+                    for (choices, outcome) in self.successors(&state, t) {
+                        if self.stop {
+                            return;
+                        }
+                        self.path.push(Decision {
+                            process: t,
+                            choices,
+                        });
+                        match outcome {
+                            SuccOutcome::State(s, ev) => {
+                                let pushed = ev.is_some();
+                                if let Some(ev) = ev {
+                                    self.events.push(ev);
+                                }
+                                self.stateless(*s, depth + 1, child_sleep.clone());
+                                if pushed {
+                                    self.events.pop();
+                                }
+                            }
+                            SuccOutcome::Violation(k, p) => self.record_violation(k, p),
+                        }
+                        self.path.pop();
+                    }
+                    done.push(t);
+                }
+                if !explored_any {
+                    // Everything was pruned by sleep sets: the path ends
+                    // here but is covered elsewhere; not a trace end.
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stateful engine
+    // ------------------------------------------------------------------
+
+    /// Explicit-state search; `bfs` selects FIFO (shortest-counterexample)
+    /// order instead of LIFO.
+    fn stateful(&mut self, initial: GlobalState, bfs: bool) {
+        let mut visited: HashSet<GlobalState> = HashSet::new();
+        // Work items carry their depth and reproducing path.
+        let mut stack: std::collections::VecDeque<(GlobalState, usize, Vec<Decision>)> =
+            [(initial, 0, Vec::new())].into();
+        while let Some((state, depth, path)) = if bfs {
+            stack.pop_front()
+        } else {
+            stack.pop_back()
+        } {
+            if self.stop {
+                break;
+            }
+            if !visited.insert(state.clone()) {
+                continue;
+            }
+            self.report.states += 1;
+            self.report.max_depth_seen = self.report.max_depth_seen.max(depth);
+            if depth >= self.cfg.max_depth {
+                self.report.truncated = true;
+                continue;
+            }
+            self.path = path.clone();
+            match self.schedule(&state) {
+                Scheduled::DeadEnd { deadlock } => {
+                    if deadlock {
+                        self.record_violation(ViolationKind::Deadlock, None);
+                    }
+                }
+                Scheduled::Init(pid) => {
+                    for (choices, outcome) in self.successors(&state, pid) {
+                        let mut p = path.clone();
+                        p.push(Decision {
+                            process: pid,
+                            choices,
+                        });
+                        match outcome {
+                            SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, p)),
+                            SuccOutcome::Violation(k, pr) => {
+                                self.path = p;
+                                self.record_violation(k, pr);
+                                self.path = path.clone();
+                            }
+                        }
+                    }
+                }
+                Scheduled::Procs(procs) => {
+                    for t in procs {
+                        if self.stop {
+                            break;
+                        }
+                        for (choices, outcome) in self.successors(&state, t) {
+                            let mut p = path.clone();
+                            p.push(Decision {
+                                process: t,
+                                choices,
+                            });
+                            match outcome {
+                                SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, p)),
+                                SuccOutcome::Violation(k, pr) => {
+                                    self.path = p;
+                                    self.record_violation(k, pr);
+                                    self.path = path.clone();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.path.clear();
+    }
+}
+
+/// Replay a decision sequence from the initial state, returning the final
+/// state (used to reproduce reported violations, VeriSoft's replay
+/// feature).
+///
+/// # Errors
+///
+/// Returns the failing [`TransitionResult`] when the trace does not
+/// replay cleanly (e.g. it ends in the recorded violation).
+pub fn replay(
+    prog: &CfgProgram,
+    trace: &[Decision],
+    env_mode: EnvMode,
+    limits: &ExecLimits,
+) -> Result<GlobalState, TransitionResult> {
+    let mut state = GlobalState::initial(prog);
+    for d in trace {
+        let r = execute_transition_with(
+            prog,
+            &mut state,
+            d.process,
+            &d.choices,
+            env_mode,
+            limits,
+            None,
+        );
+        match r {
+            TransitionResult::Completed { .. } => {}
+            other => return Err(other),
+        }
+    }
+    Ok(state)
+}

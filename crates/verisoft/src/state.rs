@@ -1,0 +1,328 @@
+//! Global states of a concurrent system.
+//!
+//! A [`GlobalState`] is the complete, cloneable, hashable snapshot: every
+//! process's memory (per-process globals plus a call stack of frames) and
+//! every communication object's contents. Per §2 of the paper, the system
+//! is in a *global state* when the next operation of every process is a
+//! visible operation (or the process has terminated).
+
+use crate::value::{Addr, Value};
+use cfgir::{CfgProgram, NodeId, ObjId, ProcId, VarId, VarKind};
+use minic::sema::ObjectKind;
+use std::collections::VecDeque;
+
+/// One stack frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// The procedure this frame executes.
+    pub proc: ProcId,
+    /// Local slots, indexed by [`VarId`] (global-kind slots unused).
+    pub locals: Vec<Value>,
+    /// Where the caller stores the returned value.
+    pub ret_dst: Option<VarId>,
+    /// Caller node to resume *after* this frame returns (the unique
+    /// successor of the call node); `None` for the top-level frame.
+    pub cont: Option<NodeId>,
+}
+
+/// Where a process is in its execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// About to execute the given node of the top frame's procedure.
+    AtNode(NodeId),
+    /// The top-level procedure executed a termination statement. Per the
+    /// paper, top-level termination blocks forever (the process count is
+    /// constant).
+    Terminated,
+}
+
+/// The state of one process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcState {
+    /// Index into [`CfgProgram::processes`].
+    pub spec: usize,
+    /// Per-process global storage.
+    pub globals: Vec<Value>,
+    /// The call stack; never empty while running.
+    pub frames: Vec<Frame>,
+    /// Position.
+    pub status: Status,
+}
+
+impl ProcState {
+    /// The current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics for terminated processes (their stack is gone).
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("running process has a frame")
+    }
+
+    /// Read a variable of the current frame (dispatching globals).
+    pub fn read(&self, prog: &CfgProgram, var: VarId) -> Value {
+        let frame = self.top();
+        match prog.proc(frame.proc).var(var).kind {
+            VarKind::Global(g) => self.globals[g.index()],
+            _ => frame.locals[var.index()],
+        }
+    }
+
+    /// Write a variable of the current frame (dispatching globals).
+    pub fn write(&mut self, prog: &CfgProgram, var: VarId, v: Value) {
+        let proc = self.top().proc;
+        match prog.proc(proc).var(var).kind {
+            VarKind::Global(g) => self.globals[g.index()] = v,
+            _ => {
+                let frame = self.frames.last_mut().expect("running process has a frame");
+                frame.locals[var.index()] = v;
+            }
+        }
+    }
+
+    /// The address of a variable of the current frame.
+    pub fn addr_of(&self, prog: &CfgProgram, var: VarId) -> Addr {
+        let frame = self.top();
+        match prog.proc(frame.proc).var(var).kind {
+            VarKind::Global(g) => Addr::Global(g),
+            _ => Addr::Stack {
+                depth: (self.frames.len() - 1) as u32,
+                var,
+            },
+        }
+    }
+
+    /// Read through an address.
+    pub fn read_addr(&self, a: Addr) -> Option<Value> {
+        match a {
+            Addr::Global(g) => self.globals.get(g.index()).copied(),
+            Addr::Stack { depth, var } => self
+                .frames
+                .get(depth as usize)
+                .and_then(|f| f.locals.get(var.index()))
+                .copied(),
+        }
+    }
+
+    /// Write through an address; false when dangling.
+    pub fn write_addr(&mut self, a: Addr, v: Value) -> bool {
+        match a {
+            Addr::Global(g) => match self.globals.get_mut(g.index()) {
+                Some(slot) => {
+                    *slot = v;
+                    true
+                }
+                None => false,
+            },
+            Addr::Stack { depth, var } => {
+                match self
+                    .frames
+                    .get_mut(depth as usize)
+                    .and_then(|f| f.locals.get_mut(var.index()))
+                {
+                    Some(slot) => {
+                        *slot = v;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+/// The runtime state of one communication object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ObjState {
+    /// A FIFO channel: queued values and capacity (`None` = external,
+    /// never blocks).
+    Chan {
+        /// Queued values, front is next to receive.
+        queue: VecDeque<Value>,
+        /// Capacity; `None` for external channels.
+        cap: Option<u32>,
+    },
+    /// A counting semaphore.
+    Sem(i64),
+    /// A shared variable.
+    Shared(Value),
+}
+
+/// A complete global state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GlobalState {
+    /// One entry per process, aligned with [`CfgProgram::processes`].
+    pub procs: Vec<ProcState>,
+    /// One entry per object, aligned with [`CfgProgram::objects`].
+    pub objects: Vec<ObjState>,
+}
+
+impl GlobalState {
+    /// The state at process creation: every process positioned at the
+    /// start node of its top-level procedure, objects at their initial
+    /// values. (Environment-supplied spawn parameters are written during
+    /// initialization by the interpreter, which may branch.)
+    pub fn initial(prog: &CfgProgram) -> GlobalState {
+        let objects = prog
+            .objects
+            .iter()
+            .map(|o| match o.kind {
+                ObjectKind::Chan => ObjState::Chan {
+                    queue: VecDeque::new(),
+                    cap: o.capacity,
+                },
+                ObjectKind::ExternChan => ObjState::Chan {
+                    queue: VecDeque::new(),
+                    cap: None,
+                },
+                ObjectKind::Sem => ObjState::Sem(o.initial),
+                ObjectKind::Shared => ObjState::Shared(Value::Int(o.initial)),
+            })
+            .collect();
+        let procs = prog
+            .processes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let proc = prog.proc(spec.proc);
+                let frame = Frame {
+                    proc: spec.proc,
+                    locals: vec![Value::default(); proc.vars.len()],
+                    ret_dst: None,
+                    cont: None,
+                };
+                ProcState {
+                    spec: i,
+                    globals: prog
+                        .globals
+                        .iter()
+                        .map(|g| Value::Int(g.initial))
+                        .collect(),
+                    frames: vec![frame],
+                    status: Status::AtNode(proc.start),
+                }
+            })
+            .collect();
+        GlobalState { procs, objects }
+    }
+
+    /// The object state.
+    pub fn object(&self, o: ObjId) -> &ObjState {
+        &self.objects[o.index()]
+    }
+
+    /// True when every process has terminated.
+    pub fn all_terminated(&self) -> bool {
+        self.procs.iter().all(|p| p.status == Status::Terminated)
+    }
+
+    /// A compact 64-bit fingerprint (for statistics; the stateful search
+    /// stores full states, not hashes, so collisions cannot cause missed
+    /// states).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::compile;
+
+    #[test]
+    fn initial_state_positions_processes_at_start() {
+        let prog = compile(
+            "chan c[1]; int g = 5; proc a() { send(c, g); } proc b() { int x = recv(c); } process a(); process b();",
+        )
+        .unwrap();
+        let s = GlobalState::initial(&prog);
+        assert_eq!(s.procs.len(), 2);
+        for p in &s.procs {
+            assert!(matches!(p.status, Status::AtNode(_)));
+            assert_eq!(p.globals, vec![Value::Int(5)]);
+            assert_eq!(p.frames.len(), 1);
+        }
+        assert!(matches!(
+            s.objects[0],
+            ObjState::Chan {
+                cap: Some(1),
+                ref queue
+            } if queue.is_empty()
+        ));
+    }
+
+    #[test]
+    fn initial_objects_respect_kinds() {
+        let prog = compile(
+            "extern chan e; sem s = 2; shared v = -4; proc m() { sem_wait(s); } process m();",
+        )
+        .unwrap();
+        let s = GlobalState::initial(&prog);
+        assert!(matches!(s.objects[0], ObjState::Chan { cap: None, .. }));
+        assert_eq!(s.objects[1], ObjState::Sem(2));
+        assert_eq!(s.objects[2], ObjState::Shared(Value::Int(-4)));
+    }
+
+    #[test]
+    fn read_write_dispatches_globals() {
+        let prog = compile("int g = 1; proc m() { g = 2; int x = 3; } process m();").unwrap();
+        let mut s = GlobalState::initial(&prog);
+        let m = prog.proc_by_name("m").unwrap();
+        let gvar = VarId(m.vars.iter().position(|v| v.name == "g").unwrap() as u32);
+        let xvar = VarId(m.vars.iter().position(|v| v.name == "x").unwrap() as u32);
+        let ps = &mut s.procs[0];
+        assert_eq!(ps.read(&prog, gvar), Value::Int(1));
+        ps.write(&prog, gvar, Value::Int(9));
+        assert_eq!(ps.globals[0], Value::Int(9));
+        ps.write(&prog, xvar, Value::Int(7));
+        assert_eq!(ps.read(&prog, xvar), Value::Int(7));
+        assert_eq!(ps.frames[0].locals[xvar.index()], Value::Int(7));
+    }
+
+    #[test]
+    fn addresses_roundtrip() {
+        let prog =
+            compile("int g = 0; proc m() { int x = 1; } process m();").unwrap();
+        let mut s = GlobalState::initial(&prog);
+        let m = prog.proc_by_name("m").unwrap();
+        let xvar = VarId(m.vars.iter().position(|v| v.name == "x").unwrap() as u32);
+        let gvar_id = m.vars.iter().position(|v| v.name == "g");
+        // g may not be referenced in m's var table unless used; x is local.
+        let ps = &mut s.procs[0];
+        let ax = ps.addr_of(&prog, xvar);
+        assert!(ps.write_addr(ax, Value::Int(42)));
+        assert_eq!(ps.read_addr(ax), Some(Value::Int(42)));
+        assert_eq!(ps.read(&prog, xvar), Value::Int(42));
+        let _ = gvar_id;
+    }
+
+    #[test]
+    fn dangling_stack_address_detected() {
+        let prog = compile("proc m() { int x = 1; } process m();").unwrap();
+        let mut s = GlobalState::initial(&prog);
+        let bad = Addr::Stack {
+            depth: 5,
+            var: VarId(0),
+        };
+        assert_eq!(s.procs[0].read_addr(bad), None);
+        assert!(!s.procs[0].write_addr(bad, Value::Int(1)));
+    }
+
+    #[test]
+    fn states_hash_and_compare() {
+        let prog = compile("chan c[1]; proc m() { send(c, 1); } process m();").unwrap();
+        let a = GlobalState::initial(&prog);
+        let b = GlobalState::initial(&prog);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = b.clone();
+        c.objects[0] = ObjState::Chan {
+            queue: [Value::Int(1)].into(),
+            cap: Some(1),
+        };
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,252 @@
+//! Runtime values of the VeriSoft interpreter.
+
+use cfgir::{GlobalId, VarId};
+use minic::ast::{BinOp, UnOp};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// The address of a variable (pointers never leave their process).
+    Addr(Addr),
+    /// The *opaque* value: an erased, environment-dependent payload. The
+    /// closing transformation guarantees closed programs never branch on
+    /// it; arithmetic absorbs it, branching on it is a runtime error.
+    Opaque,
+}
+
+impl Value {
+    /// The integer contents, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// C truthiness; `None` for values that cannot be branched on.
+    pub fn truthy(&self) -> Option<bool> {
+        match self {
+            Value::Int(v) => Some(*v != 0),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Addr(a) => write!(f, "&{a:?}"),
+            Value::Opaque => write!(f, "<opaque>"),
+        }
+    }
+}
+
+/// The address of a variable within one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Addr {
+    /// Per-process global storage.
+    Global(GlobalId),
+    /// A local slot: stack frame depth (0 = bottom) and variable id. Frame
+    /// depths make pointer values replay-deterministic.
+    Stack {
+        /// Frame index from the bottom of the stack.
+        depth: u32,
+        /// Variable within that frame.
+        var: VarId,
+    },
+}
+
+/// Errors raised while evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division or remainder by zero (C leaves this undefined; the
+    /// interpreter flags it in open-program runs).
+    DivByZero,
+    /// A branch condition evaluated to a non-integer.
+    BranchOnNonInt(Value),
+    /// Arithmetic on an address.
+    ArithOnAddr,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::BranchOnNonInt(v) => write!(f, "branch on non-integer value {v}"),
+            EvalError::ArithOnAddr => write!(f, "arithmetic on an address"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Apply a binary operator with C-on-`i64` semantics (wrapping arithmetic,
+/// masked shifts, 0/1 comparisons). `Opaque` absorbs.
+///
+/// # Errors
+///
+/// [`EvalError::DivByZero`] on zero divisor/modulus;
+/// [`EvalError::ArithOnAddr`] when an operand is an address.
+pub fn bin_op(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+    use Value::*;
+    let (a, b) = match (l, r) {
+        (Opaque, _) | (_, Opaque) => return Ok(Opaque),
+        (Int(a), Int(b)) => (a, b),
+        _ => return Err(EvalError::ArithOnAddr),
+    };
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(EvalError::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(EvalError::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+    };
+    Ok(Int(v))
+}
+
+/// Apply a unary operator. `Opaque` absorbs.
+///
+/// # Errors
+///
+/// [`EvalError::ArithOnAddr`] when the operand is an address.
+pub fn un_op(op: UnOp, v: Value) -> Result<Value, EvalError> {
+    match v {
+        Value::Opaque => Ok(Value::Opaque),
+        Value::Int(a) => Ok(Value::Int(match op {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => (a == 0) as i64,
+        })),
+        Value::Addr(_) => Err(EvalError::ArithOnAddr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_c() {
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Int(2), Value::Int(3)),
+            Ok(Value::Int(5))
+        );
+        assert_eq!(
+            bin_op(BinOp::Rem, Value::Int(-7), Value::Int(2)),
+            Ok(Value::Int(-1)),
+            "C remainder truncates toward zero"
+        );
+        assert_eq!(
+            bin_op(BinOp::Div, Value::Int(7), Value::Int(-2)),
+            Ok(Value::Int(-3))
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(
+            bin_op(BinOp::Div, Value::Int(1), Value::Int(0)),
+            Err(EvalError::DivByZero)
+        );
+        assert_eq!(
+            bin_op(BinOp::Rem, Value::Int(1), Value::Int(0)),
+            Err(EvalError::DivByZero)
+        );
+    }
+
+    #[test]
+    fn wrapping_overflow() {
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Int(i64::MAX), Value::Int(1)),
+            Ok(Value::Int(i64::MIN))
+        );
+        assert_eq!(un_op(UnOp::Neg, Value::Int(i64::MIN)), Ok(Value::Int(i64::MIN)));
+    }
+
+    #[test]
+    fn comparisons_are_zero_one() {
+        assert_eq!(
+            bin_op(BinOp::Lt, Value::Int(1), Value::Int(2)),
+            Ok(Value::Int(1))
+        );
+        assert_eq!(
+            bin_op(BinOp::Gt, Value::Int(1), Value::Int(2)),
+            Ok(Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn logical_ops_are_boolean() {
+        assert_eq!(
+            bin_op(BinOp::And, Value::Int(5), Value::Int(-3)),
+            Ok(Value::Int(1))
+        );
+        assert_eq!(
+            bin_op(BinOp::Or, Value::Int(0), Value::Int(0)),
+            Ok(Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn opaque_absorbs() {
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Opaque, Value::Int(1)),
+            Ok(Value::Opaque)
+        );
+        assert_eq!(un_op(UnOp::Not, Value::Opaque), Ok(Value::Opaque));
+        assert_eq!(Value::Opaque.truthy(), None);
+    }
+
+    #[test]
+    fn addresses_do_not_compute() {
+        let a = Value::Addr(Addr::Global(GlobalId(0)));
+        assert_eq!(bin_op(BinOp::Add, a, Value::Int(1)), Err(EvalError::ArithOnAddr));
+        assert_eq!(un_op(UnOp::Neg, a), Err(EvalError::ArithOnAddr));
+        assert_eq!(a.truthy(), None);
+    }
+
+    #[test]
+    fn shifts_are_masked() {
+        assert_eq!(
+            bin_op(BinOp::Shl, Value::Int(1), Value::Int(65)),
+            Ok(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+        assert_eq!(Value::Int(0).truthy(), Some(false));
+    }
+}

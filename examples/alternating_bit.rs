@@ -1,0 +1,131 @@
+//! The alternating-bit protocol over a lossy link, as an open system.
+//!
+//! A classic concurrent-verification workload: a sender retransmits each
+//! message (tagged with a 1-bit sequence number) until acknowledged; the
+//! link may drop acks. Here the *messages* come from the environment — an
+//! open interface — and loss is modeled with `VS_toss` under a bounded
+//! drop budget (the usual fairness assumption that makes liveness-style
+//! bounds checkable). The closing transformation erases the message
+//! payloads (they ride tainted channels) while preserving the protocol's
+//! entire control skeleton, so the explorer verifies the retransmission
+//! logic for *any* traffic the environment generates.
+//!
+//! Run with: `cargo run --release --example alternating_bit`
+
+use reclose::prelude::*;
+
+const ABP: &str = r#"
+    input msg : 0..255;             // environment-supplied payloads
+    chan to_recv[1];                // data link   (frames: seq bit)
+    chan to_send[1];                // ack link    (acks: seq bit)
+    extern chan delivered;          // observed output
+
+    proc sender() {
+        int seq = 0;
+        int round = 0;
+        while (round < 3) {
+            int payload = env_input(msg);
+            int acked = 0;
+            int tries = 0;
+            while (acked == 0) {
+                // bounded loss (budget 2 overall) => at most 3 tries
+
+                // The frame carries the sequence bit; the payload rides
+                // along conceptually (erased by closing — it is
+                // environment data).
+                send(to_recv, seq);
+                int ack = recv(to_send);
+                if (ack == seq) {
+                    acked = 1;
+                }
+                tries = tries + 1;
+                VS_assert(tries <= 3);
+            }
+            seq = 1 - seq;
+            round = round + 1;
+        }
+    }
+
+    proc receiver() {
+        int expected = 0;
+        int done = 0;
+        int drops = 0;
+        while (done < 3) {
+            int frame = recv(to_recv);
+            // Lossy ack link under a drop budget: the ack may be dropped
+            // at most twice over the whole run (fairness), after which
+            // delivery is reliable; the sender retransmits on loss.
+            int lost = 0;
+            if (drops < 2) {
+                lost = VS_toss(1);
+                if (lost == 1) { drops = drops + 1; }
+            }
+            if (frame == expected) {
+                if (lost == 0) {
+                    send(delivered, frame);
+                    send(to_send, frame);
+                    expected = 1 - expected;
+                    done = done + 1;
+                } else {
+                    // ack dropped once; duplicate frame will follow
+                    send(to_send, 1 - frame);
+                }
+            } else {
+                // duplicate frame: re-ack
+                send(to_send, frame);
+            }
+        }
+    }
+
+    process sender();
+    process receiver();
+"#;
+
+fn main() -> Result<(), minic::Diagnostics> {
+    let open = compile(ABP)?;
+    println!(
+        "open ABP: {} procs, {} nodes, open interface: {}",
+        open.procs.len(),
+        open.node_count(),
+        open.has_open_interface()
+    );
+
+    let closed = close_source(ABP)?;
+    for r in &closed.reports {
+        println!(
+            "closed {}: kept {}/{} nodes, {} toss node(s)",
+            r.name, r.nodes_kept, r.nodes_before, r.toss_nodes_inserted
+        );
+    }
+
+    // Verify the protocol control skeleton for any environment traffic.
+    let report = explore(
+        &closed.program,
+        &Config {
+            max_violations: usize::MAX,
+            max_depth: 300,
+            ..Config::default()
+        },
+    );
+    println!("\nexploration of the closed protocol:\n{report}");
+    assert!(report.clean(), "protocol verified for any traffic");
+
+    // A broken variant: the sender ignores the ack *value* and advances
+    // unconditionally. After a loss it skips a message; the receiver then
+    // never completes its three deliveries and blocks forever once the
+    // sender terminates — a deadlock the closed exploration finds.
+    let broken = ABP.replace(
+        "if (ack == seq) {\n                    acked = 1;\n                }",
+        "acked = 1; // BUG: ack value ignored",
+    );
+    assert_ne!(broken, ABP, "bug injection site found");
+    let closed_broken = close_source(&broken)?;
+    let r = explore(&closed_broken.program, &Config::default());
+    println!("\nbroken variant (sender ignores ack values):");
+    match r.violations.first() {
+        Some(v) => println!("  found: {v}"),
+        None => println!("  (no violation found)"),
+    }
+    assert!(!r.clean(), "the seeded protocol bug is caught");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: close an open reactive program and explore it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use reclose::prelude::*;
+
+fn main() -> Result<(), minic::Diagnostics> {
+    // An *open* program: `x` is supplied by the environment, and `out` is
+    // an environment-facing channel.
+    let src = r#"
+        extern chan out;
+        input x : 0..1023;
+        proc p(int x) {
+            int y = x % 2;
+            int cnt = 0;
+            while (cnt < 3) {
+                if (y == 0) send(out, cnt);
+                else send(out, cnt + 100);
+                cnt = cnt + 1;
+            }
+        }
+        process p(x);
+    "#;
+
+    let open = compile(src)?;
+    println!("=== open program ===");
+    println!("{}", cfgir::proc_to_listing(open.proc_by_name("p").unwrap()));
+
+    // Close it: every statement depending on the environment is deleted,
+    // the branch on y becomes a VS_toss choice, and parameter x vanishes.
+    let closed = close_source(src)?;
+    println!("=== closed program ===");
+    println!(
+        "{}",
+        cfgir::proc_to_listing(closed.program.proc_by_name("p").unwrap())
+    );
+    for r in &closed.reports {
+        println!(
+            "transformed {}: kept {}/{} nodes, inserted {} toss node(s), removed {} param(s)",
+            r.name, r.nodes_kept, r.nodes_before, r.toss_nodes_inserted, r.params_removed
+        );
+    }
+
+    // Explore the closed system: all behaviors of p × E_S are covered
+    // without enumerating a single input value.
+    let report = explore(&closed.program, &Config::default());
+    println!("\n=== exploration ===\n{report}");
+    assert!(report.clean());
+    Ok(())
+}

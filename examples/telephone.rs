@@ -1,0 +1,89 @@
+//! The §6 case study: a synthetic telephone-switching application.
+//!
+//! Mirrors the paper's methodology: write a small manual stub for some
+//! external events, close the rest of the open interface automatically,
+//! then let the VeriSoft-style explorer hunt for deadlocks and assertion
+//! violations that seeded defects introduce.
+//!
+//! Run with: `cargo run --release --example telephone`
+
+use reclose::prelude::*;
+use switchsim::SwitchConfig;
+
+fn explore_closed(name: &str, cfg: &SwitchConfig, max_transitions: usize) {
+    let src = switchsim::generate(cfg);
+    let open = compile(&src).expect("switch generator emits valid MiniC");
+    let analysis = dataflow::analyze(&open);
+    let closed = closer::close(&open, &analysis);
+    let report = explore(
+        &closed.program,
+        &Config {
+            max_depth: 400,
+            max_transitions,
+            ..Config::default()
+        },
+    );
+    let kept: usize = closed.reports.iter().map(|r| r.nodes_kept).sum();
+    let before: usize = closed.reports.iter().map(|r| r.nodes_before).sum();
+    println!(
+        "{name:30} lines={} nodes {before}->{kept} | states={:7} transitions={:8}{} | {}",
+        cfg.lines,
+        report.states,
+        report.transitions,
+        if report.truncated { " (cap)" } else { "" },
+        report
+            .violations
+            .first()
+            .map(|v| v.kind.to_string())
+            .unwrap_or_else(|| "no violations".into()),
+    );
+}
+
+fn main() {
+    println!("closing + exploring the synthetic switch (auto-closed interface):\n");
+
+    explore_closed(
+        "healthy tiny switch",
+        &SwitchConfig::tiny(),
+        500_000,
+    );
+    explore_closed(
+        "healthy 2-line switch",
+        &SwitchConfig::default(),
+        1_000_000,
+    );
+    explore_closed(
+        "stubbed line 0 + auto-close",
+        &SwitchConfig {
+            manual_stub_line0: true,
+            ..SwitchConfig::default()
+        },
+        1_000_000,
+    );
+    explore_closed(
+        "seeded billing bug",
+        &SwitchConfig {
+            lines: 1,
+            events_per_line: 1,
+            seed_assert: true,
+            ..SwitchConfig::default()
+        },
+        1_000_000,
+    );
+    explore_closed(
+        "seeded trunk leak",
+        &SwitchConfig {
+            lines: 1,
+            trunks: 1,
+            events_per_line: 2,
+            seed_deadlock: true,
+            ..SwitchConfig::default()
+        },
+        2_000_000,
+    );
+
+    println!("\nwhy manual closing is impractical: the open interface of the");
+    println!("2-line switch alone has 2 event channels x domain 4 x unbounded");
+    println!("sequences; the naive E_S enumeration is measured by the");
+    println!("`naive_vs_closed` example and bench.");
+}

@@ -1,0 +1,323 @@
+//! `reclose` — the command-line front end of the toolchain.
+//!
+//! ```text
+//! reclose check <file.mc>                      parse + semantic check
+//! reclose close <file.mc> [--dot|--stats]      run the closing transformation
+//! reclose explore <file.mc> [options]          state-space exploration
+//! reclose run <file.mc> <schedule>             replay a decision schedule
+//! reclose graph <file.mc>                      Graphviz DOT of the CFGs
+//! reclose envgen <file.mc>                     explicit most-general-environment synthesis
+//! reclose switchgen [--lines N] [...]          emit the synthetic switch source
+//! ```
+
+use reclose::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: reclose <check|close|explore|graph|envgen|switchgen> [args]\n\
+     \n\
+     check <file>                 parse and semantically check a MiniC program\n\
+     close <file> [--dot|--stats] close the open interface (prints listings by default)\n\
+     explore <file> [options]     systematically explore the state space\n\
+         --enumerate              run S x E_S by domain enumeration (open programs)\n\
+         --close                  close the program first, then explore\n\
+         --depth N                maximum path length (default 2000)\n\
+         --max-transitions N      transition cap (default 5000000)\n\
+         --all                    report all violations, not just the first\n\
+         --stateful               use the explicit-state engine\n\
+         --no-por                 disable partial-order reduction\n\
+         --explain                replay and pretty-print each violation\n\
+     run <file> <schedule...>     replay a schedule and print its events;\n\
+                                  a schedule is decisions like P0 P1[2,0] P0\n\
+                                  (process index, bracketed toss choices);\n\
+                                  add --enumerate for open programs\n\
+     graph <file>                 print Graphviz DOT for every procedure\n\
+     envgen <file>                synthesize the explicit most general environment\n\
+     switchgen [--lines N] [--events N] [--trunks N]\n\
+               [--seed-deadlock] [--seed-assert] [--stub]\n\
+                                  emit the synthetic switch application source"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "check" => check(args.get(1).ok_or_else(usage)?),
+        "close" => close_cmd(&args[1..]),
+        "explore" => explore_cmd(&args[1..]),
+        "run" => run_schedule(&args[1..]),
+        "graph" => graph(args.get(1).ok_or_else(usage)?),
+        "envgen" => envgen_cmd(args.get(1).ok_or_else(usage)?),
+        "switchgen" => switchgen(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn load(path: &str) -> Result<(String, CfgProgram), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = compile(&src).map_err(|d| format!("{path}:\n{}", d.render(&src)))?;
+    Ok((src, prog))
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let (_, prog) = load(path)?;
+    println!(
+        "ok: {} procedure(s), {} process(es), {} object(s), {} node(s){}",
+        prog.procs.len(),
+        prog.processes.len(),
+        prog.objects.len(),
+        prog.node_count(),
+        if prog.has_open_interface() {
+            " — open system"
+        } else {
+            " — closed system"
+        }
+    );
+    Ok(())
+}
+
+fn close_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, prog) = load(path)?;
+    let prog = if args.iter().any(|a| a == "--refine") {
+        let (refined, mut reports) = closer::refine(&prog, &closer::RefineOptions::default());
+        let (refined, semantic) =
+            closer::refine_semantic(&refined, &closer::SemanticOptions::default());
+        reports.extend(semantic);
+        for r in &reports {
+            eprintln!(
+                "refined {}::{:?} ({:?}): {} classes over a domain of {} (representatives {:?})",
+                r.proc,
+                r.node,
+                r.kind,
+                r.representatives.len(),
+                r.domain_size,
+                r.representatives
+            );
+        }
+        refined
+    } else {
+        prog
+    };
+    let closed = closer::close(&prog, &analyze(&prog));
+    if args.iter().any(|a| a == "--dot") {
+        println!("{}", cfgir::program_to_dot(&closed.program));
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--stats") {
+        for (r, cmp) in closed
+            .reports
+            .iter()
+            .zip(closer::compare(&prog, &closed.program))
+        {
+            println!(
+                "{}: nodes {} -> {} (+{} toss), params removed {}, branching {} -> {}",
+                r.name,
+                r.nodes_before,
+                r.nodes_kept,
+                r.toss_nodes_inserted,
+                r.params_removed,
+                cmp.degree_before,
+                cmp.degree_after
+            );
+        }
+        return Ok(());
+    }
+    for p in &closed.program.procs {
+        println!("{}", cfgir::proc_to_listing(p));
+    }
+    Ok(())
+}
+
+fn explore_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, mut prog) = load(path)?;
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+    };
+    if flag("--close") {
+        prog = closer::close(&prog, &analyze(&prog)).program;
+    }
+    let config = Config {
+        env_mode: if flag("--enumerate") {
+            EnvMode::Enumerate
+        } else {
+            EnvMode::Closed
+        },
+        engine: if flag("--bfs") {
+            Engine::Bfs
+        } else if flag("--stateful") {
+            Engine::Stateful
+        } else {
+            Engine::Stateless
+        },
+        por: !flag("--no-por"),
+        sleep_sets: !flag("--no-por"),
+        max_violations: if flag("--all") { usize::MAX } else { 1 },
+        max_depth: opt("--depth")?.unwrap_or(2_000),
+        max_transitions: opt("--max-transitions")?.unwrap_or(5_000_000),
+        track_coverage: flag("--coverage"),
+        ..Config::default()
+    };
+    if prog.has_env_reads() && config.env_mode == EnvMode::Closed {
+        return Err(
+            "program is open: pass --enumerate to compose with E_S, or --close to close it first"
+                .into(),
+        );
+    }
+    let report = explore(&prog, &config);
+    println!("{report}");
+    if let Some(cov) = &report.coverage {
+        let (covered, total) = cov.totals();
+        println!("coverage: {covered}/{total} nodes");
+        for p in &prog.procs {
+            let c = cov.covered_count(p.id);
+            println!("  {}: {}/{}", p.name, c, p.nodes.len());
+        }
+    }
+    if flag("--explain") {
+        for v in &report.violations {
+            println!(
+                "\n{}",
+                verisoft::explain_violation(
+                    &prog,
+                    v,
+                    config.env_mode,
+                    &config.limits
+                )
+            );
+        }
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s) found", report.violations.len()))
+    }
+}
+
+fn run_schedule(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, prog) = load(path)?;
+    let env_mode = if args.iter().any(|a| a == "--enumerate") {
+        EnvMode::Enumerate
+    } else {
+        EnvMode::Closed
+    };
+    let mut trace = Vec::new();
+    for tok in args.iter().skip(1).filter(|a| !a.starts_with("--")) {
+        trace.push(parse_decision(tok)?);
+    }
+    if trace.is_empty() {
+        return Err("no schedule given (e.g. `reclose run prog.mc P0 P1[1] P0`)".into());
+    }
+    let (rendered, state) = verisoft::explain::render_schedule(
+        &prog,
+        &trace,
+        env_mode,
+        &verisoft::ExecLimits::default(),
+    );
+    print!("{rendered}");
+    match state {
+        Some(s) => {
+            let enabled = verisoft::enabled_processes(&prog, &s);
+            if enabled.is_empty() {
+                println!("end: no enabled transitions");
+            } else {
+                let names: Vec<String> = enabled
+                    .iter()
+                    .map(|p| format!("P{p} ({})", prog.processes[s.procs[*p].spec].name))
+                    .collect();
+                println!("end: enabled next: {}", names.join(", "));
+            }
+            Ok(())
+        }
+        None => Err("schedule did not replay to completion".into()),
+    }
+}
+
+/// Parse `P<idx>` or `P<idx>[c1,c2,...]`.
+fn parse_decision(tok: &str) -> Result<verisoft::Decision, String> {
+    let rest = tok
+        .strip_prefix('P')
+        .ok_or_else(|| format!("bad decision `{tok}` (expected P<n> or P<n>[c,...])"))?;
+    let (idx, choices) = match rest.split_once('[') {
+        None => (rest, Vec::new()),
+        Some((idx, tail)) => {
+            let inner = tail
+                .strip_suffix(']')
+                .ok_or_else(|| format!("bad decision `{tok}`: missing `]`"))?;
+            let choices: Result<Vec<u32>, _> =
+                inner.split(',').map(|c| c.trim().parse::<u32>()).collect();
+            (idx, choices.map_err(|e| format!("bad choice in `{tok}`: {e}"))?)
+        }
+    };
+    Ok(verisoft::Decision {
+        process: idx
+            .parse::<usize>()
+            .map_err(|e| format!("bad process in `{tok}`: {e}"))?,
+        choices,
+    })
+}
+
+fn graph(path: &str) -> Result<(), String> {
+    let (_, prog) = load(path)?;
+    println!("{}", cfgir::program_to_dot(&prog));
+    Ok(())
+}
+
+fn envgen_cmd(path: &str) -> Result<(), String> {
+    let (_, prog) = load(path)?;
+    let syn = synthesize(&prog).map_err(|e| e.to_string())?;
+    println!(
+        "// E_S: {} environment process(es), {} channel(s), {} domain value(s)",
+        syn.report.env_processes, syn.report.env_channels, syn.report.total_domain_values
+    );
+    for p in &syn.program.procs {
+        println!("{}", cfgir::proc_to_listing(p));
+    }
+    Ok(())
+}
+
+fn switchgen(args: &[String]) -> Result<(), String> {
+    let opt = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let cfg = switchsim::SwitchConfig {
+        lines: opt("--lines", 2)?,
+        trunks: opt("--trunks", 1)? as i64,
+        events_per_line: opt("--events", 2)? as i64,
+        seed_deadlock: args.iter().any(|a| a == "--seed-deadlock"),
+        seed_assert: args.iter().any(|a| a == "--seed-assert"),
+        manual_stub_line0: args.iter().any(|a| a == "--stub"),
+        with_voicemail: args.iter().any(|a| a == "--voicemail"),
+    };
+    print!("{}", switchsim::generate(&cfg));
+    Ok(())
+}

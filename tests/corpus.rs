@@ -1,0 +1,81 @@
+//! Run the full pipeline over every sample program in `corpus/`.
+
+use reclose::prelude::*;
+use verisoft::ViolationKind;
+
+fn corpus_files() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("corpus dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "mc").unwrap_or(false) {
+            out.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&path).unwrap(),
+            ));
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 6, "corpus populated");
+    out
+}
+
+#[test]
+fn corpus_compiles_and_closes() {
+    for (name, src) in corpus_files() {
+        let open = compile(&src).unwrap_or_else(|d| panic!("{name}: {d}"));
+        cfgir::validate(&open).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        assert!(closed.program.is_closed(), "{name}");
+        cfgir::validate(&closed.program).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn corpus_closed_explorations_are_wholesome() {
+    // No runtime errors, divergences, or deadlocks in any closed corpus
+    // program (assertion violations may legitimately appear as
+    // over-approximations, checked against ground truth below).
+    for (name, src) in corpus_files() {
+        let open = compile(&src).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        let r = explore(
+            &closed.program,
+            &Config {
+                max_depth: 300,
+                max_transitions: 2_000_000,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert!(!r.truncated, "{name}: {r}");
+        assert_eq!(
+            r.count(|k| matches!(k, ViolationKind::RuntimeError(_))),
+            0,
+            "{name}: {r}"
+        );
+        assert_eq!(r.count(|k| *k == ViolationKind::Deadlock), 0, "{name}: {r}");
+        assert_eq!(r.count(|k| *k == ViolationKind::Divergence), 0, "{name}: {r}");
+    }
+}
+
+#[test]
+fn corpus_ground_truth_verdicts_preserved() {
+    for (name, src) in corpus_files() {
+        let open = compile(&src).unwrap();
+        let ground = explore(
+            &open,
+            &Config {
+                env_mode: EnvMode::Enumerate,
+                max_depth: 300,
+                max_transitions: 3_000_000,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert!(!ground.truncated, "{name} ground truth incomplete");
+        // All corpus programs are defect-free under their real
+        // environment semantics.
+        assert!(ground.clean(), "{name}: {ground}");
+    }
+}

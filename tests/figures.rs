@@ -1,0 +1,228 @@
+//! Full reproduction of the paper's Figures 2 and 3 (experiments F2/F3 in
+//! DESIGN.md), including the dynamic trace-set claims.
+
+use reclose::prelude::*;
+
+const FIG2_P: &str = r#"
+    extern chan evens;
+    extern chan odds;
+    input x : 0..1023;
+    proc p(int x) {
+        int y = x % 2;
+        int cnt = 0;
+        while (cnt < 10) {
+            if (y == 0) send(evens, cnt);
+            else send(odds, cnt + 1);
+            cnt = cnt + 1;
+        }
+    }
+    process p(x);
+"#;
+
+const FIG3_Q: &str = r#"
+    extern chan evens;
+    extern chan odds;
+    input x : 0..1023;
+    proc q(int x) {
+        int cnt = 0;
+        while (cnt < 10) {
+            int y = x % 2;
+            if (y == 0) send(evens, cnt);
+            else send(odds, cnt + 1);
+            x = x / 2;
+            cnt = cnt + 1;
+        }
+    }
+    process q(x);
+"#;
+
+fn trace_cfg() -> Config {
+    Config {
+        collect_traces: true,
+        por: false,
+        sleep_sets: false,
+        max_violations: usize::MAX,
+        max_depth: 64,
+        ..Config::default()
+    }
+}
+
+fn enumerate_cfg() -> Config {
+    Config {
+        env_mode: EnvMode::Enumerate,
+        ..trace_cfg()
+    }
+}
+
+#[test]
+fn figure2_and_3_close_to_the_same_program() {
+    let cp = close_source(FIG2_P).unwrap();
+    let cq = close_source(FIG3_Q).unwrap();
+    assert!(cp.program.is_closed());
+    assert!(cq.program.is_closed());
+    assert!(cfgir::isomorphic(
+        cp.program.proc_by_name("p").unwrap(),
+        cq.program.proc_by_name("q").unwrap()
+    ));
+}
+
+#[test]
+fn figure2_translation_is_a_strict_upper_approximation() {
+    // "For no values of x can G_p send a mixture of even and odd values,
+    // but for certain combinations of VS_toss results, G'_p can."
+    let open = compile(FIG2_P).unwrap();
+    let closed = close_source(FIG2_P).unwrap();
+    let open_traces = explore(&open, &enumerate_cfg()).traces;
+    let closed_traces = explore(&closed.program, &trace_cfg()).traces;
+
+    // p × E_S has exactly two behaviors: all-even or all-odd.
+    assert_eq!(open_traces.len(), 2);
+    // p' has one behavior per toss combination: 2^10.
+    assert_eq!(closed_traces.len(), 1024);
+
+    // Inclusion: every open behavior is a closed behavior (Theorem 6).
+    for t in &open_traces {
+        assert!(
+            closed_traces.contains(t),
+            "open trace missing from closed program: {t:?}"
+        );
+    }
+}
+
+#[test]
+fn figure3_translation_is_optimal() {
+    // "The set of executions induced by the set of all input values x is
+    // equivalent to the set of executions induced by the set of all
+    // VS_toss results."
+    let open = compile(FIG3_Q).unwrap();
+    let closed = close_source(FIG3_Q).unwrap();
+    let open_traces = explore(&open, &enumerate_cfg()).traces;
+    let closed_traces = explore(&closed.program, &trace_cfg()).traces;
+    assert_eq!(open_traces.len(), 1024);
+    assert_eq!(open_traces, closed_traces);
+}
+
+#[test]
+fn both_closed_programs_have_ten_tosses_per_run() {
+    // Temporal independence (§5): the closed program tosses once per loop
+    // iteration — 10 binary tosses per maximal run, visible as 10 choice
+    // entries across the run's decisions.
+    let closed = close_source(FIG2_P).unwrap();
+    let prog = closed.program;
+    let r = explore(
+        &prog,
+        &Config {
+            max_violations: usize::MAX,
+            max_depth: 64,
+            collect_traces: true,
+            por: false,
+            sleep_sets: false,
+            ..Config::default()
+        },
+    );
+    // Each maximal trace has exactly 10 sends.
+    for t in &r.traces {
+        assert_eq!(t.len(), 10);
+    }
+}
+
+#[test]
+fn closed_figures_never_violate() {
+    for src in [FIG2_P, FIG3_Q] {
+        let closed = close_source(src).unwrap();
+        let r = explore(
+            &closed.program,
+            &Config {
+                max_violations: usize::MAX,
+                max_depth: 64,
+                ..Config::default()
+            },
+        );
+        assert!(r.clean(), "{r}");
+        assert!(!r.truncated);
+    }
+}
+
+#[test]
+fn branching_degree_never_grows_on_figures() {
+    for src in [FIG2_P, FIG3_Q] {
+        let open = compile(src).unwrap();
+        let closed = close_source(src).unwrap();
+        for rep in closer::compare(&open, &closed.program) {
+            assert!(rep.branching_preserved_or_reduced(), "{rep:?}");
+        }
+    }
+}
+
+#[test]
+fn explicit_env_composition_agrees_with_enumeration_small_domain() {
+    // Shrink the domain to keep the explicit E_S composition tractable,
+    // then check the visible trace sets agree between the two ways of
+    // building S × E_S (restricted to system events).
+    let small = FIG2_P.replace("0..1023", "0..3").replace("cnt < 10", "cnt < 2");
+    let open = compile(&small).unwrap();
+    // Project onto the system's output events (sends to evens/odds, the
+    // first two objects): the explicit composition adds visible
+    // environment plumbing (the wrapper's recv of x, feeder sends) that
+    // the semantic enumeration performs invisibly.
+    let project = |traces: std::collections::BTreeSet<Vec<verisoft::VisibleEvent>>| {
+        traces
+            .into_iter()
+            .map(|t| {
+                t.into_iter()
+                    .filter_map(|e| match e.op {
+                        verisoft::EventOp::Send(o, v) if o.index() < 2 => Some((o, v)),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    let semantic = project(explore(&open, &enumerate_cfg()).traces);
+    let syn = envgen::synthesize(&open).unwrap();
+    let explicit = project(explore(&syn.program, &trace_cfg()).traces);
+    assert_eq!(semantic, explicit);
+}
+
+#[test]
+fn closed_figures_have_no_dead_nodes() {
+    // Transformation quality: an exhaustive exploration of each closed
+    // figure executes every node of the closed procedure — the algorithm
+    // left nothing unreachable.
+    for src in [FIG2_P, FIG3_Q] {
+        let closed = close_source(src).unwrap();
+        let r = explore(
+            &closed.program,
+            &Config {
+                track_coverage: true,
+                max_violations: usize::MAX,
+                max_depth: 64,
+                ..Config::default()
+            },
+        );
+        let cov = r.coverage.expect("tracking was on");
+        let (covered, total) = cov.totals();
+        assert_eq!(covered, total, "dead nodes in closed {src}");
+    }
+}
+
+/// Golden snapshot: the canonical form of the closed Figure 2/3 program.
+/// Any change to the transformation's output shape shows up here first.
+#[test]
+fn closed_figure_canonical_form_snapshot() {
+    let closed = close_source(FIG2_P).unwrap();
+    let form = cfgir::canonical_form(closed.program.proc_by_name("p").unwrap()).to_string();
+    let expected = "\
+params: 0
+n0: start [true -> n1]
+n1: v0 = 0 [true -> n2]
+n2: if (v0 < 10) [false -> n3] [true -> n4]
+n3: return
+n4: toss(1) [toss == 0 -> n5] [toss == 1 -> n6]
+n5: send(o0, v0) [true -> n7]
+n6: v1 = (v0 + 1) [true -> n8]
+n7: v0 = (v0 + 1) [true -> n2]
+n8: send(o1, v1) [true -> n7]
+";
+    assert_eq!(form, expected, "canonical form drifted:\n{form}");
+}

@@ -1,0 +1,324 @@
+//! Cross-crate integration tests: the whole pipeline (parse → check →
+//! normalize → CFG → analyses → close → explore) on a corpus of programs.
+
+use reclose::prelude::*;
+
+/// A corpus of open programs covering the language and analysis features.
+const CORPUS: &[&str] = &[
+    // env_input with arithmetic
+    r#"
+    extern chan out;
+    input x : 0..15;
+    proc m() {
+        int v = env_input(x);
+        int doubled = v * 2;
+        send(out, 7);
+        if (doubled > 10) send(out, 1); else send(out, 2);
+    }
+    process m();
+    "#,
+    // pointers and calls
+    r#"
+    extern chan out;
+    input x : 0..3;
+    proc fill(int *slot) { *slot = env_input(x); }
+    proc m() {
+        int v = 0;
+        int *pv = &v;
+        fill(pv);
+        if (v > 1) send(out, 1); else send(out, 0);
+    }
+    process m();
+    "#,
+    // globals across calls
+    r#"
+    extern chan out;
+    input x : 0..3;
+    int mode = 0;
+    proc set_mode() { mode = env_input(x); }
+    proc m() {
+        set_mode();
+        switch (mode) {
+            case 0: send(out, 10);
+            case 1: send(out, 11);
+            default: send(out, 12);
+        }
+    }
+    process m();
+    "#,
+    // multi-process with channels and semaphores
+    r#"
+    input x : 0..7;
+    chan work[2]; sem lock = 1; shared st = 0;
+    proc producer() {
+        int v = env_input(x);
+        if (v > 3) { send(work, 1); } else { send(work, 2); }
+        send(work, -1);
+    }
+    proc consumer() {
+        int going = 1;
+        while (going) {
+            int w = recv(work);
+            if (w == -1) { going = 0; }
+            else {
+                sem_wait(lock);
+                sh_write(st, w);
+                int back = sh_read(st);
+                VS_assert(back == w);
+                sem_signal(lock);
+            }
+        }
+    }
+    process producer();
+    process consumer();
+    "#,
+    // for loops, break/continue
+    r#"
+    extern chan out;
+    input x : 0..7;
+    proc m() {
+        int v = env_input(x);
+        for (int i = 0; i < 5; i = i + 1) {
+            if (i == v) continue;
+            if (i == 4) break;
+            send(out, i);
+        }
+    }
+    process m();
+    "#,
+    // recursion with tainted parameter
+    r#"
+    extern chan out;
+    input x : 0..4;
+    proc countdown(int n) {
+        if (n > 0) { send(out, 1); countdown(n - 1); }
+    }
+    proc m() { int v = env_input(x); countdown(v); }
+    process m();
+    "#,
+];
+
+#[test]
+fn corpus_closes_validates_and_explores() {
+    for (i, src) in CORPUS.iter().enumerate() {
+        let open = compile(src).unwrap_or_else(|d| panic!("corpus[{i}] invalid: {d}"));
+        cfgir::validate(&open).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        assert!(closed.program.is_closed(), "corpus[{i}] not closed");
+        cfgir::validate(&closed.program).unwrap();
+        let r = explore(
+            &closed.program,
+            &Config {
+                max_depth: 200,
+                max_transitions: 500_000,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        // Corpus programs are defect-free; the closed version must be
+        // explorable without runtime errors (Lemma 5: no residual env
+        // reads, no branches on opaque values).
+        assert!(
+            r.count(|k| matches!(k, verisoft::ViolationKind::RuntimeError(_))) == 0,
+            "corpus[{i}] runtime error: {r}"
+        );
+        assert!(
+            r.count(|k| matches!(k, verisoft::ViolationKind::Divergence)) == 0,
+            "corpus[{i}] divergence: {r}"
+        );
+    }
+}
+
+#[test]
+fn corpus_branching_degree_never_grows() {
+    for (i, src) in CORPUS.iter().enumerate() {
+        let open = compile(src).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        for rep in closer::compare(&open, &closed.program) {
+            assert!(
+                rep.branching_preserved_or_reduced(),
+                "corpus[{i}] {}: {} -> {}",
+                rep.name,
+                rep.degree_before,
+                rep.degree_after
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_closing_is_idempotent() {
+    for (i, src) in CORPUS.iter().enumerate() {
+        let open = compile(src).unwrap();
+        let once = closer::close(&open, &dataflow::analyze(&open));
+        let twice = closer::close(&once.program, &dataflow::analyze(&once.program));
+        for (a, b) in once.program.procs.iter().zip(twice.program.procs.iter()) {
+            assert!(
+                cfgir::isomorphic(a, b),
+                "corpus[{i}]: second closing changed {}",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_enumerate_verdicts_contained_in_closed() {
+    // Theorem 7 across the corpus (all clean, so this checks the clean
+    // direction plus absence of spurious runtime errors).
+    for (i, src) in CORPUS.iter().enumerate() {
+        let open = compile(src).unwrap();
+        let ground = explore(
+            &open,
+            &Config {
+                env_mode: EnvMode::Enumerate,
+                max_depth: 200,
+                max_transitions: 1_000_000,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert!(!ground.truncated, "corpus[{i}] ground truth truncated");
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        let transformed = explore(
+            &closed.program,
+            &Config {
+                max_depth: 200,
+                max_transitions: 1_000_000,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        let has = |r: &Report, f: fn(&verisoft::ViolationKind) -> bool| r.count(f) > 0;
+        if has(&ground, |k| *k == verisoft::ViolationKind::Deadlock) {
+            assert!(has(&transformed, |k| *k == verisoft::ViolationKind::Deadlock));
+        }
+        if has(&ground, |k| *k == verisoft::ViolationKind::AssertionViolation) {
+            assert!(has(&transformed, |k| {
+                *k == verisoft::ViolationKind::AssertionViolation
+            }));
+        }
+    }
+}
+
+#[test]
+fn dot_and_listing_render_for_whole_corpus() {
+    for src in CORPUS {
+        let open = compile(src).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        for prog in [&open, &closed.program] {
+            let dot = cfgir::program_to_dot(prog);
+            assert!(dot.starts_with("digraph"));
+            for p in &prog.procs {
+                assert!(!cfgir::proc_to_listing(p).is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn pretty_printed_corpus_reparses_and_recloses() {
+    // parse → pretty → parse must commute with the whole pipeline.
+    for (i, src) in CORPUS.iter().enumerate() {
+        let ast = minic::parse(src).unwrap();
+        let printed = minic::pretty::program_to_string(&ast);
+        let open1 = compile(src).unwrap();
+        let open2 = compile(&printed).unwrap_or_else(|d| {
+            panic!("corpus[{i}] pretty output invalid: {d}\n{printed}")
+        });
+        for (a, b) in open1.procs.iter().zip(open2.procs.iter()) {
+            assert!(cfgir::isomorphic(a, b), "corpus[{i}]: {} changed", a.name);
+        }
+    }
+}
+
+#[test]
+fn stateful_engine_agrees_on_corpus() {
+    for (i, src) in CORPUS.iter().enumerate() {
+        let open = compile(src).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        let a = explore(
+            &closed.program,
+            &Config {
+                engine: Engine::Stateless,
+                max_depth: 150,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        let b = explore(
+            &closed.program,
+            &Config {
+                engine: Engine::Stateful,
+                max_depth: 150,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert_eq!(
+            a.violations.is_empty(),
+            b.violations.is_empty(),
+            "corpus[{i}]: engines disagree\nstateless: {a}\nstateful: {b}"
+        );
+    }
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    // Same program, same config => byte-identical reports (required for
+    // VeriSoft-style replay to be meaningful).
+    for src in CORPUS {
+        let open = compile(src).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        let cfg = Config {
+            max_depth: 120,
+            max_violations: usize::MAX,
+            collect_traces: true,
+            ..Config::default()
+        };
+        let a = explore(&closed.program, &cfg);
+        let b = explore(&closed.program, &cfg);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.traces, b.traces);
+    }
+}
+
+#[test]
+fn closing_is_deterministic() {
+    for src in CORPUS {
+        let open = compile(src).unwrap();
+        let a = closer::close(&open, &dataflow::analyze(&open));
+        let b = closer::close(&open, &dataflow::analyze(&open));
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.reports, b.reports);
+    }
+}
+
+#[test]
+fn opaque_values_never_reach_branches_in_closed_corpus() {
+    // Lemma 5's dynamic face, checked across every corpus program: the
+    // interpreter would report BranchOnOpaque if the transformation left
+    // a decision depending on erased data.
+    for (i, src) in CORPUS.iter().enumerate() {
+        let open = compile(src).unwrap();
+        let closed = closer::close(&open, &dataflow::analyze(&open));
+        let r = explore(
+            &closed.program,
+            &Config {
+                max_depth: 200,
+                max_violations: usize::MAX,
+                ..Config::default()
+            },
+        );
+        assert_eq!(
+            r.count(|k| matches!(
+                k,
+                verisoft::ViolationKind::RuntimeError(verisoft::RtError::BranchOnOpaque)
+            )),
+            0,
+            "corpus[{i}]: {r}"
+        );
+    }
+}
