@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full offline CI for the workspace: formatting, lints, build, tests.
+#
+# Everything here runs with zero registry access — the workspace has no
+# external crate dependencies (see DESIGN.md §8), so `--offline` is a
+# guarantee being enforced, not a limitation being worked around.
+set -eu
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test =="
+cargo test -q --offline
+
+echo "ci: all green"

@@ -7,8 +7,9 @@
 //! claim fails because one eliminated region is entered by several
 //! preserved arcs (see EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use reclose_bench::close;
+use reclose_bench::harness::Criterion;
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use switchsim::progen::{self, Shape};
 

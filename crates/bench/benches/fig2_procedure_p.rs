@@ -4,8 +4,9 @@
 //! branching degree) and the strict-over-approximation evidence (trace
 //! counts), then times the closing transformation on `p`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::harness::Criterion;
 use reclose_bench::{close, closed_config, compile, enumerate_config, trace_config, FIG2_P};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn report() {
@@ -53,9 +54,7 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let open = compile(FIG2_P);
-    c.bench_function("fig2/close_p", |b| {
-        b.iter(|| close(black_box(&open)))
-    });
+    c.bench_function("fig2/close_p", |b| b.iter(|| close(black_box(&open))));
     let closed = close(&open);
     c.bench_function("fig2/explore_closed_p", |b| {
         b.iter(|| verisoft::explore(black_box(&closed.program), &closed_config(64)))

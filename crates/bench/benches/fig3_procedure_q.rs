@@ -4,8 +4,9 @@
 //! (trace-set equality against `q × E_S` over all 1024 inputs), then
 //! times closing and the isomorphism check.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::harness::Criterion;
 use reclose_bench::{close, compile, trace_config, FIG2_P, FIG3_Q};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use verisoft::EnvMode;
 

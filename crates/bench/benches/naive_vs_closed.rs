@@ -6,8 +6,9 @@
 //! linearly in the domain (exponentially in bits); the closed column is
 //! constant — the paper's core tractability argument.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reclose_bench::harness::{BenchmarkId, Criterion};
 use reclose_bench::{close, closed_config, compile, enumerate_config, parity_program};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn report() {

@@ -1,0 +1,99 @@
+//! Experiment E9: wall-clock scaling of the sharded parallel engine.
+//!
+//! Sweeps `jobs` over the auto-closed §6 switch application (the
+//! `switchgen --lines 4` configuration), printing per-jobs wall time and
+//! the speedup versus `jobs = 1`. The engine is deterministic for every
+//! jobs value — the reports are asserted identical before any timing —
+//! so the sweep isolates pure scheduling overhead/speedup. On a
+//! single-core container the expected speedup is ~1.0×; on ≥4 hardware
+//! threads the lines-4 switch shows >1.5×.
+
+use reclose_bench::close;
+use reclose_bench::harness::{BenchmarkId, Criterion};
+use reclose_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+use std::time::Instant;
+use switchsim::SwitchConfig;
+use verisoft::{Config, Engine};
+
+const JOB_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn switch_lines4() -> cfgir::CfgProgram {
+    let cfg = SwitchConfig {
+        lines: 4,
+        events_per_line: 1,
+        ..SwitchConfig::default()
+    };
+    let open = cfgir::compile(&switchsim::generate(&cfg)).unwrap();
+    close(&open).program
+}
+
+fn parallel_cfg(jobs: usize) -> Config {
+    Config {
+        engine: Engine::Parallel,
+        jobs,
+        max_depth: 400,
+        max_transitions: 1_000_000,
+        max_violations: usize::MAX,
+        ..Config::default()
+    }
+}
+
+fn report() {
+    println!("--- E9: parallel stateless search, jobs sweep ---");
+    println!(
+        "hardware threads available: {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let prog = switch_lines4();
+    println!(
+        "workload: switchgen --lines 4 (auto-closed), {} processes, {} nodes",
+        prog.processes.len(),
+        prog.node_count()
+    );
+    // Determinism first: every jobs value must produce the same report.
+    let baseline = verisoft::explore(&prog, &parallel_cfg(1));
+    println!(
+        "explored: {} states, {} transitions, truncated: {}",
+        baseline.states, baseline.transitions, baseline.truncated
+    );
+    println!("{:>6} {:>12} {:>9}", "jobs", "wall", "speedup");
+    let mut t1 = None;
+    for jobs in JOB_SWEEP {
+        let r0 = Instant::now();
+        let r = verisoft::explore(&prog, &parallel_cfg(jobs));
+        let dt = r0.elapsed();
+        assert_eq!(baseline.states, r.states, "jobs={jobs} must match jobs=1");
+        assert_eq!(baseline.transitions, r.transitions);
+        assert_eq!(baseline.violations, r.violations);
+        let t1 = *t1.get_or_insert(dt);
+        println!(
+            "{jobs:>6} {:>12} {:>8.2}x",
+            format!("{:.1} ms", dt.as_secs_f64() * 1e3),
+            t1.as_secs_f64() / dt.as_secs_f64()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let prog = switch_lines4();
+    let mut g = c.benchmark_group("parallel_scaling");
+    for jobs in JOB_SWEEP {
+        g.bench_with_input(
+            BenchmarkId::new("switch_lines4", jobs),
+            &jobs,
+            |b, &jobs| b.iter(|| black_box(verisoft::explore(&prog, &parallel_cfg(jobs)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench
+}
+criterion_main!(benches);

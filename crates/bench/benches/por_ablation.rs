@@ -6,8 +6,9 @@
 //! state/transition counts (exponential interleaving vs near-linear), on
 //! both the worker family and the closed switch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reclose_bench::harness::{BenchmarkId, Criterion};
 use reclose_bench::{close, compile, independent_workers};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use switchsim::SwitchConfig;
 use verisoft::Config;
@@ -68,7 +69,11 @@ fn bench(c: &mut Criterion) {
     let prog = compile(&independent_workers(4, 2));
     let mut group = c.benchmark_group("por_ablation");
     group.sample_size(10);
-    for (name, por, sleep) in [("full", false, false), ("por", true, false), ("por+sleep", true, true)] {
+    for (name, por, sleep) in [
+        ("full", false, false),
+        ("por", true, false),
+        ("por+sleep", true, true),
+    ] {
         group.bench_with_input(BenchmarkId::new(name, 4), &prog, |b, p| {
             b.iter(|| verisoft::explore(black_box(p), &cfg(por, sleep)))
         });

@@ -9,8 +9,9 @@
 //! - **finite variance** — a node reached both with and without
 //!   environment influence is removed wholesale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::harness::Criterion;
 use reclose_bench::{close, compile, enumerate_config, trace_config, FIG2_P};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn count_traces(prog: &cfgir::CfgProgram, enumerate: bool) -> usize {
@@ -127,12 +128,19 @@ fn report_refinement() {
     let (refined, reports) =
         closer::close_with_refinement(src, &closer::RefineOptions::default()).unwrap();
     let r = verisoft::explore(&refined.program, &trace_config(64));
+    println!("{:<18} {:>12} {:>10}", "method", "transitions", "behaviors");
     println!(
         "{:<18} {:>12} {:>10}",
-        "method", "transitions", "behaviors"
+        "naive E_S",
+        ground.transitions,
+        ground.traces.len()
     );
-    println!("{:<18} {:>12} {:>10}", "naive E_S", ground.transitions, ground.traces.len());
-    println!("{:<18} {:>12} {:>10}", "elimination", e.transitions, e.traces.len());
+    println!(
+        "{:<18} {:>12} {:>10}",
+        "elimination",
+        e.transitions,
+        e.traces.len()
+    );
     println!(
         "{:<18} {:>12} {:>10}  ({} classes, exact = {})",
         "refinement",

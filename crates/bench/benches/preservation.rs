@@ -6,8 +6,9 @@
 //! the two detection routes. Every ground-truth defect must reappear in
 //! the closed system.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use reclose_bench::harness::Criterion;
 use reclose_bench::{close, closed_config, compile, enumerate_config};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use verisoft::ViolationKind;
 

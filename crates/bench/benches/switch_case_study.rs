@@ -6,8 +6,9 @@
 //! while the explored space grows steeply with the number of lines. Also
 //! exercises the paper's manual-stub + auto-close methodology.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reclose_bench::close;
+use reclose_bench::harness::{BenchmarkId, Criterion};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use switchsim::SwitchConfig;
 use verisoft::Config;
@@ -48,7 +49,10 @@ fn report() {
         );
     }
     println!("\nseeded defects (1 line):");
-    for (name, d, a, e) in [("trunk leak", true, false, 2), ("billing bug", false, true, 1)] {
+    for (name, d, a, e) in [
+        ("trunk leak", true, false, 2),
+        ("billing bug", false, true, 1),
+    ] {
         let cfg = SwitchConfig {
             lines: 1,
             events_per_line: e,

@@ -7,7 +7,8 @@
 //! construction that *feeds* the algorithm is itself super-linear in the
 //! worst case; the table separates analysis and transformation time.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reclose_bench::harness::{BenchmarkId, Criterion, Throughput};
+use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Instant;
 use switchsim::progen::{self, Shape};

@@ -1,0 +1,227 @@
+//! A minimal Criterion-style benchmark timer.
+//!
+//! The workspace builds with zero registry crates (see the workspace
+//! `Cargo.toml`), so the bench targets cannot depend on `criterion`. This
+//! module provides the small slice of its API the benches use —
+//! [`Criterion::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a plain wall-clock sampler:
+//! warm up, run `sample_size` timed samples of an auto-calibrated number
+//! of iterations each, report min/median/mean.
+//!
+//! The numbers are honest wall-clock medians, good for the repo's
+//! relative comparisons (naive vs closed, POR on vs off, jobs sweeps);
+//! they make no attempt at Criterion's outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Target total measurement time per benchmark.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(120);
+
+/// Per-benchmark timing state handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, running it enough times per sample to get a stable
+    /// reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < TARGET_SAMPLE_TIME / 4 {
+            std::hint::black_box(f());
+            calibration_iters += 1;
+        }
+        let iters = calibration_iters.max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn render(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The top-level timer: a drop-in for the slice of `criterion::Criterion`
+/// the benches use.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        b.samples.sort();
+        let min = b.samples[0];
+        let median = b.samples[b.samples.len() / 2];
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        println!(
+            "{name:<44} min {:>10}   median {:>10}   mean {:>10}",
+            render(min),
+            render(median),
+            render(mean)
+        );
+    }
+
+    /// Time a single closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named parameterized benchmark id (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            rendered: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Throughput annotation (accepted and ignored — we report raw times).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related measurements sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration throughput (ignored by this harness).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Time a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.rendered);
+        self.criterion.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: mirrors `criterion_group!` closely enough
+/// that the bench targets only swap their `use` line.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_produces_ordered_stats() {
+        let mut c = Criterion::default().sample_size(3);
+        // Just exercise the machinery; nothing to assert about wall time
+        // beyond it completing.
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, n| b.iter(|| n * n));
+        g.finish();
+    }
+
+    #[test]
+    fn render_picks_sane_units() {
+        assert!(render(Duration::from_nanos(12)).contains("ns"));
+        assert!(render(Duration::from_micros(12)).contains("µs"));
+        assert!(render(Duration::from_millis(12)).contains("ms"));
+        assert!(render(Duration::from_secs(2)).contains('s'));
+    }
+}

@@ -3,9 +3,13 @@
 //! One bench target exists per experiment row of DESIGN.md §4; each prints
 //! the rows/series the corresponding figure or claim of the paper defines
 //! (shape reproduction — absolute numbers are machine-dependent) and then
-//! times the relevant operation with Criterion.
+//! times the relevant operation with the in-tree [`harness`] (a minimal
+//! Criterion-style timer, kept dependency-free so the workspace builds
+//! offline).
 
 use verisoft::{Config, EnvMode};
+
+pub mod harness;
 
 /// The paper's Figure 2 procedure `p`.
 pub const FIG2_P: &str = r#"

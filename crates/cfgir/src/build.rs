@@ -294,9 +294,7 @@ impl<'a> ProcBuilder<'a> {
 
     fn stmt(&mut self, s: &Stmt, pending: Pending) -> Pending {
         match s {
-            Stmt::Local {
-                name, ty, init, ..
-            } => {
+            Stmt::Local { name, ty, init, .. } => {
                 // The variable enters scope only after its initializer is
                 // lowered (C scoping), so lower init against the old scope.
                 match init {
@@ -408,11 +406,8 @@ impl<'a> ProcBuilder<'a> {
                 let (sw, _) = self.node(NodeKind::Switch { expr }, *span, pending);
                 let mut out = Vec::new();
                 for c in cases {
-                    let arm_pending: Pending = c
-                        .labels
-                        .iter()
-                        .map(|l| (sw, Guard::CaseEq(*l)))
-                        .collect();
+                    let arm_pending: Pending =
+                        c.labels.iter().map(|l| (sw, Guard::CaseEq(*l))).collect();
                     out.extend(self.block(&c.body, arm_pending));
                 }
                 match default {
@@ -731,8 +726,7 @@ mod tests {
 
     #[test]
     fn while_loop_has_back_edge() {
-        let prog =
-            cfg_of("proc m() { int i = 0; while (i < 3) { i = i + 1; } } process m();");
+        let prog = cfg_of("proc m() { int i = 0; while (i < 3) { i = i + 1; } } process m();");
         let m = proc(&prog, "m");
         let cond = m
             .node_ids()
@@ -762,7 +756,10 @@ mod tests {
             .find(|n| match &m.node(*n).kind {
                 NodeKind::Cond { expr } => matches!(
                     expr,
-                    PureExpr::Binary { op: minic::ast::BinOp::Eq, .. }
+                    PureExpr::Binary {
+                        op: minic::ast::BinOp::Eq,
+                        ..
+                    }
                 ),
                 _ => false,
             })
@@ -866,9 +863,7 @@ mod tests {
 
     #[test]
     fn user_calls_lower_with_variable_args() {
-        let prog = cfg_of(
-            "proc g(int a) { } proc m() { int r = g(3); } process m();",
-        );
+        let prog = cfg_of("proc g(int a) { } proc m() { int r = g(3); } process m();");
         let m = proc(&prog, "m");
         let call = m
             .node_ids()

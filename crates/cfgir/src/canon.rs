@@ -103,11 +103,9 @@ pub(crate) fn render_pure(e: &PureExpr, vn: &impl Fn(VarId) -> String) -> String
     match e {
         PureExpr::Atom(op) => render_operand(op, vn),
         PureExpr::Unary { op, expr } => format!("{op}({})", render_pure(expr, vn)),
-        PureExpr::Binary { op, lhs, rhs } => format!(
-            "({} {op} {})",
-            render_pure(lhs, vn),
-            render_pure(rhs, vn)
-        ),
+        PureExpr::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", render_pure(lhs, vn), render_pure(rhs, vn))
+        }
     }
 }
 

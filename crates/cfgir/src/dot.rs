@@ -85,7 +85,12 @@ pub fn proc_to_listing(p: &CfgProc) -> String {
     let params: Vec<String> = p.params.iter().map(|v| p.var(*v).name.clone()).collect();
     let _ = writeln!(out, "proc {} (params: {})", p.name, params.join(", "));
     for nid in p.reachable() {
-        let _ = write!(out, "  n{}: {}", nid.index(), render_kind(&p.node(nid).kind, &vn));
+        let _ = write!(
+            out,
+            "  n{}: {}",
+            nid.index(),
+            render_kind(&p.node(nid).kind, &vn)
+        );
         let mut arcs: Vec<Arc> = p.arcs(nid).to_vec();
         arcs.sort_by_key(|a| a.guard);
         if !arcs.is_empty() {
@@ -110,8 +115,7 @@ mod tests {
 
     #[test]
     fn dot_output_is_well_formed() {
-        let prog =
-            compile("proc m(int x) { if (x) x = 1; else x = 2; } process m(0);").unwrap();
+        let prog = compile("proc m(int x) { if (x) x = 1; else x = 2; } process m(0);").unwrap();
         let dot = proc_to_dot(prog.proc_by_name("m").unwrap());
         assert!(dot.starts_with("digraph"));
         assert!(dot.trim_end().ends_with('}'));

@@ -378,9 +378,7 @@ impl NodeKind {
     pub fn def(&self) -> Option<Place> {
         match self {
             NodeKind::Assign { dst, .. } => Some(*dst),
-            NodeKind::Call { dst, .. } | NodeKind::Visible { dst, .. } => {
-                dst.map(Place::Var)
-            }
+            NodeKind::Call { dst, .. } | NodeKind::Visible { dst, .. } => dst.map(Place::Var),
             _ => None,
         }
     }

@@ -99,10 +99,18 @@ fn validate_proc(prog: &CfgProgram, p: &CfgProc) -> Result<(), ValidateError> {
         .filter(|n| matches!(n.kind, NodeKind::Start))
         .count();
     if starts != 1 {
-        return Err(err(p, None, format!("expected 1 start node, found {starts}")));
+        return Err(err(
+            p,
+            None,
+            format!("expected 1 start node, found {starts}"),
+        ));
     }
     if !matches!(p.node(p.start).kind, NodeKind::Start) {
-        return Err(err(p, Some(p.start), "designated start is not a Start node"));
+        return Err(err(
+            p,
+            Some(p.start),
+            "designated start is not a Start node",
+        ));
     }
     if p.succs.len() != p.nodes.len() {
         return Err(err(p, None, "succs table length mismatch"));
@@ -148,8 +156,9 @@ fn validate_guards(p: &CfgProc, nid: NodeId) -> Result<(), ValidateError> {
         }
         NodeKind::Cond { .. } => {
             let set: BTreeSet<Guard> = guards.iter().copied().collect();
-            let want: BTreeSet<Guard> =
-                [Guard::BoolEq(true), Guard::BoolEq(false)].into_iter().collect();
+            let want: BTreeSet<Guard> = [Guard::BoolEq(true), Guard::BoolEq(false)]
+                .into_iter()
+                .collect();
             if set != want || guards.len() != 2 {
                 return Err(err(
                     p,
@@ -247,20 +256,14 @@ fn validate_kind(prog: &CfgProgram, p: &CfgProc, nid: NodeId) -> Result<(), Vali
                 }
             }
             match src {
-                Rvalue::Load(ptr) => {
-                    if p.var(*ptr).ty != Ty::IntPtr {
-                        return Err(err(p, Some(nid), "load through a non-pointer variable"));
-                    }
+                Rvalue::Load(ptr) if p.var(*ptr).ty != Ty::IntPtr => {
+                    return Err(err(p, Some(nid), "load through a non-pointer variable"));
                 }
-                Rvalue::AddrOf(v) => {
-                    if p.var(*v).ty != Ty::Int {
-                        return Err(err(p, Some(nid), "address-of a non-int variable"));
-                    }
+                Rvalue::AddrOf(v) if p.var(*v).ty != Ty::Int => {
+                    return Err(err(p, Some(nid), "address-of a non-int variable"));
                 }
-                Rvalue::EnvInput(i) => {
-                    if i.index() >= prog.inputs.len() {
-                        return Err(err(p, Some(nid), "env_input of out-of-range input"));
-                    }
+                Rvalue::EnvInput(i) if i.index() >= prog.inputs.len() => {
+                    return Err(err(p, Some(nid), "env_input of out-of-range input"));
                 }
                 _ => {}
             }

@@ -106,14 +106,15 @@ fn guards_partition_every_node() {
 
 #[test]
 fn listing_and_dot_agree_on_node_counts() {
-    let prog = compile(
-        "proc m(int x) { if (x) { x = 1; } else { x = 2; } } process m(0);",
-    )
-    .unwrap();
+    let prog =
+        compile("proc m(int x) { if (x) { x = 1; } else { x = 2; } } process m(0);").unwrap();
     let m = proc_of(&prog, "m");
     let listing = cfgir::proc_to_listing(m);
     let dot = cfgir::proc_to_dot(m);
-    let listing_nodes = listing.lines().filter(|l| l.trim_start().starts_with('n')).count();
+    let listing_nodes = listing
+        .lines()
+        .filter(|l| l.trim_start().starts_with('n'))
+        .count();
     let dot_nodes = dot
         .lines()
         .filter(|l| l.contains("label=") && !l.contains("->"))
@@ -127,10 +128,7 @@ fn canonical_form_distinguishes_object_identity() {
     // Sends to different channels must not be isomorphic.
     let a = compile("chan x[1]; chan y[1]; proc m() { send(x, 1); } process m();").unwrap();
     let b = compile("chan x[1]; chan y[1]; proc m() { send(y, 1); } process m();").unwrap();
-    assert!(!cfgir::isomorphic(
-        proc_of(&a, "m"),
-        proc_of(&b, "m")
-    ));
+    assert!(!cfgir::isomorphic(proc_of(&a, "m"), proc_of(&b, "m")));
 }
 
 #[test]

@@ -555,7 +555,10 @@ mod tests {
         let closed = close_source(FIG2_P).unwrap();
         let reports = compare(&orig, &closed.program);
         let t = totals(&reports);
-        assert_eq!(t.degree_before, reports.iter().map(|r| r.degree_before).sum());
+        assert_eq!(
+            t.degree_before,
+            reports.iter().map(|r| r.degree_before).sum()
+        );
         assert!(t.nodes_after <= t.nodes_before);
     }
 }

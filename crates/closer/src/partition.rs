@@ -95,7 +95,10 @@ pub fn refine(prog: &CfgProgram, options: &RefineOptions) -> (CfgProgram, Vec<Re
 
 /// Shrink every qualifying `VS_toss` read to one choice per behavioral
 /// equivalence class.
-pub fn reduce_tosses(prog: &CfgProgram, options: &RefineOptions) -> (CfgProgram, Vec<RefineReport>) {
+pub fn reduce_tosses(
+    prog: &CfgProgram,
+    options: &RefineOptions,
+) -> (CfgProgram, Vec<RefineReport>) {
     rewrite(prog, options, RefinedKind::Toss)
 }
 
@@ -201,11 +204,7 @@ fn read_at(
         NodeKind::Assign {
             dst: Place::Var(v),
             src: Rvalue::EnvInput(i),
-        } => Some((
-            *v,
-            prog.inputs[i.index()].domain,
-            RefinedKind::EnvInput,
-        )),
+        } => Some((*v, prog.inputs[i.index()].domain, RefinedKind::EnvInput)),
         NodeKind::Assign {
             dst: Place::Var(v),
             src: Rvalue::Toss(Operand::Const(b)),
@@ -454,7 +453,11 @@ mod tests {
         let (refined, reports) = close_with_refinement(src, &RefineOptions::default()).unwrap();
         assert_eq!(reports.len(), 1);
         let r_traces = explore(&refined.program, &trace_cfg(EnvMode::Closed)).traces;
-        assert_eq!(r_traces.len(), 2, "refinement fixes temporal independence here");
+        assert_eq!(
+            r_traces.len(),
+            2,
+            "refinement fixes temporal independence here"
+        );
         // And equals ground truth.
         let open = cfgir::compile(src).unwrap();
         let ground = explore(&open, &trace_cfg(EnvMode::Enumerate)).traces;
@@ -562,8 +565,7 @@ mod tests {
             }
             process m();
         "#;
-        let (closed, reports) =
-            close_with_refinement(src, &RefineOptions::default()).unwrap();
+        let (closed, reports) = close_with_refinement(src, &RefineOptions::default()).unwrap();
         assert_eq!(reports.len(), 1);
         // Cuts at 2,3,5,6: [0,1] [2,2] [3,4] [5,5] [6,9].
         assert_eq!(reports[0].classes.len(), 5);
@@ -626,7 +628,10 @@ mod tests {
         "#;
         let prog = cfgir::compile(src).unwrap();
         let (_, reports) = refine(&prog, &RefineOptions::default());
-        assert!(reports.is_empty(), "bare truthiness is conservatively rejected");
+        assert!(
+            reports.is_empty(),
+            "bare truthiness is conservatively rejected"
+        );
     }
 
     #[test]

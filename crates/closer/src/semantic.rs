@@ -92,8 +92,7 @@ pub fn refine_semantic(
             if size > options.domain_limit {
                 continue;
             }
-            let Some((chain, v_observed)) = derivation_chain(proc, du, &on_cycle, n, *v)
-            else {
+            let Some((chain, v_observed)) = derivation_chain(proc, du, &on_cycle, n, *v) else {
                 continue;
             };
             // A directly-observed read has its exact value in the
@@ -102,8 +101,7 @@ pub fn refine_semantic(
             if v_observed {
                 continue;
             }
-            let Some(classes) = signature_classes(&chain, *v, lo, hi, options.max_classes)
-            else {
+            let Some(classes) = signature_classes(&chain, *v, lo, hi, options.max_classes) else {
                 continue;
             };
             if classes.len() as u64 >= size {
@@ -205,16 +203,18 @@ fn derivation_chain(
                         v_observed = true;
                     }
                 }
-                NodeKind::Visible { op, .. } => match op {
-                    cfgir::VisOp::Assert { .. }
-                    | cfgir::VisOp::Send { .. }
-                    | cfgir::VisOp::ShWrite { .. } => {
-                        if var == v {
-                            v_observed = true;
-                        }
+                NodeKind::Visible {
+                    op:
+                        cfgir::VisOp::Assert { .. }
+                        | cfgir::VisOp::Send { .. }
+                        | cfgir::VisOp::ShWrite { .. },
+                    ..
+                } => {
+                    if var == v {
+                        v_observed = true;
                     }
-                    _ => return None,
-                },
+                }
+                NodeKind::Visible { .. } => return None,
                 // A further pure derivation.
                 NodeKind::Assign {
                     dst: Place::Var(w),

@@ -136,7 +136,9 @@ fn is_marked(proc: &CfgProc, analysis: &Analysis, n: NodeId) -> bool {
     match &proc.node(n).kind {
         // Start nodes, termination statements, procedure calls, and
         // visible operations are always preserved.
-        NodeKind::Start | NodeKind::Return { .. } | NodeKind::Call { .. }
+        NodeKind::Start
+        | NodeKind::Return { .. }
+        | NodeKind::Call { .. }
         | NodeKind::Visible { .. } => true,
         // Reading the environment is the interface being eliminated.
         NodeKind::Assign {
@@ -258,7 +260,10 @@ fn close_proc(prog: &CfgProgram, proc: &CfgProc, analysis: &Analysis) -> (CfgPro
 
     // Sanity: the analog of the paper's Lemma 5 — no node of the result
     // may still read an environment-dependent value.
-    debug_assert!(lemma5_holds(&out, proc, &marked, pt), "V_I(n') != 0 in output");
+    debug_assert!(
+        lemma5_holds(&out, proc, &marked, pt),
+        "V_I(n') != 0 in output"
+    );
     let _ = (prog, pt);
     (out, report)
 }
@@ -286,12 +291,7 @@ fn succ_set(proc: &CfgProc, marked: &[bool], arc: Arc) -> Vec<NodeId> {
 }
 
 /// Step 5 rewrites for a marked node.
-fn rewrite_kind(
-    kind: &NodeKind,
-    proc: &CfgProc,
-    n: NodeId,
-    analysis: &Analysis,
-) -> NodeKind {
+fn rewrite_kind(kind: &NodeKind, proc: &CfgProc, n: NodeId, analysis: &Analysis) -> NodeKind {
     let taint = &analysis.taint;
     let v_i = taint.proc(proc.id).v_i(n);
     let tainted_var = |v: &VarId| v_i.contains(v);
@@ -326,8 +326,7 @@ fn rewrite_kind(
                     val: val.filter(|o| o.as_var().map(|v| !tainted_var(&v)).unwrap_or(true)),
                 },
                 VisOp::Assert { cond } => VisOp::Assert {
-                    cond: cond
-                        .filter(|o| o.as_var().map(|v| !tainted_var(&v)).unwrap_or(true)),
+                    cond: cond.filter(|o| o.as_var().map(|v| !tainted_var(&v)).unwrap_or(true)),
                 },
                 other => other.clone(),
             };
@@ -345,7 +344,7 @@ fn rewrite_kind(
             // dropped); erase it.
             let tainted = value
                 .as_ref()
-                .map(|e| e.vars().iter().any(|v| tainted_var(v)))
+                .map(|e| e.vars().iter().any(tainted_var))
                 .unwrap_or(false);
             NodeKind::Return {
                 value: if tainted { None } else { value.clone() },
@@ -357,12 +356,7 @@ fn rewrite_kind(
 
 /// Debug check (Lemma 5): every kept node's used variables are untainted
 /// and every kept node is outside `N_I`.
-fn lemma5_holds(
-    out: &CfgProc,
-    orig: &CfgProc,
-    marked: &[bool],
-    pt: &dataflow::ProcTaint,
-) -> bool {
+fn lemma5_holds(out: &CfgProc, orig: &CfgProc, marked: &[bool], pt: &dataflow::ProcTaint) -> bool {
     let _ = out;
     for n in orig.node_ids() {
         if !marked[n.index()] {

@@ -162,9 +162,7 @@ fn transformation_reports_are_consistent_across_corpus() {
                 assert_eq!(rep.nodes_before, before.nodes.len());
                 assert_eq!(
                     after.nodes.len(),
-                    rep.nodes_kept
-                        + rep.toss_nodes_inserted
-                        + usize::from(rep.divergent_arcs > 0)
+                    rep.nodes_kept + rep.toss_nodes_inserted + usize::from(rep.divergent_arcs > 0)
                 );
             }
             let cmps = compare(&open, &closed.program);

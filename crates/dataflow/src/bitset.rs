@@ -27,7 +27,11 @@ impl BitSet {
     ///
     /// Panics when `i` is outside the universe.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bitset index {i} out of universe {}", self.len);
+        assert!(
+            i < self.len,
+            "bitset index {i} out of universe {}",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         let old = self.words[w];
         self.words[w] |= 1 << b;
@@ -36,7 +40,11 @@ impl BitSet {
 
     /// Remove `i`; returns true when it was present.
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bitset index {i} out of universe {}", self.len);
+        assert!(
+            i < self.len,
+            "bitset index {i} out of universe {}",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         let old = self.words[w];
         self.words[w] &= !(1 << b);

@@ -65,12 +65,7 @@ pub fn may_uses(proc: &CfgProc, nid: NodeId, pts: &PointsTo) -> Vec<VarId> {
 }
 
 /// Build the define-use graph of `proc`.
-pub fn analyze(
-    prog: &CfgProgram,
-    proc: &CfgProc,
-    pts: &PointsTo,
-    modref: &ModRef,
-) -> DefUse {
+pub fn analyze(prog: &CfgProgram, proc: &CfgProc, pts: &PointsTo, modref: &ModRef) -> DefUse {
     let rd = reachdefs::analyze(prog, proc, pts, modref);
     let nnodes = proc.nodes.len();
     let mut uses_of_node: Vec<Vec<UseArc>> = vec![Vec::new(); nnodes];
@@ -139,10 +134,7 @@ mod tests {
 
     #[test]
     fn param_use_comes_from_entry() {
-        let (prog, du, pid) = setup(
-            "proc m(int x) { int a = x + 1; } process m(0);",
-            "m",
-        );
+        let (prog, du, pid) = setup("proc m(int x) { int a = x + 1; } process m(0);", "m");
         let p = prog.proc(pid);
         let assign = p
             .node_ids()

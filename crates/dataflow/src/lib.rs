@@ -103,9 +103,7 @@ mod taint_tests {
 
     #[test]
     fn closed_program_is_clean() {
-        let (_, a) = setup(
-            "chan c[1]; proc m() { send(c, 1); int x = recv(c); } process m();",
-        );
+        let (_, a) = setup("chan c[1]; proc m() { send(c, 1); int x = recv(c); } process m();");
         assert!(a.taint.is_clean());
     }
 
@@ -515,9 +513,7 @@ mod taint_tests {
     fn toss_result_is_not_env_tainted() {
         // Nondeterminism is not environment dependence: VS_toss results are
         // preserved by the transformation.
-        let (_, a) = setup(
-            "chan c[1]; proc m() { int v = VS_toss(3); send(c, v); } process m();",
-        );
+        let (_, a) = setup("chan c[1]; proc m() { int v = VS_toss(3); send(c, v); } process m();");
         assert!(a.taint.is_clean());
     }
 

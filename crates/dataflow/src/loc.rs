@@ -121,10 +121,9 @@ mod tests {
 
     #[test]
     fn globals_share_loc_across_procs() {
-        let prog = compile(
-            "int g = 0; proc a() { g = 1; } proc b() { g = 2; } process a(); process b();",
-        )
-        .unwrap();
+        let prog =
+            compile("int g = 0; proc a() { g = 1; } proc b() { g = 2; } process a(); process b();")
+                .unwrap();
         let a = prog.proc_by_name("a").unwrap();
         let b = prog.proc_by_name("b").unwrap();
         let ga = a
@@ -144,18 +143,14 @@ mod tests {
 
     #[test]
     fn locals_have_distinct_locs() {
-        let prog =
-            compile("proc a(int x) { int y = x; } process a(1);").unwrap();
+        let prog = compile("proc a(int x) { int y = x; } process a(1);").unwrap();
         let a = prog.proc_by_name("a").unwrap();
         assert_ne!(loc_of(a, VarId(0)), loc_of(a, VarId(1)));
     }
 
     #[test]
     fn table_enumerates_without_global_duplicates() {
-        let prog = compile(
-            "int g = 0; proc a(int x) { g = x; } process a(1);",
-        )
-        .unwrap();
+        let prog = compile("int g = 0; proc a(int x) { g = x; } process a(1);").unwrap();
         let t = LocTable::build(&prog);
         // g + param x (+ any temps); the proc's global-ref var must not
         // add a second entry for g.

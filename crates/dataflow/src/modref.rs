@@ -25,12 +25,18 @@ pub struct ModRef {
 impl ModRef {
     /// Locations procedure `p` may write, transitively.
     pub fn mod_of(&self, p: ProcId) -> BTreeSet<Loc> {
-        self.mods[p.index()].iter().map(|i| self.table.loc(i)).collect()
+        self.mods[p.index()]
+            .iter()
+            .map(|i| self.table.loc(i))
+            .collect()
     }
 
     /// Locations procedure `p` may read, transitively.
     pub fn ref_of(&self, p: ProcId) -> BTreeSet<Loc> {
-        self.refs[p.index()].iter().map(|i| self.table.loc(i)).collect()
+        self.refs[p.index()]
+            .iter()
+            .map(|i| self.table.loc(i))
+            .collect()
     }
 
     /// True when `p` may write `loc`.
@@ -186,7 +192,10 @@ mod tests {
         let callee = prog.proc_by_name("callee").unwrap();
         let m = prog.proc_by_name("m").unwrap();
         let a_loc = loc_named(&prog, "m", "a");
-        assert!(mr.may_mod(callee.id, a_loc), "callee writes m.a via pointer");
+        assert!(
+            mr.may_mod(callee.id, a_loc),
+            "callee writes m.a via pointer"
+        );
         assert!(mr.may_mod(m.id, a_loc), "caller inherits the effect");
     }
 
@@ -219,13 +228,13 @@ mod tests {
 
     #[test]
     fn pure_proc_has_empty_mod_of_globals() {
-        let (prog, mr) = setup(
-            "int g = 0; proc m(int x) { int y = x + 1; } process m(1);",
-        );
+        let (prog, mr) = setup("int g = 0; proc m(int x) { int y = x + 1; } process m(1);");
         let m = prog.proc_by_name("m").unwrap();
         // m writes only its own local y.
         let mods = mr.mod_of(m.id);
-        assert!(mods.iter().all(|l| matches!(l, Loc::Slot(p, _) if *p == m.id)));
+        assert!(mods
+            .iter()
+            .all(|l| matches!(l, Loc::Slot(p, _) if *p == m.id)));
     }
 
     #[test]

@@ -154,21 +154,14 @@ mod tests {
         set.iter()
             .map(|l| match l {
                 Loc::Global(g) => prog.globals[g.index()].name.clone(),
-                Loc::Slot(p, v) => format!(
-                    "{}.{}",
-                    prog.proc(*p).name,
-                    prog.proc(*p).var(*v).name
-                ),
+                Loc::Slot(p, v) => format!("{}.{}", prog.proc(*p).name, prog.proc(*p).var(*v).name),
             })
             .collect()
     }
 
     #[test]
     fn addr_of_flows_to_pointer() {
-        let prog = compile(
-            "proc m() { int x = 0; int *p = &x; *p = 1; } process m();",
-        )
-        .unwrap();
+        let prog = compile("proc m() { int x = 0; int *p = &x; *p = 1; } process m();").unwrap();
         let pt = analyze(&prog);
         let (pid, p) = var(&prog, "m", "p");
         let set = pt.of(&prog, pid, p);
@@ -218,10 +211,7 @@ mod tests {
 
     #[test]
     fn global_targets_resolve_to_global_loc() {
-        let prog = compile(
-            "int g = 0; proc m() { int *p = &g; *p = 2; } process m();",
-        )
-        .unwrap();
+        let prog = compile("int g = 0; proc m() { int *p = &g; *p = 2; } process m();").unwrap();
         // &g of a global: sema types globals as int, address-of allowed.
         let pt = analyze(&prog);
         let (pid, p) = var(&prog, "m", "p");

@@ -304,10 +304,10 @@ fn intraproc(
                     // already global state — nothing to add here.
                 }
             }
-            NodeKind::Return { value: Some(e) } => {
-                if e.vars().iter().any(|v| v_i[nid.index()].contains(v)) {
-                    contrib.ret_tainted.push(proc.id);
-                }
+            NodeKind::Return { value: Some(e) }
+                if e.vars().iter().any(|v| v_i[nid.index()].contains(v)) =>
+            {
+                contrib.ret_tainted.push(proc.id);
             }
             NodeKind::Visible {
                 op: VisOp::Send { chan, val },

@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 use cfgir::{
-    CfgProc, CfgProgram, Guard, NodeId, NodeKind, ObjId, Operand, Place, ProcId, PureExpr,
-    Rvalue, SpawnArg, VarId, VarInfo, VarKind, VisOp,
+    CfgProc, CfgProgram, Guard, NodeId, NodeKind, ObjId, Operand, Place, ProcId, PureExpr, Rvalue,
+    SpawnArg, VarId, VarInfo, VarKind, VisOp,
 };
 use minic::ast::{BinOp, Ty};
 use minic::sema::{ObjectKind, ObjectSym};
@@ -231,7 +231,13 @@ pub fn synthesize(prog: &CfgProgram) -> Result<Synthesized, EnvGenError> {
                 .ok_or_else(|| EnvGenError::DomainTooLarge(name.clone()))?;
             out.objects[oi].kind = ObjectKind::Chan;
             out.objects[oi].capacity = Some(1);
-            let feeder = build_feeder(&mut out, &format!("__env_feed_{name}"), obj, lo, span as u32);
+            let feeder = build_feeder(
+                &mut out,
+                &format!("__env_feed_{name}"),
+                obj,
+                lo,
+                span as u32,
+            );
             out.processes.push(cfgir::ProcessSpec {
                 name: format!("E_S/{name}"),
                 proc: feeder,
@@ -264,6 +270,28 @@ pub fn synthesize(prog: &CfgProgram) -> Result<Synthesized, EnvGenError> {
         program: out,
         report,
     })
+}
+
+/// Explore the naive baseline `S × E_S` end to end: synthesize the
+/// explicit §3 environment, then run the composed closed system through
+/// the same executor/driver API every other consumer uses (so the naive
+/// baseline benefits from POR, sleep sets, and — with
+/// [`verisoft::Engine::Parallel`] — sharded parallel search, exactly
+/// like the transformed program it is compared against).
+///
+/// Returns the synthesized system alongside the exploration report.
+///
+/// # Errors
+///
+/// See [`EnvGenError`].
+pub fn explore_naive(
+    prog: &CfgProgram,
+    config: &verisoft::Config,
+) -> Result<(Synthesized, verisoft::Report), EnvGenError> {
+    let syn = synthesize(prog)?;
+    let exec = verisoft::Executor::new(&syn.program, config);
+    let report = verisoft::driver_for(config.engine).run(&exec);
+    Ok((syn, report))
 }
 
 /// `proc feeder() { while (1) { t = VS_toss(span); v = t + lo; send(chan, v); } }`
@@ -462,6 +490,77 @@ mod tests {
     }
 
     #[test]
+    fn explore_naive_runs_the_shared_search_api() {
+        let prog = compile(
+            r#"
+            input x : 0..7;
+            proc m() { int v = env_input(x); VS_assert(v != 5); }
+            process m();
+            "#,
+        )
+        .unwrap();
+        let cfg = Config {
+            max_violations: usize::MAX,
+            max_depth: 50,
+            ..Config::default()
+        };
+        let (syn, seq) = explore_naive(&prog, &cfg).unwrap();
+        assert!(syn.program.is_closed());
+        assert!(seq.count(|k| *k == ViolationKind::AssertionViolation) >= 1);
+        // The naive baseline rides the same driver seam: the parallel
+        // engine explores it too, with a jobs-invariant report.
+        let par_cfg = Config {
+            engine: verisoft::Engine::Parallel,
+            jobs: 4,
+            ..cfg
+        };
+        let (_, par) = explore_naive(&prog, &par_cfg).unwrap();
+        assert_eq!(
+            seq.count(|k| *k == ViolationKind::AssertionViolation) > 0,
+            par.count(|k| *k == ViolationKind::AssertionViolation) > 0
+        );
+    }
+
+    #[test]
+    fn blocked_feeders_are_not_deadlocks_in_any_engine() {
+        // After `m` terminates, the E_S feeder blocks forever on the full
+        // delivery channel. DESIGN §7: daemons never make a dead end a
+        // deadlock — under every driver, including strict termination
+        // semantics.
+        let prog = compile(
+            r#"
+            input x : 0..3;
+            proc m() { int v = env_input(x); }
+            process m();
+            "#,
+        )
+        .unwrap();
+        let syn = synthesize(&prog).unwrap();
+        for engine in [
+            verisoft::Engine::Stateless,
+            verisoft::Engine::Stateful,
+            verisoft::Engine::Bfs,
+            verisoft::Engine::Parallel,
+        ] {
+            let r = explore(
+                &syn.program,
+                &Config {
+                    engine,
+                    jobs: 2,
+                    max_violations: usize::MAX,
+                    max_depth: 50,
+                    ..Config::default()
+                },
+            );
+            assert_eq!(
+                r.count(|k| *k == ViolationKind::Deadlock),
+                0,
+                "{engine:?}: {r}"
+            );
+        }
+    }
+
+    #[test]
     fn spawn_input_gets_wrapper() {
         let prog = compile(
             r#"
@@ -500,11 +599,7 @@ mod tests {
         )
         .unwrap();
         let syn = synthesize(&prog).unwrap();
-        assert!(syn
-            .program
-            .procs
-            .iter()
-            .any(|p| p.name == "__env_feed_ev"));
+        assert!(syn.program.procs.iter().any(|p| p.name == "__env_feed_ev"));
         let r = explore(
             &syn.program,
             &Config {
@@ -624,10 +719,8 @@ mod tests {
 
     #[test]
     fn closed_program_passes_through() {
-        let prog = compile(
-            "chan c[1]; proc m() { send(c, 1); int x = recv(c); } process m();",
-        )
-        .unwrap();
+        let prog =
+            compile("chan c[1]; proc m() { send(c, 1); int x = recv(c); } process m();").unwrap();
         let syn = synthesize(&prog).unwrap();
         assert_eq!(syn.report.env_processes, 0);
         assert_eq!(syn.program.procs.len(), prog.procs.len());

@@ -170,14 +170,13 @@ impl<'a> Lexer<'a> {
 
     fn lex_number(&mut self) -> Result<TokenKind, Diagnostic> {
         let start = self.pos;
-        let radix = if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
-        {
-            self.pos += 2;
-            16
-        } else {
-            10
-        };
+        let radix =
+            if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
+                self.pos += 2;
+                16
+            } else {
+                10
+            };
         let digits_start = self.pos;
         while let Some(c) = self.peek() {
             if c.is_ascii_digit() || (radix == 16 && c.is_ascii_hexdigit()) || c == b'_' {
@@ -215,8 +214,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("lexer input is valid utf-8");
+        let text =
+            std::str::from_utf8(&self.src[start..self.pos]).expect("lexer input is valid utf-8");
         match Keyword::from_str(text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text.to_owned()),

@@ -89,10 +89,8 @@ mod tests {
 
     #[test]
     fn frontend_runs_full_pipeline() {
-        let (prog, table) = frontend(
-            "chan c[1]; proc m() { send(c, 1 + 2); } process m();",
-        )
-        .unwrap();
+        let (prog, table) =
+            frontend("chan c[1]; proc m() { send(c, 1 + 2); } process m();").unwrap();
         assert_eq!(table.objects.len(), 1);
         normalize::verify(&prog).unwrap();
     }

@@ -260,15 +260,19 @@ impl Normalizer {
             }
             Stmt::Return { value, span } => {
                 let value = value.as_ref().map(|v| self.pure(v, out));
-                out.push(Stmt::Return {
-                    value,
-                    span: *span,
-                });
+                out.push(Stmt::Return { value, span: *span });
             }
             Stmt::Break { span } => out.push(Stmt::Break { span: *span }),
             Stmt::Continue { span } => out.push(Stmt::Continue { span: *span }),
-            Stmt::Expr { expr, span } => match expr {
-                Expr::Call { callee, args, span: cspan } => {
+            // Pure expression statements have no effect and are dropped
+            // (sema already warned); only calls survive.
+            Stmt::Expr { expr, span } => {
+                if let Expr::Call {
+                    callee,
+                    args,
+                    span: cspan,
+                } = expr
+                {
                     let args = self.call_args(callee, args, out);
                     out.push(Stmt::Expr {
                         expr: Expr::Call {
@@ -279,10 +283,7 @@ impl Normalizer {
                         span: *span,
                     });
                 }
-                // Pure expression statements have no effect: drop them
-                // (sema already warned).
-                _ => {}
-            },
+            }
             Stmt::Block(b) => {
                 let nb = self.block(b);
                 out.push(Stmt::Block(nb));
@@ -355,7 +356,9 @@ impl Normalizer {
             .enumerate()
             .map(|(i, a)| {
                 let keep_name = match builtin {
-                    Some(b) => i == 0 && (b.takes_object() || b == crate::builtins::Builtin::EnvInput),
+                    Some(b) => {
+                        i == 0 && (b.takes_object() || b == crate::builtins::Builtin::EnvInput)
+                    }
                     None => false,
                 };
                 if keep_name {
@@ -574,9 +577,7 @@ mod tests {
 
     #[test]
     fn hoists_nested_call_arguments() {
-        let n = norm(
-            "proc g(int a) { } proc m(int x) { g(x + 1); } process m(0);",
-        );
+        let n = norm("proc g(int a) { } proc m(int x) { g(x + 1); } process m(0);");
         let body = &n.proc("m").unwrap().body.stmts;
         // __t0 = x + 1; g(__t0);
         assert_eq!(body.len(), 2);
@@ -593,9 +594,7 @@ mod tests {
 
     #[test]
     fn hoists_call_in_condition() {
-        let n = norm(
-            "chan c[1]; proc m() { if (recv(c) > 0) { send(c, 1); } } process m();",
-        );
+        let n = norm("chan c[1]; proc m() { if (recv(c) > 0) { send(c, 1); } } process m();");
         let body = &n.proc("m").unwrap().body.stmts;
         assert!(body.len() >= 2);
         let Stmt::If { cond, .. } = body.last().unwrap() else {
@@ -615,14 +614,12 @@ mod tests {
         // Body contains the hoisted recv and the break-check.
         let Stmt::Block(inner) = &**wb else { panic!() };
         assert!(inner.stmts.len() >= 2);
-        assert!(matches!(inner.stmts.iter().nth(1), Some(Stmt::If { .. })));
+        assert!(matches!(inner.stmts.get(1), Some(Stmt::If { .. })));
     }
 
     #[test]
     fn deref_isolated_from_larger_expression() {
-        let n = norm(
-            "proc m() { int x = 1; int *p = &x; int y = *p + 2; } process m();",
-        );
+        let n = norm("proc m() { int x = 1; int *p = &x; int y = *p + 2; } process m();");
         let body = &n.proc("m").unwrap().body.stmts;
         // int x = 1; int *p = &x; __t0 = *p; int y = __t0 + 2;
         assert_eq!(body.len(), 4);
@@ -759,9 +756,7 @@ mod tests {
 
     #[test]
     fn call_result_through_pointer_hoisted() {
-        let n = norm(
-            "chan c[1]; proc m() { int x = 0; int *p = &x; *p = recv(c); } process m();",
-        );
+        let n = norm("chan c[1]; proc m() { int x = 0; int *p = &x; *p = recv(c); } process m();");
         let body = &n.proc("m").unwrap().body.stmts;
         // int x; int *p = &x; __t0 = recv(c); *p = __t0;
         assert_eq!(body.len(), 4);

@@ -613,10 +613,7 @@ impl Parser {
             }
             stmts.push(self.stmt()?);
         }
-        let span = stmts
-            .last()
-            .map(|s| start.to(s.span()))
-            .unwrap_or(start);
+        let span = stmts.last().map(|s| start.to(s.span())).unwrap_or(start);
         Ok(Block { stmts, span })
     }
 
@@ -804,13 +801,7 @@ mod tests {
             panic!("expected local with binary init");
         };
         assert_eq!(*op, BinOp::Add);
-        assert!(matches!(
-            **rhs,
-            Expr::Binary {
-                op: BinOp::Mul,
-                ..
-            }
-        ));
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
@@ -829,10 +820,8 @@ mod tests {
 
     #[test]
     fn parses_pointer_forms() {
-        let prog = parse(
-            "proc f(int v) { int *p; int x = 0; p = &x; *p = v; int y = *p + 1; }",
-        )
-        .unwrap();
+        let prog =
+            parse("proc f(int v) { int *p; int x = 0; p = &x; *p = v; int y = *p + 1; }").unwrap();
         let body = &prog.proc("f").unwrap().body.stmts;
         assert!(matches!(
             &body[2],
@@ -866,8 +855,7 @@ mod tests {
             }
         "#;
         let prog = parse(src).unwrap();
-        let Stmt::Switch { cases, default, .. } = &prog.proc("f").unwrap().body.stmts[0]
-        else {
+        let Stmt::Switch { cases, default, .. } = &prog.proc("f").unwrap().body.stmts[0] else {
             panic!()
         };
         assert_eq!(cases.len(), 2);

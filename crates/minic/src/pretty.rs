@@ -71,9 +71,10 @@ impl Printer {
             Item::Sem(s) => self.line(&format!("sem {} = {};", s.name, s.initial)),
             Item::Shared(s) => self.line(&format!("shared {} = {};", s.name, s.initial)),
             Item::Global(g) => self.line(&format!("int {} = {};", g.name, g.initial)),
-            Item::Input(i) => {
-                self.line(&format!("input {} : {}..{};", i.name, i.domain.0, i.domain.1))
-            }
+            Item::Input(i) => self.line(&format!(
+                "input {} : {}..{};",
+                i.name, i.domain.0, i.domain.1
+            )),
             Item::Process(p) => {
                 let args: Vec<String> = p
                     .args

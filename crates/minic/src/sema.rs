@@ -340,10 +340,7 @@ impl Checker {
                         Some(NameRef::Input(iidx)) => args.push(ProcessArgSym::Input(iidx)),
                         _ => {
                             self.err(
-                                format!(
-                                    "process argument `{}` is not a declared `input`",
-                                    id.name
-                                ),
+                                format!("process argument `{}` is not a declared `input`", id.name),
                                 id.span,
                             );
                             ok = false;
@@ -379,10 +376,7 @@ impl Checker {
         for param in &p.params {
             if self.shadows_toplevel(&param.name.name) {
                 self.err(
-                    format!(
-                        "parameter `{}` shadows a top-level name",
-                        param.name.name
-                    ),
+                    format!("parameter `{}` shadows a top-level name", param.name.name),
                     param.name.span,
                 );
             } else if param.name.name.starts_with("__") {
@@ -414,9 +408,7 @@ impl Checker {
 
     fn check_stmt(&mut self, s: &Stmt, scopes: &mut ScopeStack, loop_depth: u32) {
         match s {
-            Stmt::Local {
-                name, ty, init, ..
-            } => {
+            Stmt::Local { name, ty, init, .. } => {
                 if let Some(init) = init {
                     let ity = self.check_expr(init, scopes, true);
                     self.require_ty(*ty, ity, init.span());
@@ -441,10 +433,11 @@ impl Checker {
             Stmt::Assign { lhs, rhs, .. } => {
                 let rty = self.check_expr(rhs, scopes, true);
                 match lhs {
-                    LValue::Var(v) => match self.resolve_var(v, scopes) {
-                        Some(ty) => self.require_ty(ty, rty, rhs.span()),
-                        None => {}
-                    },
+                    LValue::Var(v) => {
+                        if let Some(ty) = self.resolve_var(v, scopes) {
+                            self.require_ty(ty, rty, rhs.span())
+                        }
+                    }
                     LValue::Deref(base, span) => {
                         match self.resolve_var(base, scopes) {
                             Some(Ty::IntPtr) => {}
@@ -568,10 +561,7 @@ impl Checker {
     /// positions `env_input(<input>)` and `process p(<input>)`.
     fn shadows_toplevel(&self, name: &str) -> bool {
         Builtin::from_name(name).is_some()
-            || !matches!(
-                self.toplevel.get(name),
-                None | Some(NameRef::Input(_))
-            )
+            || !matches!(self.toplevel.get(name), None | Some(NameRef::Input(_)))
     }
 
     fn resolve_var(&mut self, id: &Ident, scopes: &ScopeStack) -> Option<Ty> {
@@ -582,10 +572,7 @@ impl Checker {
             Some(NameRef::Global(_)) => Some(Ty::Int),
             Some(NameRef::Object(_)) => {
                 self.err(
-                    format!(
-                        "`{}` is a communication object, not a variable",
-                        id.name
-                    ),
+                    format!("`{}` is a communication object, not a variable", id.name),
                     id.span,
                 );
                 None
@@ -648,23 +635,21 @@ impl Checker {
                 }
                 Some(Ty::Int)
             }
-            Expr::AddrOf { var, span } => {
-                match self.resolve_var(var, scopes) {
-                    Some(Ty::Int) => Some(Ty::IntPtr),
-                    Some(Ty::IntPtr) => {
-                        self.err(
-                            "cannot take the address of a pointer (no `int **`)",
-                            *span,
-                        );
-                        None
-                    }
-                    None => None,
+            Expr::AddrOf { var, span } => match self.resolve_var(var, scopes) {
+                Some(Ty::Int) => Some(Ty::IntPtr),
+                Some(Ty::IntPtr) => {
+                    self.err("cannot take the address of a pointer (no `int **`)", *span);
+                    None
                 }
-            }
+                None => None,
+            },
             Expr::Deref { var, span } => match self.resolve_var(var, scopes) {
                 Some(Ty::IntPtr) => Some(Ty::Int),
                 Some(Ty::Int) => {
-                    self.err(format!("cannot dereference non-pointer `{}`", var.name), *span);
+                    self.err(
+                        format!("cannot dereference non-pointer `{}`", var.name),
+                        *span,
+                    );
                     None
                 }
                 None => None,
@@ -889,7 +874,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_toplevel() {
-        err_containing("chan c[1]; sem c = 0; proc m() { } process m();", "duplicate");
+        err_containing(
+            "chan c[1]; sem c = 0; proc m() { } process m();",
+            "duplicate",
+        );
     }
 
     #[test]
@@ -968,17 +956,15 @@ mod tests {
 
     #[test]
     fn accepts_break_in_switch_in_loop() {
-        check_src(
-            "proc m(int x) { while (1) { switch (x) { case 1: break; } } } process m(0);",
-        )
-        .unwrap();
+        check_src("proc m(int x) { while (1) { switch (x) { case 1: break; } } } process m(0);")
+            .unwrap();
     }
 
     #[test]
     fn rejects_duplicate_case_labels_across_arms() {
         err_containing(
             "proc m(int x) { switch (x) { case 1: x = 0; case 1: x = 2; } } process m(0);",
-        "duplicate case label",
+            "duplicate case label",
         );
     }
 
@@ -994,21 +980,20 @@ mod tests {
 
     #[test]
     fn rejects_process_with_pointer_params() {
-        err_containing(
-            "proc m(int *p) { } process m(1);",
-            "pointer parameters",
-        );
+        err_containing("proc m(int *p) { } process m(1);", "pointer parameters");
     }
 
     #[test]
     fn rejects_spawn_arg_not_input() {
-        err_containing("proc m(int a) { } process m(bogus);", "not a declared `input`");
+        err_containing(
+            "proc m(int a) { } process m(bogus);",
+            "not a declared `input`",
+        );
     }
 
     #[test]
     fn process_args_resolve_inputs() {
-        let tbl =
-            check_src("input x : 0..3; proc m(int a, int b) { } process m(x, 7);").unwrap();
+        let tbl = check_src("input x : 0..3; proc m(int a, int b) { } process m(x, 7);").unwrap();
         assert_eq!(
             tbl.processes[0].args,
             vec![ProcessArgSym::Input(0), ProcessArgSym::Const(7)]
@@ -1017,12 +1002,18 @@ mod tests {
 
     #[test]
     fn rejects_recursion_free_duplicate_param() {
-        err_containing("proc m(int a, int a) { } process m(1, 2);", "duplicate parameter");
+        err_containing(
+            "proc m(int a, int a) { } process m(1, 2);",
+            "duplicate parameter",
+        );
     }
 
     #[test]
     fn rejects_reserved_prefix() {
-        err_containing("proc m() { int __t = 0; } process m();", "reserved `__` prefix");
+        err_containing(
+            "proc m() { int __t = 0; } process m();",
+            "reserved `__` prefix",
+        );
     }
 
     #[test]
@@ -1052,7 +1043,10 @@ mod tests {
 
     #[test]
     fn rejects_builtin_name_collision() {
-        err_containing("chan send[1]; proc m() { } process m();", "collides with a builtin");
+        err_containing(
+            "chan send[1]; proc m() { } process m();",
+            "collides with a builtin",
+        );
     }
 
     #[test]

@@ -130,7 +130,10 @@ impl Diagnostic {
     /// Render the diagnostic with `line:col` resolved against `src`.
     pub fn render(&self, src: &str) -> String {
         let lc = line_col(src, self.span);
-        format!("{}:{}: {}: {}", lc.line, lc.col, self.severity, self.message)
+        format!(
+            "{}:{}: {}: {}",
+            lc.line, lc.col, self.severity, self.message
+        )
     }
 }
 

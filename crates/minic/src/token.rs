@@ -171,7 +171,9 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Look up a keyword from its source spelling.
+    /// Look up a keyword from its source spelling. Not the `FromStr`
+    /// trait: lookup failure is an ordinary `None`, not an error.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "proc" => Keyword::Proc,

@@ -117,8 +117,6 @@ fn comments_everywhere() {
 
 #[test]
 fn diagnostics_accumulate_multiple_errors() {
-    let ds = check_err(
-        "proc m() { a = 1; b = 2; c = 3; } process m();",
-    );
+    let ds = check_err("proc m() { a = 1; b = 2; c = 3; } process m();");
     assert!(ds.len() >= 3, "all three unknowns reported: {ds}");
 }

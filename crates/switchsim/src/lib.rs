@@ -41,6 +41,7 @@
 use std::fmt::Write as _;
 
 pub mod progen;
+pub mod rng;
 
 /// Marker value lines send to the service processes when they finish.
 pub const DONE: i64 = -100;
@@ -138,7 +139,10 @@ pub fn generate(cfg: &SwitchConfig) -> String {
         let _ = writeln!(s, "    while (calls < {maxe}) {{");
         let _ = writeln!(s, "        int e = recv(ev{i});");
         let _ = writeln!(s, "        if (e == 1) {{");
-        let _ = writeln!(s, "            // off-hook: dial, allocate a trunk, route, bill");
+        let _ = writeln!(
+            s,
+            "            // off-hook: dial, allocate a trunk, route, bill"
+        );
         let _ = writeln!(s, "            int d = recv(ev{i});");
         let _ = writeln!(s, "            sem_wait(trunks);");
         let _ = writeln!(s, "            holding = holding + 1;");
@@ -166,7 +170,10 @@ pub fn generate(cfg: &SwitchConfig) -> String {
         }
         if leak {
             let _ = writeln!(s, "            if (d == 3) {{");
-            let _ = writeln!(s, "                // BUG: trunk never released on this path");
+            let _ = writeln!(
+                s,
+                "                // BUG: trunk never released on this path"
+            );
             let _ = writeln!(s, "                holding = holding - 1;");
             let _ = writeln!(s, "            }} else {{");
             let _ = writeln!(s, "                sem_signal(trunks);");
@@ -271,7 +278,7 @@ pub fn generate(cfg: &SwitchConfig) -> String {
         let _ = writeln!(s, "    // manual stub: deterministic scenario for line 0");
         for k in 0..maxe {
             if k % 2 == 0 {
-                let digit = (k % 4) as i64;
+                let digit = k % 4;
                 let _ = writeln!(s, "    send(ev0, 1);");
                 let _ = writeln!(s, "    send(ev0, {digit});");
             } else {

@@ -22,7 +22,11 @@ impl Coverage {
     /// Empty coverage for `prog`.
     pub fn new(prog: &CfgProgram) -> Self {
         Coverage {
-            visited: prog.procs.iter().map(|p| vec![false; p.nodes.len()]).collect(),
+            visited: prog
+                .procs
+                .iter()
+                .map(|p| vec![false; p.nodes.len()])
+                .collect(),
         }
     }
 
@@ -81,10 +85,7 @@ mod tests {
 
     #[test]
     fn straight_line_covers_everything_executed() {
-        let prog = compile(
-            "chan c[1]; proc m() { int a = 1; send(c, a); } process m();",
-        )
-        .unwrap();
+        let prog = compile("chan c[1]; proc m() { int a = 1; send(c, a); } process m();").unwrap();
         let mut cov = Coverage::new(&prog);
         let mut s = GlobalState::initial(&prog);
         // Init transition + send transition.

@@ -1,0 +1,272 @@
+//! The executor layer: a pure transition-system view of a program.
+//!
+//! [`Executor`] packages a validated program, its static analysis
+//! ([`StaticInfo`]), and the exploration [`Config`] behind a small API —
+//! [`Executor::schedule`], [`Executor::successors`], [`Executor::replay`]
+//! — with **no search policy** in it. Search order, pruning bookkeeping,
+//! visited sets, and result accumulation all live in the drivers
+//! ([`crate::search`]); the executor only answers "what can happen next
+//! from this state".
+//!
+//! The executor is freely shareable across threads (`&Executor` is all a
+//! worker needs); per-driver mutable scratch — the transition budget and
+//! optional coverage map — travels separately in [`ExecCtx`], so parallel
+//! drivers can give every worker its own context and merge afterwards.
+
+use crate::coverage::Coverage;
+use crate::interp::{execute_transition_with, TransitionResult, VisibleEvent};
+use crate::por::{enabled_processes, independent, persistent_set, StaticInfo};
+use crate::report::{Decision, ViolationKind};
+use crate::search::Config;
+use crate::state::{GlobalState, Status};
+use cfgir::{CfgProgram, NodeKind};
+
+/// What the executor offers a driver at a given state.
+pub enum Scheduled {
+    /// Initialization: run this process's invisible prefix (deterministic
+    /// choice of process — toss branching may still occur inside).
+    Init(usize),
+    /// Explore these processes' transitions (the persistent set when POR
+    /// is on, every enabled process otherwise).
+    Procs(Vec<usize>),
+    /// No enabled transitions.
+    DeadEnd {
+        /// Whether this dead end counts as a system deadlock (see
+        /// [`Executor::deadend_is_deadlock`]).
+        deadlock: bool,
+    },
+}
+
+/// One outcome of executing a process's next transition.
+pub enum SuccOutcome {
+    /// The transition completed, yielding a successor state and possibly
+    /// a visible event.
+    State(Box<GlobalState>, Option<VisibleEvent>),
+    /// The transition hit a property violation.
+    Violation(ViolationKind, Option<usize>),
+}
+
+/// Per-driver (or per-worker) mutable execution scratch: the transition
+/// budget and optional coverage accumulator. Drivers fold the fields into
+/// their [`crate::Report`] when done.
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// Transitions executed so far through this context (including
+    /// re-executions for choice enumeration).
+    pub transitions: usize,
+    /// Budget: once `transitions` reaches this, [`Executor::successors`]
+    /// stops and sets `truncated`.
+    pub budget: usize,
+    /// Set when the budget cut enumeration short.
+    pub truncated: bool,
+    /// Executed-node coverage, when tracking is on.
+    pub coverage: Option<Coverage>,
+}
+
+impl ExecCtx {
+    /// A fresh context with the given transition budget, tracking
+    /// coverage iff the config asks for it.
+    pub fn new(exec: &Executor<'_>, budget: usize) -> Self {
+        ExecCtx {
+            transitions: 0,
+            budget,
+            truncated: false,
+            coverage: if exec.config().track_coverage {
+                Some(Coverage::new(exec.program()))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// A program plus its static analysis and exploration config, exposing
+/// the pure transition-system API every search driver runs against.
+pub struct Executor<'a> {
+    prog: &'a CfgProgram,
+    cfg: Config,
+    info: StaticInfo,
+}
+
+impl<'a> Executor<'a> {
+    /// Build an executor for a validated program.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prog` fails [`cfgir::validate()`] (malformed graphs).
+    pub fn new(prog: &'a CfgProgram, config: &Config) -> Self {
+        cfgir::validate(prog).expect("Executor requires a validated program");
+        Executor {
+            prog,
+            cfg: config.clone(),
+            info: StaticInfo::build(prog),
+        }
+    }
+
+    /// The program under exploration.
+    pub fn program(&self) -> &'a CfgProgram {
+        self.prog
+    }
+
+    /// The exploration configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The static object-footprint analysis backing POR.
+    pub fn static_info(&self) -> &StaticInfo {
+        &self.info
+    }
+
+    /// The initial global state.
+    pub fn initial(&self) -> GlobalState {
+        GlobalState::initial(self.prog)
+    }
+
+    /// What a driver should do at `state`: finish initialization, branch
+    /// over a set of processes, or stop at a dead end.
+    pub fn schedule(&self, state: &GlobalState) -> Scheduled {
+        // Initialization: processes still positioned at an invisible node
+        // run first, lowest index first — the system reaches its initial
+        // global state s0 before any scheduling choice is made (§2).
+        for (pid, ps) in state.procs.iter().enumerate() {
+            if let Status::AtNode(n) = ps.status {
+                let proc = self.prog.proc(ps.top().proc);
+                if !matches!(proc.node(n).kind, NodeKind::Visible { .. }) {
+                    return Scheduled::Init(pid);
+                }
+            }
+        }
+        let enabled = enabled_processes(self.prog, state);
+        if enabled.is_empty() {
+            return Scheduled::DeadEnd {
+                deadlock: self.deadend_is_deadlock(state),
+            };
+        }
+        let procs = if self.cfg.por {
+            persistent_set(self.prog, &self.info, state, &enabled)
+        } else {
+            enabled
+        };
+        Scheduled::Procs(procs)
+    }
+
+    /// Whether a dead end at `state` counts as a system deadlock.
+    ///
+    /// This is the single daemon-flag rule every driver shares (DESIGN
+    /// §7): synthesized environment feeders are marked `daemon` and never
+    /// make a dead end a deadlock. A dead end is a deadlock iff some
+    /// *non-daemon* process is stuck short of termination, or — under
+    /// [`Config::strict_termination_deadlock`] — any non-daemon process
+    /// exists at all (the paper's strict reading: top-level termination
+    /// blocks forever). Strict mode deliberately does not fire for a
+    /// system whose every process is a daemon feeder.
+    pub fn deadend_is_deadlock(&self, state: &GlobalState) -> bool {
+        let mut any_nondaemon = false;
+        let mut stuck_nondaemon = false;
+        for p in &state.procs {
+            if self.prog.processes[p.spec].daemon {
+                continue;
+            }
+            any_nondaemon = true;
+            if p.status != Status::Terminated {
+                stuck_nondaemon = true;
+            }
+        }
+        stuck_nondaemon || (self.cfg.strict_termination_deadlock && any_nondaemon)
+    }
+
+    /// Whether `u`'s and `t`'s next transitions from `state` are
+    /// independent (the sleep-set hook; delegates to [`crate::por`]).
+    pub fn independent(&self, state: &GlobalState, u: usize, t: usize) -> bool {
+        independent(self.prog, state, u, t)
+    }
+
+    /// Enumerate every outcome of process `pid`'s next transition from
+    /// `state` (branching over toss / environment choices), charging the
+    /// executed transitions to `cx`.
+    pub fn successors(
+        &self,
+        cx: &mut ExecCtx,
+        state: &GlobalState,
+        pid: usize,
+    ) -> Vec<(Vec<u32>, SuccOutcome)> {
+        let mut out = Vec::new();
+        let mut pending: Vec<Vec<u32>> = vec![Vec::new()];
+        while let Some(choices) = pending.pop() {
+            if cx.transitions >= cx.budget {
+                cx.truncated = true;
+                break;
+            }
+            let mut s = state.clone();
+            cx.transitions += 1;
+            match execute_transition_with(
+                self.prog,
+                &mut s,
+                pid,
+                &choices,
+                self.cfg.env_mode,
+                &self.cfg.limits,
+                cx.coverage.as_mut(),
+            ) {
+                TransitionResult::Completed { event } => {
+                    out.push((choices, SuccOutcome::State(Box::new(s), event)));
+                }
+                TransitionResult::NeedChoice { bound } => {
+                    // Push in reverse so choice 0 is explored first.
+                    for c in (0..=bound).rev() {
+                        let mut cs = choices.clone();
+                        cs.push(c);
+                        pending.push(cs);
+                    }
+                }
+                TransitionResult::AssertViolation => {
+                    out.push((
+                        choices,
+                        SuccOutcome::Violation(ViolationKind::AssertionViolation, Some(pid)),
+                    ));
+                }
+                TransitionResult::RuntimeError(e) => {
+                    out.push((
+                        choices,
+                        SuccOutcome::Violation(ViolationKind::RuntimeError(e), Some(pid)),
+                    ));
+                }
+                TransitionResult::Diverged => {
+                    out.push((
+                        choices,
+                        SuccOutcome::Violation(ViolationKind::Divergence, Some(pid)),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Replay a decision sequence from the initial state, returning the
+    /// final state (VeriSoft's deterministic replay feature).
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing [`TransitionResult`] when the trace does not
+    /// replay cleanly (e.g. it ends in the recorded violation).
+    pub fn replay(&self, trace: &[Decision]) -> Result<GlobalState, TransitionResult> {
+        let mut state = self.initial();
+        for d in trace {
+            let r = execute_transition_with(
+                self.prog,
+                &mut state,
+                d.process,
+                &d.choices,
+                self.cfg.env_mode,
+                &self.cfg.limits,
+                None,
+            );
+            match r {
+                TransitionResult::Completed { .. } => {}
+                other => return Err(other),
+            }
+        }
+        Ok(state)
+    }
+}

@@ -6,9 +6,7 @@
 //! process name, visible operation with object names, toss choices — ending
 //! with the violation itself.
 
-use crate::interp::{
-    execute_transition, EnvMode, EventOp, ExecLimits, TransitionResult,
-};
+use crate::interp::{execute_transition, EnvMode, EventOp, ExecLimits, TransitionResult};
 use crate::report::Violation;
 use crate::state::GlobalState;
 use crate::value::Value;
@@ -119,11 +117,7 @@ pub fn render_schedule(
                 let _ = writeln!(out, "  {:>3}. {pname}: {what}{choices}", i + 1);
             }
             TransitionResult::AssertViolation => {
-                let _ = writeln!(
-                    out,
-                    "  {:>3}. {pname}: VS_assert VIOLATED{choices}",
-                    i + 1
-                );
+                let _ = writeln!(out, "  {:>3}. {pname}: VS_assert VIOLATED{choices}", i + 1);
                 return (out, None);
             }
             TransitionResult::RuntimeError(e) => {

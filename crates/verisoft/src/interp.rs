@@ -15,8 +15,7 @@ use crate::coverage::Coverage;
 use crate::state::{Frame, GlobalState, ObjState, ProcState, Status};
 use crate::value::{bin_op, un_op, EvalError, Value};
 use cfgir::{
-    CfgProgram, Guard, NodeId, NodeKind, ObjId, Operand, ProcId, PureExpr, Rvalue, SpawnArg,
-    VisOp,
+    CfgProgram, Guard, NodeId, NodeKind, ObjId, Operand, ProcId, PureExpr, Rvalue, SpawnArg, VisOp,
 };
 
 /// How the open interface behaves at run time.
@@ -368,9 +367,7 @@ impl<'a> Exec<'a> {
                 SpawnArg::Const(v) => Value::Int(*v),
                 SpawnArg::Input(inp) => match self.env_mode {
                     EnvMode::Closed => {
-                        return Err(TransitionResult::RuntimeError(
-                            RtError::EnvReadInClosedMode,
-                        ))
+                        return Err(TransitionResult::RuntimeError(RtError::EnvReadInClosedMode))
                     }
                     EnvMode::Enumerate => {
                         let (lo, hi) = self.prog.inputs[inp.index()].domain;
@@ -395,7 +392,9 @@ impl<'a> Exec<'a> {
     }
 
     fn domain_choice(&mut self, lo: i64, hi: i64) -> Result<i64, TransitionResult> {
-        let span = hi.checked_sub(lo).filter(|s| *s >= 0 && *s < u32::MAX as i64);
+        let span = hi
+            .checked_sub(lo)
+            .filter(|s| *s >= 0 && *s < u32::MAX as i64);
         let Some(span) = span else {
             return Err(TransitionResult::RuntimeError(RtError::DomainTooLarge));
         };
@@ -441,11 +440,7 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn write_place(
-        &mut self,
-        place: cfgir::Place,
-        value: Value,
-    ) -> Result<(), TransitionResult> {
+    fn write_place(&mut self, place: cfgir::Place, value: Value) -> Result<(), TransitionResult> {
         match place {
             cfgir::Place::Var(v) => {
                 self.state.procs[self.pid].write(self.prog, v, value);
@@ -477,9 +472,7 @@ impl<'a> Exec<'a> {
                     Rvalue::Load(p) => {
                         let pv = self.state.procs[self.pid].read(self.prog, p);
                         let Value::Addr(a) = pv else {
-                            return Err(TransitionResult::RuntimeError(
-                                RtError::DerefNonPointer,
-                            ));
+                            return Err(TransitionResult::RuntimeError(RtError::DerefNonPointer));
                         };
                         self.state.procs[self.pid]
                             .read_addr(a)
@@ -517,7 +510,11 @@ impl<'a> Exec<'a> {
                 let Some(b) = v.truthy() else {
                     return Err(TransitionResult::RuntimeError(RtError::BranchOnOpaque));
                 };
-                Ok(Flow::Continue(self.pick_arc(proc_id, node, Guard::BoolEq(b))))
+                Ok(Flow::Continue(self.pick_arc(
+                    proc_id,
+                    node,
+                    Guard::BoolEq(b),
+                )))
             }
             NodeKind::Switch { expr } => {
                 let v = self.eval_pure(&expr)?;
@@ -536,7 +533,11 @@ impl<'a> Exec<'a> {
             }
             NodeKind::TossCond { bound } => {
                 let c = self.take_choice(bound)?;
-                Ok(Flow::Continue(self.pick_arc(proc_id, node, Guard::TossEq(c))))
+                Ok(Flow::Continue(self.pick_arc(
+                    proc_id,
+                    node,
+                    Guard::TossEq(c),
+                )))
             }
             NodeKind::Call { callee, args, dst } => {
                 if self.state.procs[self.pid].frames.len() >= self.limits.max_stack_depth {
@@ -594,19 +595,14 @@ impl<'a> Exec<'a> {
         let pid = self.pid;
         let ev = match op {
             VisOp::Send { chan, val } => {
-                let v = val
-                    .map(|o| self.eval_operand(&o))
-                    .unwrap_or(Value::Opaque);
+                let v = val.map(|o| self.eval_operand(&o)).unwrap_or(Value::Opaque);
                 match &mut self.state.objects[chan.index()] {
                     ObjState::Chan { queue, cap } => {
-                        match cap {
-                            Some(c) => {
-                                debug_assert!(queue.len() < *c as usize, "send enabled");
-                                queue.push_back(v);
-                            }
-                            // External channels absorb outputs: the most
-                            // general environment accepts anything.
-                            None => {}
+                        // External (capacity-less) channels absorb outputs:
+                        // the most general environment accepts anything.
+                        if let Some(c) = cap {
+                            debug_assert!(queue.len() < *c as usize, "send enabled");
+                            queue.push_back(v);
                         }
                     }
                     _ => unreachable!("send targets a channel"),
@@ -622,17 +618,13 @@ impl<'a> Exec<'a> {
                     match self.env_mode {
                         EnvMode::Closed => Value::Opaque,
                         EnvMode::Enumerate => {
-                            let (lo, hi) = self.prog.objects[chan.index()]
-                                .domain
-                                .unwrap_or((0, 0));
+                            let (lo, hi) = self.prog.objects[chan.index()].domain.unwrap_or((0, 0));
                             Value::Int(self.domain_choice(lo, hi)?)
                         }
                     }
                 } else {
                     match &mut self.state.objects[chan.index()] {
-                        ObjState::Chan { queue, .. } => {
-                            queue.pop_front().expect("recv enabled")
-                        }
+                        ObjState::Chan { queue, .. } => queue.pop_front().expect("recv enabled"),
                         _ => unreachable!("recv targets a channel"),
                     }
                 };
@@ -659,9 +651,7 @@ impl<'a> Exec<'a> {
                 EventOp::SemSignal(s)
             }
             VisOp::ShWrite { var, val } => {
-                let v = val
-                    .map(|o| self.eval_operand(&o))
-                    .unwrap_or(Value::Opaque);
+                let v = val.map(|o| self.eval_operand(&o)).unwrap_or(Value::Opaque);
                 match &mut self.state.objects[var.index()] {
                     ObjState::Shared(slot) => *slot = v,
                     _ => unreachable!("sh_write targets a shared variable"),
@@ -689,9 +679,7 @@ impl<'a> Exec<'a> {
                             Value::Int(0) => return Err(TransitionResult::AssertViolation),
                             Value::Int(_) => EventOp::AssertPass,
                             _ => {
-                                return Err(TransitionResult::RuntimeError(
-                                    RtError::AssertOnNonInt,
-                                ))
+                                return Err(TransitionResult::RuntimeError(RtError::AssertOnNonInt))
                             }
                         }
                     }

@@ -8,8 +8,13 @@
 //!
 //! - [`interp`] — transition semantics: one visible operation plus an
 //!   invisible suffix, per §2 of the paper;
-//! - [`search`] — the stateless (VeriSoft-faithful) and stateful engines,
-//!   with deterministic replay of reported traces;
+//! - [`executor`] — the [`Executor`] layer: a pure `schedule` /
+//!   `successors` / `replay` transition-system API over a validated
+//!   program, shared by every engine;
+//! - [`search`] — the [`SearchDriver`] engines over that API: stateless
+//!   (VeriSoft-faithful) DFS, stateful DFS, BFS, and deterministic
+//!   sharded parallel stateless search, with deterministic replay of
+//!   reported traces;
 //! - [`por`] — persistent-set and sleep-set partial-order reduction;
 //! - [`report`] — violations (deadlock, assertion, divergence, runtime
 //!   error), statistics, trace sets.
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod coverage;
+pub mod executor;
 pub mod explain;
 pub mod interp;
 pub mod por;
@@ -47,14 +53,18 @@ pub mod state;
 pub mod value;
 
 pub use coverage::Coverage;
+pub use executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
 pub use explain::explain_violation;
 pub use interp::{
-    enabled, execute_transition, execute_transition_with, EnvMode, EventOp, ExecLimits,
-    RtError, TransitionResult, VisibleEvent,
+    enabled, execute_transition, execute_transition_with, EnvMode, EventOp, ExecLimits, RtError,
+    TransitionResult, VisibleEvent,
 };
 pub use por::{enabled_processes, independent, persistent_set, StaticInfo};
 pub use report::{Decision, Report, Violation, ViolationKind};
-pub use search::{explore, replay, Config, Engine};
+pub use search::{
+    driver_for, explore, replay, BfsDriver, Config, Engine, ParallelStateless, SearchDriver,
+    StatefulDfs, StatelessDfs,
+};
 pub use state::{Frame, GlobalState, ObjState, ProcState, Status};
 pub use value::{Addr, Value};
 
@@ -281,10 +291,7 @@ mod tests {
             &Config::default(),
         );
         assert_eq!(
-            r.count(|k| matches!(
-                k,
-                ViolationKind::RuntimeError(RtError::EnvReadInClosedMode)
-            )),
+            r.count(|k| matches!(k, ViolationKind::RuntimeError(RtError::EnvReadInClosedMode))),
             1,
             "{r}"
         );
@@ -649,8 +656,8 @@ mod tests {
         // test builds the closed graph by hand mirroring the paper's
         // Figure 2 output.
         use cfgir::{
-            CfgProc, CfgProgram, Guard, NodeId, NodeKind, Operand, Place, ProcId, PureExpr,
-            Rvalue, VarId, VarInfo, VarKind, VisOp,
+            CfgProc, CfgProgram, Guard, NodeId, NodeKind, Operand, Place, ProcId, PureExpr, Rvalue,
+            VarId, VarInfo, VarKind, VisOp,
         };
         use minic::ast::{BinOp, Ty};
         use minic::span::Span;
@@ -810,10 +817,8 @@ mod explain_tests {
 
     #[test]
     fn explains_toss_choices() {
-        let prog = compile(
-            "proc m() { int v = VS_toss(3); VS_assert(v != 2); } process m();",
-        )
-        .unwrap();
+        let prog =
+            compile("proc m() { int v = VS_toss(3); VS_assert(v != 2); } process m();").unwrap();
         let r = explore(&prog, &Config::default());
         let v = r.first_assert().unwrap();
         let text = explain_violation(&prog, v, EnvMode::Closed, &ExecLimits::default());
@@ -822,10 +827,8 @@ mod explain_tests {
 
     #[test]
     fn stale_trace_does_not_panic() {
-        let prog = compile(
-            "proc m() { int v = VS_toss(3); VS_assert(v != 2); } process m();",
-        )
-        .unwrap();
+        let prog =
+            compile("proc m() { int v = VS_toss(3); VS_assert(v != 2); } process m();").unwrap();
         let v = Violation {
             kind: ViolationKind::AssertionViolation,
             process: Some(0),

@@ -101,31 +101,30 @@ pub fn persistent_set(
         let mut in_c = vec![false; nprocs];
         in_c[seed] = true;
         // Objects of next visible operations of members.
-        let mut next_objs: BTreeSet<ObjId> = next_op_object(prog, state, seed)
-            .into_iter()
-            .collect();
+        let mut next_objs: BTreeSet<ObjId> =
+            next_op_object(prog, state, seed).into_iter().collect();
         let mut changed = true;
         while changed {
             changed = false;
-            for q in 0..nprocs {
-                if in_c[q] || state.procs[q].status == Status::Terminated {
+            for (q, q_in_c) in in_c.iter_mut().enumerate() {
+                if *q_in_c || state.procs[q].status == Status::Terminated {
                     continue;
                 }
                 let fut = info.future_objects(state, q);
                 if fut.iter().any(|o| next_objs.contains(o)) {
-                    in_c[q] = true;
+                    *q_in_c = true;
                     next_objs.extend(next_op_object(prog, state, q));
                     changed = true;
                 }
             }
         }
-        let members: Vec<usize> = enabled_pids
-            .iter()
-            .copied()
-            .filter(|p| in_c[*p])
-            .collect();
+        let members: Vec<usize> = enabled_pids.iter().copied().filter(|p| in_c[*p]).collect();
         debug_assert!(!members.is_empty(), "seed is enabled and in its own set");
-        if best.as_ref().map(|b| members.len() < b.len()).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| members.len() < b.len())
+            .unwrap_or(true)
+        {
             best = Some(members);
         }
         if best.as_ref().map(|b| b.len() == 1).unwrap_or(false) {

@@ -121,6 +121,27 @@ impl Report {
     pub fn count(&self, pred: impl Fn(&ViolationKind) -> bool) -> usize {
         self.violations.iter().filter(|v| pred(&v.kind)).count()
     }
+
+    /// Fold another report fragment into this one.
+    ///
+    /// Reports form a monoid under `merge` with [`Report::default`] as
+    /// identity: counters add, `max_depth_seen` takes the maximum,
+    /// `truncated` ORs, violations concatenate in order, trace sets and
+    /// coverage union. The parallel engine relies on this to combine
+    /// per-shard results in tree order.
+    pub fn merge(&mut self, other: Report) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.max_depth_seen = self.max_depth_seen.max(other.max_depth_seen);
+        self.truncated |= other.truncated;
+        self.violations.extend(other.violations);
+        self.traces.extend(other.traces);
+        match (&mut self.coverage, other.coverage) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
+    }
 }
 
 impl std::fmt::Display for Report {
@@ -181,6 +202,65 @@ mod tests {
         assert!(r.first_deadlock().is_some());
         assert_eq!(r.first_assert().unwrap().process, Some(1));
         assert_eq!(r.count(|k| *k == ViolationKind::Deadlock), 1);
+    }
+
+    fn sample(states: usize, kind: ViolationKind) -> Report {
+        Report {
+            states,
+            transitions: states * 3,
+            max_depth_seen: states,
+            truncated: states.is_multiple_of(2),
+            violations: vec![Violation {
+                kind,
+                process: Some(states),
+                trace: vec![Decision {
+                    process: states,
+                    choices: vec![states as u32],
+                }],
+            }],
+            traces: [vec![]].into_iter().collect(),
+            coverage: None,
+        }
+    }
+
+    fn fields(r: &Report) -> (usize, usize, usize, bool, Vec<Violation>, usize) {
+        (
+            r.states,
+            r.transitions,
+            r.max_depth_seen,
+            r.truncated,
+            r.violations.clone(),
+            r.traces.len(),
+        )
+    }
+
+    #[test]
+    fn merge_identity() {
+        let a = sample(4, ViolationKind::Deadlock);
+        let mut left = Report::default();
+        left.merge(a.clone());
+        assert_eq!(fields(&left), fields(&a));
+        let mut right = a.clone();
+        right.merge(Report::default());
+        assert_eq!(fields(&right), fields(&a));
+    }
+
+    #[test]
+    fn merge_associativity() {
+        let a = sample(1, ViolationKind::Deadlock);
+        let b = sample(2, ViolationKind::AssertionViolation);
+        let c = sample(3, ViolationKind::Divergence);
+        // (a ⊕ b) ⊕ c
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ab_c = ab;
+        ab_c.merge(c.clone());
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(c);
+        let mut a_bc = a;
+        a_bc.merge(bc);
+        assert_eq!(fields(&ab_c), fields(&a_bc));
     }
 
     #[test]

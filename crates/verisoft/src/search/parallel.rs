@@ -1,0 +1,517 @@
+//! Deterministic sharded parallel stateless search.
+//!
+//! The decision-prefix tree is split in two passes:
+//!
+//! 1. **Sharding** (sequential, deterministic): the tree is expanded in
+//!    exact [`StatelessDfs`](super::StatelessDfs) order — same child
+//!    ordering, same sleep sets — until roughly
+//!    [`Config::shard_target`](super::Config::shard_target) open
+//!    subtrees exist. Outcomes fully resolved during sharding
+//!    (violations, dead ends, depth cutoffs) become *terminal* items
+//!    pinned at their tree position; unresolved subtrees become
+//!    *shards*, each carrying its root state, depth, sleep set, and the
+//!    decision/event prefix that reaches it.
+//! 2. **Workers**: `jobs` threads pull shards from the shared list
+//!    (atomic cursor, no external crates) and run an independent
+//!    stateless DFS per shard, seeded with the shard's prefix so every
+//!    violation trace and collected trace starts at the true initial
+//!    state and replays exactly like a sequential trace.
+//!
+//! Determinism for any `jobs` value falls out of three choices:
+//!
+//! - the shard *set* depends only on the config (`shard_target` is fixed,
+//!   never derived from `jobs`);
+//! - each shard's result depends only on its shard (per-shard transition
+//!   budget, per-shard violation cap);
+//! - the merge folds item results **in tree order** and stops at
+//!   [`Config::max_violations`](super::Config::max_violations), so
+//!   whatever extra work racing workers did past the cap is discarded
+//!   identically everywhere. Workers additionally skip shards that the
+//!   merge provably cannot reach — an optimization invisible in the
+//!   report.
+
+use crate::executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
+use crate::interp::VisibleEvent;
+use crate::report::{Decision, Report, Violation, ViolationKind};
+use crate::state::GlobalState;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic sharded stateless search across
+/// [`Config::jobs`](super::Config::jobs) worker threads.
+pub struct ParallelStateless;
+
+/// An unexplored subtree: everything a worker needs to continue the DFS
+/// exactly where the sharding pass stopped.
+struct Shard {
+    state: GlobalState,
+    depth: usize,
+    sleep: BTreeSet<usize>,
+    path: Vec<Decision>,
+    events: Vec<VisibleEvent>,
+}
+
+/// One slot of the sharded tree, in DFS order.
+enum Item {
+    /// Resolved during sharding; the fragment is merged as-is.
+    Terminal(Report),
+    /// Waiting for a worker; resolves to `results[i]`.
+    Open(Shard),
+}
+
+/// The sharding pass: expand the tree in DFS order until at least
+/// `target` open subtrees exist (or the tree is exhausted). Returns the
+/// ordered item list and the root report fragment (sharding-pass counts).
+struct Sharder<'e, 'a> {
+    exec: &'e Executor<'a>,
+    cx: ExecCtx,
+    root: Report,
+}
+
+impl<'e, 'a> Sharder<'e, 'a> {
+    fn shard(exec: &'e Executor<'a>, target: usize) -> (Vec<Item>, Report) {
+        let mut s = Sharder {
+            cx: ExecCtx::new(exec, exec.config().max_transitions),
+            exec,
+            root: Report::default(),
+        };
+        let mut items = vec![Item::Open(Shard {
+            state: exec.initial(),
+            depth: 0,
+            sleep: BTreeSet::new(),
+            path: Vec::new(),
+            events: Vec::new(),
+        })];
+        // Repeatedly expand the first open item of minimal depth,
+        // splicing its children in place: the list stays in DFS order
+        // while no subtree races ahead of the others.
+        loop {
+            if s.cx.truncated {
+                break;
+            }
+            let open: Vec<(usize, usize)> = items
+                .iter()
+                .enumerate()
+                .filter_map(|(i, it)| match it {
+                    Item::Open(sh) => Some((i, sh.depth)),
+                    Item::Terminal(_) => None,
+                })
+                .collect();
+            if open.len() >= target || open.is_empty() {
+                break;
+            }
+            let min_depth = open.iter().map(|&(_, d)| d).min().unwrap();
+            let (idx, _) = *open.iter().find(|&&(_, d)| d == min_depth).unwrap();
+            let Item::Open(sh) = items.remove(idx) else {
+                unreachable!()
+            };
+            let children = s.expand(sh);
+            items.splice(idx..idx, children);
+        }
+        s.root.transitions = s.cx.transitions;
+        s.root.truncated |= s.cx.truncated;
+        s.root.coverage = s.cx.coverage;
+        (items, s.root)
+    }
+
+    /// Visit one shard root, mirroring `StatelessWalk::walk` exactly for
+    /// one level, and return its children as items in DFS order.
+    fn expand(&mut self, sh: Shard) -> Vec<Item> {
+        let cfg = self.exec.config();
+        self.root.states += 1;
+        self.root.max_depth_seen = self.root.max_depth_seen.max(sh.depth);
+        let mut out = Vec::new();
+        if sh.depth >= cfg.max_depth {
+            self.root.truncated = true;
+            out.push(Item::Terminal(trace_end(cfg.collect_traces, &sh.events)));
+            return out;
+        }
+        match self.exec.schedule(&sh.state) {
+            Scheduled::DeadEnd { deadlock } => {
+                let mut frag = trace_end(cfg.collect_traces, &sh.events);
+                if deadlock {
+                    frag.violations.push(Violation {
+                        kind: ViolationKind::Deadlock,
+                        process: None,
+                        trace: sh.path.clone(),
+                    });
+                }
+                out.push(Item::Terminal(frag));
+            }
+            Scheduled::Init(pid) => {
+                for (choices, outcome) in self.exec.successors(&mut self.cx, &sh.state, pid) {
+                    let mut path = sh.path.clone();
+                    path.push(Decision {
+                        process: pid,
+                        choices,
+                    });
+                    out.push(child_item(
+                        outcome,
+                        path,
+                        sh.events.clone(),
+                        sh.depth + 1,
+                        sh.sleep.clone(),
+                    ));
+                }
+            }
+            Scheduled::Procs(procs) => {
+                let mut done: Vec<usize> = Vec::new();
+                for t in procs {
+                    if self.cx.truncated {
+                        break;
+                    }
+                    if cfg.sleep_sets && sh.sleep.contains(&t) {
+                        continue;
+                    }
+                    let child_sleep: BTreeSet<usize> = if cfg.sleep_sets {
+                        sh.sleep
+                            .iter()
+                            .chain(done.iter())
+                            .copied()
+                            .filter(|u| self.exec.independent(&sh.state, *u, t))
+                            .collect()
+                    } else {
+                        BTreeSet::new()
+                    };
+                    for (choices, outcome) in self.exec.successors(&mut self.cx, &sh.state, t) {
+                        let mut path = sh.path.clone();
+                        path.push(Decision {
+                            process: t,
+                            choices,
+                        });
+                        let mut events = sh.events.clone();
+                        if let SuccOutcome::State(_, Some(ev)) = &outcome {
+                            events.push(ev.clone());
+                        }
+                        out.push(child_item(
+                            outcome,
+                            path,
+                            events,
+                            sh.depth + 1,
+                            child_sleep.clone(),
+                        ));
+                    }
+                    done.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A report fragment holding (at most) one maximal-trace end.
+fn trace_end(collect: bool, events: &[VisibleEvent]) -> Report {
+    let mut frag = Report::default();
+    if collect {
+        frag.traces.insert(events.to_vec());
+    }
+    frag
+}
+
+/// Wrap one successor outcome as a tree item.
+fn child_item(
+    outcome: SuccOutcome,
+    path: Vec<Decision>,
+    events: Vec<VisibleEvent>,
+    depth: usize,
+    sleep: BTreeSet<usize>,
+) -> Item {
+    match outcome {
+        SuccOutcome::State(s, _) => Item::Open(Shard {
+            state: *s,
+            depth,
+            sleep,
+            path,
+            events,
+        }),
+        SuccOutcome::Violation(kind, process) => {
+            let mut frag = Report::default();
+            frag.violations.push(Violation {
+                kind,
+                process,
+                trace: path,
+            });
+            Item::Terminal(frag)
+        }
+    }
+}
+
+/// Shared progress book: per-item results plus the contiguous completed
+/// prefix, used both for the final merge and for the provably-safe
+/// skip of shards the merge cannot reach.
+struct Book {
+    /// One slot per item, in tree order.
+    results: Vec<Option<Report>>,
+    /// Items `0..prefix_done` all have results.
+    prefix_done: usize,
+    /// Violations accumulated over that completed prefix.
+    prefix_violations: usize,
+    /// First item index the merge provably discards (`usize::MAX` until
+    /// the prefix reaches the violation cap).
+    discard_from: usize,
+}
+
+impl Book {
+    /// Advance the completed prefix and, once it carries
+    /// `max_violations`, seal every later item: the merge stops inside
+    /// the prefix, so their results can never be observed.
+    fn advance(&mut self, cap: usize) {
+        while self.prefix_done < self.results.len() {
+            match &self.results[self.prefix_done] {
+                Some(r) => {
+                    self.prefix_violations += r.violations.len();
+                    self.prefix_done += 1;
+                    if self.prefix_violations >= cap {
+                        self.discard_from = self.discard_from.min(self.prefix_done);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl super::SearchDriver for ParallelStateless {
+    fn run(&mut self, exec: &Executor<'_>) -> Report {
+        let cfg = exec.config();
+        let target = cfg.shard_target.max(1);
+        let (mut items, root) = Sharder::shard(exec, target);
+
+        let mut book = Book {
+            results: Vec::with_capacity(items.len()),
+            prefix_done: 0,
+            prefix_violations: 0,
+            discard_from: usize::MAX,
+        };
+        let mut shards: Vec<(usize, Shard)> = Vec::new();
+        for (i, item) in items.drain(..).enumerate() {
+            match item {
+                Item::Terminal(frag) => book.results.push(Some(frag)),
+                Item::Open(sh) => {
+                    book.results.push(None);
+                    shards.push((i, sh));
+                }
+            }
+        }
+        book.advance(cfg.max_violations);
+
+        let book = Mutex::new(book);
+        let cursor = AtomicUsize::new(0);
+        let jobs = cfg.jobs.max(1).min(shards.len().max(1));
+        // Split the transition cap across shards so the aggregate stays
+        // close to the configured cap, like the sequential engines. The
+        // shard count is jobs-invariant, so the split is too.
+        let shard_budget = (cfg.max_transitions / shards.len().max(1)).max(1);
+        if !shards.is_empty() {
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| {
+                        worker(exec, &shards, shard_budget, &cursor, &book);
+                    });
+                }
+            });
+        }
+
+        // Ordered commit: fold results in tree order on top of the
+        // sharding-pass fragment, stopping at the violation cap.
+        let mut final_report = root;
+        let book = book.into_inner().unwrap();
+        for slot in book.results {
+            if final_report.violations.len() >= cfg.max_violations {
+                break;
+            }
+            let r = slot.expect("merge reached an item the workers skipped");
+            final_report.merge(r);
+        }
+        final_report.violations.truncate(cfg.max_violations);
+        final_report
+    }
+}
+
+/// Worker loop: claim shards in tree order, skip sealed ones, run a
+/// prefix-seeded stateless DFS on the rest.
+fn worker(
+    exec: &Executor<'_>,
+    shards: &[(usize, Shard)],
+    shard_budget: usize,
+    cursor: &AtomicUsize,
+    book: &Mutex<Book>,
+) {
+    let cfg = exec.config();
+    loop {
+        let k = cursor.fetch_add(1, Ordering::Relaxed);
+        if k >= shards.len() {
+            return;
+        }
+        let (item_idx, sh) = &shards[k];
+        if book.lock().unwrap().discard_from <= *item_idx {
+            // Sealed: the merge stops before this item. Leave the slot
+            // empty — `advance` never walks past a sealed boundary's
+            // observable prefix, and the merge breaks first.
+            continue;
+        }
+        let mut w = super::stateless::StatelessWalk::with_prefix(
+            exec,
+            shard_budget,
+            sh.path.clone(),
+            sh.events.clone(),
+        );
+        w.walk(sh.state.clone(), sh.depth, sh.sleep.clone());
+        let report = w.finish();
+        let mut b = book.lock().unwrap();
+        b.results[*item_idx] = Some(report);
+        b.advance(cfg.max_violations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{explore, Config, Engine};
+    use crate::report::Report;
+
+    const RACY: &str = r#"
+        chan a[1];
+        chan b[1];
+        proc left() { send(a, 1); int v = recv(b); VS_assert(v < 2); }
+        proc right() { send(b, 2); int w = recv(a); }
+        process left();
+        process right();
+    "#;
+
+    fn key(r: &Report) -> (usize, usize, usize, bool, Vec<String>, usize) {
+        (
+            r.states,
+            r.transitions,
+            r.max_depth_seen,
+            r.truncated,
+            r.violations.iter().map(|v| v.to_string()).collect(),
+            r.traces.len(),
+        )
+    }
+
+    #[test]
+    fn parallel_report_is_jobs_invariant() {
+        let prog = cfgir::compile(RACY).unwrap();
+        let base = Config {
+            engine: Engine::Parallel,
+            max_violations: usize::MAX,
+            collect_traces: true,
+            por: false,
+            sleep_sets: false,
+            ..Config::default()
+        };
+        let runs: Vec<_> = [1, 2, 4, 7]
+            .iter()
+            .map(|&jobs| {
+                explore(
+                    &prog,
+                    &Config {
+                        jobs,
+                        ..base.clone()
+                    },
+                )
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(key(&runs[0]), key(r));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_stateless_verdicts_and_traces() {
+        let prog = cfgir::compile(RACY).unwrap();
+        let cfg = Config {
+            max_violations: usize::MAX,
+            collect_traces: true,
+            por: false,
+            sleep_sets: false,
+            ..Config::default()
+        };
+        let seq = explore(&prog, &cfg);
+        let par = explore(
+            &prog,
+            &Config {
+                engine: Engine::Parallel,
+                jobs: 4,
+                ..cfg
+            },
+        );
+        // Run to completion (no caps hit): same violation multiset in the
+        // same DFS order, identical maximal-trace sets, same tree size.
+        assert_eq!(
+            seq.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
+            par.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(seq.traces, par.traces);
+        assert_eq!(seq.states, par.states);
+        assert_eq!(seq.transitions, par.transitions);
+    }
+
+    #[test]
+    fn parallel_violation_traces_replay() {
+        let prog = cfgir::compile(RACY).unwrap();
+        let cfg = Config {
+            engine: Engine::Parallel,
+            jobs: 3,
+            max_violations: usize::MAX,
+            ..Config::default()
+        };
+        let r = explore(&prog, &cfg);
+        assert!(!r.violations.is_empty());
+        for v in &r.violations {
+            let err = super::super::replay(&prog, &v.trace, cfg.env_mode, &cfg.limits);
+            assert!(err.is_err(), "trace must end in the recorded violation");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_violation_cap_deterministically() {
+        let prog = cfgir::compile(RACY).unwrap();
+        let base = Config {
+            engine: Engine::Parallel,
+            max_violations: 1,
+            por: false,
+            sleep_sets: false,
+            ..Config::default()
+        };
+        let a = explore(
+            &prog,
+            &Config {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let b = explore(
+            &prog,
+            &Config {
+                jobs: 4,
+                ..base.clone()
+            },
+        );
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn tiny_tree_needs_no_workers() {
+        // Fewer reachable states than the shard target: everything is
+        // resolved in the sharding pass.
+        let prog = cfgir::compile("chan c[1]; proc p() { send(c, 1); } process p();").unwrap();
+        let cfg = Config {
+            engine: Engine::Parallel,
+            jobs: 8,
+            max_violations: usize::MAX,
+            ..Config::default()
+        };
+        let r = explore(&prog, &cfg);
+        assert!(r.clean());
+        assert!(r.states > 0);
+    }
+}

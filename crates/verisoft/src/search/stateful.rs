@@ -1,0 +1,118 @@
+//! Explicit-state drivers: DFS and BFS over stored visited states.
+
+use crate::executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
+use crate::report::{Decision, Report, Violation, ViolationKind};
+use crate::state::GlobalState;
+use std::collections::{HashSet, VecDeque};
+
+/// Explicit-state depth-first search storing full visited states (not
+/// hashes, so no collision unsoundness); terminates on cyclic state
+/// spaces.
+pub struct StatefulDfs;
+
+impl super::SearchDriver for StatefulDfs {
+    fn run(&mut self, exec: &Executor<'_>) -> Report {
+        stateful(exec, false)
+    }
+}
+
+/// Explicit-state breadth-first search: the first violation reported has
+/// a *shortest* reproducing trace (best for debugging).
+pub struct BfsDriver;
+
+impl super::SearchDriver for BfsDriver {
+    fn run(&mut self, exec: &Executor<'_>) -> Report {
+        stateful(exec, true)
+    }
+}
+
+/// Shared explicit-state search; `bfs` selects FIFO
+/// (shortest-counterexample) order instead of LIFO.
+fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
+    let cfg = exec.config();
+    let mut cx = ExecCtx::new(exec, cfg.max_transitions);
+    let mut report = Report::default();
+    let mut stop = false;
+    let record = |report: &mut Report,
+                  stop: &mut bool,
+                  kind: ViolationKind,
+                  process: Option<usize>,
+                  trace: Vec<Decision>| {
+        report.violations.push(Violation {
+            kind,
+            process,
+            trace,
+        });
+        if report.violations.len() >= cfg.max_violations {
+            *stop = true;
+        }
+    };
+    let mut visited: HashSet<GlobalState> = HashSet::new();
+    // Work items carry their depth and reproducing path.
+    let mut stack: VecDeque<(GlobalState, usize, Vec<Decision>)> =
+        [(exec.initial(), 0, Vec::new())].into();
+    while let Some((state, depth, path)) = if bfs {
+        stack.pop_front()
+    } else {
+        stack.pop_back()
+    } {
+        if stop || cx.truncated {
+            break;
+        }
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        report.states += 1;
+        report.max_depth_seen = report.max_depth_seen.max(depth);
+        if depth >= cfg.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        match exec.schedule(&state) {
+            Scheduled::DeadEnd { deadlock } => {
+                if deadlock {
+                    record(&mut report, &mut stop, ViolationKind::Deadlock, None, path);
+                }
+            }
+            Scheduled::Init(pid) => {
+                for (choices, outcome) in exec.successors(&mut cx, &state, pid) {
+                    let mut p = path.clone();
+                    p.push(Decision {
+                        process: pid,
+                        choices,
+                    });
+                    match outcome {
+                        SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, p)),
+                        SuccOutcome::Violation(k, pr) => {
+                            record(&mut report, &mut stop, k, pr, p);
+                        }
+                    }
+                }
+            }
+            Scheduled::Procs(procs) => {
+                for t in procs {
+                    if stop || cx.truncated {
+                        break;
+                    }
+                    for (choices, outcome) in exec.successors(&mut cx, &state, t) {
+                        let mut p = path.clone();
+                        p.push(Decision {
+                            process: t,
+                            choices,
+                        });
+                        match outcome {
+                            SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, p)),
+                            SuccOutcome::Violation(k, pr) => {
+                                record(&mut report, &mut stop, k, pr, p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.transitions = cx.transitions;
+    report.truncated |= cx.truncated;
+    report.coverage = cx.coverage;
+    report
+}

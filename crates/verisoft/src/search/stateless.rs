@@ -1,0 +1,172 @@
+//! The stateless depth-first driver (VeriSoft's search).
+
+use crate::executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
+use crate::interp::VisibleEvent;
+use crate::report::{Decision, Report, Violation, ViolationKind};
+use crate::state::GlobalState;
+use std::collections::BTreeSet;
+
+/// Depth-bounded stateless DFS with persistent sets and sleep sets; no
+/// state is ever stored.
+pub struct StatelessDfs;
+
+impl super::SearchDriver for StatelessDfs {
+    fn run(&mut self, exec: &Executor<'_>) -> Report {
+        let mut w = StatelessWalk::new(exec, exec.config().max_transitions);
+        let initial = exec.initial();
+        w.walk(initial, 0, BTreeSet::new());
+        w.finish()
+    }
+}
+
+/// The reusable DFS core: walks the decision tree from a given state,
+/// optionally seeded with a decision/event prefix so the parallel driver
+/// can run it per shard (violation traces and collected traces then
+/// still start from the true initial state).
+pub(crate) struct StatelessWalk<'e, 'a> {
+    exec: &'e Executor<'a>,
+    cx: ExecCtx,
+    report: Report,
+    stop: bool,
+    path: Vec<Decision>,
+    events: Vec<VisibleEvent>,
+}
+
+impl<'e, 'a> StatelessWalk<'e, 'a> {
+    pub(crate) fn new(exec: &'e Executor<'a>, budget: usize) -> Self {
+        Self::with_prefix(exec, budget, Vec::new(), Vec::new())
+    }
+
+    /// A walk whose root sits `path`/`events` below the initial state.
+    pub(crate) fn with_prefix(
+        exec: &'e Executor<'a>,
+        budget: usize,
+        path: Vec<Decision>,
+        events: Vec<VisibleEvent>,
+    ) -> Self {
+        StatelessWalk {
+            cx: ExecCtx::new(exec, budget),
+            exec,
+            report: Report::default(),
+            stop: false,
+            path,
+            events,
+        }
+    }
+
+    /// Fold the execution context into the report and return it.
+    pub(crate) fn finish(mut self) -> Report {
+        self.report.transitions = self.cx.transitions;
+        self.report.truncated |= self.cx.truncated;
+        self.report.coverage = self.cx.coverage;
+        self.report
+    }
+
+    fn record_violation(&mut self, kind: ViolationKind, process: Option<usize>) {
+        self.report.violations.push(Violation {
+            kind,
+            process,
+            trace: self.path.clone(),
+        });
+        if self.report.violations.len() >= self.exec.config().max_violations {
+            self.stop = true;
+        }
+    }
+
+    fn record_trace_end(&mut self) {
+        if self.exec.config().collect_traces {
+            self.report.traces.insert(self.events.clone());
+        }
+    }
+
+    pub(crate) fn walk(&mut self, state: GlobalState, depth: usize, sleep: BTreeSet<usize>) {
+        if self.stop {
+            return;
+        }
+        let cfg = self.exec.config();
+        self.report.states += 1;
+        self.report.max_depth_seen = self.report.max_depth_seen.max(depth);
+        if depth >= cfg.max_depth {
+            self.report.truncated = true;
+            self.record_trace_end();
+            return;
+        }
+        match self.exec.schedule(&state) {
+            Scheduled::DeadEnd { deadlock } => {
+                self.record_trace_end();
+                if deadlock {
+                    self.record_violation(ViolationKind::Deadlock, None);
+                }
+            }
+            Scheduled::Init(pid) => {
+                for (choices, outcome) in self.exec.successors(&mut self.cx, &state, pid) {
+                    if self.stop || self.cx.truncated {
+                        self.stop = true;
+                        return;
+                    }
+                    self.path.push(Decision {
+                        process: pid,
+                        choices,
+                    });
+                    match outcome {
+                        SuccOutcome::State(s, ev) => {
+                            debug_assert!(ev.is_none(), "init transitions are invisible");
+                            self.walk(*s, depth + 1, sleep.clone());
+                        }
+                        SuccOutcome::Violation(k, p) => self.record_violation(k, p),
+                    }
+                    self.path.pop();
+                }
+            }
+            Scheduled::Procs(procs) => {
+                let mut done: Vec<usize> = Vec::new();
+                for t in procs {
+                    if self.stop || self.cx.truncated {
+                        self.stop = true;
+                        return;
+                    }
+                    if cfg.sleep_sets && sleep.contains(&t) {
+                        continue;
+                    }
+                    let child_sleep: BTreeSet<usize> = if cfg.sleep_sets {
+                        sleep
+                            .iter()
+                            .chain(done.iter())
+                            .copied()
+                            .filter(|u| self.exec.independent(&state, *u, t))
+                            .collect()
+                    } else {
+                        BTreeSet::new()
+                    };
+                    for (choices, outcome) in self.exec.successors(&mut self.cx, &state, t) {
+                        if self.stop || self.cx.truncated {
+                            self.stop = true;
+                            return;
+                        }
+                        self.path.push(Decision {
+                            process: t,
+                            choices,
+                        });
+                        match outcome {
+                            SuccOutcome::State(s, ev) => {
+                                let pushed = ev.is_some();
+                                if let Some(ev) = ev {
+                                    self.events.push(ev);
+                                }
+                                self.walk(*s, depth + 1, child_sleep.clone());
+                                if pushed {
+                                    self.events.pop();
+                                }
+                            }
+                            SuccOutcome::Violation(k, p) => self.record_violation(k, p),
+                        }
+                        self.path.pop();
+                    }
+                    done.push(t);
+                }
+                // When everything was pruned by sleep sets the path ends
+                // here but is covered elsewhere; not a trace end.
+            }
+        }
+    }
+}

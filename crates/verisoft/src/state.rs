@@ -193,11 +193,7 @@ impl GlobalState {
                 };
                 ProcState {
                     spec: i,
-                    globals: prog
-                        .globals
-                        .iter()
-                        .map(|g| Value::Int(g.initial))
-                        .collect(),
+                    globals: prog.globals.iter().map(|g| Value::Int(g.initial)).collect(),
                     frames: vec![frame],
                     status: Status::AtNode(proc.start),
                 }
@@ -284,8 +280,7 @@ mod tests {
 
     #[test]
     fn addresses_roundtrip() {
-        let prog =
-            compile("int g = 0; proc m() { int x = 1; } process m();").unwrap();
+        let prog = compile("int g = 0; proc m() { int x = 1; } process m();").unwrap();
         let mut s = GlobalState::initial(&prog);
         let m = prog.proc_by_name("m").unwrap();
         let xvar = VarId(m.vars.iter().position(|v| v.name == "x").unwrap() as u32);

@@ -191,7 +191,10 @@ mod tests {
             bin_op(BinOp::Add, Value::Int(i64::MAX), Value::Int(1)),
             Ok(Value::Int(i64::MIN))
         );
-        assert_eq!(un_op(UnOp::Neg, Value::Int(i64::MIN)), Ok(Value::Int(i64::MIN)));
+        assert_eq!(
+            un_op(UnOp::Neg, Value::Int(i64::MIN)),
+            Ok(Value::Int(i64::MIN))
+        );
     }
 
     #[test]
@@ -231,7 +234,10 @@ mod tests {
     #[test]
     fn addresses_do_not_compute() {
         let a = Value::Addr(Addr::Global(GlobalId(0)));
-        assert_eq!(bin_op(BinOp::Add, a, Value::Int(1)), Err(EvalError::ArithOnAddr));
+        assert_eq!(
+            bin_op(BinOp::Add, a, Value::Int(1)),
+            Err(EvalError::ArithOnAddr)
+        );
         assert_eq!(un_op(UnOp::Neg, a), Err(EvalError::ArithOnAddr));
         assert_eq!(a.truthy(), None);
     }

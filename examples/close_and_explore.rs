@@ -50,14 +50,20 @@ fn main() -> Result<(), minic::Diagnostics> {
     let closed_q = close_source(FIG3_Q)?;
 
     println!("=== original G_p (Figure 2, left) ===");
-    println!("{}", cfgir::proc_to_listing(open_p.proc_by_name("p").unwrap()));
+    println!(
+        "{}",
+        cfgir::proc_to_listing(open_p.proc_by_name("p").unwrap())
+    );
     println!("=== transformed G'_p (Figure 2, right) ===");
     println!(
         "{}",
         cfgir::proc_to_listing(closed_p.program.proc_by_name("p").unwrap())
     );
     println!("=== original G_q (Figure 3, left) ===");
-    println!("{}", cfgir::proc_to_listing(open_q.proc_by_name("q").unwrap()));
+    println!(
+        "{}",
+        cfgir::proc_to_listing(open_q.proc_by_name("q").unwrap())
+    );
     println!("=== transformed G'_q (Figure 3, right) ===");
     println!(
         "{}",
@@ -92,9 +98,20 @@ fn main() -> Result<(), minic::Diagnostics> {
     let tp_closed = explore(&closed_p.program, &trace_cfg).traces;
     let tq_closed = explore(&closed_q.program, &trace_cfg).traces;
 
-    println!("\n|traces(p x E_S)| = {:4}  |traces(p')| = {:4}", tp_open.len(), tp_closed.len());
-    println!("|traces(q x E_S)| = {:4}  |traces(q')| = {:4}", tq_open.len(), tq_closed.len());
-    assert!(tp_open.len() < tp_closed.len(), "strict over-approximation for p");
+    println!(
+        "\n|traces(p x E_S)| = {:4}  |traces(p')| = {:4}",
+        tp_open.len(),
+        tp_closed.len()
+    );
+    println!(
+        "|traces(q x E_S)| = {:4}  |traces(q')| = {:4}",
+        tq_open.len(),
+        tq_closed.len()
+    );
+    assert!(
+        tp_open.len() < tp_closed.len(),
+        "strict over-approximation for p"
+    );
     assert_eq!(tq_open, tq_closed, "optimal translation for q");
     println!("p: strict upper approximation; q: optimal — as in the paper.");
     Ok(())

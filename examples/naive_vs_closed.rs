@@ -37,7 +37,10 @@ fn program(bits: u32) -> String {
 }
 
 fn main() -> Result<(), minic::Diagnostics> {
-    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "bits", "naive-trans", "naive-ms", "closed-trans", "closed-ms");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "bits", "naive-trans", "naive-ms", "closed-trans", "closed-ms"
+    );
     for bits in [1u32, 2, 4, 6, 8, 10, 12] {
         let src = program(bits);
         let open = compile(&src)?;

@@ -24,7 +24,10 @@ fn main() -> Result<(), minic::Diagnostics> {
 
     let open = compile(src)?;
     println!("=== open program ===");
-    println!("{}", cfgir::proc_to_listing(open.proc_by_name("p").unwrap()));
+    println!(
+        "{}",
+        cfgir::proc_to_listing(open.proc_by_name("p").unwrap())
+    );
 
     // Close it: every statement depending on the environment is deleted,
     // the branch on y becomes a VS_toss choice, and parameter x vanishes.

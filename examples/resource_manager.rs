@@ -73,18 +73,27 @@ fn main() -> Result<(), minic::Diagnostics> {
     );
     println!(
         "  {:<22} {:>12} {:>10}",
-        "naive E_S", ground.transitions, ground.traces.len()
+        "naive E_S",
+        ground.transitions,
+        ground.traces.len()
     );
     println!(
         "  {:<22} {:>12} {:>10}   (spurious mixed-tier runs!)",
-        "elimination", elim.transitions, elim.traces.len()
+        "elimination",
+        elim.transitions,
+        elim.traces.len()
     );
     println!(
         "  {:<22} {:>12} {:>10}   (exact)",
-        "refinement (§7)", refd.transitions, refd.traces.len()
+        "refinement (§7)",
+        refd.transitions,
+        refd.traces.len()
     );
     assert_eq!(ground.traces, refd.traces, "refinement is exact");
-    assert!(elim.traces.len() > ground.traces.len(), "elimination over-approximates");
+    assert!(
+        elim.traces.len() > ground.traces.len(),
+        "elimination over-approximates"
+    );
     for r in &reports {
         println!(
             "  partition of {}: {:?} (representatives {:?})",

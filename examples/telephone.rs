@@ -42,16 +42,8 @@ fn explore_closed(name: &str, cfg: &SwitchConfig, max_transitions: usize) {
 fn main() {
     println!("closing + exploring the synthetic switch (auto-closed interface):\n");
 
-    explore_closed(
-        "healthy tiny switch",
-        &SwitchConfig::tiny(),
-        500_000,
-    );
-    explore_closed(
-        "healthy 2-line switch",
-        &SwitchConfig::default(),
-        1_000_000,
-    );
+    explore_closed("healthy tiny switch", &SwitchConfig::tiny(), 500_000);
+    explore_closed("healthy 2-line switch", &SwitchConfig::default(), 1_000_000);
     explore_closed(
         "stubbed line 0 + auto-close",
         &SwitchConfig {

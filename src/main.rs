@@ -36,6 +36,8 @@ fn usage() -> String {
          --max-transitions N      transition cap (default 5000000)\n\
          --all                    report all violations, not just the first\n\
          --stateful               use the explicit-state engine\n\
+         --jobs N                 sharded parallel stateless search on N threads\n\
+                                  (deterministic: same report for any N)\n\
          --no-por                 disable partial-order reduction\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
@@ -170,9 +172,12 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             Engine::Bfs
         } else if flag("--stateful") {
             Engine::Stateful
+        } else if opt("--jobs")?.is_some() {
+            Engine::Parallel
         } else {
             Engine::Stateless
         },
+        jobs: opt("--jobs")?.unwrap_or(1),
         por: !flag("--no-por"),
         sleep_sets: !flag("--no-por"),
         max_violations: if flag("--all") { usize::MAX } else { 1 },
@@ -201,12 +206,7 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         for v in &report.violations {
             println!(
                 "\n{}",
-                verisoft::explain_violation(
-                    &prog,
-                    v,
-                    config.env_mode,
-                    &config.limits
-                )
+                verisoft::explain_violation(&prog, v, config.env_mode, &config.limits)
             );
         }
     }
@@ -270,7 +270,10 @@ fn parse_decision(tok: &str) -> Result<verisoft::Decision, String> {
                 .ok_or_else(|| format!("bad decision `{tok}`: missing `]`"))?;
             let choices: Result<Vec<u32>, _> =
                 inner.split(',').map(|c| c.trim().parse::<u32>()).collect();
-            (idx, choices.map_err(|e| format!("bad choice in `{tok}`: {e}"))?)
+            (
+                idx,
+                choices.map_err(|e| format!("bad choice in `{tok}`: {e}"))?,
+            )
         }
     };
     Ok(verisoft::Decision {

@@ -111,12 +111,7 @@ fn explore_open_program_requires_mode() {
 #[test]
 fn explore_close_finds_violation_and_explains() {
     let path = write_temp("buggy2.mc", BUGGY_SRC);
-    let out = reclose(&[
-        "explore",
-        path.to_str().unwrap(),
-        "--close",
-        "--explain",
-    ]);
+    let out = reclose(&["explore", path.to_str().unwrap(), "--close", "--explain"]);
     assert!(!out.status.success(), "violation sets exit code");
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("assertion violation"), "{s}");
@@ -151,7 +146,11 @@ fn explore_stateful_engine_flag() {
         "chan c[1]; proc m() { while (1) { send(c, 1); int x = recv(c); } } process m();",
     );
     let out = reclose(&["explore", path.to_str().unwrap(), "--stateful"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -207,7 +206,10 @@ fn close_refine_partitions_domain() {
     let listing = String::from_utf8_lossy(&out.stdout);
     assert!(listing.contains("toss(1)"), "{listing}");
     // The representatives 0 and 50 survive as data.
-    assert!(listing.contains("t = 50") || listing.contains("= 50"), "{listing}");
+    assert!(
+        listing.contains("t = 50") || listing.contains("= 50"),
+        "{listing}"
+    );
 }
 
 #[test]
@@ -229,14 +231,12 @@ fn run_replays_a_schedule() {
         "sched.mc",
         "chan c[1]; proc m() { int v = VS_toss(1); send(c, v); int w = recv(c); } process m();",
     );
-    let out = reclose(&[
-        "run",
-        path.to_str().unwrap(),
-        "P0[1]",
-        "P0",
-        "P0",
-    ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = reclose(&["run", path.to_str().unwrap(), "P0[1]", "P0", "P0"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("send(c, 1)"), "{s}");
     assert!(s.contains("recv(c) = 1"), "{s}");

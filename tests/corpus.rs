@@ -55,7 +55,11 @@ fn corpus_closed_explorations_are_wholesome() {
             "{name}: {r}"
         );
         assert_eq!(r.count(|k| *k == ViolationKind::Deadlock), 0, "{name}: {r}");
-        assert_eq!(r.count(|k| *k == ViolationKind::Divergence), 0, "{name}: {r}");
+        assert_eq!(
+            r.count(|k| *k == ViolationKind::Divergence),
+            0,
+            "{name}: {r}"
+        );
     }
 }
 

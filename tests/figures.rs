@@ -159,7 +159,9 @@ fn explicit_env_composition_agrees_with_enumeration_small_domain() {
     // Shrink the domain to keep the explicit E_S composition tractable,
     // then check the visible trace sets agree between the two ways of
     // building S × E_S (restricted to system events).
-    let small = FIG2_P.replace("0..1023", "0..3").replace("cnt < 10", "cnt < 2");
+    let small = FIG2_P
+        .replace("0..1023", "0..3")
+        .replace("cnt < 10", "cnt < 2");
     let open = compile(&small).unwrap();
     // Project onto the system's output events (sends to evens/odds, the
     // first two objects): the explicit composition adds visible

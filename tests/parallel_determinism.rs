@@ -1,0 +1,199 @@
+//! The parallel engine's contract: the report is byte-identical for any
+//! `--jobs` value, on every corpus program, in every relevant mode.
+
+use reclose::prelude::*;
+use verisoft::Violation;
+
+fn corpus_files() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("corpus dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "mc").unwrap_or(false) {
+            out.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&path).unwrap(),
+            ));
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 6, "corpus populated");
+    out
+}
+
+/// Everything observable about a report: (states, transitions, max depth,
+/// truncated, violations, trace count, coverage totals).
+type ReportKey = (
+    usize,
+    usize,
+    usize,
+    bool,
+    Vec<Violation>,
+    usize,
+    Option<(usize, usize)>,
+);
+
+fn key(r: &Report) -> ReportKey {
+    (
+        r.states,
+        r.transitions,
+        r.max_depth_seen,
+        r.truncated,
+        r.violations.clone(),
+        r.traces.len(),
+        r.coverage.as_ref().map(|c| c.totals()),
+    )
+}
+
+fn closed_corpus() -> Vec<(String, cfgir::CfgProgram)> {
+    corpus_files()
+        .into_iter()
+        .map(|(name, src)| {
+            let open = compile(&src).unwrap_or_else(|d| panic!("{name}: {d}"));
+            (
+                name,
+                closer::close(&open, &dataflow::analyze(&open)).program,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn explore_jobs1_equals_jobs4_on_corpus() {
+    for (name, prog) in closed_corpus() {
+        let base = Config {
+            engine: Engine::Parallel,
+            max_depth: 300,
+            max_transitions: 2_000_000,
+            max_violations: usize::MAX,
+            track_coverage: true,
+            ..Config::default()
+        };
+        let one = explore(
+            &prog,
+            &Config {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let four = explore(
+            &prog,
+            &Config {
+                jobs: 4,
+                ..base.clone()
+            },
+        );
+        assert_eq!(key(&one), key(&four), "{name}");
+        assert!(!one.truncated, "{name}: caps must not mask the comparison");
+    }
+}
+
+#[test]
+fn violation_schedules_replay_identically_across_jobs() {
+    // Open corpus programs explored under domain enumeration produce
+    // violations; every reported schedule must be identical across job
+    // counts and replay to the recorded violation.
+    for (name, src) in corpus_files() {
+        let prog = compile(&src).unwrap();
+        let base = Config {
+            engine: Engine::Parallel,
+            env_mode: EnvMode::Enumerate,
+            max_depth: 300,
+            max_transitions: 2_000_000,
+            max_violations: usize::MAX,
+            ..Config::default()
+        };
+        let one = explore(
+            &prog,
+            &Config {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let four = explore(
+            &prog,
+            &Config {
+                jobs: 4,
+                ..base.clone()
+            },
+        );
+        assert_eq!(one.violations, four.violations, "{name}");
+        for v in &four.violations {
+            assert!(
+                verisoft::replay(&prog, &v.trace, base.env_mode, &base.limits).is_err(),
+                "{name}: schedule must replay into the violation: {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn first_violation_mode_is_jobs_invariant() {
+    // max_violations: 1 exercises the ordered-commit truncation path:
+    // racing workers may overshoot the cap, but the committed report may
+    // not depend on the worker count.
+    for (name, src) in corpus_files() {
+        let prog = compile(&src).unwrap();
+        let base = Config {
+            engine: Engine::Parallel,
+            env_mode: EnvMode::Enumerate,
+            max_depth: 300,
+            max_transitions: 2_000_000,
+            max_violations: 1,
+            ..Config::default()
+        };
+        let runs: Vec<Report> = [1, 2, 4, 8]
+            .iter()
+            .map(|&jobs| {
+                explore(
+                    &prog,
+                    &Config {
+                        jobs,
+                        ..base.clone()
+                    },
+                )
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(runs[0].violations, r.violations, "{name}");
+        }
+    }
+}
+
+#[test]
+fn trace_sets_are_jobs_invariant_on_figures() {
+    // Exact trace-set collection (the Figure 3 experiment's mode) across
+    // job counts, closed Figure 2/3 programs.
+    for (name, src) in [
+        ("fig2", reclose_bench::FIG2_P),
+        ("fig3", reclose_bench::FIG3_Q),
+    ] {
+        let open = compile(src).unwrap();
+        let prog = closer::close(&open, &dataflow::analyze(&open)).program;
+        let base = Config {
+            engine: Engine::Parallel,
+            collect_traces: true,
+            por: false,
+            sleep_sets: false,
+            max_violations: usize::MAX,
+            max_depth: 200,
+            ..Config::default()
+        };
+        let one = explore(
+            &prog,
+            &Config {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let four = explore(
+            &prog,
+            &Config {
+                jobs: 4,
+                ..base.clone()
+            },
+        );
+        assert_eq!(one.traces, four.traces, "{name}");
+        assert!(!one.traces.is_empty(), "{name}");
+    }
+}

@@ -193,7 +193,9 @@ fn corpus_enumerate_verdicts_contained_in_closed() {
         if has(&ground, |k| *k == verisoft::ViolationKind::Deadlock) {
             assert!(has(&transformed, |k| *k == verisoft::ViolationKind::Deadlock));
         }
-        if has(&ground, |k| *k == verisoft::ViolationKind::AssertionViolation) {
+        if has(&ground, |k| {
+            *k == verisoft::ViolationKind::AssertionViolation
+        }) {
             assert!(has(&transformed, |k| {
                 *k == verisoft::ViolationKind::AssertionViolation
             }));
@@ -223,9 +225,8 @@ fn pretty_printed_corpus_reparses_and_recloses() {
         let ast = minic::parse(src).unwrap();
         let printed = minic::pretty::program_to_string(&ast);
         let open1 = compile(src).unwrap();
-        let open2 = compile(&printed).unwrap_or_else(|d| {
-            panic!("corpus[{i}] pretty output invalid: {d}\n{printed}")
-        });
+        let open2 = compile(&printed)
+            .unwrap_or_else(|d| panic!("corpus[{i}] pretty output invalid: {d}\n{printed}"));
         for (a, b) in open1.procs.iter().zip(open2.procs.iter()) {
             assert!(cfgir::isomorphic(a, b), "corpus[{i}]: {} changed", a.name);
         }
