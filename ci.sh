@@ -16,6 +16,71 @@ echo "== build (release) =="
 cargo build --release --offline
 
 echo "== test =="
-cargo test -q --offline
+cargo test -q --offline --workspace
+
+# Parallel-search smokes. Both guard the jobs-invariance contract of
+# docs/EXPLORER.md: the report must be byte-identical for every --jobs
+# value, and throughput must not fall off a cliff between runs.
+BIN=target/release/reclose
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+echo "== determinism smoke: stateful --jobs {1,2,8} over the corpus =="
+for p in corpus/*.mc; do
+    "$BIN" explore "$p" --enumerate --stateful --all --jobs 1 \
+        > "$SMOKE/jobs1.txt" || :
+    for j in 2 8; do
+        "$BIN" explore "$p" --enumerate --stateful --all --jobs "$j" \
+            > "$SMOKE/jobsN.txt" || :
+        if ! cmp -s "$SMOKE/jobs1.txt" "$SMOKE/jobsN.txt"; then
+            echo "determinism regression: $p differs between --jobs 1 and --jobs $j"
+            diff "$SMOKE/jobs1.txt" "$SMOKE/jobsN.txt" || :
+            exit 1
+        fi
+    done
+    echo "  $p: jobs {1,2,8} byte-identical"
+done
+
+echo "== bench smoke: 10 iterations on switchgen --lines 2 =="
+"$BIN" switchgen --lines 2 > "$SMOKE/switch.mc"
+sl_min=0 sl_max=0 sf_min=0 sf_max=0
+i=1
+while [ "$i" -le 10 ]; do
+    s=$(date +%s%N)
+    "$BIN" explore "$SMOKE/switch.mc" --close --all --jobs 2 \
+        --max-transitions 300000 > "$SMOKE/sl.txt" || :
+    e=$(date +%s%N)
+    sl=$(( (e - s) / 1000000 ))
+    s=$(date +%s%N)
+    "$BIN" explore "$SMOKE/switch.mc" --close --stateful --all --jobs 2 \
+        --max-transitions 100000 > "$SMOKE/sf.txt" || :
+    e=$(date +%s%N)
+    sf=$(( (e - s) / 1000000 ))
+    if [ "$i" -eq 1 ]; then
+        cp "$SMOKE/sl.txt" "$SMOKE/sl_ref.txt"
+        cp "$SMOKE/sf.txt" "$SMOKE/sf_ref.txt"
+        sl_min=$sl sl_max=$sl sf_min=$sf sf_max=$sf
+    else
+        cmp -s "$SMOKE/sl_ref.txt" "$SMOKE/sl.txt" \
+            || { echo "bench smoke: stateless report drifted at iteration $i"; exit 1; }
+        cmp -s "$SMOKE/sf_ref.txt" "$SMOKE/sf.txt" \
+            || { echo "bench smoke: stateful report drifted at iteration $i"; exit 1; }
+        [ "$sl" -lt "$sl_min" ] && sl_min=$sl
+        [ "$sl" -gt "$sl_max" ] && sl_max=$sl
+        [ "$sf" -lt "$sf_min" ] && sf_min=$sf
+        [ "$sf" -gt "$sf_max" ] && sf_max=$sf
+    fi
+    echo "  iter $i: stateless ${sl}ms, stateful ${sf}ms"
+    i=$((i + 1))
+done
+echo "  stateless wall ${sl_min}..${sl_max}ms, stateful wall ${sf_min}..${sf_max}ms"
+if [ "$sl_max" -gt $((sl_min * 2)) ]; then
+    echo "bench smoke: stateless throughput cliff (max ${sl_max}ms > 2x min ${sl_min}ms)"
+    exit 1
+fi
+if [ "$sf_max" -gt $((sf_min * 2)) ]; then
+    echo "bench smoke: stateful throughput cliff (max ${sf_max}ms > 2x min ${sf_min}ms)"
+    exit 1
+fi
 
 echo "ci: all green"

@@ -1,15 +1,19 @@
-//! Experiment E9: wall-clock scaling of the sharded parallel engine.
+//! Experiment E9: wall-clock scaling of the two parallel engines.
 //!
 //! Sweeps `jobs` over the auto-closed §6 switch application (the
-//! `switchgen --lines 4` configuration), printing per-jobs wall time and
-//! the speedup versus `jobs = 1`. The engine is deterministic for every
+//! `switchgen --lines 4` configuration) for both the sharded
+//! work-stealing stateless engine and the shared-visited-store stateful
+//! frontier engine, printing per-jobs wall time, states/sec, and the
+//! speedup versus `jobs = 1`. Each engine is deterministic for every
 //! jobs value — the reports are asserted identical before any timing —
 //! so the sweep isolates pure scheduling overhead/speedup. On a
 //! single-core container the expected speedup is ~1.0×; on ≥4 hardware
-//! threads the lines-4 switch shows >1.5×.
+//! threads the lines-4 switch shows >1.5×. Alongside the human table the
+//! run writes `BENCH_parallel_scaling.json` with the same data in
+//! machine-readable form (see `harness::Criterion::emit_json`).
 
 use reclose_bench::close;
-use reclose_bench::harness::{BenchmarkId, Criterion};
+use reclose_bench::harness::{BenchmarkId, Criterion, Throughput};
 use reclose_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Instant;
@@ -28,9 +32,9 @@ fn switch_lines4() -> cfgir::CfgProgram {
     close(&open).program
 }
 
-fn parallel_cfg(jobs: usize) -> Config {
+fn sweep_cfg(engine: Engine, jobs: usize) -> Config {
     Config {
-        engine: Engine::Parallel,
+        engine,
         jobs,
         max_depth: 400,
         max_transitions: 1_000_000,
@@ -39,8 +43,48 @@ fn parallel_cfg(jobs: usize) -> Config {
     }
 }
 
-fn report() {
-    println!("--- E9: parallel stateless search, jobs sweep ---");
+fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Parallel => "stateless",
+        Engine::StatefulParallel => "stateful",
+        _ => "sequential",
+    }
+}
+
+fn report(prog: &cfgir::CfgProgram, engine: Engine) {
+    println!(
+        "--- E9: parallel {} search, jobs sweep ---",
+        engine_label(engine)
+    );
+    // Determinism first: every jobs value must produce the same report.
+    let baseline = verisoft::explore(prog, &sweep_cfg(engine, 1));
+    println!(
+        "explored: {} states, {} transitions, truncated: {}",
+        baseline.states, baseline.transitions, baseline.truncated
+    );
+    println!(
+        "{:>6} {:>12} {:>14} {:>9}",
+        "jobs", "wall", "states/sec", "speedup"
+    );
+    let mut t1 = None;
+    for jobs in JOB_SWEEP {
+        let r0 = Instant::now();
+        let r = verisoft::explore(prog, &sweep_cfg(engine, jobs));
+        let dt = r0.elapsed();
+        assert_eq!(baseline.states, r.states, "jobs={jobs} must match jobs=1");
+        assert_eq!(baseline.transitions, r.transitions);
+        assert_eq!(baseline.violations, r.violations);
+        let t1 = *t1.get_or_insert(dt);
+        println!(
+            "{jobs:>6} {:>12} {:>14} {:>8.2}x",
+            format!("{:.1} ms", dt.as_secs_f64() * 1e3),
+            format!("{:.0}", r.states as f64 / dt.as_secs_f64()),
+            t1.as_secs_f64() / dt.as_secs_f64()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
     println!(
         "hardware threads available: {}",
         std::thread::available_parallelism()
@@ -53,47 +97,27 @@ fn report() {
         prog.processes.len(),
         prog.node_count()
     );
-    // Determinism first: every jobs value must produce the same report.
-    let baseline = verisoft::explore(&prog, &parallel_cfg(1));
-    println!(
-        "explored: {} states, {} transitions, truncated: {}",
-        baseline.states, baseline.transitions, baseline.truncated
-    );
-    println!("{:>6} {:>12} {:>9}", "jobs", "wall", "speedup");
-    let mut t1 = None;
-    for jobs in JOB_SWEEP {
-        let r0 = Instant::now();
-        let r = verisoft::explore(&prog, &parallel_cfg(jobs));
-        let dt = r0.elapsed();
-        assert_eq!(baseline.states, r.states, "jobs={jobs} must match jobs=1");
-        assert_eq!(baseline.transitions, r.transitions);
-        assert_eq!(baseline.violations, r.violations);
-        let t1 = *t1.get_or_insert(dt);
-        println!(
-            "{jobs:>6} {:>12} {:>8.2}x",
-            format!("{:.1} ms", dt.as_secs_f64() * 1e3),
-            t1.as_secs_f64() / dt.as_secs_f64()
-        );
+    for engine in [Engine::Parallel, Engine::StatefulParallel] {
+        report(&prog, engine);
+        let states = verisoft::explore(&prog, &sweep_cfg(engine, 1)).states;
+        let mut g = c.benchmark_group(&format!("parallel_scaling/{}", engine_label(engine)));
+        g.throughput(Throughput::Elements(states as u64));
+        for jobs in JOB_SWEEP {
+            g.bench_with_input(
+                BenchmarkId::new("switch_lines4", jobs),
+                &jobs,
+                |b, &jobs| b.iter(|| black_box(verisoft::explore(&prog, &sweep_cfg(engine, jobs)))),
+            );
+        }
+        g.finish();
     }
-}
-
-fn bench(c: &mut Criterion) {
-    report();
-    let prog = switch_lines4();
-    let mut g = c.benchmark_group("parallel_scaling");
-    for jobs in JOB_SWEEP {
-        g.bench_with_input(
-            BenchmarkId::new("switch_lines4", jobs),
-            &jobs,
-            |b, &jobs| b.iter(|| black_box(verisoft::explore(&prog, &parallel_cfg(jobs)))),
-        );
-    }
-    g.finish();
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(3);
+    config = Criterion::default()
+        .sample_size(3)
+        .emit_json("parallel_scaling");
     targets = bench
 }
 criterion_main!(benches);

@@ -12,7 +12,14 @@
 //! The numbers are honest wall-clock medians, good for the repo's
 //! relative comparisons (naive vs closed, POR on vs off, jobs sweeps);
 //! they make no attempt at Criterion's outlier analysis.
+//!
+//! Benches that opt in via [`Criterion::emit_json`] additionally write a
+//! machine-readable `BENCH_<name>.json` (into `$RECLOSE_BENCH_DIR`, the
+//! workspace root by default) with per-benchmark wall times and — when a
+//! [`Throughput`] was declared — derived rates such as states/sec, so CI
+//! and scripts can track scaling without parsing the human table.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Target total measurement time per benchmark.
@@ -60,22 +67,74 @@ fn render(d: Duration) -> String {
     }
 }
 
+/// One finished measurement, kept for the optional JSON report.
+struct Record {
+    name: String,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    throughput: Option<(&'static str, u64)>,
+}
+
 /// The top-level timer: a drop-in for the slice of `criterion::Criterion`
 /// the benches use.
 pub struct Criterion {
     sample_size: usize,
+    records: Vec<Record>,
+    json_path: Option<PathBuf>,
+    /// Last declared throughput; attached to subsequent measurements.
+    current_throughput: Option<(&'static str, u64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            records: Vec::new(),
+            json_path: None,
+            current_throughput: None,
+        }
     }
+}
+
+/// Where `BENCH_*.json` files land: `$RECLOSE_BENCH_DIR` if set, else the
+/// workspace root (two levels above the bench crate's manifest dir), else
+/// the current directory.
+fn bench_output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("RECLOSE_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let root = PathBuf::from(manifest);
+        if let Some(ws) = root.parent().and_then(|p| p.parent()) {
+            return ws.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 impl Criterion {
     /// Number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Also write the results as `BENCH_<name>.json` (see
+    /// [`bench_output_dir`]'s resolution rules) when the run finishes.
+    pub fn emit_json(mut self, name: &str) -> Self {
+        self.json_path = Some(bench_output_dir().join(format!("BENCH_{name}.json")));
         self
     }
 
@@ -99,6 +158,60 @@ impl Criterion {
             render(median),
             render(mean)
         );
+        self.records.push(Record {
+            name: name.to_string(),
+            min,
+            median,
+            mean,
+            throughput: self.current_throughput,
+        });
+    }
+
+    /// Render the collected records as the `BENCH_*.json` document.
+    fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}",
+                json_escape(&r.name),
+                r.min.as_nanos(),
+                r.median.as_nanos(),
+                r.mean.as_nanos()
+            ));
+            if let Some((unit, amount)) = r.throughput {
+                let per_sec = amount as f64 / r.median.as_secs_f64();
+                out.push_str(&format!(
+                    ", \"{unit}\": {amount}, \"{unit}_per_sec\": {per_sec:.1}"
+                ));
+            }
+            out.push_str(if i + 1 < self.records.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    fn write_json(&self) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        if self.records.is_empty() {
+            return;
+        }
+        match std::fs::write(path, self.render_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
 
     /// Time a single closure.
@@ -117,6 +230,12 @@ impl Criterion {
     }
 }
 
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_json();
+    }
+}
+
 /// A named parameterized benchmark id (mirrors `criterion::BenchmarkId`).
 pub struct BenchmarkId {
     rendered: String,
@@ -131,9 +250,11 @@ impl BenchmarkId {
     }
 }
 
-/// Throughput annotation (accepted and ignored — we report raw times).
+/// Throughput annotation: attached to subsequent measurements and turned
+/// into a derived rate (e.g. states/sec) in the JSON report. The human
+/// table still shows raw times only.
 pub enum Throughput {
-    /// Elements processed per iteration.
+    /// Elements (for this repo: usually explored states) per iteration.
     Elements(u64),
     /// Bytes processed per iteration.
     Bytes(u64),
@@ -146,8 +267,12 @@ pub struct BenchmarkGroup<'c> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Record the per-iteration throughput (ignored by this harness).
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Declare the per-iteration throughput for subsequent measurements.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.criterion.current_throughput = Some(match t {
+            Throughput::Elements(n) => ("elements", n),
+            Throughput::Bytes(n) => ("bytes", n),
+        });
         self
     }
 
@@ -171,6 +296,12 @@ impl BenchmarkGroup<'_> {
 
     /// Close the group.
     pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.current_throughput = None;
+    }
 }
 
 /// Declare a benchmark group: mirrors `criterion_group!` closely enough
@@ -215,6 +346,31 @@ mod tests {
         g.throughput(Throughput::Elements(1));
         g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, n| b.iter(|| n * n));
         g.finish();
+    }
+
+    #[test]
+    fn json_report_carries_times_and_rates() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(1000));
+            g.bench_with_input(BenchmarkId::new("jobs", 2), &2u64, |b, n| b.iter(|| n + 1));
+            g.finish();
+        }
+        let json = c.render_json();
+        assert!(json.contains("\"hardware_threads\""));
+        assert!(json.contains("\"grp/jobs/2\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"elements\": 1000"));
+        assert!(json.contains("\"elements_per_sec\""));
+        // Avoid writing a file from the test.
+        c.json_path = None;
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

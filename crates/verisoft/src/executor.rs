@@ -20,6 +20,7 @@ use crate::report::{Decision, ViolationKind};
 use crate::search::Config;
 use crate::state::{GlobalState, Status};
 use cfgir::{CfgProgram, NodeKind};
+use std::collections::BTreeSet;
 
 /// What the executor offers a driver at a given state.
 pub enum Scheduled {
@@ -44,6 +45,37 @@ pub enum SuccOutcome {
     State(Box<GlobalState>, Option<VisibleEvent>),
     /// The transition hit a property violation.
     Violation(ViolationKind, Option<usize>),
+}
+
+/// One child of a node expansion: the decision that reaches it, its
+/// outcome, and the sleep set the child inherits under the sequential
+/// stateless-DFS rules.
+pub struct ChildSucc {
+    /// Process whose transition produced this child.
+    pub process: usize,
+    /// Nondeterministic choices consumed within the transition.
+    pub choices: Vec<u32>,
+    /// Resulting state or violation.
+    pub outcome: SuccOutcome,
+    /// Sleep set the child subtree starts with.
+    pub sleep: BTreeSet<usize>,
+}
+
+/// Everything below one node of the decision tree, expanded one level.
+///
+/// This is the *shard-split hook*: the sharding pass, the steal-capable
+/// parallel walk, and the parallel stateful frontier all split subtrees
+/// by calling [`Executor::expand_children`], so every engine sees the
+/// same child ordering — which is what makes a split (wherever and
+/// whenever it happens) invisible in the merged report.
+pub enum NodeExpansion {
+    /// No enabled transitions.
+    DeadEnd {
+        /// Whether this dead end is a system deadlock.
+        deadlock: bool,
+    },
+    /// The node's children, in exact sequential-DFS visit order.
+    Children(Vec<ChildSucc>),
 }
 
 /// Per-driver (or per-worker) mutable execution scratch: the transition
@@ -76,6 +108,19 @@ impl ExecCtx {
             } else {
                 None
             },
+        }
+    }
+
+    /// A fresh context with the given budget and an explicit (possibly
+    /// reused) coverage accumulator — parallel workers thread one
+    /// accumulator through many per-item contexts instead of allocating
+    /// a map per item.
+    pub fn with_coverage(budget: usize, coverage: Option<Coverage>) -> Self {
+        ExecCtx {
+            transitions: 0,
+            budget,
+            truncated: false,
+            coverage,
         }
     }
 }
@@ -241,6 +286,76 @@ impl<'a> Executor<'a> {
             }
         }
         out
+    }
+
+    /// Expand one node of the decision tree a single level, in exact
+    /// sequential visit order: initialization first (lowest pid), then
+    /// each scheduled process's outcomes.
+    ///
+    /// With `sleep: Some(..)` the stateless-DFS sleep-set rules apply —
+    /// sleeping processes are skipped and per-child sleep sets are
+    /// computed from the done-list, exactly as
+    /// [`crate::search::StatelessDfs`] visits them. With `None` (the
+    /// explicit-state engines, which prune by visited states instead)
+    /// no sleep bookkeeping is done and children carry empty sets.
+    ///
+    /// Enumeration charges `cx` and stops early when the budget runs
+    /// out (`cx.truncated`), leaving the child list a prefix of the
+    /// full one — callers treat that as a truncated run.
+    pub fn expand_children(
+        &self,
+        cx: &mut ExecCtx,
+        state: &GlobalState,
+        sleep: Option<&BTreeSet<usize>>,
+    ) -> NodeExpansion {
+        let mut children = Vec::new();
+        match self.schedule(state) {
+            Scheduled::DeadEnd { deadlock } => return NodeExpansion::DeadEnd { deadlock },
+            Scheduled::Init(pid) => {
+                for (choices, outcome) in self.successors(cx, state, pid) {
+                    children.push(ChildSucc {
+                        process: pid,
+                        choices,
+                        outcome,
+                        sleep: sleep.cloned().unwrap_or_default(),
+                    });
+                }
+            }
+            Scheduled::Procs(procs) => {
+                let use_sleep = self.cfg.sleep_sets && sleep.is_some();
+                let empty = BTreeSet::new();
+                let sleep = sleep.unwrap_or(&empty);
+                let mut done: Vec<usize> = Vec::new();
+                for t in procs {
+                    if cx.truncated {
+                        break;
+                    }
+                    if use_sleep && sleep.contains(&t) {
+                        continue;
+                    }
+                    let child_sleep: BTreeSet<usize> = if use_sleep {
+                        sleep
+                            .iter()
+                            .chain(done.iter())
+                            .copied()
+                            .filter(|u| self.independent(state, *u, t))
+                            .collect()
+                    } else {
+                        BTreeSet::new()
+                    };
+                    for (choices, outcome) in self.successors(cx, state, t) {
+                        children.push(ChildSucc {
+                            process: t,
+                            choices,
+                            outcome,
+                            sleep: child_sleep.clone(),
+                        });
+                    }
+                    done.push(t);
+                }
+            }
+        }
+        NodeExpansion::Children(children)
     }
 
     /// Replay a decision sequence from the initial state, returning the

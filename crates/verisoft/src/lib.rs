@@ -45,6 +45,7 @@
 pub mod coverage;
 pub mod executor;
 pub mod explain;
+pub mod hash;
 pub mod interp;
 pub mod por;
 pub mod report;
@@ -55,6 +56,7 @@ pub mod value;
 pub use coverage::Coverage;
 pub use executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
 pub use explain::explain_violation;
+pub use hash::{stable_hash, StableHasher};
 pub use interp::{
     enabled, execute_transition, execute_transition_with, EnvMode, EventOp, ExecLimits, RtError,
     TransitionResult, VisibleEvent,
@@ -63,7 +65,7 @@ pub use por::{enabled_processes, independent, persistent_set, StaticInfo};
 pub use report::{Decision, Report, Violation, ViolationKind};
 pub use search::{
     driver_for, explore, replay, BfsDriver, Config, Engine, ParallelStateless, SearchDriver,
-    StatefulDfs, StatelessDfs,
+    StatefulDfs, StatefulParallel, StatelessDfs, VisitedStore,
 };
 pub use state::{Frame, GlobalState, ObjState, ProcState, Status};
 pub use value::{Addr, Value};

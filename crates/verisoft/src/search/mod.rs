@@ -18,9 +18,14 @@
 //!   the first violation reported has a *shortest* reproducing trace.
 //! - [`Engine::Parallel`] ([`ParallelStateless`]) — deterministic
 //!   sharded stateless search: the decision-prefix tree is split into
-//!   shards explored by worker threads, with results merged in shard
+//!   shards explored by worker threads — with idle workers *stealing*
+//!   prefix-splits of pending subtrees — and results merged in shard
 //!   order so the report is byte-identical for any worker count (see
 //!   [`parallel`]).
+//! - [`Engine::StatefulParallel`] ([`StatefulParallel`]) — deterministic
+//!   parallel explicit-state frontier search over a lock-striped
+//!   [`VisitedStore`] with a jobs-invariant admission order (see
+//!   [`visited`]); byte-identical reports for any worker count.
 //!
 //! All engines treat a `VS_toss` inside a transition as a branch point,
 //! observed and controlled by the scheduler exactly as VeriSoft observes
@@ -34,10 +39,12 @@ use cfgir::CfgProgram;
 pub mod parallel;
 pub mod stateful;
 pub mod stateless;
+pub mod visited;
 
 pub use parallel::ParallelStateless;
-pub use stateful::{BfsDriver, StatefulDfs};
+pub use stateful::{BfsDriver, StatefulDfs, StatefulParallel};
 pub use stateless::StatelessDfs;
+pub use visited::VisitedStore;
 
 /// Which exploration engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,6 +62,11 @@ pub enum Engine {
     /// Sharded stateless search across [`Config::jobs`] worker threads;
     /// deterministic — same report for any job count.
     Parallel,
+    /// Parallel explicit-state frontier search across [`Config::jobs`]
+    /// worker threads, sharing a lock-striped visited store with a
+    /// jobs-invariant admission order; deterministic — same report for
+    /// any job count, and equal to [`Engine::Bfs`] on cap-free runs.
+    StatefulParallel,
 }
 
 /// Exploration configuration.
@@ -150,6 +162,7 @@ pub fn driver_for(engine: Engine) -> Box<dyn SearchDriver> {
         Engine::Stateful => Box::new(StatefulDfs),
         Engine::Bfs => Box::new(BfsDriver),
         Engine::Parallel => Box::new(ParallelStateless),
+        Engine::StatefulParallel => Box::new(StatefulParallel),
     }
 }
 

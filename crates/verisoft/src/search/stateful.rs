@@ -1,9 +1,14 @@
-//! Explicit-state drivers: DFS and BFS over stored visited states.
+//! Explicit-state drivers: DFS and BFS over stored visited states, and
+//! the deterministic parallel frontier engine ([`StatefulParallel`])
+//! backed by the lock-striped [`VisitedStore`](super::visited).
 
-use crate::executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
+use super::visited::{rank, VisitedStore};
+use crate::coverage::Coverage;
+use crate::executor::{ExecCtx, Executor, NodeExpansion, Scheduled, SuccOutcome};
 use crate::report::{Decision, Report, Violation, ViolationKind};
 use crate::state::GlobalState;
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Explicit-state depth-first search storing full visited states (not
 /// hashes, so no collision unsoundness); terminates on cyclic state
@@ -24,6 +29,212 @@ impl super::SearchDriver for BfsDriver {
     fn run(&mut self, exec: &Executor<'_>) -> Report {
         stateful(exec, true)
     }
+}
+
+/// Deterministic parallel explicit-state search over
+/// [`Config::jobs`](super::Config::jobs) worker threads.
+///
+/// The engine is level-synchronous breadth-first: each round, workers
+/// expand the frontier's states concurrently (claiming items through an
+/// atomic cursor) and *admit* every successor to the shared
+/// [`VisitedStore`] tagged with its shard-lexicographic discovery rank
+/// `(frontier index, successor index)`. The round then commits
+/// sequentially in rank order: a successor joins the next frontier iff
+/// its rank is the store's winning (minimal) occurrence of that state,
+/// so the explored set, the violation order, every reproducing trace,
+/// and all counters are byte-identical for any worker count — and, on
+/// cap-free runs, identical to the sequential [`BfsDriver`].
+pub struct StatefulParallel;
+
+impl super::SearchDriver for StatefulParallel {
+    fn run(&mut self, exec: &Executor<'_>) -> Report {
+        frontier_search(exec)
+    }
+}
+
+/// One frontier entry: a committed (sealed) state awaiting expansion.
+struct FrontierItem {
+    state: GlobalState,
+    depth: usize,
+    path: Vec<Decision>,
+}
+
+/// A worker's expansion of one frontier item.
+struct Expanded {
+    expansion: NodeExpansion,
+    /// Stable hash per child (0 for violation outcomes), aligned with
+    /// the expansion's child list.
+    hashes: Vec<u64>,
+    transitions: usize,
+    truncated: bool,
+}
+
+/// One worker's batch for a round: the items it expanded (tagged with
+/// their frontier index) plus its private coverage map.
+type WorkerBatch = (Vec<(usize, Expanded)>, Option<Coverage>);
+
+/// The level-synchronous parallel frontier search.
+fn frontier_search(exec: &Executor<'_>) -> Report {
+    let cfg = exec.config();
+    let jobs = cfg.jobs.max(1);
+    let store = VisitedStore::default();
+    let mut report = Report::default();
+    let mut coverage = cfg.track_coverage.then(|| Coverage::new(exec.program()));
+
+    let init = exec.initial();
+    let h0 = init.fingerprint();
+    store.admit(h0, &init, rank(0, 0));
+    store.seal(h0, &init);
+    report.states = 1;
+    let mut frontier = if cfg.max_depth == 0 {
+        report.truncated = true;
+        Vec::new()
+    } else {
+        vec![FrontierItem {
+            state: init,
+            depth: 0,
+            path: Vec::new(),
+        }]
+    };
+
+    let mut stop = false;
+    while !frontier.is_empty() && !stop {
+        // The per-item budget is the *round-start* remainder — a value
+        // fixed before any worker runs, so the expansion of an item is a
+        // pure function of the item, never of sibling timing.
+        let remaining = cfg.max_transitions.saturating_sub(report.transitions);
+        if remaining == 0 {
+            report.truncated = true;
+            break;
+        }
+        let n = frontier.len();
+        let cursor = AtomicUsize::new(0);
+        let workers = jobs.min(n);
+        let mut slots: Vec<Option<Expanded>> = (0..n).map(|_| None).collect();
+        let per_worker: Vec<WorkerBatch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (frontier, store, cursor) = (&frontier, &store, &cursor);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut cov = cfg.track_coverage.then(|| Coverage::new(exec.program()));
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let mut cx = ExecCtx::with_coverage(remaining, cov.take());
+                            let expansion = exec.expand_children(&mut cx, &frontier[i].state, None);
+                            let hashes = match &expansion {
+                                NodeExpansion::Children(cs) => cs
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(j, c)| match &c.outcome {
+                                        SuccOutcome::State(s, _) => {
+                                            let h = s.fingerprint();
+                                            store.admit(h, s, rank(i, j));
+                                            h
+                                        }
+                                        SuccOutcome::Violation(..) => 0,
+                                    })
+                                    .collect(),
+                                NodeExpansion::DeadEnd { .. } => Vec::new(),
+                            };
+                            cov = cx.coverage.take();
+                            out.push((
+                                i,
+                                Expanded {
+                                    expansion,
+                                    hashes,
+                                    transitions: cx.transitions,
+                                    truncated: cx.truncated,
+                                },
+                            ));
+                        }
+                        (out, cov)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (out, cov) in per_worker {
+            for (i, e) in out {
+                slots[i] = Some(e);
+            }
+            if let (Some(mine), Some(theirs)) = (&mut coverage, cov.as_ref()) {
+                mine.merge(theirs);
+            }
+        }
+
+        // Ordered commit: fold items in rank order; only winning
+        // occurrences enter the next frontier, and the violation cap
+        // cuts at the same rank for every worker count.
+        let mut next = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            if stop {
+                break;
+            }
+            let item = &frontier[i];
+            let e = slot.expect("every frontier item is expanded");
+            report.transitions += e.transitions;
+            report.truncated |= e.truncated;
+            match e.expansion {
+                NodeExpansion::DeadEnd { deadlock } => {
+                    if deadlock {
+                        report.violations.push(Violation {
+                            kind: ViolationKind::Deadlock,
+                            process: None,
+                            trace: item.path.clone(),
+                        });
+                        stop |= report.violations.len() >= cfg.max_violations;
+                    }
+                }
+                NodeExpansion::Children(cs) => {
+                    for (j, c) in cs.into_iter().enumerate() {
+                        if stop {
+                            break;
+                        }
+                        let mut path = item.path.clone();
+                        path.push(Decision {
+                            process: c.process,
+                            choices: c.choices,
+                        });
+                        match c.outcome {
+                            SuccOutcome::State(s, _) => {
+                                let r = rank(i, j);
+                                if store.is_winner(e.hashes[j], &s, r) {
+                                    store.seal(e.hashes[j], &s);
+                                    report.states += 1;
+                                    report.max_depth_seen =
+                                        report.max_depth_seen.max(item.depth + 1);
+                                    if item.depth + 1 >= cfg.max_depth {
+                                        report.truncated = true;
+                                    } else {
+                                        next.push(FrontierItem {
+                                            state: *s,
+                                            depth: item.depth + 1,
+                                            path,
+                                        });
+                                    }
+                                }
+                            }
+                            SuccOutcome::Violation(kind, process) => {
+                                report.violations.push(Violation {
+                                    kind,
+                                    process,
+                                    trace: path,
+                                });
+                                stop |= report.violations.len() >= cfg.max_violations;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    report.coverage = coverage;
+    report
 }
 
 /// Shared explicit-state search; `bfs` selects FIFO

@@ -1,0 +1,237 @@
+//! A lock-striped canonical-state visited store with a jobs-invariant
+//! admission order, backing the parallel stateful search.
+//!
+//! ## Why admission needs an order at all
+//!
+//! A visited set makes exploration *order-sensitive*: whichever path
+//! reaches a state first claims it, and every later path is pruned. Run
+//! that race on worker threads and the claimed-by path — and with it the
+//! violation traces, depth statistics, and even the set of expanded
+//! states — depends on scheduling. The store removes the race from the
+//! *result* without removing the parallelism from the *work*:
+//!
+//! 1. During a frontier round, workers **admit** candidate states
+//!    concurrently, each tagged with its shard-lexicographic discovery
+//!    [`Rank`] — `(frontier item index, successor index)`, the exact
+//!    order the sequential search would have discovered them. A stripe
+//!    keeps only the smallest rank per state: a late-arriving smaller
+//!    rank evicts/overrides whatever a faster worker wrote first.
+//! 2. At the round's ordered commit (single-threaded, in rank order),
+//!    [`VisitedStore::is_winner`] answers deterministically: the winner
+//!    is the minimal-rank occurrence, however the threads raced.
+//! 3. Committed winners are **sealed**; in later rounds they always beat
+//!    any new candidate, so a state is expanded exactly once, at its
+//!    earliest (breadth-first minimal) depth.
+//!
+//! ## Collision safety
+//!
+//! Stripes and buckets are keyed by the canonical state's *stable*
+//! 64-bit hash ([`crate::state::GlobalState::fingerprint`], a
+//! [`crate::hash::StableHasher`] — never SipHash, whose keys may drift
+//! between toolchains and would re-stripe the store). Buckets store
+//! **full states** per the collision-safety rule in [`crate::state`]:
+//! two distinct states sharing a hash land in the same bucket but never
+//! alias, so a collision costs a comparison, not a missed state.
+
+use crate::state::GlobalState;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of stripes: enough that 8–16 workers rarely contend, small
+/// enough that an empty store is cheap.
+pub const STRIPES: usize = 64;
+
+/// A shard-lexicographic discovery rank: `(frontier item, successor)`
+/// packed so that `u64` ordering is the lexicographic order the
+/// sequential search discovers successors in.
+pub type Rank = u64;
+
+/// Pack a discovery rank.
+#[inline]
+pub fn rank(item: usize, succ: usize) -> Rank {
+    debug_assert!(item < (1 << 32) && succ < (1 << 32));
+    ((item as u64) << 32) | succ as u64
+}
+
+struct Entry {
+    state: GlobalState,
+    rank: Rank,
+    /// Sealed entries were committed in an earlier round and always win.
+    sealed: bool,
+}
+
+/// One stripe: full states bucketed by their stable hash.
+type Stripe = HashMap<u64, Vec<Entry>>;
+
+/// The lock-striped visited store. See the module docs for the
+/// admission protocol.
+pub struct VisitedStore {
+    stripes: Vec<Mutex<Stripe>>,
+}
+
+impl Default for VisitedStore {
+    fn default() -> Self {
+        VisitedStore::new(STRIPES)
+    }
+}
+
+impl VisitedStore {
+    /// A store with `stripes` lock stripes (rounded up to at least 1).
+    pub fn new(stripes: usize) -> Self {
+        VisitedStore {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(Stripe::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, hash: u64) -> &Mutex<Stripe> {
+        // High bits: the stable hash mixes well, and low bits already
+        // pick the bucket inside the stripe map.
+        &self.stripes[(hash >> 32) as usize % self.stripes.len()]
+    }
+
+    /// Offer a candidate discovery of `state` at `rank`. Keeps the
+    /// smallest rank per state; sealed entries always win. Safe to call
+    /// concurrently from any number of workers — the outcome (minimal
+    /// rank per state) is independent of arrival order.
+    pub fn admit(&self, hash: u64, state: &GlobalState, rank: Rank) {
+        let mut stripe = self.stripe(hash).lock().unwrap();
+        let bucket = stripe.entry(hash).or_default();
+        for e in bucket.iter_mut() {
+            if e.state == *state {
+                if !e.sealed && rank < e.rank {
+                    e.rank = rank; // late-arriving smaller rank overrides
+                }
+                return;
+            }
+        }
+        bucket.push(Entry {
+            state: state.clone(),
+            rank,
+            sealed: false,
+        });
+    }
+
+    /// Whether `(state, rank)` is the committed winner: the stored
+    /// occurrence has exactly this rank and was not sealed by an earlier
+    /// round. Call only after every candidate of the round was admitted
+    /// (the ordered commit provides that barrier).
+    pub fn is_winner(&self, hash: u64, state: &GlobalState, rank: Rank) -> bool {
+        let stripe = self.stripe(hash).lock().unwrap();
+        stripe
+            .get(&hash)
+            .and_then(|b| b.iter().find(|e| e.state == *state))
+            .is_some_and(|e| !e.sealed && e.rank == rank)
+    }
+
+    /// Seal a committed winner: from now on the state is *visited* and
+    /// every later-round candidate loses. Idempotent.
+    pub fn seal(&self, hash: u64, state: &GlobalState) {
+        let mut stripe = self.stripe(hash).lock().unwrap();
+        if let Some(e) = stripe
+            .get_mut(&hash)
+            .and_then(|b| b.iter_mut().find(|e| e.state == *state))
+        {
+            e.sealed = true;
+        }
+    }
+
+    /// Number of states currently stored (sealed or candidate).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// True when no state was ever admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> GlobalState {
+        let prog = cfgir::compile("chan c[1]; proc p() { send(c, 1); } process p();").unwrap();
+        GlobalState::initial(&prog)
+    }
+
+    fn other_state() -> GlobalState {
+        let mut s = state();
+        s.objects[0] = crate::state::ObjState::Chan {
+            queue: [crate::value::Value::Int(7)].into(),
+            cap: Some(1),
+        };
+        s
+    }
+
+    #[test]
+    fn smaller_rank_overrides_in_any_arrival_order() {
+        let s = state();
+        let h = s.fingerprint();
+        let store = VisitedStore::new(4);
+        store.admit(h, &s, rank(3, 1));
+        store.admit(h, &s, rank(0, 2)); // late but smaller: evicts
+        store.admit(h, &s, rank(5, 0)); // larger: ignored
+        assert!(store.is_winner(h, &s, rank(0, 2)));
+        assert!(!store.is_winner(h, &s, rank(3, 1)));
+    }
+
+    #[test]
+    fn sealing_blocks_later_rounds() {
+        let s = state();
+        let h = s.fingerprint();
+        let store = VisitedStore::default();
+        store.admit(h, &s, rank(1, 0));
+        assert!(store.is_winner(h, &s, rank(1, 0)));
+        store.seal(h, &s);
+        // A later round re-discovers the state with an even smaller
+        // rank; the sealed entry must not budge.
+        store.admit(h, &s, rank(0, 0));
+        assert!(!store.is_winner(h, &s, rank(0, 0)));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn colliding_hashes_keep_distinct_states() {
+        let a = state();
+        let b = other_state();
+        assert_ne!(a, b);
+        let store = VisitedStore::new(1);
+        let fake_hash = 42; // force both into one bucket
+        store.admit(fake_hash, &a, rank(0, 0));
+        store.admit(fake_hash, &b, rank(0, 1));
+        assert!(store.is_winner(fake_hash, &a, rank(0, 0)));
+        assert!(store.is_winner(fake_hash, &b, rank(0, 1)));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_admission_is_arrival_order_free() {
+        let a = state();
+        let h = a.fingerprint();
+        let store = VisitedStore::default();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let (store, a) = (&store, &a);
+                scope.spawn(move || {
+                    for i in 0..64 {
+                        store.admit(h, a, rank((t as usize + i) % 7 + 1, i));
+                    }
+                });
+            }
+        });
+        // Minimal rank offered by any thread: item 1, succ 0 pattern —
+        // compute it the same way the threads did.
+        let min = (0..8u64)
+            .flat_map(|t| (0..64).map(move |i| rank((t as usize + i) % 7 + 1, i)))
+            .min()
+            .unwrap();
+        assert!(store.is_winner(h, &a, min));
+    }
+}

@@ -212,14 +212,14 @@ impl GlobalState {
         self.procs.iter().all(|p| p.status == Status::Terminated)
     }
 
-    /// A compact 64-bit fingerprint (for statistics; the stateful search
-    /// stores full states, not hashes, so collisions cannot cause missed
-    /// states).
+    /// A compact, *toolchain-stable* 64-bit fingerprint (for statistics
+    /// and visited-store stripe/shard assignment; the stateful searches
+    /// store full states, not hashes, so collisions cannot cause missed
+    /// states). Backed by [`crate::hash::StableHasher`] — SipHash keys
+    /// are not guaranteed stable across Rust releases, and stripe
+    /// assignment must not drift between toolchains.
     pub fn fingerprint(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+        crate::hash::stable_hash(self)
     }
 }
 

@@ -36,8 +36,12 @@ fn usage() -> String {
          --max-transitions N      transition cap (default 5000000)\n\
          --all                    report all violations, not just the first\n\
          --stateful               use the explicit-state engine\n\
-         --jobs N                 sharded parallel stateless search on N threads\n\
-                                  (deterministic: same report for any N)\n\
+         --bfs                    explicit-state breadth-first (shortest traces)\n\
+         --jobs N                 parallel search on N threads, deterministic:\n\
+                                  the report is byte-identical for any N.\n\
+                                  Stateless runs the sharded work-stealing\n\
+                                  search; with --stateful or --bfs it runs the\n\
+                                  shared-visited-store frontier search\n\
          --no-por                 disable partial-order reduction\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
@@ -168,14 +172,20 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         } else {
             EnvMode::Closed
         },
-        engine: if flag("--bfs") {
-            Engine::Bfs
-        } else if flag("--stateful") {
-            Engine::Stateful
-        } else if opt("--jobs")?.is_some() {
-            Engine::Parallel
-        } else {
-            Engine::Stateless
+        engine: match (
+            flag("--bfs") || flag("--stateful"),
+            opt("--jobs")?.is_some(),
+        ) {
+            (true, true) => Engine::StatefulParallel,
+            (true, false) => {
+                if flag("--bfs") {
+                    Engine::Bfs
+                } else {
+                    Engine::Stateful
+                }
+            }
+            (false, true) => Engine::Parallel,
+            (false, false) => Engine::Stateless,
         },
         jobs: opt("--jobs")?.unwrap_or(1),
         por: !flag("--no-por"),

@@ -1,7 +1,10 @@
-//! The parallel engine's contract: the report is byte-identical for any
-//! `--jobs` value, on every corpus program, in every relevant mode.
+//! The parallel engines' contract: the report is byte-identical for any
+//! `--jobs` value, on every corpus program, in every relevant mode —
+//! for both the sharded work-stealing stateless engine and the
+//! shared-visited-store stateful frontier engine.
 
 use reclose::prelude::*;
+use switchsim::rng::SplitMix64;
 use verisoft::Violation;
 
 fn corpus_files() -> Vec<(String, String)> {
@@ -195,5 +198,254 @@ fn trace_sets_are_jobs_invariant_on_figures() {
         );
         assert_eq!(one.traces, four.traces, "{name}");
         assert!(!one.traces.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn stateful_parallel_is_jobs_invariant_on_corpus() {
+    // The shared-visited-store frontier engine: byte-identical reports
+    // for every worker count, and equal to the sequential BFS driver on
+    // cap-free runs.
+    for (name, prog) in closed_corpus() {
+        let base = Config {
+            engine: Engine::StatefulParallel,
+            max_depth: 300,
+            max_transitions: 2_000_000,
+            max_violations: usize::MAX,
+            track_coverage: true,
+            ..Config::default()
+        };
+        let bfs = explore(
+            &prog,
+            &Config {
+                engine: Engine::Bfs,
+                ..base.clone()
+            },
+        );
+        let runs: Vec<Report> = [1, 2, 4, 8]
+            .iter()
+            .map(|&jobs| {
+                explore(
+                    &prog,
+                    &Config {
+                        jobs,
+                        ..base.clone()
+                    },
+                )
+            })
+            .collect();
+        assert!(!bfs.truncated, "{name}: caps must not mask the comparison");
+        for r in &runs {
+            assert_eq!(key(&bfs), key(r), "{name}: must equal sequential BFS");
+        }
+    }
+}
+
+#[test]
+fn stateful_parallel_first_violation_is_jobs_invariant() {
+    // With max_violations: 1 the ordered commit must cut at the same
+    // discovery rank for every worker count.
+    for (name, src) in corpus_files() {
+        let prog = compile(&src).unwrap();
+        let base = Config {
+            engine: Engine::StatefulParallel,
+            env_mode: EnvMode::Enumerate,
+            max_depth: 300,
+            max_transitions: 2_000_000,
+            max_violations: 1,
+            ..Config::default()
+        };
+        let runs: Vec<Report> = [1, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                explore(
+                    &prog,
+                    &Config {
+                        jobs,
+                        ..base.clone()
+                    },
+                )
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(runs[0].violations, r.violations, "{name}");
+        }
+        for v in &runs[0].violations {
+            assert!(
+                verisoft::replay(&prog, &v.trace, base.env_mode, &base.limits).is_err(),
+                "{name}: schedule must replay into the violation: {v}"
+            );
+        }
+    }
+}
+
+/// A deliberately skewed decision tree: a long unary spine of sends, then
+/// a bushy crown of toss branches. With `shard_target: 1` the sharding
+/// pass hands the whole tree to one worker as a single entry, so any
+/// parallelism the other workers contribute can only come from stealing
+/// donated subtrees off the spine-walking owner.
+const SKEWED: &str = r#"
+    chan out[64];
+    proc skew() {
+        int i = 0;
+        while (i < 16) { send(out, i); i = i + 1; }
+        int a = VS_toss(2);
+        int b = VS_toss(2);
+        int c = VS_toss(2);
+        send(out, a + b + c);
+        VS_assert(a + b + c < 6);
+    }
+    process skew();
+"#;
+
+#[test]
+fn skewed_tree_with_stealing_matches_sequential() {
+    let prog = compile(SKEWED).unwrap();
+    let seq_cfg = Config {
+        max_violations: usize::MAX,
+        collect_traces: true,
+        track_coverage: true,
+        ..Config::default()
+    };
+    let seq = explore(&prog, &seq_cfg);
+    assert!(
+        !seq.violations.is_empty(),
+        "the a+b+c==6 leaf must be found"
+    );
+    for jobs in [1, 2, 4, 8] {
+        let par = explore(
+            &prog,
+            &Config {
+                engine: Engine::Parallel,
+                jobs,
+                shard_target: 1,
+                ..seq_cfg.clone()
+            },
+        );
+        assert_eq!(key(&seq), key(&par), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn skewed_tree_stateful_sweep_is_jobs_invariant() {
+    let prog = compile(SKEWED).unwrap();
+    let base = Config {
+        engine: Engine::StatefulParallel,
+        max_violations: usize::MAX,
+        track_coverage: true,
+        ..Config::default()
+    };
+    let bfs = explore(
+        &prog,
+        &Config {
+            engine: Engine::Bfs,
+            ..base.clone()
+        },
+    );
+    for jobs in [1, 2, 4, 8] {
+        let par = explore(
+            &prog,
+            &Config {
+                jobs,
+                ..base.clone()
+            },
+        );
+        assert_eq!(key(&bfs), key(&par), "jobs={jobs}");
+    }
+}
+
+/// Build a pseudo-random report from a deterministic seed, exercising
+/// every merged field.
+fn seeded_report(rng: &mut SplitMix64) -> Report {
+    let mut r = Report {
+        states: rng.below(100),
+        transitions: rng.below(1000),
+        max_depth_seen: rng.below(50),
+        truncated: rng.coin(),
+        ..Report::default()
+    };
+    for _ in 0..rng.below(4) {
+        r.violations.push(Violation {
+            kind: verisoft::ViolationKind::AssertionViolation,
+            process: Some(rng.below(4)),
+            trace: vec![verisoft::Decision {
+                process: rng.below(4),
+                choices: vec![rng.next_u64() as u32 % 8],
+            }],
+        });
+    }
+    r
+}
+
+fn report_fields(r: &Report) -> (usize, usize, usize, bool, Vec<Violation>, usize) {
+    (
+        r.states,
+        r.transitions,
+        r.max_depth_seen,
+        r.truncated,
+        r.violations.clone(),
+        r.traces.len(),
+    )
+}
+
+#[test]
+fn report_merge_is_a_monoid_under_seeded_fragments() {
+    // `Report::merge` is the parallel engines' only combination
+    // operator; the ordered commit relies on it being a monoid.
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let a = seeded_report(&mut rng);
+        let b = seeded_report(&mut rng);
+        let c = seeded_report(&mut rng);
+
+        // Identity on both sides.
+        let mut left = Report::default();
+        left.merge(a.clone());
+        assert_eq!(report_fields(&left), report_fields(&a), "seed {seed}");
+        let mut right = a.clone();
+        right.merge(Report::default());
+        assert_eq!(report_fields(&right), report_fields(&a), "seed {seed}");
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ab_c = ab;
+        ab_c.merge(c.clone());
+        let mut bc = b.clone();
+        bc.merge(c.clone());
+        let mut a_bc = a.clone();
+        a_bc.merge(bc);
+        assert_eq!(report_fields(&ab_c), report_fields(&a_bc), "seed {seed}");
+    }
+}
+
+#[test]
+fn report_merge_trace_sets_union_and_violations_concatenate() {
+    // Trace sets union (idempotent: merging a fragment carrying the
+    // same maximal traces adds nothing), while violations concatenate
+    // in order — duplicates are preserved, as the ordered commit
+    // requires for deterministic cap cuts.
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..32 {
+        let mut a = seeded_report(&mut rng);
+        a.traces.insert(Vec::new());
+        let dup = a.clone();
+        let before_traces = a.traces.clone();
+        let before_violations = a.violations.clone();
+        a.merge(dup);
+        assert_eq!(a.traces, before_traces, "trace-set union is idempotent");
+        assert_eq!(
+            a.violations.len(),
+            before_violations.len() * 2,
+            "violations concatenate, preserving duplicates"
+        );
+        assert_eq!(
+            &a.violations[..before_violations.len()],
+            &before_violations[..]
+        );
+        assert_eq!(
+            &a.violations[before_violations.len()..],
+            &before_violations[..]
+        );
     }
 }
