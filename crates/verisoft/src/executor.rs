@@ -91,6 +91,17 @@ pub struct ExecCtx {
     pub budget: usize,
     /// Set when the budget cut enumeration short.
     pub truncated: bool,
+    /// Over completed successor transitions, components the successor
+    /// still shares with its parent (see
+    /// [`GlobalState::sharing_with`]). Deterministic: during
+    /// [`Executor::successors`] the parent is borrowed, so every
+    /// component is shared (refcount ≥ 2) and `make_mut` copies exactly
+    /// the components the transition touches, independent of worker
+    /// count or timing.
+    pub shared_components: usize,
+    /// Denominator of the sharing ratio: total components over the same
+    /// transitions.
+    pub total_components: usize,
     /// Executed-node coverage, when tracking is on.
     pub coverage: Option<Coverage>,
 }
@@ -103,6 +114,8 @@ impl ExecCtx {
             transitions: 0,
             budget,
             truncated: false,
+            shared_components: 0,
+            total_components: 0,
             coverage: if exec.config().track_coverage {
                 Some(Coverage::new(exec.program()))
             } else {
@@ -120,6 +133,8 @@ impl ExecCtx {
             transitions: 0,
             budget,
             truncated: false,
+            shared_components: 0,
+            total_components: 0,
             coverage,
         }
     }
@@ -255,6 +270,9 @@ impl<'a> Executor<'a> {
                 cx.coverage.as_mut(),
             ) {
                 TransitionResult::Completed { event } => {
+                    let (shared, total) = s.sharing_with(state);
+                    cx.shared_components += shared;
+                    cx.total_components += total;
                     out.push((choices, SuccOutcome::State(Box::new(s), event)));
                 }
                 TransitionResult::NeedChoice { bound } => {

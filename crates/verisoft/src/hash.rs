@@ -98,6 +98,17 @@ pub fn stable_hash<T: std::hash::Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+/// Hash a raw byte string through [`StableHasher`]. Unlike
+/// [`stable_hash`] on `&[u8]`, no length prefix beyond the hasher's own
+/// length mixing is added — the digest is a pure function of the bytes,
+/// which is what the cached component sub-hashes in
+/// [`crate::state`] need.
+pub fn stable_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

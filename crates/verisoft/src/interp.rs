@@ -17,6 +17,7 @@ use crate::value::{bin_op, un_op, EvalError, Value};
 use cfgir::{
     CfgProgram, Guard, NodeId, NodeKind, ObjId, Operand, ProcId, PureExpr, Rvalue, SpawnArg, VisOp,
 };
+use std::sync::Arc;
 
 /// How the open interface behaves at run time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -284,8 +285,11 @@ enum Flow {
 type Exec1 = Result<Flow, TransitionResult>;
 
 impl<'a> Exec<'a> {
+    /// The running process, through the CoW mutation funnel: the
+    /// component is copied here iff it is still shared with the parent
+    /// snapshot.
     fn ps(&mut self) -> &mut ProcState {
-        &mut self.state.procs[self.pid]
+        self.state.proc_mut(self.pid)
     }
 
     fn cover(&mut self, proc: ProcId, node: NodeId) {
@@ -302,14 +306,18 @@ impl<'a> Exec<'a> {
         let Status::AtNode(start) = self.state.procs[self.pid].status else {
             unreachable!("scheduler never runs a terminated process");
         };
-        let proc = self.prog.proc(self.state.procs[self.pid].top().proc);
+        // Copy the program reference out of `self` so borrowing a node's
+        // kind does not freeze `self`: kinds hold boxed expression trees,
+        // and cloning one per step is the interpreter's largest cost.
+        let prog = self.prog;
+        let proc = prog.proc(self.state.procs[self.pid].top().proc);
         let mut event = None;
         let mut node = start;
         self.cover(proc.id, node);
         // Perform the leading visible operation, if we are stopped at one.
         if let NodeKind::Visible { op, dst } = &proc.node(node).kind {
             debug_assert!(enabled(self.prog, self.state, self.pid), "scheduler bug");
-            match self.perform_visible(op.clone(), *dst) {
+            match self.perform_visible(op, *dst) {
                 Ok(ev) => event = Some(ev),
                 Err(r) => return r,
             }
@@ -322,7 +330,7 @@ impl<'a> Exec<'a> {
         let mut steps = 0usize;
         loop {
             let proc_id = self.state.procs[self.pid].top().proc;
-            let proc = self.prog.proc(proc_id);
+            let proc = prog.proc(proc_id);
             if matches!(proc.node(node).kind, NodeKind::Visible { .. }) {
                 self.ps().status = Status::AtNode(node);
                 return TransitionResult::Completed { event };
@@ -349,10 +357,13 @@ impl<'a> Exec<'a> {
 
     fn bind_pending_inputs(&mut self) -> Result<(), TransitionResult> {
         let spec_idx = self.state.procs[self.pid].spec;
-        let spec = &self.prog.processes[spec_idx];
+        // Borrow the spec through a copied-out program reference so the
+        // binding loop below can mutate `self` while reading the args.
+        let prog = self.prog;
+        let spec = &prog.processes[spec_idx];
         // Already bound? Detect via a bound marker: the first transition is
         // the only one starting at the Start node with frames.len() == 1.
-        let proc = self.prog.proc(spec.proc);
+        let proc = prog.proc(spec.proc);
         let at_start = matches!(
             self.state.procs[self.pid].status,
             Status::AtNode(n) if n == proc.start
@@ -360,8 +371,7 @@ impl<'a> Exec<'a> {
         if !at_start {
             return Ok(());
         }
-        let args: Vec<SpawnArg> = spec.args.clone();
-        for (i, arg) in args.iter().enumerate() {
+        for (i, arg) in spec.args.iter().enumerate() {
             let param = proc.params[i];
             let value = match arg {
                 SpawnArg::Const(v) => Value::Int(*v),
@@ -375,7 +385,7 @@ impl<'a> Exec<'a> {
                     }
                 },
             };
-            self.state.procs[self.pid].frames[0].locals[param.index()] = value;
+            Arc::make_mut(&mut self.ps().frames[0]).locals[param.index()] = value;
         }
         Ok(())
     }
@@ -443,7 +453,8 @@ impl<'a> Exec<'a> {
     fn write_place(&mut self, place: cfgir::Place, value: Value) -> Result<(), TransitionResult> {
         match place {
             cfgir::Place::Var(v) => {
-                self.state.procs[self.pid].write(self.prog, v, value);
+                let prog = self.prog;
+                self.ps().write(prog, v, value);
                 Ok(())
             }
             cfgir::Place::Deref(p) => {
@@ -451,7 +462,7 @@ impl<'a> Exec<'a> {
                 let Value::Addr(a) = pv else {
                     return Err(TransitionResult::RuntimeError(RtError::DerefNonPointer));
                 };
-                if self.state.procs[self.pid].write_addr(a, value) {
+                if self.ps().write_addr(a, value) {
                     Ok(())
                 } else {
                     Err(TransitionResult::RuntimeError(RtError::DanglingPointer))
@@ -462,15 +473,20 @@ impl<'a> Exec<'a> {
 
     fn step_invisible(&mut self, proc_id: ProcId, node: NodeId) -> Exec1 {
         self.cover(proc_id, node);
-        let proc = self.prog.proc(proc_id);
-        let kind = proc.node(node).kind.clone();
-        match kind {
+        // Borrow the node's kind through a copied-out program reference
+        // (not through `self`), so the match below can call `&mut self`
+        // helpers without cloning the kind — Assign/Cond/Switch/Return
+        // kinds hold boxed expression trees, and a clone per invisible
+        // step allocates in the hottest loop of every engine.
+        let prog = self.prog;
+        let proc = prog.proc(proc_id);
+        match &proc.node(node).kind {
             NodeKind::Start => Ok(Flow::Continue(self.advance(proc_id, node)?)),
             NodeKind::Assign { dst, src } => {
                 let value = match src {
-                    Rvalue::Pure(e) => self.eval_pure(&e)?,
+                    Rvalue::Pure(e) => self.eval_pure(e)?,
                     Rvalue::Load(p) => {
-                        let pv = self.state.procs[self.pid].read(self.prog, p);
+                        let pv = self.state.procs[self.pid].read(self.prog, *p);
                         let Value::Addr(a) = pv else {
                             return Err(TransitionResult::RuntimeError(RtError::DerefNonPointer));
                         };
@@ -479,10 +495,10 @@ impl<'a> Exec<'a> {
                             .ok_or(TransitionResult::RuntimeError(RtError::DanglingPointer))?
                     }
                     Rvalue::AddrOf(v) => {
-                        Value::Addr(self.state.procs[self.pid].addr_of(self.prog, v))
+                        Value::Addr(self.state.procs[self.pid].addr_of(self.prog, *v))
                     }
                     Rvalue::Toss(bound_op) => {
-                        let b = self.eval_operand(&bound_op);
+                        let b = self.eval_operand(bound_op);
                         let Some(b) = b.as_int().filter(|b| *b >= 0 && *b <= u32::MAX as i64)
                         else {
                             return Err(TransitionResult::RuntimeError(RtError::BadTossBound));
@@ -502,11 +518,11 @@ impl<'a> Exec<'a> {
                         }
                     },
                 };
-                self.write_place(dst, value)?;
+                self.write_place(*dst, value)?;
                 Ok(Flow::Continue(self.advance(proc_id, node)?))
             }
             NodeKind::Cond { expr } => {
-                let v = self.eval_pure(&expr)?;
+                let v = self.eval_pure(expr)?;
                 let Some(b) = v.truthy() else {
                     return Err(TransitionResult::RuntimeError(RtError::BranchOnOpaque));
                 };
@@ -517,11 +533,10 @@ impl<'a> Exec<'a> {
                 )))
             }
             NodeKind::Switch { expr } => {
-                let v = self.eval_pure(&expr)?;
+                let v = self.eval_pure(expr)?;
                 let Some(v) = v.as_int() else {
                     return Err(TransitionResult::RuntimeError(RtError::BranchOnOpaque));
                 };
-                let proc = self.prog.proc(proc_id);
                 let target = proc
                     .arcs(node)
                     .iter()
@@ -532,7 +547,7 @@ impl<'a> Exec<'a> {
                 Ok(Flow::Continue(target))
             }
             NodeKind::TossCond { bound } => {
-                let c = self.take_choice(bound)?;
+                let c = self.take_choice(*bound)?;
                 Ok(Flow::Continue(self.pick_arc(
                     proc_id,
                     node,
@@ -543,7 +558,7 @@ impl<'a> Exec<'a> {
                 if self.state.procs[self.pid].frames.len() >= self.limits.max_stack_depth {
                     return Err(TransitionResult::RuntimeError(RtError::StackOverflow));
                 }
-                let target = self.prog.proc(callee);
+                let target = prog.proc(*callee);
                 let arg_values: Vec<Value> = args
                     .iter()
                     .map(|a| self.state.procs[self.pid].read(self.prog, *a))
@@ -553,23 +568,20 @@ impl<'a> Exec<'a> {
                 for (pv, v) in target.params.iter().zip(arg_values) {
                     locals[pv.index()] = v;
                 }
-                self.state.procs[self.pid].frames.push(Frame {
-                    proc: callee,
+                self.ps().frames.push(Arc::new(Frame {
+                    proc: *callee,
                     locals,
-                    ret_dst: dst,
+                    ret_dst: *dst,
                     cont: Some(cont),
-                });
+                }));
                 Ok(Flow::Continue(target.start))
             }
             NodeKind::Return { value } => {
                 let v = match value {
-                    Some(e) => Some(self.eval_pure(&e)?),
+                    Some(e) => Some(self.eval_pure(e)?),
                     None => None,
                 };
-                let frame = self.state.procs[self.pid]
-                    .frames
-                    .pop()
-                    .expect("running process has a frame");
+                let frame = self.ps().frames.pop().expect("running process has a frame");
                 match frame.cont {
                     None => Ok(Flow::Terminated),
                     Some(cont) => {
@@ -577,7 +589,8 @@ impl<'a> Exec<'a> {
                             // A valueless return consumed as a value reads
                             // as 0 (C garbage made deterministic).
                             let v = v.unwrap_or(Value::Int(0));
-                            self.state.procs[self.pid].write(self.prog, dst, v);
+                            let prog = self.prog;
+                            self.ps().write(prog, dst, v);
                         }
                         Ok(Flow::Continue(cont))
                     }
@@ -589,31 +602,37 @@ impl<'a> Exec<'a> {
 
     fn perform_visible(
         &mut self,
-        op: VisOp,
+        op: &VisOp,
         dst: Option<cfgir::VarId>,
     ) -> Result<VisibleEvent, TransitionResult> {
         let pid = self.pid;
-        let ev = match op {
+        let ev = match *op {
             VisOp::Send { chan, val } => {
                 let v = val.map(|o| self.eval_operand(&o)).unwrap_or(Value::Opaque);
-                match &mut self.state.objects[chan.index()] {
-                    ObjState::Chan { queue, cap } => {
-                        // External (capacity-less) channels absorb outputs:
-                        // the most general environment accepts anything.
-                        if let Some(c) = cap {
-                            debug_assert!(queue.len() < *c as usize, "send enabled");
-                            queue.push_back(v);
+                // External (capacity-less) channels absorb outputs — the
+                // most general environment accepts anything — so they are
+                // never mutated (and never copied out of sharing).
+                match self.state.object(chan) {
+                    ObjState::Chan { cap: Some(_), .. } => {
+                        match self.state.object_mut(chan.index()) {
+                            ObjState::Chan {
+                                queue,
+                                cap: Some(c),
+                            } => {
+                                debug_assert!(queue.len() < *c as usize, "send enabled");
+                                queue.push_back(v);
+                            }
+                            _ => unreachable!("object kinds are immutable"),
                         }
                     }
+                    ObjState::Chan { cap: None, .. } => {}
                     _ => unreachable!("send targets a channel"),
                 }
                 EventOp::Send(chan, v)
             }
             VisOp::Recv { chan } => {
-                let is_external = matches!(
-                    self.state.objects[chan.index()],
-                    ObjState::Chan { cap: None, .. }
-                );
+                let is_external =
+                    matches!(self.state.object(chan), ObjState::Chan { cap: None, .. });
                 let v = if is_external {
                     match self.env_mode {
                         EnvMode::Closed => Value::Opaque,
@@ -623,18 +642,19 @@ impl<'a> Exec<'a> {
                         }
                     }
                 } else {
-                    match &mut self.state.objects[chan.index()] {
+                    match self.state.object_mut(chan.index()) {
                         ObjState::Chan { queue, .. } => queue.pop_front().expect("recv enabled"),
                         _ => unreachable!("recv targets a channel"),
                     }
                 };
                 if let Some(d) = dst {
-                    self.state.procs[pid].write(self.prog, d, v);
+                    let prog = self.prog;
+                    self.ps().write(prog, d, v);
                 }
                 EventOp::Recv(chan, v)
             }
             VisOp::SemWait(s) => {
-                match &mut self.state.objects[s.index()] {
+                match self.state.object_mut(s.index()) {
                     ObjState::Sem(c) => {
                         debug_assert!(*c > 0, "sem_wait enabled");
                         *c -= 1;
@@ -644,7 +664,7 @@ impl<'a> Exec<'a> {
                 EventOp::SemWait(s)
             }
             VisOp::SemSignal(s) => {
-                match &mut self.state.objects[s.index()] {
+                match self.state.object_mut(s.index()) {
                     ObjState::Sem(c) => *c += 1,
                     _ => unreachable!("sem_signal targets a semaphore"),
                 }
@@ -652,19 +672,20 @@ impl<'a> Exec<'a> {
             }
             VisOp::ShWrite { var, val } => {
                 let v = val.map(|o| self.eval_operand(&o)).unwrap_or(Value::Opaque);
-                match &mut self.state.objects[var.index()] {
+                match self.state.object_mut(var.index()) {
                     ObjState::Shared(slot) => *slot = v,
                     _ => unreachable!("sh_write targets a shared variable"),
                 }
                 EventOp::ShWrite(var, v)
             }
             VisOp::ShRead(var) => {
-                let v = match &self.state.objects[var.index()] {
+                let v = match self.state.object(var) {
                     ObjState::Shared(slot) => *slot,
                     _ => unreachable!("sh_read targets a shared variable"),
                 };
                 if let Some(d) = dst {
-                    self.state.procs[pid].write(self.prog, d, v);
+                    let prog = self.prog;
+                    self.ps().write(prog, d, v);
                 }
                 EventOp::ShRead(var, v)
             }

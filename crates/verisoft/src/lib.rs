@@ -56,7 +56,7 @@ pub mod value;
 pub use coverage::Coverage;
 pub use executor::{ExecCtx, Executor, Scheduled, SuccOutcome};
 pub use explain::explain_violation;
-pub use hash::{stable_hash, StableHasher};
+pub use hash::{stable_hash, stable_hash_bytes, StableHasher};
 pub use interp::{
     enabled, execute_transition, execute_transition_with, EnvMode, EventOp, ExecLimits, RtError,
     TransitionResult, VisibleEvent,
@@ -67,7 +67,9 @@ pub use search::{
     driver_for, explore, replay, BfsDriver, Config, Engine, ParallelStateless, SearchDriver,
     StatefulDfs, StatefulParallel, StatelessDfs, VisitedStore,
 };
-pub use state::{Frame, GlobalState, ObjState, ProcState, Status};
+pub use state::{
+    decode_state, encode_state, CowArc, Frame, GlobalState, ObjState, ProcState, Status,
+};
 pub use value::{Addr, Value};
 
 #[cfg(test)]

@@ -92,6 +92,22 @@ pub struct Report {
     /// The set of maximal visible-event traces, when trace collection is
     /// on (used for the Figure 3 optimality experiment).
     pub traces: BTreeSet<Vec<VisibleEvent>>,
+    /// Payload bytes held by the visited store at the end of the run
+    /// (stateful engines; 0 for stateless). With [`Report::visited_states`]
+    /// this gives bytes-per-visited-state, surfaced by `explore --stats`.
+    pub visited_bytes: usize,
+    /// States held by the visited store at the end of the run (stateful
+    /// engines; 0 for stateless). Can exceed [`Report::states`] when the
+    /// run truncates: admitted-but-never-expanded candidates count too.
+    pub visited_states: usize,
+    /// Across all completed successor transitions, how many state
+    /// components (processes + objects) the successor still *shares*
+    /// with its parent (same allocation). `shared / total` is the
+    /// CoW sharing ratio; see [`crate::state`].
+    pub shared_components: usize,
+    /// The denominator of the sharing ratio: total components over the
+    /// same successor transitions.
+    pub total_components: usize,
     /// Executed-node coverage, when [`crate::Config::track_coverage`] is
     /// on.
     pub coverage: Option<crate::coverage::Coverage>,
@@ -136,6 +152,10 @@ impl Report {
         self.truncated |= other.truncated;
         self.violations.extend(other.violations);
         self.traces.extend(other.traces);
+        self.visited_bytes += other.visited_bytes;
+        self.visited_states += other.visited_states;
+        self.shared_components += other.shared_components;
+        self.total_components += other.total_components;
         match (&mut self.coverage, other.coverage) {
             (Some(mine), Some(theirs)) => mine.merge(&theirs),
             (mine @ None, theirs @ Some(_)) => *mine = theirs,
@@ -219,6 +239,10 @@ mod tests {
                 }],
             }],
             traces: [vec![]].into_iter().collect(),
+            visited_bytes: states * 10,
+            visited_states: states,
+            shared_components: states,
+            total_components: states * 2,
             coverage: None,
         }
     }

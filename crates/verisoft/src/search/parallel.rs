@@ -144,6 +144,8 @@ impl<'e, 'a> Sharder<'e, 'a> {
         }
         s.root.transitions = s.cx.transitions;
         s.root.truncated |= s.cx.truncated;
+        s.root.shared_components = s.cx.shared_components;
+        s.root.total_components = s.cx.total_components;
         s.root.coverage = s.cx.coverage;
         (items, s.root)
     }
@@ -497,6 +499,8 @@ impl<'e, 'a, 'p> StealWalk<'e, 'a, 'p> {
         }
         w.fragment.transitions = w.cx.transitions;
         w.fragment.truncated |= w.cx.truncated;
+        w.fragment.shared_components = w.cx.shared_components;
+        w.fragment.total_components = w.cx.total_components;
         w.fragment.coverage = w.cx.coverage.take();
         Some(w.fragment)
     }

@@ -7,8 +7,55 @@ use crate::coverage::Coverage;
 use crate::executor::{ExecCtx, Executor, NodeExpansion, Scheduled, SuccOutcome};
 use crate::report::{Decision, Report, Violation, ViolationKind};
 use crate::state::GlobalState;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A persistent reproducing path: a parent-pointer list whose nodes are
+/// shared between all successors of a state, so queuing a successor
+/// costs one `Arc` allocation instead of a deep `Vec<Decision>` clone
+/// per child (which is O(depth) and dominated the commit loops). Paths
+/// are materialized root-first only when a violation (or deadlock) is
+/// actually recorded, producing exactly the `Vec<Decision>` the eager
+/// representation would have built.
+#[derive(Clone, Default)]
+struct Trace(Option<Arc<TraceNode>>);
+
+struct TraceNode {
+    decision: Decision,
+    parent: Trace,
+}
+
+impl Trace {
+    /// The path extended by one decision (O(1), shares the prefix).
+    fn push(&self, decision: Decision) -> Trace {
+        Trace(Some(Arc::new(TraceNode {
+            decision,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Materialize into the root-first decision sequence recorded in
+    /// violation reports.
+    fn to_vec(&self) -> Vec<Decision> {
+        let mut out = Vec::new();
+        let mut cur = &self.0;
+        while let Some(n) = cur {
+            out.push(n.decision.clone());
+            cur = &n.parent.0;
+        }
+        out.reverse();
+        out
+    }
+
+    /// [`Trace::to_vec`] with one more trailing decision, without
+    /// allocating a list node for it.
+    fn pushed_vec(&self, decision: Decision) -> Vec<Decision> {
+        let mut out = self.to_vec();
+        out.push(decision);
+        out
+    }
+}
 
 /// Explicit-state depth-first search storing full visited states (not
 /// hashes, so no collision unsoundness); terminates on cyclic state
@@ -56,17 +103,22 @@ impl super::SearchDriver for StatefulParallel {
 struct FrontierItem {
     state: GlobalState,
     depth: usize,
-    path: Vec<Decision>,
+    path: Trace,
 }
 
 /// A worker's expansion of one frontier item.
 struct Expanded {
     expansion: NodeExpansion,
-    /// Stable hash per child (0 for violation outcomes), aligned with
-    /// the expansion's child list.
-    hashes: Vec<u64>,
+    /// Per child, aligned with the expansion's child list: the state's
+    /// stable fingerprint and canonical encoding (`(0, empty)` for
+    /// violation outcomes). Computed worker-side so the sequential
+    /// commit only compares bytes.
+    keys: Vec<(u64, Vec<u8>)>,
     transitions: usize,
     truncated: bool,
+    /// CoW sharing counters folded from the item's [`ExecCtx`].
+    shared_components: usize,
+    total_components: usize,
 }
 
 /// One worker's batch for a round: the items it expanded (tagged with
@@ -82,9 +134,9 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
     let mut coverage = cfg.track_coverage.then(|| Coverage::new(exec.program()));
 
     let init = exec.initial();
-    let h0 = init.fingerprint();
-    store.admit(h0, &init, rank(0, 0));
-    store.seal(h0, &init);
+    let (h0, enc0) = init.fingerprint_and_encode();
+    store.admit(h0, &enc0, rank(0, 0));
+    store.seal(h0, &enc0);
     report.states = 1;
     let mut frontier = if cfg.max_depth == 0 {
         report.truncated = true;
@@ -93,7 +145,7 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
         vec![FrontierItem {
             state: init,
             depth: 0,
-            path: Vec::new(),
+            path: Trace::default(),
         }]
     };
 
@@ -125,17 +177,17 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
                             }
                             let mut cx = ExecCtx::with_coverage(remaining, cov.take());
                             let expansion = exec.expand_children(&mut cx, &frontier[i].state, None);
-                            let hashes = match &expansion {
+                            let keys = match &expansion {
                                 NodeExpansion::Children(cs) => cs
                                     .iter()
                                     .enumerate()
                                     .map(|(j, c)| match &c.outcome {
                                         SuccOutcome::State(s, _) => {
-                                            let h = s.fingerprint();
-                                            store.admit(h, s, rank(i, j));
-                                            h
+                                            let (h, enc) = s.fingerprint_and_encode();
+                                            store.admit(h, &enc, rank(i, j));
+                                            (h, enc)
                                         }
-                                        SuccOutcome::Violation(..) => 0,
+                                        SuccOutcome::Violation(..) => (0, Vec::new()),
                                     })
                                     .collect(),
                                 NodeExpansion::DeadEnd { .. } => Vec::new(),
@@ -145,9 +197,11 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
                                 i,
                                 Expanded {
                                     expansion,
-                                    hashes,
+                                    keys,
                                     transitions: cx.transitions,
                                     truncated: cx.truncated,
+                                    shared_components: cx.shared_components,
+                                    total_components: cx.total_components,
                                 },
                             ));
                         }
@@ -178,13 +232,15 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
             let e = slot.expect("every frontier item is expanded");
             report.transitions += e.transitions;
             report.truncated |= e.truncated;
+            report.shared_components += e.shared_components;
+            report.total_components += e.total_components;
             match e.expansion {
                 NodeExpansion::DeadEnd { deadlock } => {
                     if deadlock {
                         report.violations.push(Violation {
                             kind: ViolationKind::Deadlock,
                             process: None,
-                            trace: item.path.clone(),
+                            trace: item.path.to_vec(),
                         });
                         stop |= report.violations.len() >= cfg.max_violations;
                     }
@@ -194,16 +250,14 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
                         if stop {
                             break;
                         }
-                        let mut path = item.path.clone();
-                        path.push(Decision {
+                        let decision = Decision {
                             process: c.process,
                             choices: c.choices,
-                        });
+                        };
                         match c.outcome {
                             SuccOutcome::State(s, _) => {
-                                let r = rank(i, j);
-                                if store.is_winner(e.hashes[j], &s, r) {
-                                    store.seal(e.hashes[j], &s);
+                                let (h, enc) = &e.keys[j];
+                                if store.seal_if_winner(*h, enc, rank(i, j)) {
                                     report.states += 1;
                                     report.max_depth_seen =
                                         report.max_depth_seen.max(item.depth + 1);
@@ -213,7 +267,7 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
                                         next.push(FrontierItem {
                                             state: *s,
                                             depth: item.depth + 1,
-                                            path,
+                                            path: item.path.push(decision),
                                         });
                                     }
                                 }
@@ -222,7 +276,7 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
                                 report.violations.push(Violation {
                                     kind,
                                     process,
-                                    trace: path,
+                                    trace: item.path.pushed_vec(decision),
                                 });
                                 stop |= report.violations.len() >= cfg.max_violations;
                             }
@@ -233,6 +287,8 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
         }
         frontier = next;
     }
+    report.visited_bytes = store.bytes();
+    report.visited_states = store.len();
     report.coverage = coverage;
     report
 }
@@ -258,10 +314,13 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
             *stop = true;
         }
     };
-    let mut visited: HashSet<GlobalState> = HashSet::new();
-    // Work items carry their depth and reproducing path.
-    let mut stack: VecDeque<(GlobalState, usize, Vec<Decision>)> =
-        [(exec.initial(), 0, Vec::new())].into();
+    // The visited set: canonical encodings bucketed by the (cheap,
+    // incrementally combined) fingerprint; membership compares bytes,
+    // per the collision-safety rule in [`crate::state::encode`].
+    let mut visited: HashMap<u64, Vec<Box<[u8]>>> = HashMap::new();
+    // Work items carry their depth and (persistent) reproducing path.
+    let mut stack: VecDeque<(GlobalState, usize, Trace)> =
+        [(exec.initial(), 0, Trace::default())].into();
     while let Some((state, depth, path)) = if bfs {
         stack.pop_front()
     } else {
@@ -270,9 +329,15 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
         if stop || cx.truncated {
             break;
         }
-        if !visited.insert(state.clone()) {
+        let (fp, enc) = state.fingerprint_and_encode();
+        let enc = enc.into_boxed_slice();
+        let bucket = visited.entry(fp).or_default();
+        if bucket.contains(&enc) {
             continue;
         }
+        report.visited_bytes += enc.len();
+        report.visited_states += 1;
+        bucket.push(enc);
         report.states += 1;
         report.max_depth_seen = report.max_depth_seen.max(depth);
         if depth >= cfg.max_depth {
@@ -282,20 +347,25 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
         match exec.schedule(&state) {
             Scheduled::DeadEnd { deadlock } => {
                 if deadlock {
-                    record(&mut report, &mut stop, ViolationKind::Deadlock, None, path);
+                    record(
+                        &mut report,
+                        &mut stop,
+                        ViolationKind::Deadlock,
+                        None,
+                        path.to_vec(),
+                    );
                 }
             }
             Scheduled::Init(pid) => {
                 for (choices, outcome) in exec.successors(&mut cx, &state, pid) {
-                    let mut p = path.clone();
-                    p.push(Decision {
+                    let d = Decision {
                         process: pid,
                         choices,
-                    });
+                    };
                     match outcome {
-                        SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, p)),
+                        SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, path.push(d))),
                         SuccOutcome::Violation(k, pr) => {
-                            record(&mut report, &mut stop, k, pr, p);
+                            record(&mut report, &mut stop, k, pr, path.pushed_vec(d));
                         }
                     }
                 }
@@ -306,15 +376,16 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
                         break;
                     }
                     for (choices, outcome) in exec.successors(&mut cx, &state, t) {
-                        let mut p = path.clone();
-                        p.push(Decision {
+                        let d = Decision {
                             process: t,
                             choices,
-                        });
+                        };
                         match outcome {
-                            SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, p)),
+                            SuccOutcome::State(s, _) => {
+                                stack.push_back((*s, depth + 1, path.push(d)))
+                            }
                             SuccOutcome::Violation(k, pr) => {
-                                record(&mut report, &mut stop, k, pr, p);
+                                record(&mut report, &mut stop, k, pr, path.pushed_vec(d));
                             }
                         }
                     }
@@ -324,6 +395,8 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
     }
     report.transitions = cx.transitions;
     report.truncated |= cx.truncated;
+    report.shared_components = cx.shared_components;
+    report.total_components = cx.total_components;
     report.coverage = cx.coverage;
     report
 }

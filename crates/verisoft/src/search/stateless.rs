@@ -58,6 +58,8 @@ impl<'e, 'a> StatelessWalk<'e, 'a> {
     pub(crate) fn finish(mut self) -> Report {
         self.report.transitions = self.cx.transitions;
         self.report.truncated |= self.cx.truncated;
+        self.report.shared_components = self.cx.shared_components;
+        self.report.total_components = self.cx.total_components;
         self.report.coverage = self.cx.coverage;
         self.report
     }

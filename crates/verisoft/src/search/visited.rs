@@ -23,17 +23,23 @@
 //!    any new candidate, so a state is expanded exactly once, at its
 //!    earliest (breadth-first minimal) depth.
 //!
-//! ## Collision safety
+//! ## Storage and collision safety
 //!
 //! Stripes and buckets are keyed by the canonical state's *stable*
 //! 64-bit hash ([`crate::state::GlobalState::fingerprint`], a
 //! [`crate::hash::StableHasher`] — never SipHash, whose keys may drift
-//! between toolchains and would re-stripe the store). Buckets store
-//! **full states** per the collision-safety rule in [`crate::state`]:
-//! two distinct states sharing a hash land in the same bucket but never
-//! alias, so a collision costs a comparison, not a missed state.
+//! between toolchains and would re-stripe the store). Buckets store each
+//! state's **canonical byte encoding**
+//! ([`crate::state::encode_state`]): one flat `Box<[u8]>` per state
+//! instead of a full `GlobalState` object graph, so membership is a
+//! `memcmp` and the per-state footprint is a few dozen to a few hundred
+//! bytes with a single allocation. Because the encoding is injective
+//! (see [`crate::state::encode`]), comparing encodings *is* comparing
+//! states — the collision-safety rule of [`crate::state`] is preserved
+//! verbatim: two distinct states sharing a hash land in the same bucket
+//! but never alias, so a collision costs a comparison, not a missed
+//! state.
 
-use crate::state::GlobalState;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -54,13 +60,14 @@ pub fn rank(item: usize, succ: usize) -> Rank {
 }
 
 struct Entry {
-    state: GlobalState,
+    /// The state's canonical encoding ([`crate::state::encode_state`]).
+    enc: Box<[u8]>,
     rank: Rank,
     /// Sealed entries were committed in an earlier round and always win.
     sealed: bool,
 }
 
-/// One stripe: full states bucketed by their stable hash.
+/// One stripe: canonical encodings bucketed by their stable hash.
 type Stripe = HashMap<u64, Vec<Entry>>;
 
 /// The lock-striped visited store. See the module docs for the
@@ -92,15 +99,15 @@ impl VisitedStore {
         &self.stripes[(hash >> 32) as usize % self.stripes.len()]
     }
 
-    /// Offer a candidate discovery of `state` at `rank`. Keeps the
-    /// smallest rank per state; sealed entries always win. Safe to call
-    /// concurrently from any number of workers — the outcome (minimal
-    /// rank per state) is independent of arrival order.
-    pub fn admit(&self, hash: u64, state: &GlobalState, rank: Rank) {
+    /// Offer a candidate discovery of the state encoded as `enc` at
+    /// `rank`. Keeps the smallest rank per state; sealed entries always
+    /// win. Safe to call concurrently from any number of workers — the
+    /// outcome (minimal rank per state) is independent of arrival order.
+    pub fn admit(&self, hash: u64, enc: &[u8], rank: Rank) {
         let mut stripe = self.stripe(hash).lock().unwrap();
         let bucket = stripe.entry(hash).or_default();
         for e in bucket.iter_mut() {
-            if e.state == *state {
+            if *e.enc == *enc {
                 if !e.sealed && rank < e.rank {
                     e.rank = rank; // late-arriving smaller rank overrides
                 }
@@ -108,31 +115,49 @@ impl VisitedStore {
             }
         }
         bucket.push(Entry {
-            state: state.clone(),
+            enc: enc.into(),
             rank,
             sealed: false,
         });
     }
 
-    /// Whether `(state, rank)` is the committed winner: the stored
+    /// Whether `(enc, rank)` is the committed winner: the stored
     /// occurrence has exactly this rank and was not sealed by an earlier
     /// round. Call only after every candidate of the round was admitted
     /// (the ordered commit provides that barrier).
-    pub fn is_winner(&self, hash: u64, state: &GlobalState, rank: Rank) -> bool {
+    pub fn is_winner(&self, hash: u64, enc: &[u8], rank: Rank) -> bool {
         let stripe = self.stripe(hash).lock().unwrap();
         stripe
             .get(&hash)
-            .and_then(|b| b.iter().find(|e| e.state == *state))
+            .and_then(|b| b.iter().find(|e| *e.enc == *enc))
             .is_some_and(|e| !e.sealed && e.rank == rank)
+    }
+
+    /// Fused [`VisitedStore::is_winner`] + [`VisitedStore::seal`]: seal
+    /// and return `true` iff `(enc, rank)` is the committed winner. One
+    /// lock acquisition and bucket scan instead of two — this is the
+    /// ordered commit's per-successor hot path.
+    pub fn seal_if_winner(&self, hash: u64, enc: &[u8], rank: Rank) -> bool {
+        let mut stripe = self.stripe(hash).lock().unwrap();
+        match stripe
+            .get_mut(&hash)
+            .and_then(|b| b.iter_mut().find(|e| *e.enc == *enc))
+        {
+            Some(e) if !e.sealed && e.rank == rank => {
+                e.sealed = true;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Seal a committed winner: from now on the state is *visited* and
     /// every later-round candidate loses. Idempotent.
-    pub fn seal(&self, hash: u64, state: &GlobalState) {
+    pub fn seal(&self, hash: u64, enc: &[u8]) {
         let mut stripe = self.stripe(hash).lock().unwrap();
         if let Some(e) = stripe
             .get_mut(&hash)
-            .and_then(|b| b.iter_mut().find(|e| e.state == *state))
+            .and_then(|b| b.iter_mut().find(|e| *e.enc == *enc))
         {
             e.sealed = true;
         }
@@ -150,30 +175,48 @@ impl VisitedStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total payload bytes held (the encodings themselves, excluding map
+    /// overhead) — the numerator of the bytes-per-visited-state stat.
+    pub fn bytes(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .values()
+                    .flatten()
+                    .map(|e| e.enc.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::{encode_state, GlobalState, ObjState};
 
-    fn state() -> GlobalState {
+    fn state() -> Vec<u8> {
         let prog = cfgir::compile("chan c[1]; proc p() { send(c, 1); } process p();").unwrap();
-        GlobalState::initial(&prog)
+        encode_state(&GlobalState::initial(&prog))
     }
 
-    fn other_state() -> GlobalState {
-        let mut s = state();
-        s.objects[0] = crate::state::ObjState::Chan {
+    fn other_state() -> Vec<u8> {
+        let prog = cfgir::compile("chan c[1]; proc p() { send(c, 1); } process p();").unwrap();
+        let mut s = GlobalState::initial(&prog);
+        *s.object_mut(0) = ObjState::Chan {
             queue: [crate::value::Value::Int(7)].into(),
             cap: Some(1),
         };
-        s
+        encode_state(&s)
     }
 
     #[test]
     fn smaller_rank_overrides_in_any_arrival_order() {
         let s = state();
-        let h = s.fingerprint();
+        let h = crate::hash::stable_hash_bytes(&s);
         let store = VisitedStore::new(4);
         store.admit(h, &s, rank(3, 1));
         store.admit(h, &s, rank(0, 2)); // late but smaller: evicts
@@ -185,7 +228,7 @@ mod tests {
     #[test]
     fn sealing_blocks_later_rounds() {
         let s = state();
-        let h = s.fingerprint();
+        let h = crate::hash::stable_hash_bytes(&s);
         let store = VisitedStore::default();
         store.admit(h, &s, rank(1, 0));
         assert!(store.is_winner(h, &s, rank(1, 0)));
@@ -194,6 +237,22 @@ mod tests {
         // rank; the sealed entry must not budge.
         store.admit(h, &s, rank(0, 0));
         assert!(!store.is_winner(h, &s, rank(0, 0)));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), s.len());
+    }
+
+    #[test]
+    fn seal_if_winner_matches_the_two_step_protocol() {
+        let s = state();
+        let h = crate::hash::stable_hash_bytes(&s);
+        let store = VisitedStore::default();
+        store.admit(h, &s, rank(2, 0));
+        store.admit(h, &s, rank(1, 3));
+        assert!(!store.seal_if_winner(h, &s, rank(2, 0)), "not the minimum");
+        assert!(store.seal_if_winner(h, &s, rank(1, 3)));
+        // Already sealed: every later candidate loses, like `is_winner`.
+        store.admit(h, &s, rank(0, 0));
+        assert!(!store.seal_if_winner(h, &s, rank(0, 0)));
         assert_eq!(store.len(), 1);
     }
 
@@ -209,12 +268,13 @@ mod tests {
         assert!(store.is_winner(fake_hash, &a, rank(0, 0)));
         assert!(store.is_winner(fake_hash, &b, rank(0, 1)));
         assert_eq!(store.len(), 2);
+        assert_eq!(store.bytes(), a.len() + b.len());
     }
 
     #[test]
     fn concurrent_admission_is_arrival_order_free() {
         let a = state();
-        let h = a.fingerprint();
+        let h = crate::hash::stable_hash_bytes(&a);
         let store = VisitedStore::default();
         std::thread::scope(|scope| {
             for t in 0..8u64 {

@@ -43,6 +43,8 @@ fn usage() -> String {
                                   search; with --stateful or --bfs it runs the\n\
                                   shared-visited-store frontier search\n\
          --no-por                 disable partial-order reduction\n\
+         --stats                  print states/sec, visited-store bytes and\n\
+                                  state count, and the CoW sharing ratio\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
                                   a schedule is decisions like P0 P1[2,0] P0\n\
@@ -202,8 +204,34 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
+    let started = std::time::Instant::now();
     let report = explore(&prog, &config);
+    let wall = started.elapsed();
     println!("{report}");
+    if flag("--stats") {
+        let rate = report.states as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "stats: {:.1} states/sec over {:.3}s",
+            rate,
+            wall.as_secs_f64()
+        );
+        if report.visited_states > 0 {
+            println!(
+                "stats: visited store: {} states, {} bytes ({:.1} bytes/state)",
+                report.visited_states,
+                report.visited_bytes,
+                report.visited_bytes as f64 / report.visited_states as f64
+            );
+        }
+        if report.total_components > 0 {
+            println!(
+                "stats: CoW sharing: {}/{} successor components shared ({:.1}%)",
+                report.shared_components,
+                report.total_components,
+                100.0 * report.shared_components as f64 / report.total_components as f64
+            );
+        }
+    }
     if let Some(cov) = &report.coverage {
         let (covered, total) = cov.totals();
         println!("coverage: {covered}/{total} nodes");

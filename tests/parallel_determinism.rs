@@ -354,6 +354,107 @@ fn skewed_tree_stateful_sweep_is_jobs_invariant() {
     }
 }
 
+/// Breadth-first sweep over a program's reachable states (deduplicated
+/// by canonical encoding), capped at `cap` distinct states.
+fn reachable_states(prog: &cfgir::CfgProgram, cap: usize) -> Vec<verisoft::GlobalState> {
+    let config = Config::default();
+    let exec = verisoft::Executor::new(prog, &config);
+    let mut cx = verisoft::ExecCtx::new(&exec, usize::MAX);
+    let mut seen = std::collections::HashSet::new();
+    let mut states = vec![exec.initial()];
+    seen.insert(verisoft::encode_state(&states[0]));
+    let mut i = 0;
+    while i < states.len() && states.len() < cap {
+        let state = states[i].clone();
+        i += 1;
+        let pids = match exec.schedule(&state) {
+            verisoft::Scheduled::Init(pid) => vec![pid],
+            verisoft::Scheduled::Procs(procs) => procs,
+            verisoft::Scheduled::DeadEnd { .. } => continue,
+        };
+        for pid in pids {
+            for (_, outcome) in exec.successors(&mut cx, &state, pid) {
+                if let verisoft::SuccOutcome::State(s, _) = outcome {
+                    if seen.insert(verisoft::encode_state(&s)) && states.len() < cap {
+                        states.push(*s);
+                    }
+                }
+            }
+        }
+    }
+    states
+}
+
+#[test]
+fn cow_successors_match_the_eager_clone_oracle_on_corpus() {
+    // Every successor produced through the CoW mutation funnel
+    // (`CowArc::make_mut`) must be value-equal — and fingerprint-equal —
+    // to its *eager clone*: the decode of its canonical encoding, which
+    // shares no allocation with the CoW state. A divergence here means a
+    // mutation slipped past the funnel or a cached sub-hash went stale.
+    for (name, prog) in closed_corpus() {
+        let config = Config::default();
+        let exec = verisoft::Executor::new(&prog, &config);
+        let mut cx = verisoft::ExecCtx::new(&exec, usize::MAX);
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![exec.initial()];
+        seen.insert(verisoft::encode_state(&queue[0]));
+        let mut i = 0;
+        let mut checked = 0usize;
+        while i < queue.len() && checked < 2_000 {
+            let state = queue[i].clone();
+            i += 1;
+            let pids = match exec.schedule(&state) {
+                verisoft::Scheduled::Init(pid) => vec![pid],
+                verisoft::Scheduled::Procs(procs) => procs,
+                verisoft::Scheduled::DeadEnd { .. } => continue,
+            };
+            for pid in pids {
+                for (_, outcome) in exec.successors(&mut cx, &state, pid) {
+                    if let verisoft::SuccOutcome::State(s, _) = outcome {
+                        let enc = verisoft::encode_state(&s);
+                        let oracle = verisoft::decode_state(&enc)
+                            .unwrap_or_else(|| panic!("{name}: canonical encoding decodes"));
+                        assert_eq!(*s, oracle, "{name}: CoW successor != eager clone");
+                        assert_eq!(
+                            s.fingerprint(),
+                            oracle.fingerprint(),
+                            "{name}: cached sub-hashes drifted from the eager clone"
+                        );
+                        checked += 1;
+                        if seen.insert(enc) {
+                            queue.push(*s);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "{name}: sweep produced successors");
+    }
+}
+
+#[test]
+fn every_reachable_corpus_state_roundtrips_through_the_encoder() {
+    // decode(encode(s)) == s, and re-encoding the decode reproduces the
+    // byte string — over the reachable fragment of every closed corpus
+    // program, not just hand-built states.
+    for (name, prog) in closed_corpus() {
+        let states = reachable_states(&prog, 2_000);
+        assert!(states.len() > 1, "{name}: sweep reached states");
+        for s in &states {
+            let enc = verisoft::encode_state(s);
+            let back = verisoft::decode_state(&enc)
+                .unwrap_or_else(|| panic!("{name}: reachable state decodes"));
+            assert_eq!(*s, back, "{name}: roundtrip changed the state");
+            assert_eq!(
+                enc,
+                verisoft::encode_state(&back),
+                "{name}: re-encoding is not stable"
+            );
+        }
+    }
+}
+
 /// Build a pseudo-random report from a deterministic seed, exercising
 /// every merged field.
 fn seeded_report(rng: &mut SplitMix64) -> Report {
