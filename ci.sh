@@ -96,6 +96,52 @@ if [ "$sf_max" -gt $((sf_min * 2)) ]; then
     exit 1
 fi
 
+echo "== POR smoke: differential verdict oracle on two corpus programs =="
+# POR must not change *verdicts*: strip the schedule suffix (" after
+# [...]" — representatives legitimately differ under reduction) and the
+# counter header, then compare the sorted distinct violation lines of
+# --por and --no-por stateful runs. Also require that reduction actually
+# bites on workers.mc (fewer states than the exhaustive run).
+for p in corpus/workers.mc corpus/cyclic/ring.mc; do
+    for mode in "--por" "--no-por"; do
+        "$BIN" explore "$p" --stateful --all $mode \
+            > "$SMOKE/por_raw.txt" 2>/dev/null || :
+        sed -n 's/ after \[.*\]//; s/^  //p' "$SMOKE/por_raw.txt" \
+            | sort -u > "$SMOKE/por_$mode.txt"
+    done
+    if ! cmp -s "$SMOKE/por_--por.txt" "$SMOKE/por_--no-por.txt"; then
+        echo "POR smoke: $p verdicts differ between --por and --no-por"
+        diff "$SMOKE/por_--por.txt" "$SMOKE/por_--no-por.txt" || :
+        exit 1
+    fi
+    echo "  $p: verdicts identical with and without POR"
+done
+por_states=$("$BIN" explore corpus/workers.mc --stateful --all \
+    | sed -n 's/^states: \([0-9]*\),.*/\1/p')
+full_states=$("$BIN" explore corpus/workers.mc --stateful --all --no-por \
+    | sed -n 's/^states: \([0-9]*\),.*/\1/p')
+[ "$por_states" -lt "$full_states" ] \
+    || { echo "POR smoke: no reduction on workers.mc ($por_states vs $full_states)"; exit 1; }
+echo "  workers.mc: $por_states states reduced vs $full_states exhaustive"
+
+echo "== bench smoke: por_stateful ablation + JSON schema =="
+RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
+    --bench por_stateful > "$SMOKE/por_bench.log" 2>&1 \
+    || { cat "$SMOKE/por_bench.log"; exit 1; }
+JP="$SMOKE/BENCH_por.json"
+[ -f "$JP" ] || { echo "por_stateful: $JP was not written"; exit 1; }
+for rec in "por_stateful/workers/full" "por_stateful/workers/por" \
+           "por_stateful/cyclic/ring/por"; do
+    grep -q "$rec" "$JP" \
+        || { echo "por_stateful: record $rec missing from JSON"; exit 1; }
+done
+for field in hardware_threads name min_ns median_ns mean_ns \
+             elements elements_per_sec; do
+    grep -q "\"$field\"" "$JP" \
+        || { echo "por_stateful: field $field missing from JSON"; exit 1; }
+done
+echo "  BENCH_por.json: ablation records present, schema complete"
+
 echo "== bench smoke: state_ops micro-benchmark + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
     --bench state_ops > "$SMOKE/state_ops.log" 2>&1 \

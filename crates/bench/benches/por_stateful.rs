@@ -1,0 +1,116 @@
+//! Experiment E10: persistent-set POR in the stateful engines.
+//!
+//! The stateful frontier search explores every distinct state; with
+//! persistent sets it expands each state over a (usually much smaller)
+//! persistent subset of the enabled processes, falling back to full
+//! expansion only where the ignoring proviso demands it. This bench
+//! runs the multi-process corpus programs — plus the cyclic token ring
+//! that exists to exercise the proviso — with reduction on and off,
+//! printing the state counts and reduction counters and timing both
+//! modes. Verdict equality is asserted before any timing (the
+//! differential harness in `tests/por_differential.rs` is the full
+//! oracle). Alongside the human table the run writes `BENCH_por.json`
+//! (see `harness::Criterion::emit_json`).
+
+use reclose_bench::close;
+use reclose_bench::harness::{BenchmarkId, Criterion, Throughput};
+use reclose_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+use verisoft::{Config, Engine};
+
+fn corpus(name: &str) -> cfgir::CfgProgram {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../corpus")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let open = cfgir::compile(&src).unwrap_or_else(|d| panic!("{name}: {d}"));
+    close(&open).program
+}
+
+fn cfg(por: bool) -> Config {
+    Config {
+        engine: Engine::StatefulParallel,
+        por,
+        sleep_sets: por,
+        max_depth: 300,
+        max_transitions: 2_000_000,
+        max_violations: usize::MAX,
+        ..Config::default()
+    }
+}
+
+const PROGRAMS: [&str; 5] = [
+    "workers.mc",
+    "relay.mc",
+    "watchdog.mc",
+    "traffic_light.mc",
+    "cyclic/ring.mc",
+];
+
+fn report() -> Vec<(&'static str, cfgir::CfgProgram, usize)> {
+    println!("--- E10: stateful POR ablation on the corpus ---");
+    println!(
+        "{:>18} {:>12} {:>12} {:>10} {:>9} {:>10}",
+        "program", "full-states", "por-states", "reduction", "skipped", "fallbacks"
+    );
+    let mut out = Vec::new();
+    let mut reduced_on = 0usize;
+    for name in PROGRAMS {
+        let prog = corpus(name);
+        let full = verisoft::explore(&prog, &cfg(false));
+        let por = verisoft::explore(&prog, &cfg(true));
+        assert!(!full.truncated && !por.truncated, "{name}: caps hit");
+        let fv: std::collections::BTreeSet<_> = full
+            .violations
+            .iter()
+            .map(|v| (v.kind.to_string(), v.process))
+            .collect();
+        let pv: std::collections::BTreeSet<_> = por
+            .violations
+            .iter()
+            .map(|v| (v.kind.to_string(), v.process))
+            .collect();
+        assert_eq!(fv, pv, "{name}: POR changed the verdicts");
+        println!(
+            "{name:>18} {:>12} {:>12} {:>9.2}x {:>9} {:>10}",
+            full.states,
+            por.states,
+            full.states as f64 / por.states as f64,
+            por.por_skipped_procs,
+            por.por_proviso_fallbacks,
+        );
+        if por.states < full.states {
+            reduced_on += 1;
+        }
+        let states = por.states;
+        out.push((name, prog, states));
+    }
+    assert!(
+        reduced_on >= 3,
+        "POR must measurably reduce >= 3 programs, reduced {reduced_on}"
+    );
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let programs = report();
+    for (name, prog, states) in &programs {
+        let mut g = c.benchmark_group(&format!("por_stateful/{}", name.trim_end_matches(".mc")));
+        g.throughput(Throughput::Elements(*states as u64));
+        for (mode, por) in [("full", false), ("por", true)] {
+            g.bench_with_input(BenchmarkId::new(mode, states), prog, |b, p| {
+                b.iter(|| black_box(verisoft::explore(p, &cfg(por))))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .emit_json("por");
+    targets = bench
+}
+criterion_main!(benches);

@@ -97,6 +97,86 @@ pub fn compile(shape: Shape, stmts: usize, seed: u64) -> cfgir::CfgProgram {
         .unwrap_or_else(|d| panic!("generated program invalid:\n{d}\nsource:\n{src}"))
 }
 
+/// Generate a *closed* multi-process program: no environment inputs or
+/// extern channels, so it can be explored directly by every engine.
+/// Deterministic for a given `(procs, stmts, seed)`.
+///
+/// Built for the POR differential harness (`tests/por_differential.rs`):
+/// each process owns a private channel and may also touch one shared
+/// channel, giving a mix of independent work (reducible), contention
+/// (irreducible), schedule-dependent assertions, natural deadlocks
+/// (e.g. the shared channel filling up with nobody receiving), and —
+/// on some seeds — a terminal infinite self-relay loop that makes the
+/// state space cyclic, exercising the ignoring proviso.
+pub fn generate_closed(procs: usize, stmts: usize, seed: u64) -> String {
+    let mut rng = SplitMix64::new(seed);
+    let procs = procs.clamp(2, 8);
+    let shared = procs; // c0..c{procs-1} are private, c{procs} is shared
+    let mut s = String::new();
+    for c in 0..=shared {
+        let _ = writeln!(s, "chan c{c}[1];");
+    }
+    for p in 0..procs {
+        let _ = writeln!(s, "proc p{p}() {{");
+        let _ = writeln!(s, "    int acc = {};", rng.range(0, 4));
+        let iters = rng.range(1, 4);
+        let _ = writeln!(s, "    int i = 0;");
+        let _ = writeln!(s, "    while (i < {iters}) {{");
+        for _ in 0..stmts {
+            match rng.range(0, 8) {
+                0 => {
+                    let _ = writeln!(s, "        send(c{p}, acc);");
+                }
+                1 => {
+                    let _ = writeln!(s, "        acc = recv(c{p});");
+                }
+                2 => {
+                    let _ = writeln!(s, "        send(c{shared}, acc + i);");
+                }
+                3 => {
+                    let _ = writeln!(s, "        acc = recv(c{shared});");
+                }
+                4 => {
+                    let _ = writeln!(s, "        acc = acc + {};", rng.range(1, 3));
+                }
+                5 => {
+                    let _ = writeln!(s, "        VS_assert(acc >= 0);");
+                }
+                6 => {
+                    // May fail on some schedules: verdict diversity for
+                    // the differential oracle.
+                    let _ = writeln!(s, "        VS_assert(acc != {});", rng.range(0, 6));
+                }
+                _ => {
+                    let _ = writeln!(s, "        if (acc > {}) {{ acc = 0; }}", rng.range(2, 6));
+                }
+            }
+        }
+        let _ = writeln!(s, "        i = i + 1;");
+        let _ = writeln!(s, "    }}");
+        if rng.range(0, 4) == 0 {
+            // Cyclic tail: a private two-state self-relay that never
+            // terminates but keeps the state space finite.
+            let _ = writeln!(s, "    while (1) {{");
+            let _ = writeln!(s, "        send(c{p}, 0);");
+            let _ = writeln!(s, "        acc = recv(c{p});");
+            let _ = writeln!(s, "    }}");
+        }
+        let _ = writeln!(s, "}}");
+    }
+    for p in 0..procs {
+        let _ = writeln!(s, "process p{p}();");
+    }
+    s
+}
+
+/// Generate and compile a closed program, panicking on generator bugs.
+pub fn compile_closed(procs: usize, stmts: usize, seed: u64) -> cfgir::CfgProgram {
+    let src = generate_closed(procs, stmts, seed);
+    cfgir::compile(&src)
+        .unwrap_or_else(|d| panic!("generated program invalid:\n{d}\nsource:\n{src}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +206,17 @@ mod tests {
         let small = compile(Shape::Straight, 16, 1).node_count();
         let large = compile(Shape::Straight, 256, 1).node_count();
         assert!(large > small * 4, "{small} vs {large}");
+    }
+
+    #[test]
+    fn closed_generation_is_deterministic_and_closed() {
+        for seed in 0..20 {
+            let a = generate_closed(3, 4, seed);
+            assert_eq!(a, generate_closed(3, 4, seed));
+            let prog = compile_closed(3, 4, seed);
+            assert!(prog.is_closed(), "seed {seed} generated an open program");
+            assert!(!prog.has_env_reads());
+        }
     }
 
     #[test]

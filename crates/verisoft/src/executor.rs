@@ -61,6 +61,28 @@ pub struct ChildSucc {
     pub sleep: BTreeSet<usize>,
 }
 
+/// One level of POR-aware expansion for the stateful engines
+/// ([`Executor::expand_stateful`]): the children, their visited-store
+/// keys, and the partial-order-reduction bookkeeping the drivers fold
+/// into the [`crate::Report`].
+pub struct StatefulExpansion {
+    /// The node's children (or dead end), in deterministic order: the
+    /// persistent set's successors first (each process ascending), then
+    /// — only when the ignoring proviso fired — the successors of the
+    /// POR-skipped processes.
+    pub expansion: NodeExpansion,
+    /// Per child, aligned with the child list: the successor state's
+    /// stable fingerprint and canonical encoding (`(0, empty)` for
+    /// violation outcomes; empty vector for dead ends). Computed here so
+    /// drivers admit/dedup by comparing bytes without re-encoding.
+    pub keys: Vec<(u64, Vec<u8>)>,
+    /// Enabled processes whose expansion POR skipped at this state
+    /// (after any proviso fallback; 0 when the fallback fired).
+    pub por_skipped: usize,
+    /// Whether the ignoring/cycle proviso forced full expansion here.
+    pub por_fallback: bool,
+}
+
 /// Everything below one node of the decision tree, expanded one level.
 ///
 /// This is the *shard-split hook*: the sharding pass, the steal-capable
@@ -186,6 +208,16 @@ impl<'a> Executor<'a> {
     /// What a driver should do at `state`: finish initialization, branch
     /// over a set of processes, or stop at a dead end.
     pub fn schedule(&self, state: &GlobalState) -> Scheduled {
+        self.schedule_por(state).0
+    }
+
+    /// [`Executor::schedule`] plus the enabled processes POR dropped
+    /// (ascending; empty when POR is off, when no reduction happened, or
+    /// for init/dead-end states). The stateful engines need the skipped
+    /// set to implement the ignoring-proviso fallback; both outputs are
+    /// pure functions of `state`, which is what keeps every engine's
+    /// report jobs-invariant.
+    pub fn schedule_por(&self, state: &GlobalState) -> (Scheduled, Vec<usize>) {
         // Initialization: processes still positioned at an invisible node
         // run first, lowest index first — the system reaches its initial
         // global state s0 before any scheduling choice is made (§2).
@@ -193,22 +225,30 @@ impl<'a> Executor<'a> {
             if let Status::AtNode(n) = ps.status {
                 let proc = self.prog.proc(ps.top().proc);
                 if !matches!(proc.node(n).kind, NodeKind::Visible { .. }) {
-                    return Scheduled::Init(pid);
+                    return (Scheduled::Init(pid), Vec::new());
                 }
             }
         }
         let enabled = enabled_processes(self.prog, state);
         if enabled.is_empty() {
-            return Scheduled::DeadEnd {
-                deadlock: self.deadend_is_deadlock(state),
-            };
+            return (
+                Scheduled::DeadEnd {
+                    deadlock: self.deadend_is_deadlock(state),
+                },
+                Vec::new(),
+            );
         }
-        let procs = if self.cfg.por {
-            persistent_set(self.prog, &self.info, state, &enabled)
+        if self.cfg.por {
+            let procs = persistent_set(self.prog, &self.info, state, &enabled);
+            let skipped = enabled
+                .iter()
+                .copied()
+                .filter(|p| !procs.contains(p))
+                .collect();
+            (Scheduled::Procs(procs), skipped)
         } else {
-            enabled
-        };
-        Scheduled::Procs(procs)
+            (Scheduled::Procs(enabled), Vec::new())
+        }
     }
 
     /// Whether a dead end at `state` counts as a system deadlock.
@@ -374,6 +414,108 @@ impl<'a> Executor<'a> {
             }
         }
         NodeExpansion::Children(children)
+    }
+
+    /// Expand one node for the *stateful* engines: POR-reduced through
+    /// [`Executor::schedule_por`], with the **ignoring/cycle proviso**
+    /// applied — when the persistent set's expansion produces a
+    /// successor for which `closes_cycle(fingerprint, encoding)` holds
+    /// (the driver's visited store already contains it, so the edge may
+    /// close a cycle in the explored graph), the skipped processes are
+    /// expanded too, restoring full expansion at this state.
+    ///
+    /// Persistent sets alone preserve every deadlock of a finite state
+    /// space, but on cyclic graphs a process whose transitions are
+    /// independent of the cycle can be *ignored* forever, hiding its
+    /// assertion violations. The proviso closes that hole: every cycle
+    /// of the reduced graph contains, at the last of its states to be
+    /// expanded, an edge to an already-visited state — so that state is
+    /// fully expanded and nothing is ignored around the cycle. The test
+    /// is conservative (confluent diamonds trigger it too), trading some
+    /// reduction for soundness.
+    ///
+    /// Both the selection and the fallback are pure functions of
+    /// `(state, closes_cycle)`; drivers keep the predicate
+    /// timing-independent (the sequential engines consult their visited
+    /// set, the frontier engine only *sealed* entries, fixed for a whole
+    /// round), so reports stay byte-identical for any worker count.
+    pub fn expand_stateful<F: Fn(u64, &[u8]) -> bool>(
+        &self,
+        cx: &mut ExecCtx,
+        state: &GlobalState,
+        closes_cycle: F,
+    ) -> StatefulExpansion {
+        let (sched, skipped) = self.schedule_por(state);
+        let mut children = Vec::new();
+        let mut keys: Vec<(u64, Vec<u8>)> = Vec::new();
+        let expand_proc = |cx: &mut ExecCtx,
+                           children: &mut Vec<ChildSucc>,
+                           keys: &mut Vec<(u64, Vec<u8>)>,
+                           pid: usize| {
+            for (choices, outcome) in self.successors(cx, state, pid) {
+                keys.push(match &outcome {
+                    SuccOutcome::State(s, _) => s.fingerprint_and_encode(),
+                    SuccOutcome::Violation(..) => (0, Vec::new()),
+                });
+                children.push(ChildSucc {
+                    process: pid,
+                    choices,
+                    outcome,
+                    sleep: BTreeSet::new(),
+                });
+            }
+        };
+        match sched {
+            Scheduled::DeadEnd { deadlock } => StatefulExpansion {
+                expansion: NodeExpansion::DeadEnd { deadlock },
+                keys,
+                por_skipped: 0,
+                por_fallback: false,
+            },
+            Scheduled::Init(pid) => {
+                expand_proc(cx, &mut children, &mut keys, pid);
+                StatefulExpansion {
+                    expansion: NodeExpansion::Children(children),
+                    keys,
+                    por_skipped: 0,
+                    por_fallback: false,
+                }
+            }
+            Scheduled::Procs(procs) => {
+                for &t in &procs {
+                    if cx.truncated {
+                        break;
+                    }
+                    expand_proc(cx, &mut children, &mut keys, t);
+                }
+                let mut por_skipped = skipped.len();
+                let mut por_fallback = false;
+                // The proviso: a State child (nonempty encoding) already
+                // known to the driver's store may close a cycle — fall
+                // back to full expansion so nothing is ignored around it.
+                if !skipped.is_empty()
+                    && !cx.truncated
+                    && keys
+                        .iter()
+                        .any(|(h, e)| !e.is_empty() && closes_cycle(*h, e))
+                {
+                    por_fallback = true;
+                    por_skipped = 0;
+                    for &t in &skipped {
+                        if cx.truncated {
+                            break;
+                        }
+                        expand_proc(cx, &mut children, &mut keys, t);
+                    }
+                }
+                StatefulExpansion {
+                    expansion: NodeExpansion::Children(children),
+                    keys,
+                    por_skipped,
+                    por_fallback,
+                }
+            }
+        }
     }
 
     /// Replay a decision sequence from the initial state, returning the

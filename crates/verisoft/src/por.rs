@@ -49,18 +49,31 @@ impl StaticInfo {
                 }
             }
         }
-        // Transitive closure over calls.
+        // Transitive closure over calls. Caller and callee footprints
+        // live in the same vector, so borrow the two entries disjointly
+        // via `split_at_mut` — no per-iteration clone of the callee set,
+        // and nothing is touched at all once the caller already covers
+        // the callee (the common case after the first sweep).
         let mut changed = true;
         while changed {
             changed = false;
             for p in &prog.procs {
                 for nid in p.node_ids() {
                     if let NodeKind::Call { callee, .. } = &p.node(nid).kind {
-                        if callee.index() != p.id.index() {
-                            let callee_objs = proc_objects[callee.index()].clone();
-                            let before = proc_objects[p.id.index()].len();
-                            proc_objects[p.id.index()].extend(callee_objs);
-                            changed |= proc_objects[p.id.index()].len() != before;
+                        let (ci, pi) = (callee.index(), p.id.index());
+                        if ci == pi {
+                            continue;
+                        }
+                        let (callee_objs, caller_objs) = if ci < pi {
+                            let (lo, hi) = proc_objects.split_at_mut(pi);
+                            (&lo[ci], &mut hi[0])
+                        } else {
+                            let (lo, hi) = proc_objects.split_at_mut(ci);
+                            (&hi[0], &mut lo[pi])
+                        };
+                        if !callee_objs.is_subset(caller_objs) {
+                            caller_objs.extend(callee_objs.iter().copied());
+                            changed = true;
                         }
                     }
                 }
@@ -260,6 +273,33 @@ mod tests {
         let info = StaticInfo::build(&prog);
         let outer = prog.proc_by_name("outer").unwrap();
         assert_eq!(info.proc_objects[outer.id.index()].len(), 1);
+    }
+
+    #[test]
+    fn footprints_converge_on_mutual_recursion() {
+        // `ping` and `pong` call each other; the fixpoint must terminate
+        // and give both procedures the *union* footprint {a, b} — each
+        // reaches the other's object through the call cycle. The
+        // entry-point inherits it transitively.
+        let prog = compile(
+            r#"
+            chan a[1]; chan b[1];
+            proc ping(int n) { send(a, n); if (n > 0) { pong(n - 1); } }
+            proc pong(int n) { send(b, n); if (n > 0) { ping(n - 1); } }
+            proc main() { ping(2); }
+            process main();
+            "#,
+        )
+        .unwrap();
+        let info = StaticInfo::build(&prog);
+        for name in ["ping", "pong", "main"] {
+            let p = prog.proc_by_name(name).unwrap();
+            assert_eq!(
+                info.proc_objects[p.id.index()].len(),
+                2,
+                "{name} must see both objects through the call cycle"
+            );
+        }
     }
 
     #[test]

@@ -108,6 +108,14 @@ pub struct Report {
     /// The denominator of the sharing ratio: total components over the
     /// same successor transitions.
     pub total_components: usize,
+    /// Enabled-process expansions the stateful engines skipped under
+    /// persistent-set partial-order reduction, summed over expanded
+    /// states (after proviso fallbacks; 0 for the stateless engines,
+    /// which prune through sleep sets instead of counting).
+    pub por_skipped_procs: usize,
+    /// States where the ignoring/cycle proviso forced full expansion
+    /// (see [`crate::executor::Executor::expand_stateful`]).
+    pub por_proviso_fallbacks: usize,
     /// Executed-node coverage, when [`crate::Config::track_coverage`] is
     /// on.
     pub coverage: Option<crate::coverage::Coverage>,
@@ -156,6 +164,8 @@ impl Report {
         self.visited_states += other.visited_states;
         self.shared_components += other.shared_components;
         self.total_components += other.total_components;
+        self.por_skipped_procs += other.por_skipped_procs;
+        self.por_proviso_fallbacks += other.por_proviso_fallbacks;
         match (&mut self.coverage, other.coverage) {
             (Some(mine), Some(theirs)) => mine.merge(&theirs),
             (mine @ None, theirs @ Some(_)) => *mine = theirs,
@@ -243,11 +253,25 @@ mod tests {
             visited_states: states,
             shared_components: states,
             total_components: states * 2,
+            por_skipped_procs: states,
+            por_proviso_fallbacks: states / 2,
             coverage: None,
         }
     }
 
-    fn fields(r: &Report) -> (usize, usize, usize, bool, Vec<Violation>, usize) {
+    #[allow(clippy::type_complexity)]
+    fn fields(
+        r: &Report,
+    ) -> (
+        usize,
+        usize,
+        usize,
+        bool,
+        Vec<Violation>,
+        usize,
+        usize,
+        usize,
+    ) {
         (
             r.states,
             r.transitions,
@@ -255,6 +279,8 @@ mod tests {
             r.truncated,
             r.violations.clone(),
             r.traces.len(),
+            r.por_skipped_procs,
+            r.por_proviso_fallbacks,
         )
     }
 

@@ -57,7 +57,9 @@ pub enum Engine {
     Stateful,
     /// Explicit-state breadth-first search: the first violation reported
     /// has a *shortest* reproducing trace (best for debugging; stores
-    /// visited states like [`Engine::Stateful`]).
+    /// visited states like [`Engine::Stateful`]). Runs the frontier
+    /// algorithm of [`Engine::StatefulParallel`] on a single worker, so
+    /// the two are byte-identical by construction.
     Bfs,
     /// Sharded stateless search across [`Config::jobs`] worker threads;
     /// deterministic — same report for any job count.
@@ -65,7 +67,8 @@ pub enum Engine {
     /// Parallel explicit-state frontier search across [`Config::jobs`]
     /// worker threads, sharing a lock-striped visited store with a
     /// jobs-invariant admission order; deterministic — same report for
-    /// any job count, and equal to [`Engine::Bfs`] on cap-free runs.
+    /// any job count, and equal to [`Engine::Bfs`] (the same algorithm
+    /// on one worker) byte for byte.
     StatefulParallel,
 }
 
@@ -85,7 +88,11 @@ pub struct Config {
     /// shard an equal share of it — the shard count does not depend on
     /// the worker count, so neither does the cap's effect.
     pub max_transitions: usize,
-    /// Use persistent-set partial-order reduction.
+    /// Use persistent-set partial-order reduction. The stateful engines
+    /// additionally apply the ignoring/cycle proviso (full expansion when
+    /// a reduced successor is already visited), preserving deadlocks
+    /// *and* assertion violations on cyclic state spaces — see
+    /// [`crate::executor::Executor::expand_stateful`].
     pub por: bool,
     /// Use sleep sets (stateless engines only).
     pub sleep_sets: bool,

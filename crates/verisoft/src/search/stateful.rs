@@ -1,13 +1,25 @@
-//! Explicit-state drivers: DFS and BFS over stored visited states, and
-//! the deterministic parallel frontier engine ([`StatefulParallel`])
-//! backed by the lock-striped [`VisitedStore`](super::visited).
+//! Explicit-state drivers: DFS over stored visited states, the
+//! level-synchronous frontier BFS ([`BfsDriver`]), and the deterministic
+//! parallel frontier engine ([`StatefulParallel`]) backed by the
+//! lock-striped [`VisitedStore`](super::visited).
+//!
+//! All three apply persistent-set partial-order reduction with the
+//! ignoring/cycle proviso through
+//! [`Executor::expand_stateful`](crate::executor::Executor::expand_stateful):
+//! a state is expanded over its persistent set only, unless one of the
+//! reduced successors is already in the driver's visited store — an edge
+//! that may close a cycle — in which case the state is fully expanded so
+//! no process is ignored around the cycle (docs/EXPLORER.md §5). The
+//! proviso predicate is a pure function of the state and a
+//! timing-independent store snapshot, so every report stays
+//! byte-identical for any worker count.
 
 use super::visited::{rank, VisitedStore};
 use crate::coverage::Coverage;
-use crate::executor::{ExecCtx, Executor, NodeExpansion, Scheduled, SuccOutcome};
+use crate::executor::{ExecCtx, Executor, NodeExpansion, SuccOutcome};
 use crate::report::{Decision, Report, Violation, ViolationKind};
 use crate::state::GlobalState;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -59,22 +71,30 @@ impl Trace {
 
 /// Explicit-state depth-first search storing full visited states (not
 /// hashes, so no collision unsoundness); terminates on cyclic state
-/// spaces.
+/// spaces. The POR proviso consults the visited set as of each
+/// expansion, which is sound for any exploration order (see
+/// `expand_stateful`'s cycle argument).
 pub struct StatefulDfs;
 
 impl super::SearchDriver for StatefulDfs {
     fn run(&mut self, exec: &Executor<'_>) -> Report {
-        stateful(exec, false)
+        stateful_dfs(exec)
     }
 }
 
 /// Explicit-state breadth-first search: the first violation reported has
 /// a *shortest* reproducing trace (best for debugging).
+///
+/// Runs the same level-synchronous frontier algorithm as
+/// [`StatefulParallel`] on a single worker, so the two are equal by
+/// construction — including the POR proviso, whose predicate (successor
+/// already *sealed*, i.e. committed in an earlier level) depends only on
+/// the frontier level, never on intra-level processing order.
 pub struct BfsDriver;
 
 impl super::SearchDriver for BfsDriver {
     fn run(&mut self, exec: &Executor<'_>) -> Report {
-        stateful(exec, true)
+        frontier_search(exec, 1)
     }
 }
 
@@ -89,13 +109,14 @@ impl super::SearchDriver for BfsDriver {
 /// sequentially in rank order: a successor joins the next frontier iff
 /// its rank is the store's winning (minimal) occurrence of that state,
 /// so the explored set, the violation order, every reproducing trace,
-/// and all counters are byte-identical for any worker count — and, on
-/// cap-free runs, identical to the sequential [`BfsDriver`].
+/// and all counters are byte-identical for any worker count — and
+/// identical to the sequential [`BfsDriver`], which is this engine on
+/// one worker.
 pub struct StatefulParallel;
 
 impl super::SearchDriver for StatefulParallel {
     fn run(&mut self, exec: &Executor<'_>) -> Report {
-        frontier_search(exec)
+        frontier_search(exec, exec.config().jobs.max(1))
     }
 }
 
@@ -119,16 +140,20 @@ struct Expanded {
     /// CoW sharing counters folded from the item's [`ExecCtx`].
     shared_components: usize,
     total_components: usize,
+    /// POR reduction counters from the item's expansion.
+    por_skipped: usize,
+    por_fallback: bool,
 }
 
 /// One worker's batch for a round: the items it expanded (tagged with
 /// their frontier index) plus its private coverage map.
 type WorkerBatch = (Vec<(usize, Expanded)>, Option<Coverage>);
 
-/// The level-synchronous parallel frontier search.
-fn frontier_search(exec: &Executor<'_>) -> Report {
+/// The level-synchronous frontier search (`jobs == 1`: the sequential
+/// BFS driver; `jobs > 1`: the parallel engine — same report either way).
+fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
     let cfg = exec.config();
-    let jobs = cfg.jobs.max(1);
+    let jobs = jobs.max(1);
     let store = VisitedStore::default();
     let mut report = Report::default();
     let mut coverage = cfg.track_coverage.then(|| Coverage::new(exec.program()));
@@ -153,7 +178,10 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
     while !frontier.is_empty() && !stop {
         // The per-item budget is the *round-start* remainder — a value
         // fixed before any worker runs, so the expansion of an item is a
-        // pure function of the item, never of sibling timing.
+        // pure function of the item, never of sibling timing. The same
+        // holds for the POR proviso: `contains_sealed` sees exactly the
+        // states committed by earlier rounds, a set no worker mutates
+        // during the phase.
         let remaining = cfg.max_transitions.saturating_sub(report.transitions);
         if remaining == 0 {
             report.truncated = true;
@@ -176,32 +204,26 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
                                 break;
                             }
                             let mut cx = ExecCtx::with_coverage(remaining, cov.take());
-                            let expansion = exec.expand_children(&mut cx, &frontier[i].state, None);
-                            let keys = match &expansion {
-                                NodeExpansion::Children(cs) => cs
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(j, c)| match &c.outcome {
-                                        SuccOutcome::State(s, _) => {
-                                            let (h, enc) = s.fingerprint_and_encode();
-                                            store.admit(h, &enc, rank(i, j));
-                                            (h, enc)
-                                        }
-                                        SuccOutcome::Violation(..) => (0, Vec::new()),
-                                    })
-                                    .collect(),
-                                NodeExpansion::DeadEnd { .. } => Vec::new(),
-                            };
+                            let se = exec.expand_stateful(&mut cx, &frontier[i].state, |h, e| {
+                                store.contains_sealed(h, e)
+                            });
+                            for (j, (h, enc)) in se.keys.iter().enumerate() {
+                                if !enc.is_empty() {
+                                    store.admit(*h, enc, rank(i, j));
+                                }
+                            }
                             cov = cx.coverage.take();
                             out.push((
                                 i,
                                 Expanded {
-                                    expansion,
-                                    keys,
+                                    expansion: se.expansion,
+                                    keys: se.keys,
                                     transitions: cx.transitions,
                                     truncated: cx.truncated,
                                     shared_components: cx.shared_components,
                                     total_components: cx.total_components,
+                                    por_skipped: se.por_skipped,
+                                    por_fallback: se.por_fallback,
                                 },
                             ));
                         }
@@ -234,6 +256,8 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
             report.truncated |= e.truncated;
             report.shared_components += e.shared_components;
             report.total_components += e.total_components;
+            report.por_skipped_procs += e.por_skipped;
+            report.por_proviso_fallbacks += e.por_fallback as usize;
             match e.expansion {
                 NodeExpansion::DeadEnd { deadlock } => {
                     if deadlock {
@@ -293,9 +317,11 @@ fn frontier_search(exec: &Executor<'_>) -> Report {
     report
 }
 
-/// Shared explicit-state search; `bfs` selects FIFO
-/// (shortest-counterexample) order instead of LIFO.
-fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
+/// Explicit-state depth-first search. The POR proviso probes the visited
+/// set at expansion time: the last state of any reduced-graph cycle to
+/// be expanded necessarily sees its cycle successor already visited, so
+/// it is fully expanded and no enabled process is ignored forever.
+fn stateful_dfs(exec: &Executor<'_>) -> Report {
     let cfg = exec.config();
     let mut cx = ExecCtx::new(exec, cfg.max_transitions);
     let mut report = Report::default();
@@ -318,21 +344,20 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
     // incrementally combined) fingerprint; membership compares bytes,
     // per the collision-safety rule in [`crate::state::encode`].
     let mut visited: HashMap<u64, Vec<Box<[u8]>>> = HashMap::new();
-    // Work items carry their depth and (persistent) reproducing path.
-    let mut stack: VecDeque<(GlobalState, usize, Trace)> =
-        [(exec.initial(), 0, Trace::default())].into();
-    while let Some((state, depth, path)) = if bfs {
-        stack.pop_front()
-    } else {
-        stack.pop_back()
-    } {
+    // Work items carry their depth, (persistent) reproducing path, and
+    // the state's fingerprint + canonical encoding — computed once at
+    // discovery (`expand_stateful` needs them for the proviso anyway)
+    // and reused for the pop-time dedup instead of re-encoding.
+    type DfsItem = (GlobalState, usize, Trace, u64, Box<[u8]>);
+    let init = exec.initial();
+    let (h0, e0) = init.fingerprint_and_encode();
+    let mut stack: Vec<DfsItem> = vec![(init, 0, Trace::default(), h0, e0.into_boxed_slice())];
+    while let Some((state, depth, path, fp, enc)) = stack.pop() {
         if stop || cx.truncated {
             break;
         }
-        let (fp, enc) = state.fingerprint_and_encode();
-        let enc = enc.into_boxed_slice();
         let bucket = visited.entry(fp).or_default();
-        if bucket.contains(&enc) {
+        if bucket.iter().any(|e| **e == *enc) {
             continue;
         }
         report.visited_bytes += enc.len();
@@ -344,8 +369,13 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
             report.truncated = true;
             continue;
         }
-        match exec.schedule(&state) {
-            Scheduled::DeadEnd { deadlock } => {
+        let se = exec.expand_stateful(&mut cx, &state, |h, e| {
+            visited.get(&h).is_some_and(|b| b.iter().any(|x| **x == *e))
+        });
+        report.por_skipped_procs += se.por_skipped;
+        report.por_proviso_fallbacks += se.por_fallback as usize;
+        match se.expansion {
+            NodeExpansion::DeadEnd { deadlock } => {
                 if deadlock {
                     record(
                         &mut report,
@@ -356,37 +386,21 @@ fn stateful(exec: &Executor<'_>, bfs: bool) -> Report {
                     );
                 }
             }
-            Scheduled::Init(pid) => {
-                for (choices, outcome) in exec.successors(&mut cx, &state, pid) {
-                    let d = Decision {
-                        process: pid,
-                        choices,
-                    };
-                    match outcome {
-                        SuccOutcome::State(s, _) => stack.push_back((*s, depth + 1, path.push(d))),
-                        SuccOutcome::Violation(k, pr) => {
-                            record(&mut report, &mut stop, k, pr, path.pushed_vec(d));
-                        }
-                    }
-                }
-            }
-            Scheduled::Procs(procs) => {
-                for t in procs {
-                    if stop || cx.truncated {
+            NodeExpansion::Children(cs) => {
+                for (c, (h, e)) in cs.into_iter().zip(se.keys) {
+                    if stop {
                         break;
                     }
-                    for (choices, outcome) in exec.successors(&mut cx, &state, t) {
-                        let d = Decision {
-                            process: t,
-                            choices,
-                        };
-                        match outcome {
-                            SuccOutcome::State(s, _) => {
-                                stack.push_back((*s, depth + 1, path.push(d)))
-                            }
-                            SuccOutcome::Violation(k, pr) => {
-                                record(&mut report, &mut stop, k, pr, path.pushed_vec(d));
-                            }
+                    let d = Decision {
+                        process: c.process,
+                        choices: c.choices,
+                    };
+                    match c.outcome {
+                        SuccOutcome::State(s, _) => {
+                            stack.push((*s, depth + 1, path.push(d), h, e.into_boxed_slice()))
+                        }
+                        SuccOutcome::Violation(k, pr) => {
+                            record(&mut report, &mut stop, k, pr, path.pushed_vec(d));
                         }
                     }
                 }

@@ -151,6 +151,21 @@ impl VisitedStore {
         }
     }
 
+    /// Whether the state encoded as `enc` is already **sealed** — i.e.
+    /// committed as a winner in an earlier round. This is the frontier
+    /// engine's ignoring-proviso probe: during a round's worker phase no
+    /// sealing happens (only admissions), so the sealed set is exactly
+    /// the states committed through the previous round's ordered commit
+    /// — a set fixed for the whole phase and independent of worker count
+    /// or timing, which keeps the proviso (and with it the whole report)
+    /// jobs-invariant.
+    pub fn contains_sealed(&self, hash: u64, enc: &[u8]) -> bool {
+        let stripe = self.stripe(hash).lock().unwrap();
+        stripe
+            .get(&hash)
+            .is_some_and(|b| b.iter().any(|e| e.sealed && *e.enc == *enc))
+    }
+
     /// Seal a committed winner: from now on the state is *visited* and
     /// every later-round candidate loses. Idempotent.
     pub fn seal(&self, hash: u64, enc: &[u8]) {
@@ -254,6 +269,24 @@ mod tests {
         store.admit(h, &s, rank(0, 0));
         assert!(!store.seal_if_winner(h, &s, rank(0, 0)));
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn contains_sealed_sees_only_committed_rounds() {
+        // The proviso probe must ignore same-round (unsealed) admissions
+        // — they arrive in timing-dependent order — and hit only entries
+        // sealed by an earlier commit.
+        let s = state();
+        let h = crate::hash::stable_hash_bytes(&s);
+        let store = VisitedStore::default();
+        assert!(!store.contains_sealed(h, &s), "empty store");
+        store.admit(h, &s, rank(0, 0));
+        assert!(!store.contains_sealed(h, &s), "candidate, not committed");
+        store.seal(h, &s);
+        assert!(store.contains_sealed(h, &s));
+        let o = other_state();
+        let ho = crate::hash::stable_hash_bytes(&o);
+        assert!(!store.contains_sealed(ho, &o), "distinct state unaffected");
     }
 
     #[test]

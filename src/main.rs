@@ -42,9 +42,13 @@ fn usage() -> String {
                                   Stateless runs the sharded work-stealing\n\
                                   search; with --stateful or --bfs it runs the\n\
                                   shared-visited-store frontier search\n\
-         --no-por                 disable partial-order reduction\n\
+         --por / --no-por         enable (default) / disable partial-order\n\
+                                  reduction. The stateful engines use\n\
+                                  persistent sets with a cycle proviso; the\n\
+                                  stateless engines add sleep sets\n\
          --stats                  print states/sec, visited-store bytes and\n\
-                                  state count, and the CoW sharing ratio\n\
+                                  state count, the CoW sharing ratio, and the\n\
+                                  POR reduction counters\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
                                   a schedule is decisions like P0 P1[2,0] P0\n\
@@ -190,6 +194,8 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             (false, false) => Engine::Stateless,
         },
         jobs: opt("--jobs")?.unwrap_or(1),
+        // `--por` is the (default-on) positive form; `--no-por` wins if
+        // both are given, so scripts can append an override.
         por: !flag("--no-por"),
         sleep_sets: !flag("--no-por"),
         max_violations: if flag("--all") { usize::MAX } else { 1 },
@@ -229,6 +235,12 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 report.shared_components,
                 report.total_components,
                 100.0 * report.shared_components as f64 / report.total_components as f64
+            );
+        }
+        if config.por && report.visited_states > 0 {
+            println!(
+                "stats: POR: skipped {} process expansions, {} proviso fallbacks",
+                report.por_skipped_procs, report.por_proviso_fallbacks
             );
         }
     }

@@ -25,7 +25,7 @@ fn corpus_files() -> Vec<(String, String)> {
 }
 
 /// Everything observable about a report: (states, transitions, max depth,
-/// truncated, violations, trace count, coverage totals).
+/// truncated, violations, trace count, coverage totals, POR counters).
 type ReportKey = (
     usize,
     usize,
@@ -34,6 +34,7 @@ type ReportKey = (
     Vec<Violation>,
     usize,
     Option<(usize, usize)>,
+    (usize, usize),
 );
 
 fn key(r: &Report) -> ReportKey {
@@ -45,6 +46,7 @@ fn key(r: &Report) -> ReportKey {
         r.violations.clone(),
         r.traces.len(),
         r.coverage.as_ref().map(|c| c.totals()),
+        (r.por_skipped_procs, r.por_proviso_fallbacks),
     )
 }
 
@@ -237,6 +239,56 @@ fn stateful_parallel_is_jobs_invariant_on_corpus() {
         assert!(!bfs.truncated, "{name}: caps must not mask the comparison");
         for r in &runs {
             assert_eq!(key(&bfs), key(r), "{name}: must equal sequential BFS");
+        }
+    }
+}
+
+#[test]
+fn stateful_por_reports_are_byte_identical_across_jobs() {
+    // POR selection and the ignoring proviso must be pure functions of
+    // the state (never of worker timing): with reduction on — and off —
+    // the *rendered report bytes* and the full report key must match for
+    // jobs 1, 2 and 8, and match the sequential BFS driver. The cyclic
+    // ring program rides along to pin the proviso path itself.
+    let mut programs = closed_corpus();
+    let ring = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/cyclic/ring.mc");
+    programs.push((
+        "cyclic/ring.mc".into(),
+        compile(&std::fs::read_to_string(ring).unwrap()).unwrap(),
+    ));
+    for (name, prog) in programs {
+        for por in [true, false] {
+            let base = Config {
+                engine: Engine::StatefulParallel,
+                por,
+                sleep_sets: por,
+                max_depth: 300,
+                max_transitions: 2_000_000,
+                max_violations: usize::MAX,
+                ..Config::default()
+            };
+            let bfs = explore(
+                &prog,
+                &Config {
+                    engine: Engine::Bfs,
+                    ..base.clone()
+                },
+            );
+            for jobs in [1, 2, 8] {
+                let r = explore(
+                    &prog,
+                    &Config {
+                        jobs,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(key(&bfs), key(&r), "{name}: por={por} jobs={jobs}");
+                assert_eq!(
+                    format!("{bfs}").into_bytes(),
+                    format!("{r}").into_bytes(),
+                    "{name}: por={por} jobs={jobs}: rendered bytes differ"
+                );
+            }
         }
     }
 }

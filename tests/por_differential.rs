@@ -1,0 +1,172 @@
+//! Differential soundness oracle for persistent-set partial-order
+//! reduction in the stateful engines.
+//!
+//! POR prunes *interleavings*, never *verdicts*: for every program, an
+//! exploration with reduction on must report exactly the same set of
+//! property violations as the exhaustive exploration with reduction off.
+//! Individual reproducing traces may differ (the reduced search takes
+//! different representatives of each Mazurkiewicz trace), and so may the
+//! *number* of duplicate reports of one underlying defect — so the
+//! oracle compares the set of distinct `(kind, process)` verdicts, plus
+//! the clean/violating judgment itself.
+//!
+//! Three layers: the hand-written corpus, a randomized sweep over
+//! generated closed programs (fixed seeds — failures print the seed and
+//! the full source), and the cyclic ring program whose violation would
+//! be missed without the ignoring proviso.
+
+use reclose::prelude::*;
+use std::collections::BTreeSet;
+use switchsim::progen;
+
+/// The POR-invariant observable: the set of distinct violation verdicts.
+/// `Display` on `ViolationKind` folds runtime-error detail in.
+fn verdicts(r: &Report) -> BTreeSet<(String, Option<usize>)> {
+    r.violations
+        .iter()
+        .map(|v| (v.kind.to_string(), v.process))
+        .collect()
+}
+
+fn config(engine: Engine, por: bool, jobs: usize) -> Config {
+    Config {
+        engine,
+        por,
+        sleep_sets: por,
+        jobs,
+        max_depth: 300,
+        max_transitions: 2_000_000,
+        max_violations: usize::MAX,
+        ..Config::default()
+    }
+}
+
+/// Both stateful engines, POR on vs off, across worker counts: same
+/// verdict set, and neither run truncated (a cap would mask a miss).
+fn assert_por_preserves_verdicts(name: &str, prog: &cfgir::CfgProgram) {
+    for engine in [Engine::Stateful, Engine::StatefulParallel] {
+        let full = explore(prog, &config(engine, false, 1));
+        assert!(!full.truncated, "{name}: {engine:?} exhaustive truncated");
+        let want = verdicts(&full);
+        let jobs_sweep: &[usize] = if engine == Engine::StatefulParallel {
+            &[1, 2, 8]
+        } else {
+            &[1] // the sequential DFS ignores `jobs`
+        };
+        for &jobs in jobs_sweep {
+            let reduced = explore(prog, &config(engine, true, jobs));
+            assert!(
+                !reduced.truncated,
+                "{name}: {engine:?} jobs={jobs} reduced truncated"
+            );
+            assert_eq!(
+                verdicts(&reduced),
+                want,
+                "{name}: {engine:?} jobs={jobs}: POR changed the verdicts\n\
+                 reduced: {reduced}\nexhaustive: {full}"
+            );
+            assert_eq!(
+                reduced.clean(),
+                full.clean(),
+                "{name}: {engine:?} jobs={jobs}: POR changed the clean judgment"
+            );
+        }
+    }
+}
+
+fn corpus_programs() -> Vec<(String, cfgir::CfgProgram)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("corpus dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "mc").unwrap_or(false) {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).unwrap();
+            let open = compile(&src).unwrap_or_else(|d| panic!("{name}: {d}"));
+            out.push((
+                name,
+                closer::close(&open, &dataflow::analyze(&open)).program,
+            ));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(out.len() >= 6, "corpus populated");
+    out
+}
+
+#[test]
+fn por_preserves_verdicts_on_corpus() {
+    for (name, prog) in corpus_programs() {
+        assert_por_preserves_verdicts(&name, &prog);
+    }
+}
+
+#[test]
+fn por_preserves_verdicts_on_generated_programs() {
+    // ~50 fixed seeds through the closed-program generator: independent
+    // work, channel contention, schedule-dependent assertions, natural
+    // deadlocks, and (on some seeds) cyclic self-relay tails. A failure
+    // prints the seed and the full program for offline reduction.
+    for seed in 0..50u64 {
+        let procs = 2 + (seed % 3) as usize; // 2..=4 processes
+        let stmts = 3 + (seed % 4) as usize; // 3..=6 statements per loop
+        let src = progen::generate_closed(procs, stmts, seed);
+        let prog = cfgir::compile(&src)
+            .unwrap_or_else(|d| panic!("seed {seed}: generated program invalid:\n{d}\n{src}"));
+        let name = format!("generated seed={seed} procs={procs} stmts={stmts}\n{src}");
+        assert_por_preserves_verdicts(&name, &prog);
+    }
+}
+
+#[test]
+fn ignoring_proviso_catches_the_ring_prober() {
+    // The cyclic token ring: the prober's assertion violation is only
+    // reachable through states a pure persistent-set search would never
+    // fully expand (every singleton set is a ring station). The proviso
+    // must force full expansion when the ring closes its lap, so POR-on
+    // still reports the violation — with fallbacks actually recorded.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/cyclic/ring.mc");
+    let src = std::fs::read_to_string(path).unwrap();
+    let prog = compile(&src).unwrap();
+    assert_por_preserves_verdicts("cyclic/ring.mc", &prog);
+    for engine in [Engine::Stateful, Engine::StatefulParallel] {
+        let reduced = explore(&prog, &config(engine, true, 1));
+        assert_eq!(
+            reduced.count(|k| *k == verisoft::ViolationKind::AssertionViolation),
+            1,
+            "{engine:?}: the prober's violation must be found under POR: {reduced}"
+        );
+        assert!(
+            reduced.por_proviso_fallbacks > 0,
+            "{engine:?}: the ring must trigger the proviso"
+        );
+        assert!(
+            reduced.por_skipped_procs > 0,
+            "{engine:?}: the prober must be skipped on non-lap states"
+        );
+    }
+}
+
+#[test]
+fn por_actually_reduces_on_independent_corpus_programs() {
+    // The acceptance check: on at least three corpus programs the
+    // reduced exploration visits strictly fewer states (this is what the
+    // BENCH_por.json ablation measures as wall time).
+    let mut reduced_on = Vec::new();
+    for (name, prog) in corpus_programs() {
+        let full = explore(&prog, &config(Engine::StatefulParallel, false, 1));
+        let red = explore(&prog, &config(Engine::StatefulParallel, true, 1));
+        assert!(
+            red.states <= full.states,
+            "{name}: POR may never add states"
+        );
+        if red.states < full.states {
+            assert!(red.por_skipped_procs > 0, "{name}: reduction not counted");
+            reduced_on.push(name);
+        }
+    }
+    assert!(
+        reduced_on.len() >= 3,
+        "POR must measurably reduce >= 3 corpus programs, got {reduced_on:?}"
+    );
+}
