@@ -54,6 +54,34 @@ for p in corpus/*.mc; do
     echo "  $p: jobs {1,2,8} byte-identical"
 done
 
+echo "== determinism smoke: close --jobs {1,2,8} over the corpus =="
+# The closing pipeline solves the per-procedure passes on worker
+# threads; the closed output and the close reports must be
+# byte-identical for every --jobs value. The `pass NAME: ...` metric
+# lines carry wall times, which are legitimately nondeterministic, so
+# they are stripped before the --stats comparison.
+for p in corpus/*.mc corpus/cyclic/*.mc; do
+    "$BIN" close "$p" --jobs 1 > "$SMOKE/close1.txt"
+    "$BIN" close "$p" --stats --jobs 1 2>/dev/null \
+        | sed '/^pass /d' > "$SMOKE/stats1.txt"
+    for j in 2 8; do
+        "$BIN" close "$p" --jobs "$j" > "$SMOKE/closeN.txt"
+        if ! cmp -s "$SMOKE/close1.txt" "$SMOKE/closeN.txt"; then
+            echo "close smoke: $p output differs between --jobs 1 and --jobs $j"
+            diff "$SMOKE/close1.txt" "$SMOKE/closeN.txt" || :
+            exit 1
+        fi
+        "$BIN" close "$p" --stats --jobs "$j" 2>/dev/null \
+            | sed '/^pass /d' > "$SMOKE/statsN.txt"
+        if ! cmp -s "$SMOKE/stats1.txt" "$SMOKE/statsN.txt"; then
+            echo "close smoke: $p reports differ between --jobs 1 and --jobs $j"
+            diff "$SMOKE/stats1.txt" "$SMOKE/statsN.txt" || :
+            exit 1
+        fi
+    done
+    echo "  $p: closed output + reports byte-identical for jobs {1,2,8}"
+done
+
 echo "== bench smoke: 10 iterations on switchgen --lines 2 =="
 "$BIN" switchgen --lines 2 > "$SMOKE/switch.mc"
 sl_min=0 sl_max=0 sf_min=0 sf_max=0
@@ -162,5 +190,24 @@ if grep -q '"elements": 0[,}]' "$J"; then
     exit 1
 fi
 echo "  BENCH_state_ops.json: 4 records, schema complete"
+
+echo "== bench smoke: close_pipeline + JSON schema =="
+RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
+    --bench close_pipeline > "$SMOKE/close_bench.log" 2>&1 \
+    || { cat "$SMOKE/close_bench.log"; exit 1; }
+JC="$SMOKE/BENCH_close_pipeline.json"
+[ -f "$JC" ] || { echo "close_pipeline: $JC was not written"; exit 1; }
+for rec in "close_pipeline/workers/cold/1" "close_pipeline/workers/cold/8" \
+           "close_pipeline/workers/warm/1" \
+           "close_pipeline/gen_branchy_400/cold/1"; do
+    grep -q "$rec" "$JC" \
+        || { echo "close_pipeline: record $rec missing from JSON"; exit 1; }
+done
+for field in hardware_threads name min_ns median_ns mean_ns \
+             elements elements_per_sec; do
+    grep -q "\"$field\"" "$JC" \
+        || { echo "close_pipeline: field $field missing from JSON"; exit 1; }
+done
+echo "  BENCH_close_pipeline.json: cold/warm records present, schema complete"
 
 echo "ci: all green"

@@ -1,0 +1,103 @@
+//! Experiment E11: closing-front-end pass-pipeline throughput.
+//!
+//! The closer's pass pipeline memoizes every pass artifact under
+//! content-hash keys and solves the per-procedure passes on worker
+//! threads. This bench times a full close through the pipeline in three
+//! modes on corpus programs and generated open programs:
+//!
+//! - `cold/1`, `cold/8` — a fresh [`closer::Pipeline`] per close, so
+//!   every pass runs, at 1 and 8 worker threads. On a single-core host
+//!   `cold/8` measures the thread orchestration overhead, not speedup.
+//! - `warm/1` — a persistent pipeline re-closing unchanged source:
+//!   every pass hits its cache, so this is the pure lookup floor the
+//!   incremental path pays before any recompute.
+//!
+//! The incremental guarantee itself (a one-procedure edit recomputes
+//! only that procedure's defuse/transform chain) is asserted by pass
+//! invocation counters in the pipeline's unit tests; this bench covers
+//! the throughput claims. Before timing, the run prints the per-pass
+//! metrics table for the largest program. Alongside the human table the
+//! run writes `BENCH_close_pipeline.json` (see
+//! `harness::Criterion::emit_json`).
+
+use reclose_bench::harness::{BenchmarkId, Criterion, Throughput};
+use reclose_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+use switchsim::progen::{self, Shape};
+
+fn corpus(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn programs() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = ["workers.mc", "relay.mc", "traffic_light.mc"]
+        .into_iter()
+        .map(|n| (n.trim_end_matches(".mc").to_string(), corpus(n)))
+        .collect();
+    out.push((
+        "gen_straight_400".into(),
+        progen::generate(Shape::Straight, 400, 11),
+    ));
+    out.push((
+        "gen_branchy_400".into(),
+        progen::generate(Shape::Branchy, 400, 12),
+    ));
+    out
+}
+
+fn close_cold(src: &str, jobs: usize) -> closer::PipelineRun {
+    closer::close_source_jobs(src, jobs).expect("bench program closes")
+}
+
+fn report(name: &str, src: &str) {
+    let run = close_cold(src, 1);
+    println!("--- E11: per-pass metrics for {name} (cold, jobs=1) ---");
+    for m in &run.passes {
+        println!(
+            "{:>12}: {} run(s), {} cache hit(s), {} fact(s), {:.3} ms",
+            m.name,
+            m.invocations,
+            m.cache_hits,
+            m.facts,
+            m.wall.as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let programs = programs();
+    let (biggest, biggest_src) = programs
+        .iter()
+        .max_by_key(|(_, src)| src.len())
+        .map(|(n, s)| (n.clone(), s.clone()))
+        .unwrap();
+    report(&biggest, &biggest_src);
+    for (name, src) in &programs {
+        let procs = close_cold(src, 1).closed.program.procs.len() as u64;
+        let mut g = c.benchmark_group(&format!("close_pipeline/{name}"));
+        g.throughput(Throughput::Elements(procs));
+        for jobs in [1usize, 8] {
+            g.bench_with_input(BenchmarkId::new("cold", jobs), src, |b, s| {
+                b.iter(|| black_box(close_cold(s, jobs)))
+            });
+        }
+        let mut warm = closer::Pipeline::with_jobs(1);
+        warm.close(src).expect("warm-up close");
+        g.bench_with_input(BenchmarkId::new("warm", 1usize), src, |b, s| {
+            b.iter(|| black_box(warm.close(s).expect("warm close")))
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .emit_json("close_pipeline");
+    targets = bench
+}
+criterion_main!(benches);

@@ -77,7 +77,7 @@ pub enum VarKind {
 }
 
 /// A variable table entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VarInfo {
     /// Display name (source name, possibly disambiguated).
     pub name: String,
@@ -184,7 +184,7 @@ impl Place {
 }
 
 /// The right-hand side of an assignment node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Rvalue {
     /// A pure expression.
     Pure(PureExpr),
@@ -216,7 +216,7 @@ impl Rvalue {
 
 /// A visible operation: an operation on a communication object, or an
 /// assertion (§2 of the paper: assertions are visible).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum VisOp {
     /// `send(chan, val)`. A `val` of `None` sends the *opaque* value: the
     /// closing transformation erased an environment-dependent payload
@@ -284,7 +284,7 @@ impl VisOp {
 }
 
 /// What a CFG node does.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// The unique start node: "start nodes do not use nor define any
     /// variables." Exactly one per procedure.
@@ -428,7 +428,7 @@ impl fmt::Display for Guard {
 }
 
 /// A guarded control-flow arc.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Arc {
     /// The guard under which this arc is taken.
     pub guard: Guard,
@@ -539,7 +539,7 @@ impl CfgProc {
 }
 
 /// How a process parameter is supplied at spawn time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpawnArg {
     /// A constant.
     Const(i64),

@@ -35,12 +35,14 @@
 
 pub mod build;
 pub mod canon;
+pub mod content;
 pub mod dot;
 pub mod ir;
 pub mod validate;
 
 pub use build::{build, compile};
 pub use canon::{canonical_form, isomorphic, CanonForm};
+pub use content::{proc_content_hash, program_content_hash};
 pub use dot::{proc_to_dot, proc_to_listing, program_to_dot};
 pub use ir::{
     Arc, CfgProc, CfgProgram, GlobalId, Guard, InputId, Node, NodeId, NodeKind, ObjId, Operand,

@@ -50,6 +50,7 @@
 
 pub mod metrics;
 pub mod partition;
+pub mod pipeline;
 pub mod semantic;
 pub mod transform;
 
@@ -57,6 +58,7 @@ pub use metrics::{compare, totals, BranchingReport, Totals};
 pub use partition::{
     close_with_refinement, reduce_tosses, refine, RefineOptions, RefineReport, RefinedKind,
 };
+pub use pipeline::{close_source_jobs, PassMetrics, Pipeline, PipelineOptions, PipelineRun};
 pub use semantic::{refine_semantic, SemanticOptions};
 pub use transform::{close, close_source, Closed, ProcReport};
 

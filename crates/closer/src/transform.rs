@@ -31,7 +31,7 @@
 use cfgir::{
     Arc, CfgProc, CfgProgram, Guard, NodeId, NodeKind, ProcessSpec, Rvalue, VarId, VarKind, VisOp,
 };
-use dataflow::Analysis;
+use dataflow::{Analysis, Taint};
 use minic::span::Span;
 use std::collections::BTreeSet;
 
@@ -64,19 +64,30 @@ pub struct Closed {
 
 /// Close `prog` using precomputed analysis results.
 pub fn close(prog: &CfgProgram, analysis: &Analysis) -> Closed {
-    let mut procs = Vec::with_capacity(prog.procs.len());
-    let mut reports = Vec::with_capacity(prog.procs.len());
-    for p in &prog.procs {
-        let (np, rep) = close_proc(prog, p, analysis);
-        procs.push(np);
-        reports.push(rep);
-    }
-    // Step 5 for spawn specs: drop arguments whose parameter was removed.
+    let pairs: Vec<(CfgProc, ProcReport)> = prog
+        .procs
+        .iter()
+        .map(|p| close_proc(prog, p, &analysis.taint))
+        .collect();
+    assemble(prog, &analysis.taint, pairs)
+}
+
+/// Assemble closed procedures into a closed program: Step 5 for spawn
+/// specs (drop arguments whose parameter was removed) plus final sanity
+/// checks. `pairs` must be in [`cfgir::ProcId`] order — the pipeline
+/// produces them per procedure, possibly from a memoization cache or
+/// parallel workers, and merges here deterministically.
+pub(crate) fn assemble(
+    prog: &CfgProgram,
+    taint: &Taint,
+    pairs: Vec<(CfgProc, ProcReport)>,
+) -> Closed {
+    let (procs, reports): (Vec<CfgProc>, Vec<ProcReport>) = pairs.into_iter().unzip();
     let processes = prog
         .processes
         .iter()
         .map(|ps| {
-            let removed = &analysis.taint.tainted_params[ps.proc.index()];
+            let removed = &taint.tainted_params[ps.proc.index()];
             ProcessSpec {
                 name: ps.name.clone(),
                 proc: ps.proc,
@@ -131,8 +142,8 @@ pub fn close_source(src: &str) -> Result<Closed, minic::Diagnostics> {
 }
 
 /// Step 3: is this node preserved?
-fn is_marked(proc: &CfgProc, analysis: &Analysis, n: NodeId) -> bool {
-    let taint = analysis.taint.proc(proc.id);
+fn is_marked(proc: &CfgProc, taint: &Taint, n: NodeId) -> bool {
+    let taint = taint.proc(proc.id);
     match &proc.node(n).kind {
         // Start nodes, termination statements, procedure calls, and
         // visible operations are always preserved.
@@ -153,13 +164,16 @@ fn is_marked(proc: &CfgProc, analysis: &Analysis, n: NodeId) -> bool {
     }
 }
 
-fn close_proc(prog: &CfgProgram, proc: &CfgProc, analysis: &Analysis) -> (CfgProc, ProcReport) {
-    let taint = &analysis.taint;
+/// Steps 3–5 for one procedure. Depends only on the procedure and the
+/// taint results — the property the pipeline's per-procedure memoization
+/// keys rely on.
+pub(crate) fn close_proc(
+    prog: &CfgProgram,
+    proc: &CfgProc,
+    taint: &Taint,
+) -> (CfgProc, ProcReport) {
     let pt = taint.proc(proc.id);
-    let marked: Vec<bool> = proc
-        .node_ids()
-        .map(|n| is_marked(proc, analysis, n))
-        .collect();
+    let marked: Vec<bool> = proc.node_ids().map(|n| is_marked(proc, taint, n)).collect();
 
     // --- Variable table: remove environment-defined parameters. --------
     let removed_params = &taint.tainted_params[proc.id.index()];
@@ -195,7 +209,7 @@ fn close_proc(prog: &CfgProgram, proc: &CfgProc, analysis: &Analysis) -> (CfgPro
             continue;
         }
         let node = proc.node(n);
-        let kind = rewrite_kind(&node.kind, proc, n, analysis);
+        let kind = rewrite_kind(&node.kind, proc, n, taint);
         let new_id = out.push_node(kind, node.span);
         map[n.index()] = Some(new_id);
         if n == proc.start {
@@ -291,8 +305,7 @@ fn succ_set(proc: &CfgProc, marked: &[bool], arc: Arc) -> Vec<NodeId> {
 }
 
 /// Step 5 rewrites for a marked node.
-fn rewrite_kind(kind: &NodeKind, proc: &CfgProc, n: NodeId, analysis: &Analysis) -> NodeKind {
-    let taint = &analysis.taint;
+fn rewrite_kind(kind: &NodeKind, proc: &CfgProc, n: NodeId, taint: &Taint) -> NodeKind {
     let v_i = taint.proc(proc.id).v_i(n);
     let tainted_var = |v: &VarId| v_i.contains(v);
     match kind {

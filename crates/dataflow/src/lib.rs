@@ -38,16 +38,22 @@
 
 pub mod bitset;
 pub mod defuse;
+pub mod framework;
 pub mod loc;
 pub mod modref;
+pub mod par;
 pub mod pointsto;
 pub mod reachdefs;
 pub mod taint;
 
 pub use bitset::BitSet;
 pub use defuse::DefUse;
+// `framework::Analysis` (the solver trait) is deliberately not
+// re-exported at the root: the name is taken by the result bundle below.
+pub use framework::{Direction, Solution, SolveStats, Worklist};
 pub use loc::{loc_of, Loc, LocTable};
 pub use modref::ModRef;
+pub use par::par_map;
 pub use pointsto::PointsTo;
 pub use reachdefs::ReachingDefs;
 pub use taint::{ProcTaint, Taint};
@@ -69,14 +75,20 @@ pub struct Analysis {
 
 /// Run every analysis the closing transformation needs.
 pub fn analyze(prog: &CfgProgram) -> Analysis {
+    analyze_jobs(prog, 1)
+}
+
+/// Like [`analyze`], with the per-procedure solves (define-use, taint
+/// sweeps) spread over up to `jobs` worker threads. The result is
+/// byte-identical for any `jobs` — see [`par::par_map`] and
+/// [`taint::analyze_jobs`].
+pub fn analyze_jobs(prog: &CfgProgram, jobs: usize) -> Analysis {
     let pts = pointsto::analyze(prog);
     let modref = modref::analyze(prog, &pts);
-    let defuse: Vec<DefUse> = prog
-        .procs
-        .iter()
-        .map(|p| defuse::analyze(prog, p, &pts, &modref))
-        .collect();
-    let taint = taint::analyze(prog, &defuse, &pts);
+    let defuse: Vec<DefUse> = par_map(jobs, &prog.procs, |_, p| {
+        defuse::analyze(prog, p, &pts, &modref)
+    });
+    let taint = taint::analyze_jobs(prog, &defuse, &pts, jobs);
     Analysis {
         pts,
         modref,

@@ -9,6 +9,7 @@
 //! procedure boundaries.
 
 use crate::bitset::BitSet;
+use crate::framework::{self, Direction};
 use crate::loc::{loc_of, Loc, LocTable};
 use crate::pointsto::PointsTo;
 use cfgir::{CfgProc, CfgProgram, NodeId, NodeKind, Place, ProcId, Rvalue};
@@ -58,7 +59,8 @@ pub fn analyze(prog: &CfgProgram, pts: &PointsTo) -> ModRef {
     let mut mods: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(n)).collect();
     let mut refs: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(n)).collect();
 
-    // Direct effects.
+    // Direct effects, and the call graph as caller → callee edges.
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
     for proc in &prog.procs {
         let pi = proc.id.index();
         for nid in proc.node_ids() {
@@ -69,28 +71,49 @@ pub fn analyze(prog: &CfgProgram, pts: &PointsTo) -> ModRef {
             for l in r {
                 refs[pi].insert(l);
             }
-        }
-    }
-
-    // Transitive closure over the call graph.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for proc in &prog.procs {
-            let pi = proc.id.index();
-            for nid in proc.node_ids() {
-                if let NodeKind::Call { callee, .. } = &proc.node(nid).kind {
-                    let ci = callee.index();
-                    if ci != pi {
-                        let callee_mods = mods[ci].clone();
-                        let callee_refs = refs[ci].clone();
-                        changed |= mods[pi].union_with(&callee_mods);
-                        changed |= refs[pi].union_with(&callee_refs);
-                    }
-                }
+            if let NodeKind::Call { callee, .. } = &proc.node(nid).kind {
+                calls[pi].push(callee.index());
             }
         }
     }
+    for cs in &mut calls {
+        cs.sort_unstable();
+        cs.dedup();
+    }
+
+    // Transitive closure over the call graph: a *backward* framework
+    // instance — a callee's summary flows against the call edge into its
+    // callers.
+    struct Summaries<'a> {
+        mods: &'a [BitSet],
+        refs: &'a [BitSet],
+    }
+    impl framework::Analysis for Summaries<'_> {
+        type Fact = (BitSet, BitSet);
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn init(&self, node: usize) -> (BitSet, BitSet) {
+            (self.mods[node].clone(), self.refs[node].clone())
+        }
+        fn transfer(&self, _node: usize, fact: &(BitSet, BitSet)) -> (BitSet, BitSet) {
+            fact.clone()
+        }
+        fn join(&self, into: &mut (BitSet, BitSet), from: &(BitSet, BitSet)) -> bool {
+            let m = into.0.union_with(&from.0);
+            let r = into.1.union_with(&from.1);
+            m || r
+        }
+    }
+    let sol = framework::solve(
+        &Summaries {
+            mods: &mods,
+            refs: &refs,
+        },
+        &calls,
+        0..nprocs,
+    );
+    let (mods, refs) = sol.facts.into_iter().unzip();
 
     ModRef { table, mods, refs }
 }

@@ -1,0 +1,73 @@
+//! Deterministic parallel map over `std::thread` scoped workers.
+//!
+//! The closing pipeline runs per-procedure solves (define-use, taint
+//! sweeps, the closing transformation itself) on `--jobs N` workers.
+//! Results must not depend on `N`, so [`par_map`] uses the same recipe as
+//! the search engines in `verisoft`: workers claim item indices from a
+//! shared atomic counter, tag every result with its index, and the merge
+//! sorts by index — the output vector is `items.iter().map(f)` exactly,
+//! for any worker count and any interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item, on up to `jobs` worker threads, returning
+/// results in item order. `jobs <= 1` runs inline with no threads.
+///
+/// `f` must be a pure function of `(index, item)` for the jobs-invariance
+/// guarantee to mean anything; nothing enforces that here.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(items.len());
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_item_order_for_any_jobs() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(par_map(jobs, &items, |_, x| x * 3), expect, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(8, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |i, x| (i, *x)), vec![(0, 7)]);
+    }
+}

@@ -14,6 +14,7 @@
 //! and the solution is reached by a simple worklist over the copy graph.
 
 use crate::bitset::BitSet;
+use crate::framework::{self, SolveStats};
 use crate::loc::{loc_of, Loc, LocTable};
 use cfgir::{CfgProgram, NodeKind, Operand, Place, ProcId, PureExpr, Rvalue, VarId};
 use minic::ast::Ty;
@@ -25,6 +26,7 @@ use std::collections::{BTreeSet, HashMap};
 pub struct PointsTo {
     table: LocTable,
     sets: HashMap<Loc, BitSet>,
+    stats: SolveStats,
 }
 
 impl PointsTo {
@@ -54,23 +56,23 @@ impl PointsTo {
     pub fn loc_table(&self) -> &LocTable {
         &self.table
     }
+
+    /// Worklist counters from the constraint solve.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
 }
 
 /// Run the analysis over a whole program.
 pub fn analyze(prog: &CfgProgram) -> PointsTo {
     let table = LocTable::build(prog);
     let n = table.len();
-    // pts and the copy graph are keyed by dense loc index of the pointer.
-    let mut pts: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
-    // copy_to[q] = pointers p with constraint pts(q) ⊆ pts(p).
+    // Base address-of facts, keyed by dense loc index of the pointer.
+    let mut base: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    // copy_to[q] = pointers p with constraint pts(q) ⊆ pts(p). Built as a
+    // plain edge list; duplicates are removed below so a location copied
+    // from many sites is still propagated to once per fact change.
     let mut copy_to: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut worklist: Vec<usize> = Vec::new();
-
-    let add_addr = |pts: &mut Vec<BitSet>, worklist: &mut Vec<usize>, p: usize, x: usize| {
-        if pts[p].insert(x) {
-            worklist.push(p);
-        }
-    };
 
     for proc in &prog.procs {
         for nid in proc.node_ids() {
@@ -84,16 +86,13 @@ pub fn analyze(prog: &CfgProgram) -> PointsTo {
                     match src {
                         Rvalue::AddrOf(x) => {
                             let xi = table.idx(loc_of(proc, *x));
-                            add_addr(&mut pts, &mut worklist, di, xi);
+                            base[di].insert(xi);
                         }
                         Rvalue::Pure(PureExpr::Atom(Operand::Var(q)))
                             if proc.var(*q).ty == Ty::IntPtr =>
                         {
                             let qi = table.idx(loc_of(proc, *q));
                             copy_to[qi].push(di);
-                            if !pts[qi].is_empty() {
-                                worklist.push(qi);
-                            }
                         }
                         _ => {}
                     }
@@ -105,9 +104,6 @@ pub fn analyze(prog: &CfgProgram) -> PointsTo {
                             let ai = table.idx(loc_of(proc, *arg));
                             let pi = table.idx(loc_of(target, *param));
                             copy_to[ai].push(pi);
-                            if !pts[ai].is_empty() {
-                                worklist.push(ai);
-                            }
                         }
                     }
                 }
@@ -115,24 +111,40 @@ pub fn analyze(prog: &CfgProgram) -> PointsTo {
             }
         }
     }
-
-    // Propagate along the copy graph to a fixpoint.
-    while let Some(q) = worklist.pop() {
-        let src = pts[q].clone();
-        // Note: indices in copy_to may repeat; union_with is idempotent.
-        let targets = copy_to[q].clone();
-        for p in targets {
-            if pts[p].union_with(&src) {
-                worklist.push(p);
-            }
-        }
+    for targets in &mut copy_to {
+        targets.sort_unstable();
+        targets.dedup();
     }
 
+    // Propagate along the copy graph to a fixpoint: a monotone-framework
+    // instance with identity transfer and set-union join.
+    struct Copy<'a> {
+        base: &'a [BitSet],
+    }
+    impl framework::Analysis for Copy<'_> {
+        type Fact = BitSet;
+        fn init(&self, node: usize) -> BitSet {
+            self.base[node].clone()
+        }
+        fn transfer(&self, _node: usize, fact: &BitSet) -> BitSet {
+            fact.clone()
+        }
+        fn join(&self, into: &mut BitSet, from: &BitSet) -> bool {
+            into.union_with(from)
+        }
+    }
+    let seeds: Vec<usize> = (0..n).filter(|i| !base[*i].is_empty()).collect();
+    let sol = framework::solve(&Copy { base: &base }, &copy_to, seeds);
+
     let sets = (0..n)
-        .filter(|i| !pts[*i].is_empty())
-        .map(|i| (table.loc(i), pts[i].clone()))
+        .filter(|i| !sol.facts[*i].is_empty())
+        .map(|i| (table.loc(i), sol.facts[i].clone()))
         .collect();
-    PointsTo { table, sets }
+    PointsTo {
+        table,
+        sets,
+        stats: sol.stats,
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +293,31 @@ mod tests {
         assert_eq!(
             names(&prog, &pt.of(&prog, fid, p)),
             ["m.x".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn star_copy_visit_count_is_linear() {
+        // Regression for the old unguarded duplicate pushes: each of K
+        // copy sites `qi = p0` re-queued p0, so it was popped K times and
+        // scanned its K outgoing edges each time — O(K²). The framework
+        // worklist visits each location O(1) times.
+        let copies = 200;
+        let decls: String = (0..copies).map(|i| format!("int *q{i} = p0;\n")).collect();
+        let src = format!("proc m() {{ int x = 0; int *p0 = &x; {decls} }} process m();");
+        let prog = compile(&src).unwrap();
+        let pt = analyze(&prog);
+        let (pid, last) = var(&prog, "m", &format!("q{}", copies - 1));
+        assert_eq!(
+            names(&prog, &pt.of(&prog, pid, last)),
+            ["m.x".to_string()].into()
+        );
+        let nlocs = pt.loc_table().len() as u64;
+        assert!(
+            pt.stats().visits <= 2 * nlocs,
+            "revisits blew up: {} visits over {} locations",
+            pt.stats().visits,
+            nlocs
         );
     }
 

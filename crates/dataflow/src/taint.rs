@@ -31,7 +31,9 @@
 
 use crate::bitset::BitSet;
 use crate::defuse::DefUse;
+use crate::framework::{self, SolveStats};
 use crate::loc::{loc_of, Loc};
+use crate::par::par_map;
 use cfgir::{
     CfgProc, CfgProgram, NodeId, NodeKind, ObjId, Place, ProcId, Rvalue, SpawnArg, VarId, VarKind,
     VisOp,
@@ -83,6 +85,9 @@ pub struct Taint {
     /// Locations that may hold environment-dependent values at some point
     /// (flow-insensitive; consulted by loads and call-effect defs).
     pub tainted_locs: BTreeSet<Loc>,
+    /// Aggregated worklist counters over every intraprocedural solve in
+    /// every interprocedural round.
+    pub stats: SolveStats,
 }
 
 impl Taint {
@@ -101,6 +106,28 @@ impl Taint {
 
 /// Run the analysis. `defuse` must be indexed by [`ProcId`].
 pub fn analyze(prog: &CfgProgram, defuse: &[DefUse], pts: &crate::pointsto::PointsTo) -> Taint {
+    analyze_jobs(prog, defuse, pts, 1)
+}
+
+/// Run the analysis with the intraprocedural sweeps of each round spread
+/// over up to `jobs` worker threads.
+///
+/// The interprocedural fixpoint is a Jacobi iteration: every round runs
+/// all procedures against the *same* frozen summary state, then absorbs
+/// their contributions in procedure order. Each round is therefore a pure
+/// function of the previous state, the result is byte-identical for any
+/// `jobs`, and the least fixpoint is the same one the sequential
+/// Gauss-Seidel schedule reaches (everything grows monotonically).
+///
+/// `defuse` is generic over ownership so callers can pass either plain
+/// [`DefUse`] values or shared artifacts (`Arc<DefUse>`) from a
+/// memoization cache.
+pub fn analyze_jobs<D: std::borrow::Borrow<DefUse> + Sync>(
+    prog: &CfgProgram,
+    defuse: &[D],
+    pts: &crate::pointsto::PointsTo,
+    jobs: usize,
+) -> Taint {
     let nprocs = prog.procs.len();
     let mut st = State {
         tainted_params: vec![BTreeSet::new(); nprocs],
@@ -125,12 +152,16 @@ pub fn analyze(prog: &CfgProgram, defuse: &[DefUse], pts: &crate::pointsto::Poin
 
     // Global fixpoint: rerun the intraprocedural pass until summaries
     // stabilize. Everything grows monotonically, so this terminates.
+    let mut stats = SolveStats::default();
     let mut per_proc;
     loop {
+        let round = par_map(jobs, &prog.procs, |i, proc| {
+            intraproc(proc, defuse[i].borrow(), pts, &st)
+        });
         let mut changed = false;
         per_proc = Vec::with_capacity(nprocs);
-        for proc in &prog.procs {
-            let (pt, contrib) = intraproc(proc, &defuse[proc.id.index()], pts, &st);
+        for (pt, contrib, s) in round {
+            stats.absorb(s);
             changed |= st.absorb(contrib);
             per_proc.push(pt);
         }
@@ -145,6 +176,7 @@ pub fn analyze(prog: &CfgProgram, defuse: &[DefUse], pts: &crate::pointsto::Poin
         ret_tainted: st.ret_tainted,
         tainted_objects: st.tainted_objects,
         tainted_locs: st.tainted_locs,
+        stats,
     }
 }
 
@@ -191,20 +223,13 @@ fn intraproc(
     du: &DefUse,
     pts: &crate::pointsto::PointsTo,
     st: &State,
-) -> (ProcTaint, Contrib) {
+) -> (ProcTaint, Contrib, SolveStats) {
     let nnodes = proc.nodes.len();
     let ndefs = du.rd.defs.len();
-    let mut env_defs = BitSet::new(ndefs);
+    let mut seeds = BitSet::new(ndefs);
     let mut n_i = BitSet::new(nnodes);
     let mut reads_env_mem = BitSet::new(nnodes);
     let mut v_i: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); nnodes];
-    let mut worklist: Vec<usize> = Vec::new();
-
-    let mark_env_def = |d: usize, env_defs: &mut BitSet, worklist: &mut Vec<usize>| {
-        if env_defs.insert(d) {
-            worklist.push(d);
-        }
-    };
 
     // --- Seed environment definitions ---------------------------------
     // Entry pseudo-definitions of tainted parameters and tainted globals.
@@ -216,7 +241,7 @@ fn intraproc(
             _ => false,
         };
         if env {
-            mark_env_def(d, &mut env_defs, &mut worklist);
+            seeds.insert(d);
         }
     }
     // Node-level environment definitions.
@@ -244,7 +269,7 @@ fn intraproc(
                     if (is_dst && ret)
                         || (!is_dst && st.tainted_locs.contains(&loc_of(proc, ds.var)))
                     {
-                        mark_env_def(d, &mut env_defs, &mut worklist);
+                        seeds.insert(d);
                     }
                 }
                 false // handled per-def above
@@ -267,26 +292,61 @@ fn intraproc(
         };
         if node_env_defines {
             for &d in &du.rd.defs_of_node[nid.index()] {
-                mark_env_def(d, &mut env_defs, &mut worklist);
+                seeds.insert(d);
             }
         }
     }
 
-    // --- Propagate along define-use arcs -------------------------------
-    while let Some(d) = worklist.pop() {
+    // --- Close over define-use arcs ------------------------------------
+    // A framework instance over *definition* indices: an environment
+    // definition flows to every definition made by an assignment-class
+    // node that uses it (calls and visible ops are governed by summaries
+    // and object taint instead). Fact = "is environment-defined".
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); ndefs];
+    for (d, uses) in du.uses_of_def.iter().enumerate() {
+        for &(use_node, _var) in uses {
+            if matches!(proc.node(use_node).kind, NodeKind::Assign { .. }) {
+                edges[d].extend(du.rd.defs_of_node[use_node.index()].iter().copied());
+            }
+        }
+    }
+    for e in &mut edges {
+        e.sort_unstable();
+        e.dedup();
+    }
+    struct EnvDef<'a> {
+        seeds: &'a BitSet,
+    }
+    impl framework::Analysis for EnvDef<'_> {
+        type Fact = bool;
+        fn init(&self, node: usize) -> bool {
+            self.seeds.contains(node)
+        }
+        fn transfer(&self, _node: usize, fact: &bool) -> bool {
+            *fact
+        }
+        fn join(&self, into: &mut bool, from: &bool) -> bool {
+            if *from && !*into {
+                *into = true;
+                true
+            } else {
+                false
+            }
+        }
+    }
+    let sol = framework::solve(&EnvDef { seeds: &seeds }, &edges, seeds.iter());
+    let mut env_defs = BitSet::new(ndefs);
+    for (d, env) in sol.facts.iter().enumerate() {
+        if *env {
+            env_defs.insert(d);
+        }
+    }
+
+    // --- Mark N_I and V_I from the closed environment definitions -------
+    for d in env_defs.iter() {
         for &(use_node, var) in &du.uses_of_def[d] {
             v_i[use_node.index()].insert(var);
             n_i.insert(use_node.index());
-            // An assignment-class node in N_I defines environment-dependent
-            // values; calls and visible ops are governed by summaries and
-            // object taint instead.
-            if matches!(proc.node(use_node).kind, NodeKind::Assign { .. }) {
-                for &nd in &du.rd.defs_of_node[use_node.index()] {
-                    if env_defs.insert(nd) {
-                        worklist.push(nd);
-                    }
-                }
-            }
         }
     }
 
@@ -360,5 +420,6 @@ fn intraproc(
             reads_env_mem,
         },
         contrib,
+        sol.stats,
     )
 }

@@ -49,7 +49,7 @@ impl std::fmt::Display for ObjectKind {
 }
 
 /// A resolved communication object.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ObjectSym {
     /// Object name.
     pub name: String,
@@ -64,7 +64,7 @@ pub struct ObjectSym {
 }
 
 /// A resolved per-process global variable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GlobalSym {
     /// Variable name.
     pub name: String,
@@ -73,7 +73,7 @@ pub struct GlobalSym {
 }
 
 /// A resolved environment input.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InputSym {
     /// Input name.
     pub name: String,

@@ -1,157 +1,14 @@
-//! A stable 64-bit hasher for state fingerprints and stripe/shard keys.
+//! Stable hashing for state fingerprints and stripe/shard keys.
 //!
-//! `std::collections::hash_map::DefaultHasher` is SipHash with keys that
-//! the standard library explicitly reserves the right to change between
-//! releases, so anything derived from it — the visited-store stripe a
-//! state lands in, a fingerprint logged next to a counterexample — could
-//! drift between toolchains. This hasher is built from the same
-//! SplitMix64 finalizer as `switchsim::rng` (Steele, Lea & Flood,
-//! OOPSLA 2014): input is folded in 8-byte little-endian lanes through
-//! the finalizer, and `finish` mixes in the total length so prefixes of
-//! each other hash apart. A given byte stream hashes identically on
-//! every platform and every Rust release.
+//! The implementation lives in the dependency-free [`stablehash`] crate
+//! so the closing pipeline (`closer`) and the IR (`cfgir`) can key
+//! content-addressed artifacts with the *same* digests the explorer
+//! logs next to counterexamples; this module re-exports it under the
+//! historical `verisoft::hash` paths.
 //!
 //! Collisions remain possible, of course; every consumer that needs
 //! soundness (the stateful visited stores) keys buckets by the hash but
 //! compares full states, per the collision-safety rule in
 //! [`crate::state`].
 
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// The SplitMix64 output finalizer: an invertible 64-bit mixer.
-#[inline]
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The SplitMix64 Weyl increment (2⁶⁴/φ), used to decorrelate lanes.
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// A [`Hasher`] whose output is stable across platforms and toolchains.
-#[derive(Debug, Clone, Default)]
-pub struct StableHasher {
-    state: u64,
-    len: u64,
-    /// Bytes not yet forming a full 8-byte lane.
-    pending: u64,
-    pending_len: u32,
-}
-
-/// `BuildHasher` for [`StableHasher`], for use in hash-map type aliases.
-pub type StableBuildHasher = BuildHasherDefault<StableHasher>;
-
-impl StableHasher {
-    /// A fresh hasher (equivalent to `Default`).
-    pub fn new() -> Self {
-        StableHasher::default()
-    }
-
-    #[inline]
-    fn lane(&mut self, lane: u64) {
-        self.state = mix64(self.state.wrapping_add(lane).wrapping_add(GOLDEN));
-    }
-}
-
-impl Hasher for StableHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        self.len = self.len.wrapping_add(bytes.len() as u64);
-        let mut rest = bytes;
-        // Top up a partial lane first.
-        while self.pending_len > 0 && !rest.is_empty() {
-            self.pending |= (rest[0] as u64) << (8 * self.pending_len);
-            self.pending_len += 1;
-            rest = &rest[1..];
-            if self.pending_len == 8 {
-                let lane = self.pending;
-                self.pending = 0;
-                self.pending_len = 0;
-                self.lane(lane);
-            }
-        }
-        let mut chunks = rest.chunks_exact(8);
-        for c in &mut chunks {
-            self.lane(u64::from_le_bytes(c.try_into().unwrap()));
-        }
-        for &b in chunks.remainder() {
-            self.pending |= (b as u64) << (8 * self.pending_len);
-            self.pending_len += 1;
-        }
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        let mut h = self.state;
-        if self.pending_len > 0 {
-            h = mix64(h.wrapping_add(self.pending).wrapping_add(GOLDEN));
-        }
-        mix64(h ^ self.len)
-    }
-}
-
-/// Hash any `Hash` value through [`StableHasher`].
-pub fn stable_hash<T: std::hash::Hash>(value: &T) -> u64 {
-    let mut h = StableHasher::new();
-    value.hash(&mut h);
-    h.finish()
-}
-
-/// Hash a raw byte string through [`StableHasher`]. Unlike
-/// [`stable_hash`] on `&[u8]`, no length prefix beyond the hasher's own
-/// length mixing is added — the digest is a pure function of the bytes,
-/// which is what the cached component sub-hashes in
-/// [`crate::state`] need.
-pub fn stable_hash_bytes(bytes: &[u8]) -> u64 {
-    let mut h = StableHasher::new();
-    h.write(bytes);
-    h.finish()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pinned_vectors() {
-        // Pinned outputs: these must never change, across platforms or
-        // releases — shard assignment stability is the whole point.
-        assert_eq!(stable_hash(&42u64), stable_hash(&42u64));
-        let a = stable_hash(&(1u32, "abc", [4u8, 5, 6]));
-        let b = stable_hash(&(1u32, "abc", [4u8, 5, 6]));
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn chunk_boundaries_do_not_matter() {
-        // The same byte stream split across write() calls arbitrarily
-        // must hash identically.
-        let bytes: Vec<u8> = (0u8..=41).collect();
-        let mut whole = StableHasher::new();
-        whole.write(&bytes);
-        for split in [1usize, 3, 7, 8, 9, 20, 41] {
-            let mut parts = StableHasher::new();
-            parts.write(&bytes[..split]);
-            parts.write(&bytes[split..]);
-            assert_eq!(whole.finish(), parts.finish(), "split at {split}");
-        }
-    }
-
-    #[test]
-    fn length_distinguishes_zero_padding() {
-        let mut a = StableHasher::new();
-        a.write(&[0, 0, 0]);
-        let mut b = StableHasher::new();
-        b.write(&[0, 0, 0, 0]);
-        assert_ne!(a.finish(), b.finish());
-        assert_ne!(StableHasher::new().finish(), a.finish());
-    }
-
-    #[test]
-    fn adjacent_inputs_decorrelate() {
-        let h1 = stable_hash(&1u64);
-        let h2 = stable_hash(&2u64);
-        assert!((h1 ^ h2).count_ones() > 8, "{h1:x} vs {h2:x}");
-    }
-}
+pub use stablehash::{stable_hash, stable_hash_bytes, StableBuildHasher, StableHasher};

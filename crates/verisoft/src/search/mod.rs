@@ -111,9 +111,14 @@ pub struct Config {
     /// sequential engines; `0` means 1).
     pub jobs: usize,
     /// Target shard count for [`Engine::Parallel`]'s sharding pass.
-    /// Deliberately *not* derived from `jobs`: a fixed target keeps the
-    /// shard set — and therefore the merged report — identical for any
-    /// worker count.
+    /// Deliberately *never* derived from `jobs`: the shard set — and
+    /// therefore the merged report — must be identical for any worker
+    /// count. `0` selects the adaptive target, which the sharding pass
+    /// derives from the tree statistics it observes (the average
+    /// branching factor of the nodes it expands) — still jobs-invariant,
+    /// because sharding is a sequential pass over the same tree prefix
+    /// regardless of worker count. A nonzero value pins the target
+    /// (default 64).
     pub shard_target: usize,
 }
 

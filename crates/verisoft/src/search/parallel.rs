@@ -100,14 +100,37 @@ struct Sharder<'e, 'a> {
     exec: &'e Executor<'a>,
     cx: ExecCtx,
     root: Report,
+    /// Nodes expanded into children so far (adaptive-target statistic).
+    expansions: usize,
+    /// Children those expansions produced.
+    children_seen: usize,
 }
 
 impl<'e, 'a> Sharder<'e, 'a> {
+    /// The adaptive shard target: eight waves of the observed average
+    /// branching factor, clamped to `[16, 512]`. Narrow trees (token
+    /// rings, pipelines) get a small shard set with little sharding
+    /// overhead; wide trees (many enabled processes or tosses) get
+    /// enough shards that the pool outlives stragglers. Derived only
+    /// from the sequential sharding pass itself, so it is identical for
+    /// any worker count.
+    fn adaptive_target(&self) -> usize {
+        let avg = if self.expansions == 0 {
+            2
+        } else {
+            self.children_seen.div_ceil(self.expansions)
+        };
+        (avg * 8).clamp(16, 512)
+    }
+
+    /// `target = 0` selects [`Self::adaptive_target`].
     fn shard(exec: &'e Executor<'a>, target: usize) -> (Vec<Item>, Report) {
         let mut s = Sharder {
             cx: ExecCtx::new(exec, exec.config().max_transitions),
             exec,
             root: Report::default(),
+            expansions: 0,
+            children_seen: 0,
         };
         let mut items = vec![Item::Open(Shard {
             state: exec.initial(),
@@ -131,7 +154,12 @@ impl<'e, 'a> Sharder<'e, 'a> {
                     Item::Terminal(_) => None,
                 })
                 .collect();
-            if open.len() >= target || open.is_empty() {
+            let target_now = if target == 0 {
+                s.adaptive_target()
+            } else {
+                target
+            };
+            if open.len() >= target_now || open.is_empty() {
                 break;
             }
             let min_depth = open.iter().map(|&(_, d)| d).min().unwrap();
@@ -179,6 +207,8 @@ impl<'e, 'a> Sharder<'e, 'a> {
                 out.push(Item::Terminal(frag));
             }
             NodeExpansion::Children(cs) => {
+                self.expansions += 1;
+                self.children_seen += cs.len();
                 for c in cs {
                     let mut path = sh.path.clone();
                     path.push(Decision {
@@ -726,8 +756,8 @@ fn commit_item(
 impl super::SearchDriver for ParallelStateless {
     fn run(&mut self, exec: &Executor<'_>) -> Report {
         let cfg = exec.config();
-        let target = cfg.shard_target.max(1);
-        let (mut items, root) = Sharder::shard(exec, target);
+        // 0 selects the adaptive target inside the sharding pass.
+        let (mut items, root) = Sharder::shard(exec, cfg.shard_target);
 
         let mut slots = Vec::with_capacity(items.len());
         let mut entries: VecDeque<Entry> = VecDeque::new();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reclose check <file.mc>                      parse + semantic check
-//! reclose close <file.mc> [--dot|--stats]      run the closing transformation
+//! reclose close <file.mc> [options]            run the closing transformation
 //! reclose explore <file.mc> [options]          state-space exploration
 //! reclose run <file.mc> <schedule>             replay a decision schedule
 //! reclose graph <file.mc>                      Graphviz DOT of the CFGs
@@ -28,7 +28,14 @@ fn usage() -> String {
     "usage: reclose <check|close|explore|graph|envgen|switchgen> [args]\n\
      \n\
      check <file>                 parse and semantically check a MiniC program\n\
-     close <file> [--dot|--stats] close the open interface (prints listings by default)\n\
+     close <file> [options]       close the open interface (prints listings by default)\n\
+         --dot                    print Graphviz DOT of the closed program\n\
+         --stats                  per-procedure close reports plus per-pass\n\
+                                  pipeline metrics (runs, cache hits, facts, wall)\n\
+         --refine                 partition input domains first (interface\n\
+                                  simplification) where the analysis allows it\n\
+         --jobs N                 per-procedure solves on N threads; the output\n\
+                                  is byte-identical for any N\n\
      explore <file> [options]     systematically explore the state space\n\
          --enumerate              run S x E_S by domain enumeration (open programs)\n\
          --close                  close the program first, then explore\n\
@@ -107,28 +114,34 @@ fn check(path: &str) -> Result<(), String> {
 
 fn close_cmd(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(usage)?;
-    let (_, prog) = load(path)?;
-    let prog = if args.iter().any(|a| a == "--refine") {
-        let (refined, mut reports) = closer::refine(&prog, &closer::RefineOptions::default());
-        let (refined, semantic) =
-            closer::refine_semantic(&refined, &closer::SemanticOptions::default());
-        reports.extend(semantic);
-        for r in &reports {
-            eprintln!(
-                "refined {}::{:?} ({:?}): {} classes over a domain of {} (representatives {:?})",
-                r.proc,
-                r.node,
-                r.kind,
-                r.representatives.len(),
-                r.domain_size,
-                r.representatives
-            );
-        }
-        refined
-    } else {
-        prog
-    };
-    let closed = closer::close(&prog, &analyze(&prog));
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let mut pipeline = closer::Pipeline::new(closer::PipelineOptions {
+        jobs,
+        refine: args.iter().any(|a| a == "--refine"),
+        ..closer::PipelineOptions::default()
+    });
+    let run = pipeline
+        .close(&src)
+        .map_err(|d| format!("{path}:\n{}", d.render(&src)))?;
+    for r in &run.refine_reports {
+        eprintln!(
+            "refined {}::{:?} ({:?}): {} classes over a domain of {} (representatives {:?})",
+            r.proc,
+            r.node,
+            r.kind,
+            r.representatives.len(),
+            r.domain_size,
+            r.representatives
+        );
+    }
+    let closed = &run.closed;
     if args.iter().any(|a| a == "--dot") {
         println!("{}", cfgir::program_to_dot(&closed.program));
         return Ok(());
@@ -137,7 +150,7 @@ fn close_cmd(args: &[String]) -> Result<(), String> {
         for (r, cmp) in closed
             .reports
             .iter()
-            .zip(closer::compare(&prog, &closed.program))
+            .zip(closer::compare(&run.program, &closed.program))
         {
             println!(
                 "{}: nodes {} -> {} (+{} toss), params removed {}, branching {} -> {}",
@@ -148,6 +161,16 @@ fn close_cmd(args: &[String]) -> Result<(), String> {
                 r.params_removed,
                 cmp.degree_before,
                 cmp.degree_after
+            );
+        }
+        for p in &run.passes {
+            println!(
+                "pass {}: {} run(s), {} cache hit(s), {} fact(s), {:.3} ms",
+                p.name,
+                p.invocations,
+                p.cache_hits,
+                p.facts,
+                p.wall.as_secs_f64() * 1e3
             );
         }
         return Ok(());

@@ -379,6 +379,45 @@ fn skewed_tree_with_stealing_matches_sequential() {
 }
 
 #[test]
+fn adaptive_shard_target_is_jobs_invariant() {
+    // `shard_target: 0` lets the sharding pass size the shard set from
+    // the branching it observes. The target is derived from a sequential
+    // pass over the tree prefix, never from the worker count, so the
+    // merged report must stay byte-identical across jobs — on every
+    // corpus program and on the skewed spine-and-crown tree.
+    let mut programs = closed_corpus();
+    programs.push(("skewed".into(), compile(SKEWED).unwrap()));
+    for (name, prog) in programs {
+        let base = Config {
+            engine: Engine::Parallel,
+            shard_target: 0,
+            max_depth: 300,
+            max_transitions: 2_000_000,
+            max_violations: usize::MAX,
+            track_coverage: true,
+            ..Config::default()
+        };
+        let seq = explore(
+            &prog,
+            &Config {
+                engine: Engine::Stateless,
+                ..base.clone()
+            },
+        );
+        for jobs in [1, 2, 4, 8] {
+            let par = explore(
+                &prog,
+                &Config {
+                    jobs,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(key(&seq), key(&par), "{name}: jobs={jobs}");
+        }
+    }
+}
+
+#[test]
 fn skewed_tree_stateful_sweep_is_jobs_invariant() {
     let prog = compile(SKEWED).unwrap();
     let base = Config {
