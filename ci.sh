@@ -152,6 +152,48 @@ full_states=$("$BIN" explore corpus/workers.mc --stateful --all --no-por \
     || { echo "POR smoke: no reduction on workers.mc ($por_states vs $full_states)"; exit 1; }
 echo "  workers.mc: $por_states states reduced vs $full_states exhaustive"
 
+echo "== out-of-core smoke: spill determinism on workers.mc =="
+# A finite --mem-limit forces sealed states into tier-1 segments and the
+# frontier onto the spool mid-run; the report must stay byte-identical
+# to the unbounded run for every jobs x budget combination
+# (docs/EXPLORER.md §6).
+"$BIN" explore corpus/workers.mc --stateful --all --jobs 1 > "$SMOKE/ooc_ref.txt"
+for j in 1 2 8; do
+    for m in 2k 64; do
+        "$BIN" explore corpus/workers.mc --stateful --all --jobs "$j" \
+            --mem-limit "$m" > "$SMOKE/ooc.txt"
+        if ! cmp -s "$SMOKE/ooc_ref.txt" "$SMOKE/ooc.txt"; then
+            echo "out-of-core smoke: report differs at --jobs $j --mem-limit $m"
+            diff "$SMOKE/ooc_ref.txt" "$SMOKE/ooc.txt" || :
+            exit 1
+        fi
+    done
+done
+"$BIN" explore corpus/workers.mc --stateful --all --jobs 2 --mem-limit 64 \
+    --stats 2>/dev/null | grep -q "spilled state" \
+    || { echo "out-of-core smoke: a 64-byte budget did not spill"; exit 1; }
+echo "  workers.mc: jobs {1,2,8} x mem-limit {2k,64} byte-identical, spill engaged"
+
+echo "== out-of-core smoke: kill/resume on workers.mc =="
+# Kill the run right after its second level-boundary checkpoint, then
+# resume under a different worker count and an unbounded budget: the
+# completed report must be byte-identical to the uninterrupted run.
+CKPT="$SMOKE/ckpt"
+rm -rf "$CKPT"
+"$BIN" explore corpus/workers.mc --stateful --all --jobs 2 --mem-limit 300 \
+    --checkpoint-dir "$CKPT" --checkpoint-every 1 --abort-after-checkpoints 2 \
+    > "$SMOKE/ooc_killed.txt"
+grep -q "(truncated)" "$SMOKE/ooc_killed.txt" \
+    || { echo "out-of-core smoke: the abort hook did not interrupt the run"; exit 1; }
+"$BIN" explore corpus/workers.mc --stateful --all --jobs 8 --resume "$CKPT" \
+    > "$SMOKE/ooc_resumed.txt"
+if ! cmp -s "$SMOKE/ooc_ref.txt" "$SMOKE/ooc_resumed.txt"; then
+    echo "out-of-core smoke: resumed report differs from the uninterrupted run"
+    diff "$SMOKE/ooc_ref.txt" "$SMOKE/ooc_resumed.txt" || :
+    exit 1
+fi
+echo "  workers.mc: killed after 2 checkpoints, resumed byte-identical"
+
 echo "== bench smoke: por_stateful ablation + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
     --bench por_stateful > "$SMOKE/por_bench.log" 2>&1 \
@@ -190,6 +232,27 @@ if grep -q '"elements": 0[,}]' "$J"; then
     exit 1
 fi
 echo "  BENCH_state_ops.json: 4 records, schema complete"
+
+echo "== bench smoke: visited_store micro-benchmark + JSON schema =="
+RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
+    --bench visited_store > "$SMOKE/visited_store.log" 2>&1 \
+    || { cat "$SMOKE/visited_store.log"; exit 1; }
+JV="$SMOKE/BENCH_visited_store.json"
+[ -f "$JV" ] || { echo "visited_store: $JV was not written"; exit 1; }
+for op in insert probe_hit_mem probe_hit_disk probe_miss spill; do
+    grep -q "visited_store/$op" "$JV" \
+        || { echo "visited_store: record $op missing from JSON"; exit 1; }
+done
+for field in hardware_threads name min_ns median_ns mean_ns \
+             elements elements_per_sec; do
+    grep -q "\"$field\"" "$JV" \
+        || { echo "visited_store: field $field missing from JSON"; exit 1; }
+done
+if grep -q '"elements": 0[,}]' "$JV"; then
+    echo "visited_store: a record reports zero elements"
+    exit 1
+fi
+echo "  BENCH_visited_store.json: 5 records, schema complete"
 
 echo "== bench smoke: close_pipeline + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \

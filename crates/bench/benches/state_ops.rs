@@ -14,7 +14,7 @@ use reclose_bench::{criterion_group, criterion_main};
 use std::collections::HashSet;
 use std::hint::black_box;
 use switchsim::SwitchConfig;
-use verisoft::search::visited::{rank, VisitedStore};
+use verisoft::search::store::{rank, VisitedStore};
 use verisoft::state::{decode_state, encode_state};
 use verisoft::{Config, ExecCtx, Executor, GlobalState, Scheduled, SuccOutcome};
 
@@ -110,7 +110,7 @@ fn bench(c: &mut Criterion) {
             let store = VisitedStore::default();
             for (j, (h, e)) in encs.iter().enumerate() {
                 store.admit(*h, e, rank(j, 0));
-                store.seal(*h, e);
+                store.seal(*h, e, 1);
             }
             black_box(store.len())
         })

@@ -64,8 +64,9 @@ pub use interp::{
 pub use por::{enabled_processes, independent, persistent_set, StaticInfo};
 pub use report::{Decision, Report, Violation, ViolationKind};
 pub use search::{
-    driver_for, explore, replay, BfsDriver, Config, Engine, ParallelStateless, SearchDriver,
-    StatefulDfs, StatefulParallel, StatelessDfs, VisitedStore,
+    driver_for, explore, replay, validate_checkpoint, BfsDriver, Config, Engine, ParallelStateless,
+    SearchDriver, StateStore, StatefulDfs, StatefulParallel, StatelessDfs, TieredStore,
+    VisitedStore,
 };
 pub use state::{
     decode_state, encode_state, CowArc, Frame, GlobalState, ObjState, ProcState, Status,

@@ -119,6 +119,22 @@ pub struct Report {
     /// Executed-node coverage, when [`crate::Config::track_coverage`] is
     /// on.
     pub coverage: Option<crate::coverage::Coverage>,
+    /// Peak resident bytes of the tiered store's in-memory tier over the
+    /// run (frontier engines; 0 otherwise). An *operational* metric, not
+    /// part of the deterministic report surface: an interrupted-and-
+    /// resumed run may legitimately peak differently than an
+    /// uninterrupted one. Merges by maximum.
+    pub store_peak_mem_bytes: usize,
+    /// States spilled from the in-memory tier to disk segments
+    /// (operational, like [`Report::store_peak_mem_bytes`]).
+    pub store_spilled_entries: usize,
+    /// On-disk segments sealed by the end of the run (operational).
+    pub store_segments: usize,
+    /// Frontier entries that overflowed the spool's RAM budget to disk
+    /// (operational).
+    pub frontier_spilled_entries: usize,
+    /// Checkpoints written during the run (operational).
+    pub checkpoints_written: usize,
 }
 
 impl Report {
@@ -171,6 +187,11 @@ impl Report {
             (mine @ None, theirs @ Some(_)) => *mine = theirs,
             _ => {}
         }
+        self.store_peak_mem_bytes = self.store_peak_mem_bytes.max(other.store_peak_mem_bytes);
+        self.store_spilled_entries += other.store_spilled_entries;
+        self.store_segments += other.store_segments;
+        self.frontier_spilled_entries += other.frontier_spilled_entries;
+        self.checkpoints_written += other.checkpoints_written;
     }
 }
 
@@ -256,6 +277,8 @@ mod tests {
             por_skipped_procs: states,
             por_proviso_fallbacks: states / 2,
             coverage: None,
+            store_peak_mem_bytes: states * 100,
+            ..Report::default()
         }
     }
 

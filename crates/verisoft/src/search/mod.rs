@@ -23,9 +23,10 @@
 //!   order so the report is byte-identical for any worker count (see
 //!   [`parallel`]).
 //! - [`Engine::StatefulParallel`] ([`StatefulParallel`]) — deterministic
-//!   parallel explicit-state frontier search over a lock-striped
-//!   [`VisitedStore`] with a jobs-invariant admission order (see
-//!   [`visited`]); byte-identical reports for any worker count.
+//!   parallel explicit-state frontier search over a tiered, spillable
+//!   [`TieredStore`] with a jobs-invariant admission order (see
+//!   [`store`]); byte-identical reports for any worker count, any
+//!   memory budget, and across checkpoint/resume.
 //!
 //! All engines treat a `VS_toss` inside a transition as a branch point,
 //! observed and controlled by the scheduler exactly as VeriSoft observes
@@ -39,12 +40,34 @@ use cfgir::CfgProgram;
 pub mod parallel;
 pub mod stateful;
 pub mod stateless;
-pub mod visited;
+pub mod store;
 
 pub use parallel::ParallelStateless;
 pub use stateful::{BfsDriver, StatefulDfs, StatefulParallel};
 pub use stateless::StatelessDfs;
-pub use visited::VisitedStore;
+pub use store::{StateStore, TieredStore, VisitedStore};
+
+/// Validate a checkpoint directory against the program and configuration
+/// about to resume it (cheap: reads only the manifest prologue). The CLI
+/// calls this before starting the engine so a mismatched `--resume`
+/// surfaces as a clean error instead of a mid-run panic.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the mismatch (missing or
+/// torn manifest, incompatible store format version, different program
+/// content hash, or different exploration configuration).
+pub fn validate_checkpoint(
+    dir: &std::path::Path,
+    prog: &CfgProgram,
+    cfg: &Config,
+) -> Result<(), String> {
+    store::checkpoint::validate(
+        dir,
+        cfgir::program_content_hash(prog),
+        store::checkpoint::config_digest(cfg),
+    )
+}
 
 /// Which exploration engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +143,33 @@ pub struct Config {
     /// regardless of worker count. A nonzero value pins the target
     /// (default 64).
     pub shard_target: usize,
+    /// Soft byte budget for the frontier engines' resident search state
+    /// (visited store + frontier). `usize::MAX` (the default) means
+    /// unbounded: everything stays in memory and no disk is ever
+    /// touched. A finite budget makes the [`TieredStore`] spill sealed
+    /// states to disk segments and the frontier spool excess entries —
+    /// the report is byte-identical either way (see [`store`]).
+    pub mem_limit: usize,
+    /// Directory for spill segments and periodic checkpoints (frontier
+    /// engines). `None` with a finite [`Config::mem_limit`] spills into
+    /// a self-cleaning temp dir; `Some` additionally enables
+    /// checkpointing every [`Config::checkpoint_every`] frontier levels.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Checkpoint period in frontier levels (when
+    /// [`Config::checkpoint_dir`] is set; `0` means the default of 32).
+    pub checkpoint_every: usize,
+    /// Resume from the checkpoint in [`Config::checkpoint_dir`] instead
+    /// of starting fresh. The resumed run completes with a report
+    /// byte-identical to an uninterrupted one, for any `jobs` and any
+    /// `mem_limit` (both are excluded from the checkpoint's config
+    /// digest because they are determinism-invariant).
+    pub resume: bool,
+    /// Test hook: abort the search (returning a truncated partial
+    /// report) immediately after the Nth checkpoint is written. Lets
+    /// kill/resume tests exercise the crash path in-process,
+    /// deterministically, at an instant where the checkpoint on disk is
+    /// complete.
+    pub abort_after_checkpoints: Option<usize>,
 }
 
 impl Default for Config {
@@ -138,6 +188,11 @@ impl Default for Config {
             track_coverage: false,
             jobs: 1,
             shard_target: 64,
+            mem_limit: usize::MAX,
+            checkpoint_dir: None,
+            checkpoint_every: 32,
+            resume: false,
+            abort_after_checkpoints: None,
         }
     }
 }

@@ -497,7 +497,17 @@ struct StealWalk<'e, 'a, 'p> {
     events: Vec<VisibleEvent>,
     frames: Vec<Frame>,
     stop: bool,
+    /// Steps left before this walk looks at the hungry signal again.
+    /// Donating has a real cost (splitting a frame, re-queuing, waking
+    /// a worker), and a freshly woken worker takes a few steps to stop
+    /// being hungry — without a cooldown, a busy walk can donate its
+    /// tree away one sliver at a time to the same still-waking peer.
+    donate_cooldown: usize,
 }
+
+/// Busy-walk steps between donations (see
+/// [`StealWalk::donate_cooldown`]).
+const DONATE_COOLDOWN: usize = 32;
 
 impl<'e, 'a, 'p> StealWalk<'e, 'a, 'p> {
     /// Walk `entry`, returning its fragment — or `None` when the walk
@@ -515,6 +525,7 @@ impl<'e, 'a, 'p> StealWalk<'e, 'a, 'p> {
             events: shard.events,
             frames: Vec::new(),
             stop: false,
+            donate_cooldown: 0,
         };
         let (pr, er) = (w.path.len(), w.events.len());
         w.visit(&shard.state, shard.depth, &shard.sleep, Vec::new(), pr, er);
@@ -522,8 +533,11 @@ impl<'e, 'a, 'p> StealWalk<'e, 'a, 'p> {
             if w.pool.discard.load(Ordering::Relaxed) <= w.item {
                 return None; // abandoned: the merge cannot reach this item
             }
-            if w.pool.hungry.load(Ordering::Relaxed) > 0 {
+            if w.donate_cooldown > 0 {
+                w.donate_cooldown -= 1;
+            } else if w.pool.hungry.load(Ordering::Relaxed) > 0 {
                 w.donate_one();
+                w.donate_cooldown = DONATE_COOLDOWN;
             }
             w.step();
         }
@@ -815,7 +829,13 @@ impl super::SearchDriver for ParallelStateless {
         if open_count > 0 {
             // More workers than shards is useful here: the extras go
             // hungry immediately, which is precisely the steal signal.
-            let jobs = cfg.jobs.max(1);
+            // But never more than the host can actually run — threads
+            // past `available_parallelism` only add scheduling noise
+            // and donation churn. The clamp cannot affect the report:
+            // worker count never influences results (the fragment book
+            // and ordered commit are jobs-invariant), only wall clock.
+            let hw = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+            let jobs = cfg.jobs.max(1).min(hw);
             std::thread::scope(|scope| {
                 for _ in 0..jobs {
                     scope.spawn(|| worker(exec, &pool));

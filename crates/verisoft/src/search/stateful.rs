@@ -1,7 +1,7 @@
 //! Explicit-state drivers: DFS over stored visited states, the
 //! level-synchronous frontier BFS ([`BfsDriver`]), and the deterministic
-//! parallel frontier engine ([`StatefulParallel`]) backed by the
-//! lock-striped [`VisitedStore`](super::visited).
+//! parallel frontier engine ([`StatefulParallel`]) backed by the tiered
+//! spillable [`TieredStore`](super::store).
 //!
 //! All three apply persistent-set partial-order reduction with the
 //! ignoring/cycle proviso through
@@ -13,12 +13,23 @@
 //! proviso predicate is a pure function of the state and a
 //! timing-independent store snapshot, so every report stays
 //! byte-identical for any worker count.
+//!
+//! The frontier engines additionally run **out of core** when
+//! [`Config::mem_limit`](super::Config::mem_limit) is finite: sealed
+//! states spill to disk segments, the frontier spools to disk past its
+//! RAM budget, and each level is processed in bounded-memory *chunks*.
+//! Chunked processing is byte-identical to unbounded processing by
+//! construction — see the commit-order argument at [`frontier_search`]
+//! — and with a [`Config::checkpoint_dir`](super::Config::checkpoint_dir)
+//! the engine checkpoints at level boundaries so a killed run can
+//! `--resume` and complete with the identical report.
 
-use super::visited::{rank, VisitedStore};
+use super::store::{checkpoint, rank, FrontierSpool, SpillDir, Spoolable, StateStore, TieredStore};
 use crate::coverage::Coverage;
 use crate::executor::{ExecCtx, Executor, NodeExpansion, SuccOutcome};
 use crate::report::{Decision, Report, Violation, ViolationKind};
-use crate::state::GlobalState;
+use crate::state::encode::{put_u64, ByteReader};
+use crate::state::{decode_state, encode_state, GlobalState};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -127,6 +138,34 @@ struct FrontierItem {
     path: Trace,
 }
 
+impl Spoolable for FrontierItem {
+    fn spool_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.depth as u64);
+        let path = self.path.to_vec();
+        put_u64(out, path.len() as u64);
+        for d in &path {
+            checkpoint::put_decision(out, d);
+        }
+        // The state's canonical encoding takes the remaining bytes.
+        out.extend_from_slice(&encode_state(&self.state));
+    }
+
+    fn spool_decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(bytes);
+        let depth = usize::try_from(r.u64()?).ok()?;
+        let n = usize::try_from(r.u64()?).ok()?;
+        // The persistent trace is rebuilt by folding `push`; prefix
+        // sharing with sibling items is lost (each spooled item owns its
+        // path), which is the documented cost of spooling an entry.
+        let mut path = Trace::default();
+        for _ in 0..n {
+            path = path.push(checkpoint::read_decision(&mut r)?);
+        }
+        let state = decode_state(&bytes[r.pos()..])?;
+        Some(FrontierItem { state, depth, path })
+    }
+}
+
 /// A worker's expansion of one frontier item.
 struct Expanded {
     expansion: NodeExpansion,
@@ -151,169 +190,308 @@ type WorkerBatch = (Vec<(usize, Expanded)>, Option<Coverage>);
 
 /// The level-synchronous frontier search (`jobs == 1`: the sequential
 /// BFS driver; `jobs > 1`: the parallel engine — same report either way).
+///
+/// ## Why chunking (and therefore spilling) cannot change the report
+///
+/// Under a finite memory budget a level is consumed in FIFO *chunks*
+/// ([`FrontierSpool::next_chunk`]); each chunk is expanded and committed
+/// before the next is read. This is byte-identical to processing the
+/// whole level at once because:
+///
+/// 1. **Ranks are global to the level.** Chunk `c` starting at frontier
+///    offset `base` commits with ranks `rank(base + i, j)` — the exact
+///    ranks a single-chunk run assigns — and chunk bases are strictly
+///    increasing, so the level-minimal rank of any state appears in the
+///    earliest chunk that discovers it, where `seal_if_winner` crowns
+///    the same winner the unbounded commit would.
+/// 2. **The proviso is epoch-bounded.** Workers probe
+///    `contains_sealed_before(h, e, level+1)`: entries sealed by
+///    *earlier chunks of the same level* carry epoch `level+1` and are
+///    invisible, so every chunk sees exactly the sealed set a
+///    single-chunk run's phase sees.
+/// 3. **Budgets are level-fixed.** The per-item transition budget is the
+///    level-start remainder for every chunk, and the violation cap cuts
+///    at a rank — both independent of chunk boundaries.
+///
+/// Chunk boundaries themselves depend only on entry byte sizes against
+/// a fixed budget, never on timing, so the whole argument also holds
+/// for any worker count.
 fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
     let cfg = exec.config();
     let jobs = jobs.max(1);
-    let store = VisitedStore::default();
+    // Never spawn more workers than the host can run: oversubscribed
+    // `--jobs` used to create idle threads that only added scheduling
+    // noise. The clamp is invisible in the report — worker count never
+    // influences results (the determinism argument above).
+    let hw = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+    let checkpointing = cfg.checkpoint_dir.is_some();
+    assert!(
+        !(checkpointing && cfg.track_coverage),
+        "coverage maps are not checkpointed; disable --coverage to checkpoint"
+    );
+    let dir: Option<Arc<SpillDir>> = match (&cfg.checkpoint_dir, cfg.mem_limit) {
+        (Some(d), _) => Some(SpillDir::at(d).expect("create checkpoint directory")),
+        (None, usize::MAX) => None,
+        (None, _) => Some(SpillDir::temp().expect("create spill temp directory")),
+    };
+    // Budget split: half for the visited store's resident tier, a
+    // quarter for the frontier spool's memory head, a quarter for the
+    // in-flight chunk. Unbounded runs never touch the filesystem.
+    let (store_budget, spool_budget, chunk_budget) = if cfg.mem_limit == usize::MAX {
+        (usize::MAX, usize::MAX, usize::MAX)
+    } else {
+        let m = cfg.mem_limit;
+        ((m / 2).max(1), (m / 4).max(1), (m / 4).max(1))
+    };
+    let store = TieredStore::new(store_budget, dir.clone());
+    let every = if cfg.checkpoint_every == 0 {
+        32
+    } else {
+        cfg.checkpoint_every
+    };
+    let (program_hash, config_digest) = if checkpointing {
+        (
+            cfgir::program_content_hash(exec.program()),
+            checkpoint::config_digest(cfg),
+        )
+    } else {
+        (0, 0)
+    };
+
     let mut report = Report::default();
     let mut coverage = cfg.track_coverage.then(|| Coverage::new(exec.program()));
-
-    let init = exec.initial();
-    let (h0, enc0) = init.fingerprint_and_encode();
-    store.admit(h0, &enc0, rank(0, 0));
-    store.seal(h0, &enc0);
-    report.states = 1;
-    let mut frontier = if cfg.max_depth == 0 {
-        report.truncated = true;
-        Vec::new()
+    let mut level: usize = 0;
+    let mut checkpoints = 0usize;
+    let mut resumed_level = None;
+    let mut frontier;
+    if cfg.resume {
+        let dirp = cfg
+            .checkpoint_dir
+            .as_deref()
+            .expect("--resume requires a checkpoint directory");
+        let r = checkpoint::resume::<FrontierItem>(dirp, program_hash, config_digest, &store)
+            .unwrap_or_else(|e| panic!("resume failed: {e}"));
+        level = r.level;
+        checkpoints = r.checkpoints_written;
+        report = r.report;
+        resumed_level = Some(level);
+        frontier = FrontierSpool::new(spool_budget, dir.clone(), level as u64);
+        for (item, cost) in r.frontier {
+            frontier.push(item, cost).expect("respool resumed frontier");
+        }
     } else {
-        vec![FrontierItem {
-            state: init,
-            depth: 0,
-            path: Trace::default(),
-        }]
-    };
+        frontier = FrontierSpool::new(spool_budget, dir.clone(), 0);
+        let init = exec.initial();
+        let (h0, enc0) = init.fingerprint_and_encode();
+        store.admit(h0, &enc0, rank(0, 0));
+        store.seal(h0, &enc0, 0);
+        report.states = 1;
+        if cfg.max_depth == 0 {
+            report.truncated = true;
+        } else {
+            let cost = enc0.len();
+            let item = FrontierItem {
+                state: init,
+                depth: 0,
+                path: Trace::default(),
+            };
+            frontier.push(item, cost).expect("spool initial frontier");
+        }
+    }
+    report.frontier_spilled_entries += frontier.spooled();
 
     let mut stop = false;
     while !frontier.is_empty() && !stop {
-        // The per-item budget is the *round-start* remainder — a value
-        // fixed before any worker runs, so the expansion of an item is a
-        // pure function of the item, never of sibling timing. The same
-        // holds for the POR proviso: `contains_sealed` sees exactly the
-        // states committed by earlier rounds, a set no worker mutates
-        // during the phase.
+        // Checkpoint at the level boundary — the only instant where the
+        // loop state is exactly (sealed store, next frontier, report,
+        // level). Skipped on the boundary we just resumed at: that
+        // checkpoint already exists.
+        if checkpointing && level > 0 && level.is_multiple_of(every) && resumed_level != Some(level)
+        {
+            let dirp = dir.as_ref().expect("checkpointing implies a spill dir");
+            checkpoint::write(
+                dirp.path(),
+                level,
+                &report,
+                checkpoints + 1,
+                (program_hash, config_digest),
+                &store,
+                &mut frontier,
+            )
+            .expect("write checkpoint");
+            checkpoints += 1;
+            if cfg
+                .abort_after_checkpoints
+                .is_some_and(|n| checkpoints >= n)
+            {
+                // Test hook: a simulated kill at the first instant the
+                // checkpoint is durable. The partial report is marked
+                // truncated; a `--resume` run completes it.
+                report.truncated = true;
+                break;
+            }
+        }
+
+        // The per-item budget is the *level-start* remainder — a value
+        // fixed before any worker or chunk runs, so the expansion of an
+        // item is a pure function of the item, never of sibling timing
+        // or chunk boundaries. The same holds for the POR proviso:
+        // `contains_sealed_before` bounded by this level's epoch sees
+        // exactly the states committed by earlier levels, a set neither
+        // workers nor earlier chunks of this level can grow.
         let remaining = cfg.max_transitions.saturating_sub(report.transitions);
         if remaining == 0 {
             report.truncated = true;
             break;
         }
-        let n = frontier.len();
-        let cursor = AtomicUsize::new(0);
-        let workers = jobs.min(n);
-        let mut slots: Vec<Option<Expanded>> = (0..n).map(|_| None).collect();
-        let per_worker: Vec<WorkerBatch> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (frontier, store, cursor) = (&frontier, &store, &cursor);
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut cov = cfg.track_coverage.then(|| Coverage::new(exec.program()));
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let mut cx = ExecCtx::with_coverage(remaining, cov.take());
-                            let se = exec.expand_stateful(&mut cx, &frontier[i].state, |h, e| {
-                                store.contains_sealed(h, e)
-                            });
-                            for (j, (h, enc)) in se.keys.iter().enumerate() {
-                                if !enc.is_empty() {
-                                    store.admit(*h, enc, rank(i, j));
-                                }
-                            }
-                            cov = cx.coverage.take();
-                            out.push((
-                                i,
-                                Expanded {
-                                    expansion: se.expansion,
-                                    keys: se.keys,
-                                    transitions: cx.transitions,
-                                    truncated: cx.truncated,
-                                    shared_components: cx.shared_components,
-                                    total_components: cx.total_components,
-                                    por_skipped: se.por_skipped,
-                                    por_fallback: se.por_fallback,
-                                },
-                            ));
-                        }
-                        (out, cov)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        for (out, cov) in per_worker {
-            for (i, e) in out {
-                slots[i] = Some(e);
-            }
-            if let (Some(mine), Some(theirs)) = (&mut coverage, cov.as_ref()) {
-                mine.merge(theirs);
-            }
-        }
-
-        // Ordered commit: fold items in rank order; only winning
-        // occurrences enter the next frontier, and the violation cap
-        // cuts at the same rank for every worker count.
-        let mut next = Vec::new();
-        for (i, slot) in slots.into_iter().enumerate() {
+        let epoch = (level + 1) as u32; // successors seal into the next level
+        let mut next = FrontierSpool::new(spool_budget, dir.clone(), (level + 1) as u64);
+        let mut base = 0usize; // frontier offset of the current chunk
+        while let Some(chunk) = frontier
+            .next_chunk(chunk_budget)
+            .expect("read frontier spool")
+        {
             if stop {
                 break;
             }
-            let item = &frontier[i];
-            let e = slot.expect("every frontier item is expanded");
-            report.transitions += e.transitions;
-            report.truncated |= e.truncated;
-            report.shared_components += e.shared_components;
-            report.total_components += e.total_components;
-            report.por_skipped_procs += e.por_skipped;
-            report.por_proviso_fallbacks += e.por_fallback as usize;
-            match e.expansion {
-                NodeExpansion::DeadEnd { deadlock } => {
-                    if deadlock {
-                        report.violations.push(Violation {
-                            kind: ViolationKind::Deadlock,
-                            process: None,
-                            trace: item.path.to_vec(),
-                        });
-                        stop |= report.violations.len() >= cfg.max_violations;
-                    }
-                }
-                NodeExpansion::Children(cs) => {
-                    for (j, c) in cs.into_iter().enumerate() {
-                        if stop {
-                            break;
-                        }
-                        let decision = Decision {
-                            process: c.process,
-                            choices: c.choices,
-                        };
-                        match c.outcome {
-                            SuccOutcome::State(s, _) => {
-                                let (h, enc) = &e.keys[j];
-                                if store.seal_if_winner(*h, enc, rank(i, j)) {
-                                    report.states += 1;
-                                    report.max_depth_seen =
-                                        report.max_depth_seen.max(item.depth + 1);
-                                    if item.depth + 1 >= cfg.max_depth {
-                                        report.truncated = true;
-                                    } else {
-                                        next.push(FrontierItem {
-                                            state: *s,
-                                            depth: item.depth + 1,
-                                            path: item.path.push(decision),
-                                        });
+            let n = chunk.len();
+            let cursor = AtomicUsize::new(0);
+            let workers = jobs.min(n).min(hw).max(1);
+            let mut slots: Vec<Option<Expanded>> = (0..n).map(|_| None).collect();
+            let per_worker: Vec<WorkerBatch> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (chunk, store, cursor) = (&chunk, &store, &cursor);
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut cov = cfg.track_coverage.then(|| Coverage::new(exec.program()));
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let mut cx = ExecCtx::with_coverage(remaining, cov.take());
+                                let se = exec.expand_stateful(&mut cx, &chunk[i].state, |h, e| {
+                                    store.contains_sealed_before(h, e, epoch)
+                                });
+                                for (j, (h, enc)) in se.keys.iter().enumerate() {
+                                    if !enc.is_empty() {
+                                        store.admit(*h, enc, rank(base + i, j));
                                     }
                                 }
+                                cov = cx.coverage.take();
+                                out.push((
+                                    i,
+                                    Expanded {
+                                        expansion: se.expansion,
+                                        keys: se.keys,
+                                        transitions: cx.transitions,
+                                        truncated: cx.truncated,
+                                        shared_components: cx.shared_components,
+                                        total_components: cx.total_components,
+                                        por_skipped: se.por_skipped,
+                                        por_fallback: se.por_fallback,
+                                    },
+                                ));
                             }
-                            SuccOutcome::Violation(kind, process) => {
-                                report.violations.push(Violation {
-                                    kind,
-                                    process,
-                                    trace: item.path.pushed_vec(decision),
-                                });
-                                stop |= report.violations.len() >= cfg.max_violations;
+                            (out, cov)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (out, cov) in per_worker {
+                for (i, e) in out {
+                    slots[i] = Some(e);
+                }
+                if let (Some(mine), Some(theirs)) = (&mut coverage, cov.as_ref()) {
+                    mine.merge(theirs);
+                }
+            }
+
+            // Ordered commit: fold items in rank order; only winning
+            // occurrences enter the next frontier, and the violation cap
+            // cuts at the same rank for every worker count.
+            for (i, slot) in slots.into_iter().enumerate() {
+                if stop {
+                    break;
+                }
+                let item = &chunk[i];
+                let e = slot.expect("every frontier item is expanded");
+                report.transitions += e.transitions;
+                report.truncated |= e.truncated;
+                report.shared_components += e.shared_components;
+                report.total_components += e.total_components;
+                report.por_skipped_procs += e.por_skipped;
+                report.por_proviso_fallbacks += e.por_fallback as usize;
+                match e.expansion {
+                    NodeExpansion::DeadEnd { deadlock } => {
+                        if deadlock {
+                            report.violations.push(Violation {
+                                kind: ViolationKind::Deadlock,
+                                process: None,
+                                trace: item.path.to_vec(),
+                            });
+                            stop |= report.violations.len() >= cfg.max_violations;
+                        }
+                    }
+                    NodeExpansion::Children(cs) => {
+                        for (j, c) in cs.into_iter().enumerate() {
+                            if stop {
+                                break;
+                            }
+                            let decision = Decision {
+                                process: c.process,
+                                choices: c.choices,
+                            };
+                            match c.outcome {
+                                SuccOutcome::State(s, _) => {
+                                    let (h, enc) = &e.keys[j];
+                                    if store.seal_if_winner(*h, enc, rank(base + i, j), epoch) {
+                                        report.states += 1;
+                                        report.max_depth_seen =
+                                            report.max_depth_seen.max(item.depth + 1);
+                                        if item.depth + 1 >= cfg.max_depth {
+                                            report.truncated = true;
+                                        } else {
+                                            let cost = enc.len();
+                                            let fi = FrontierItem {
+                                                state: *s,
+                                                depth: item.depth + 1,
+                                                path: item.path.push(decision),
+                                            };
+                                            next.push(fi, cost).expect("spool next frontier");
+                                        }
+                                    }
+                                }
+                                SuccOutcome::Violation(kind, process) => {
+                                    report.violations.push(Violation {
+                                        kind,
+                                        process,
+                                        trace: item.path.pushed_vec(decision),
+                                    });
+                                    stop |= report.violations.len() >= cfg.max_violations;
+                                }
                             }
                         }
                     }
                 }
             }
+            base += n;
         }
+        report.frontier_spilled_entries += next.spooled();
         frontier = next;
+        level += 1;
+        store.end_of_level().expect("spill visited store");
     }
     report.visited_bytes = store.bytes();
     report.visited_states = store.len();
     report.coverage = coverage;
+    // Operational (non-deterministic-surface) IO counters.
+    report.store_peak_mem_bytes = report.store_peak_mem_bytes.max(store.peak_mem_bytes());
+    report.store_spilled_entries = store.spilled_entries();
+    report.store_segments = store.segment_count();
+    report.checkpoints_written = checkpoints;
     report
 }
 

@@ -1,0 +1,501 @@
+//! Level-boundary checkpoints and the resume path.
+//!
+//! The frontier search's entire loop state at a level boundary is
+//! `(sealed visited set with epochs, next frontier in rank order,
+//! report-so-far, level number)` — nothing else survives a round. A
+//! checkpoint therefore persists exactly those four things:
+//!
+//! - **Sealed segments** (`seg-<id>.bin`) already on disk are immutable
+//!   and are referenced by id + committed byte length.
+//! - **Tier-0 sealed entries** are snapshotted (non-destructively) to
+//!   `mem-<level>.bin` in segment record format.
+//! - **The frontier spool** is snapshotted to `frontier-<level>.bin`
+//!   without being consumed.
+//! - **The report and counters** go into the manifest itself.
+//!
+//! The manifest (`checkpoint.bin`) is written to a temp file, synced,
+//! and atomically renamed over the previous manifest — a SIGKILL at any
+//! instant leaves either the old or the new checkpoint fully valid,
+//! never a torn one. Side files are written and synced *before* the
+//! rename and garbage-collected only *after* it, so whatever manifest
+//! survives only ever references complete files.
+//!
+//! **Not stored**: coverage maps (`--coverage` is rejected when
+//! checkpointing), collected visible-event trace sets (the frontier
+//! engines never produce them), and anything derivable (`visited_bytes`
+//! etc. are recomputed from the store at the end of the run). The
+//! manifest embeds the program's content hash and a digest of the
+//! semantics-relevant configuration; `jobs` and `mem_limit` are
+//! deliberately excluded from the digest — both are
+//! determinism-invariant, so a run checkpointed at `--jobs 8` may be
+//! resumed at `--jobs 1` with a tiny memory budget and still produce
+//! the byte-identical report.
+
+use super::spool::{FrontierSpool, Spoolable};
+use super::TieredStore;
+use crate::report::{Decision, Report, Violation, ViolationKind};
+use crate::state::encode::{
+    check_header, put_header, put_record, put_u64, read_record, ByteReader, CHECKPOINT_MAGIC,
+    SEGMENT_MAGIC, SPOOL_MAGIC,
+};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// The manifest file name inside a checkpoint directory.
+pub const MANIFEST: &str = "checkpoint.bin";
+
+/// Digest of the configuration knobs that shape the explored state
+/// space. `jobs`, `mem_limit`, `shard_target`, and the checkpoint knobs
+/// themselves are excluded: they are determinism-invariant by
+/// construction, so resuming under different values is sound.
+pub(crate) fn config_digest(cfg: &crate::search::Config) -> u64 {
+    let s = format!(
+        "{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+        cfg.env_mode,
+        cfg.limits,
+        cfg.max_depth,
+        cfg.max_transitions,
+        cfg.por,
+        cfg.max_violations,
+        cfg.strict_termination_deadlock,
+        cfg.collect_traces,
+        cfg.track_coverage,
+    );
+    crate::hash::stable_hash_bytes(s.as_bytes())
+}
+
+pub(crate) fn put_decision(out: &mut Vec<u8>, d: &Decision) {
+    put_u64(out, d.process as u64);
+    put_u64(out, d.choices.len() as u64);
+    for c in &d.choices {
+        put_u64(out, *c as u64);
+    }
+}
+
+pub(crate) fn read_decision(r: &mut ByteReader<'_>) -> Option<Decision> {
+    let process = usize::try_from(r.u64()?).ok()?;
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut choices = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        choices.push(u32::try_from(r.u64()?).ok()?);
+    }
+    Some(Decision { process, choices })
+}
+
+fn rt_error_tag(e: &crate::interp::RtError) -> u64 {
+    use crate::interp::RtError::*;
+    match e {
+        DivByZero => 0,
+        DerefNonPointer => 1,
+        DanglingPointer => 2,
+        ArithOnAddr => 3,
+        BranchOnOpaque => 4,
+        BadTossBound => 5,
+        EnvReadInClosedMode => 6,
+        DomainTooLarge => 7,
+        StackOverflow => 8,
+        AssertOnNonInt => 9,
+    }
+}
+
+fn rt_error_from_tag(t: u64) -> Option<crate::interp::RtError> {
+    use crate::interp::RtError::*;
+    Some(match t {
+        0 => DivByZero,
+        1 => DerefNonPointer,
+        2 => DanglingPointer,
+        3 => ArithOnAddr,
+        4 => BranchOnOpaque,
+        5 => BadTossBound,
+        6 => EnvReadInClosedMode,
+        7 => DomainTooLarge,
+        8 => StackOverflow,
+        9 => AssertOnNonInt,
+        _ => return None,
+    })
+}
+
+fn put_violation(out: &mut Vec<u8>, v: &Violation) {
+    match &v.kind {
+        ViolationKind::Deadlock => put_u64(out, 0),
+        ViolationKind::AssertionViolation => put_u64(out, 1),
+        ViolationKind::Divergence => put_u64(out, 2),
+        ViolationKind::RuntimeError(e) => {
+            put_u64(out, 3);
+            put_u64(out, rt_error_tag(e));
+        }
+    }
+    match v.process {
+        None => put_u64(out, 0),
+        Some(p) => {
+            put_u64(out, 1);
+            put_u64(out, p as u64);
+        }
+    }
+    put_u64(out, v.trace.len() as u64);
+    for d in &v.trace {
+        put_decision(out, d);
+    }
+}
+
+fn read_violation(r: &mut ByteReader<'_>) -> Option<Violation> {
+    let kind = match r.u64()? {
+        0 => ViolationKind::Deadlock,
+        1 => ViolationKind::AssertionViolation,
+        2 => ViolationKind::Divergence,
+        3 => ViolationKind::RuntimeError(rt_error_from_tag(r.u64()?)?),
+        _ => return None,
+    };
+    let process = match r.u64()? {
+        0 => None,
+        1 => Some(usize::try_from(r.u64()?).ok()?),
+        _ => return None,
+    };
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut trace = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        trace.push(read_decision(r)?);
+    }
+    Some(Violation {
+        kind,
+        process,
+        trace,
+    })
+}
+
+fn put_report(out: &mut Vec<u8>, rep: &Report) {
+    debug_assert!(rep.traces.is_empty(), "frontier engines collect no traces");
+    debug_assert!(rep.coverage.is_none(), "coverage is never checkpointed");
+    put_u64(out, rep.states as u64);
+    put_u64(out, rep.transitions as u64);
+    put_u64(out, rep.max_depth_seen as u64);
+    put_u64(out, rep.truncated as u64);
+    put_u64(out, rep.shared_components as u64);
+    put_u64(out, rep.total_components as u64);
+    put_u64(out, rep.por_skipped_procs as u64);
+    put_u64(out, rep.por_proviso_fallbacks as u64);
+    put_u64(out, rep.violations.len() as u64);
+    for v in &rep.violations {
+        put_violation(out, v);
+    }
+}
+
+fn read_report(r: &mut ByteReader<'_>) -> Option<Report> {
+    let mut rep = Report {
+        states: usize::try_from(r.u64()?).ok()?,
+        transitions: usize::try_from(r.u64()?).ok()?,
+        max_depth_seen: usize::try_from(r.u64()?).ok()?,
+        ..Report::default()
+    };
+    rep.truncated = r.u64()? != 0;
+    rep.shared_components = usize::try_from(r.u64()?).ok()?;
+    rep.total_components = usize::try_from(r.u64()?).ok()?;
+    rep.por_skipped_procs = usize::try_from(r.u64()?).ok()?;
+    rep.por_proviso_fallbacks = usize::try_from(r.u64()?).ok()?;
+    let n = usize::try_from(r.u64()?).ok()?;
+    for _ in 0..n {
+        rep.violations.push(read_violation(r)?);
+    }
+    Some(rep)
+}
+
+fn write_sync(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Write one checkpoint for the level boundary `level`. See the module
+/// docs for the crash-safety argument.
+pub(crate) fn write<T: Spoolable>(
+    dir: &Path,
+    level: usize,
+    report: &Report,
+    checkpoints_written: usize,
+    (program_hash, config_digest): (u64, u64),
+    store: &TieredStore,
+    frontier: &mut FrontierSpool<T>,
+) -> io::Result<()> {
+    // 1. Tier-0 sealed entries, in segment record format.
+    let mem = store.sealed_mem_snapshot();
+    let mut buf = Vec::new();
+    put_header(&mut buf, SEGMENT_MAGIC);
+    for (fp, epoch, enc) in &mem {
+        put_record(&mut buf, *fp, *epoch, enc);
+    }
+    write_sync(&dir.join(format!("mem-{level}.bin")), &buf)?;
+
+    // 2. The remaining frontier, without consuming it.
+    buf.clear();
+    put_header(&mut buf, SPOOL_MAGIC);
+    let mut fsnap = Vec::new();
+    let fcount = frontier.snapshot(&mut fsnap)?;
+    buf.extend_from_slice(&fsnap);
+    write_sync(&dir.join(format!("frontier-{level}.bin")), &buf)?;
+
+    // 3. The manifest, atomically renamed into place.
+    let segs = store.segment_meta();
+    buf.clear();
+    put_header(&mut buf, CHECKPOINT_MAGIC);
+    put_u64(&mut buf, program_hash);
+    put_u64(&mut buf, config_digest);
+    put_u64(&mut buf, level as u64);
+    put_u64(&mut buf, checkpoints_written as u64);
+    put_report(&mut buf, report);
+    put_u64(&mut buf, segs.len() as u64);
+    for s in &segs {
+        put_u64(&mut buf, s.id as u64);
+        put_u64(&mut buf, s.byte_len);
+        put_u64(&mut buf, s.entries);
+    }
+    put_u64(&mut buf, mem.len() as u64);
+    put_u64(&mut buf, fcount as u64);
+    let tmp = dir.join("checkpoint.tmp");
+    write_sync(&tmp, &buf)?;
+    std::fs::rename(&tmp, dir.join(MANIFEST))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all(); // persist the rename itself
+    }
+
+    // 4. GC side files of older checkpoints (safe: the manifest no
+    // longer references them).
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            for prefix in ["mem-", "frontier-"] {
+                if let Some(rest) = name.strip_prefix(prefix) {
+                    if rest != format!("{level}.bin") && rest.ends_with(".bin") {
+                        let _ = std::fs::remove_file(e.path());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything [`resume`] reconstructs besides the store contents.
+pub(crate) struct Resumed<T> {
+    pub level: usize,
+    pub checkpoints_written: usize,
+    pub report: Report,
+    /// The frontier at the checkpointed level boundary, in rank order,
+    /// as `(entry, byte cost)` pairs to re-push into a fresh spool.
+    pub frontier: Vec<(T, usize)>,
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, String> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(buf)
+}
+
+/// Validate a checkpoint directory against the program and
+/// configuration about to resume it. Cheap (reads only the manifest
+/// prologue); the CLI calls this before starting the engine so
+/// mismatches surface as clean errors.
+pub fn validate(dir: &Path, program_hash: u64, digest: u64) -> Result<(), String> {
+    let buf = read_file(&dir.join(MANIFEST))?;
+    let mut r = ByteReader::new(&buf);
+    if !check_header(&mut r, CHECKPOINT_MAGIC) {
+        return Err(format!(
+            "{}: not a checkpoint manifest (or written by an \
+             incompatible store format version)",
+            dir.display()
+        ));
+    }
+    let (ph, cd) = (r.u64(), r.u64());
+    if ph != Some(program_hash) {
+        return Err(format!(
+            "{}: checkpoint was written for a different program \
+             (content hash mismatch)",
+            dir.display()
+        ));
+    }
+    if cd != Some(digest) {
+        return Err(format!(
+            "{}: checkpoint was written under a different exploration \
+             configuration (depth/transition caps, POR, or mode differ)",
+            dir.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Load a checkpoint: rebuild the store's tiers and return the level,
+/// report, and frontier to continue from.
+pub(crate) fn resume<T: Spoolable>(
+    dir: &Path,
+    program_hash: u64,
+    digest: u64,
+    store: &TieredStore,
+) -> Result<Resumed<T>, String> {
+    validate(dir, program_hash, digest)?;
+    let buf = read_file(&dir.join(MANIFEST))?;
+    let mut r = ByteReader::new(&buf);
+    let bad = || format!("{}: torn checkpoint manifest", dir.display());
+    if !check_header(&mut r, CHECKPOINT_MAGIC) {
+        return Err(bad());
+    }
+    let _hashes = (r.u64().ok_or_else(bad)?, r.u64().ok_or_else(bad)?);
+    let level = r.u64().ok_or_else(bad)? as usize;
+    let checkpoints_written = r.u64().ok_or_else(bad)? as usize;
+    let report = read_report(&mut r).ok_or_else(bad)?;
+    let nsegs = r.u64().ok_or_else(bad)? as usize;
+    let mut segs = Vec::with_capacity(nsegs);
+    for _ in 0..nsegs {
+        let id = r.u64().ok_or_else(bad)? as u32;
+        let byte_len = r.u64().ok_or_else(bad)?;
+        let entries = r.u64().ok_or_else(bad)?;
+        segs.push((id, byte_len, entries));
+    }
+    let mem_count = r.u64().ok_or_else(bad)? as usize;
+    let fcount = r.u64().ok_or_else(bad)? as usize;
+    if r.remaining() != 0 {
+        return Err(bad());
+    }
+
+    // Sealed segments: scan and index.
+    for (id, byte_len, entries) in segs {
+        let n = store
+            .load_segment(id, byte_len)
+            .map_err(|e| format!("{}: seg-{id}.bin: {e}", dir.display()))?;
+        if n as u64 != entries {
+            return Err(format!(
+                "{}: seg-{id}.bin holds {n} records, manifest says {entries}",
+                dir.display()
+            ));
+        }
+    }
+
+    // Tier-0 sealed entries.
+    let mem_path = dir.join(format!("mem-{level}.bin"));
+    let mbuf = read_file(&mem_path)?;
+    let mut mr = ByteReader::new(&mbuf);
+    if !check_header(&mut mr, SEGMENT_MAGIC) {
+        return Err(format!("{}: bad header", mem_path.display()));
+    }
+    let mut loaded = 0usize;
+    while mr.remaining() > 0 {
+        let (fp, epoch, _, enc) =
+            read_record(&mut mr).ok_or_else(|| format!("{}: torn record", mem_path.display()))?;
+        store.load_sealed(fp, enc.into(), epoch);
+        loaded += 1;
+    }
+    if loaded != mem_count {
+        return Err(format!(
+            "{}: holds {loaded} records, manifest says {mem_count}",
+            mem_path.display()
+        ));
+    }
+
+    // The frontier.
+    let f_path = dir.join(format!("frontier-{level}.bin"));
+    let fbuf = read_file(&f_path)?;
+    let mut fr = ByteReader::new(&fbuf);
+    if !check_header(&mut fr, SPOOL_MAGIC) {
+        return Err(format!("{}: bad header", f_path.display()));
+    }
+    let rest = &fbuf[fr.pos()..];
+    let frontier = FrontierSpool::<T>::decode_snapshot(rest, fcount)
+        .ok_or_else(|| format!("{}: torn frontier snapshot", f_path.display()))?;
+
+    Ok(Resumed {
+        level,
+        checkpoints_written,
+        report,
+        frontier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::RtError;
+
+    #[test]
+    fn report_serialization_roundtrips() {
+        let rep = Report {
+            states: 41,
+            transitions: 97,
+            max_depth_seen: 12,
+            truncated: true,
+            shared_components: 5,
+            total_components: 9,
+            por_skipped_procs: 3,
+            por_proviso_fallbacks: 1,
+            violations: vec![
+                Violation {
+                    kind: ViolationKind::Deadlock,
+                    process: None,
+                    trace: vec![Decision {
+                        process: 0,
+                        choices: vec![],
+                    }],
+                },
+                Violation {
+                    kind: ViolationKind::RuntimeError(RtError::StackOverflow),
+                    process: Some(2),
+                    trace: vec![Decision {
+                        process: 1,
+                        choices: vec![3, 0],
+                    }],
+                },
+            ],
+            ..Report::default()
+        };
+        let mut buf = Vec::new();
+        put_report(&mut buf, &rep);
+        let mut r = ByteReader::new(&buf);
+        let back = read_report(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.violations, rep.violations);
+        assert_eq!(
+            (
+                back.states,
+                back.transitions,
+                back.max_depth_seen,
+                back.truncated
+            ),
+            (
+                rep.states,
+                rep.transitions,
+                rep.max_depth_seen,
+                rep.truncated
+            )
+        );
+        assert_eq!(
+            (back.por_skipped_procs, back.por_proviso_fallbacks),
+            (rep.por_skipped_procs, rep.por_proviso_fallbacks)
+        );
+        // Every RtError variant has a stable tag.
+        for tag in 0..10 {
+            let e = rt_error_from_tag(tag).unwrap();
+            assert_eq!(rt_error_tag(&e), tag);
+        }
+        assert!(rt_error_from_tag(10).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let dir = super::super::SpillDir::temp().unwrap();
+        assert!(validate(dir.path(), 1, 2).is_err(), "no manifest");
+        let mut buf = Vec::new();
+        put_header(&mut buf, CHECKPOINT_MAGIC);
+        put_u64(&mut buf, 11); // program hash
+        put_u64(&mut buf, 22); // config digest
+        std::fs::write(dir.path().join(MANIFEST), &buf).unwrap();
+        assert!(validate(dir.path(), 11, 22).is_ok());
+        let e = validate(dir.path(), 99, 22).unwrap_err();
+        assert!(e.contains("different program"), "{e}");
+        let e = validate(dir.path(), 11, 99).unwrap_err();
+        assert!(e.contains("different exploration configuration"), "{e}");
+        std::fs::write(dir.path().join(MANIFEST), b"RXXX....").unwrap();
+        let e = validate(dir.path(), 11, 22).unwrap_err();
+        assert!(e.contains("not a checkpoint manifest"), "{e}");
+    }
+}

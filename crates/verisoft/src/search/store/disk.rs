@@ -1,0 +1,289 @@
+//! Tier 1: append-only on-disk segments of canonical state encodings.
+//!
+//! A segment is written exactly once — when the tiered store drains its
+//! sealed entries past the memory budget (or a checkpoint reloads one)
+//! — and is immutable afterwards; the only subsequent access is a
+//! positional read of a single record's payload to *confirm* a
+//! fingerprint match against the full encoding (see [`super::index`]).
+//! Records use the shared framing of [`crate::state::encode`]:
+//!
+//! ```text
+//! RSEG <version>                        (header, put_header)
+//! [fingerprint][epoch][len][enc bytes]  (per record, put_record)
+//! ...
+//! ```
+//!
+//! Segments are numbered `seg-<id>.bin` in creation order and synced to
+//! disk on write, so a checkpoint manifest can reference them by id and
+//! byte length alone: after a crash, files longer than their recorded
+//! length (a partially-written successor segment) are simply truncated
+//! or ignored by the resume scan.
+
+use super::SpillDir;
+use crate::state::encode::{
+    check_header, put_header, put_record, read_record, ByteReader, SEGMENT_MAGIC,
+};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Where one state encoding lives on disk: segment id, absolute payload
+/// offset, payload length, and the epoch it was sealed in. Entries of
+/// the in-memory fingerprint index.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskRef {
+    /// Segment id (index into the segment list).
+    pub seg: u32,
+    /// Byte offset of the encoding within the segment file.
+    pub off: u64,
+    /// Encoding length in bytes.
+    pub len: u32,
+    /// Frontier level the state was sealed in.
+    pub epoch: u32,
+}
+
+/// Manifest-facing metadata of one sealed segment.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentMeta {
+    /// Segment id (`seg-<id>.bin`).
+    pub id: u32,
+    /// Committed byte length.
+    pub byte_len: u64,
+    /// Number of records.
+    pub entries: u64,
+}
+
+struct Segment {
+    file: File,
+    meta: SegmentMeta,
+}
+
+/// The ordered collection of sealed segment files under one spill dir.
+pub(crate) struct SegmentStore {
+    dir: Arc<SpillDir>,
+    segs: RwLock<Vec<Segment>>,
+    /// Serializes positional reads on non-unix hosts (see [`pread`]).
+    #[allow(dead_code)]
+    read_lock: Mutex<()>,
+}
+
+#[cfg(unix)]
+fn pread(store: &SegmentStore, f: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    let _ = store;
+    std::os::unix::fs::FileExt::read_exact_at(f, buf, off)
+}
+
+#[cfg(not(unix))]
+fn pread(store: &SegmentStore, f: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    // No positional-read API: seek-then-read under a store-wide lock.
+    let _guard = store.read_lock.lock().unwrap();
+    let mut f = f;
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(buf)
+}
+
+impl SegmentStore {
+    pub(crate) fn new(dir: Arc<SpillDir>) -> Self {
+        SegmentStore {
+            dir,
+            segs: RwLock::new(Vec::new()),
+            read_lock: Mutex::new(()),
+        }
+    }
+
+    fn seg_path(&self, id: u32) -> PathBuf {
+        self.dir.path().join(format!("seg-{id}.bin"))
+    }
+
+    /// Write `records` (`(fingerprint, epoch, enc)` triples, already in
+    /// deterministic order) as the next segment, returning the index
+    /// entries to publish. The file is synced before the segment
+    /// becomes visible, so checkpoint manifests can reference it.
+    pub(crate) fn write_segment(
+        &self,
+        records: &[(u64, u32, Box<[u8]>)],
+    ) -> io::Result<Vec<(u64, DiskRef)>> {
+        let id = self.segs.read().unwrap().len() as u32;
+        let mut buf = Vec::new();
+        put_header(&mut buf, SEGMENT_MAGIC);
+        let mut refs = Vec::with_capacity(records.len());
+        for (fp, epoch, enc) in records {
+            let before = buf.len();
+            put_record(&mut buf, *fp, *epoch, enc);
+            let off = (buf.len() - enc.len()) as u64;
+            debug_assert!(before < buf.len());
+            refs.push((
+                *fp,
+                DiskRef {
+                    seg: id,
+                    off,
+                    len: enc.len() as u32,
+                    epoch: *epoch,
+                },
+            ));
+        }
+        let path = self.seg_path(id);
+        // Read+write: the same handle later serves positional reads in
+        // `confirm` (a write-only fd would fail them with EBADF).
+        let mut file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        let mut segs = self.segs.write().unwrap();
+        segs.push(Segment {
+            file,
+            meta: SegmentMeta {
+                id,
+                byte_len: buf.len() as u64,
+                entries: records.len() as u64,
+            },
+        });
+        Ok(refs)
+    }
+
+    /// Reopen and scan an existing segment (resume path): parse the
+    /// first `byte_len` bytes — anything beyond is a torn post-crash
+    /// tail and is truncated away — and return its index entries.
+    /// Segments must be reopened in id order.
+    pub(crate) fn reopen(&self, id: u32, byte_len: u64) -> io::Result<Vec<(u64, DiskRef)>> {
+        let path = self.seg_path(id);
+        let mut file = File::options().read(true).write(true).open(&path)?;
+        if file.metadata()?.len() > byte_len {
+            file.set_len(byte_len)?;
+        }
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        Read::by_ref(&mut file)
+            .take(byte_len)
+            .read_to_end(&mut buf)?;
+        if buf.len() as u64 != byte_len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "segment {id}: {} bytes on disk, manifest says {byte_len}",
+                    buf.len()
+                ),
+            ));
+        }
+        let mut r = ByteReader::new(&buf);
+        if !check_header(&mut r, SEGMENT_MAGIC) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("segment {id}: bad header"),
+            ));
+        }
+        let mut refs = Vec::new();
+        while r.remaining() > 0 {
+            let Some((fp, epoch, off, enc)) = read_record(&mut r) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("segment {id}: torn record at byte {}", r.pos()),
+                ));
+            };
+            refs.push((
+                fp,
+                DiskRef {
+                    seg: id,
+                    off: off as u64,
+                    len: enc.len() as u32,
+                    epoch,
+                },
+            ));
+        }
+        let mut segs = self.segs.write().unwrap();
+        assert_eq!(segs.len() as u32, id, "segments reopen in id order");
+        segs.push(Segment {
+            file,
+            meta: SegmentMeta {
+                id,
+                byte_len,
+                entries: refs.len() as u64,
+            },
+        });
+        Ok(refs)
+    }
+
+    /// Confirm that the record at `r` stores exactly `enc` — the
+    /// collision check behind every index hit. Lengths are compared by
+    /// the caller via [`DiskRef::len`] before paying for the read.
+    pub(crate) fn confirm(&self, r: &DiskRef, enc: &[u8]) -> io::Result<bool> {
+        debug_assert_eq!(r.len as usize, enc.len());
+        let segs = self.segs.read().unwrap();
+        let seg = &segs[r.seg as usize];
+        let mut buf = vec![0u8; r.len as usize];
+        pread(self, &seg.file, &mut buf, r.off)?;
+        Ok(buf == enc)
+    }
+
+    /// Number of sealed segments.
+    pub(crate) fn count(&self) -> usize {
+        self.segs.read().unwrap().len()
+    }
+
+    /// Metadata of every sealed segment, in id order.
+    pub(crate) fn meta(&self) -> Vec<SegmentMeta> {
+        self.segs.read().unwrap().iter().map(|s| s.meta).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize) -> Vec<(u64, u32, Box<[u8]>)> {
+        (0..n)
+            .map(|i| {
+                let enc: Vec<u8> = (0..=i as u8).collect();
+                (i as u64 * 17, (i % 3) as u32, enc.into_boxed_slice())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segment_roundtrip_and_confirm() {
+        let dir = SpillDir::temp().unwrap();
+        let store = SegmentStore::new(dir);
+        let rs = records(5);
+        let refs = store.write_segment(&rs).unwrap();
+        assert_eq!(store.count(), 1);
+        for ((fp, epoch, enc), (ifp, r)) in rs.iter().zip(&refs) {
+            assert_eq!(fp, ifp);
+            assert_eq!(*epoch, r.epoch);
+            assert!(store.confirm(r, enc).unwrap());
+            let mut other = enc.to_vec();
+            other[0] ^= 0xff;
+            assert!(!store.confirm(r, &other).unwrap());
+        }
+    }
+
+    #[test]
+    fn reopen_rebuilds_refs_and_truncates_torn_tails() {
+        let dir = SpillDir::temp().unwrap();
+        let (path, meta, rs) = {
+            let store = SegmentStore::new(dir.clone());
+            let rs = records(4);
+            store.write_segment(&rs).unwrap();
+            let meta = store.meta()[0];
+            (dir.path().join("seg-0.bin"), meta, rs)
+        };
+        // Simulate a torn post-crash tail past the manifest length.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(&[0xab; 7])
+            .unwrap();
+        let store = SegmentStore::new(dir);
+        let refs = store.reopen(meta.id, meta.byte_len).unwrap();
+        assert_eq!(refs.len(), rs.len());
+        for ((_, _, enc), (_, r)) in rs.iter().zip(&refs) {
+            assert!(store.confirm(r, enc).unwrap());
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), meta.byte_len);
+    }
+}

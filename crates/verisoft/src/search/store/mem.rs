@@ -1,5 +1,5 @@
-//! A lock-striped canonical-state visited store with a jobs-invariant
-//! admission order, backing the parallel stateful search.
+//! Tier 0: a lock-striped canonical-state visited store with a
+//! jobs-invariant admission order, backing the parallel stateful search.
 //!
 //! ## Why admission needs an order at all
 //!
@@ -19,9 +19,13 @@
 //! 2. At the round's ordered commit (single-threaded, in rank order),
 //!    [`VisitedStore::is_winner`] answers deterministically: the winner
 //!    is the minimal-rank occurrence, however the threads raced.
-//! 3. Committed winners are **sealed**; in later rounds they always beat
-//!    any new candidate, so a state is expanded exactly once, at its
-//!    earliest (breadth-first minimal) depth.
+//! 3. Committed winners are **sealed**, stamped with the frontier
+//!    *epoch* (level) that committed them; in later rounds they always
+//!    beat any new candidate, so a state is expanded exactly once, at
+//!    its earliest (breadth-first minimal) depth. The epoch stamp is
+//!    what lets a level be processed in memory-bounded chunks: the
+//!    proviso probe [`VisitedStore::contains_sealed_before`] sees only
+//!    *earlier-level* seals, the exact set a single-chunk run sees.
 //!
 //! ## Storage and collision safety
 //!
@@ -38,42 +42,39 @@
 //! states — the collision-safety rule of [`crate::state`] is preserved
 //! verbatim: two distinct states sharing a hash land in the same bucket
 //! but never alias, so a collision costs a comparison, not a missed
-//! state.
+//! state. The same rule extends to tier 1 (see [`super::disk`]): the
+//! fingerprint index only nominates candidates, the stored bytes decide.
 
+use super::{Rank, StateStore};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of stripes: enough that 8–16 workers rarely contend, small
 /// enough that an empty store is cheap.
 pub const STRIPES: usize = 64;
 
-/// A shard-lexicographic discovery rank: `(frontier item, successor)`
-/// packed so that `u64` ordering is the lexicographic order the
-/// sequential search discovers successors in.
-pub type Rank = u64;
-
-/// Pack a discovery rank.
-#[inline]
-pub fn rank(item: usize, succ: usize) -> Rank {
-    debug_assert!(item < (1 << 32) && succ < (1 << 32));
-    ((item as u64) << 32) | succ as u64
-}
-
 struct Entry {
     /// The state's canonical encoding ([`crate::state::encode_state`]).
     enc: Box<[u8]>,
     rank: Rank,
-    /// Sealed entries were committed in an earlier round and always win.
-    sealed: bool,
+    /// `Some(epoch)` once committed in the round that sealed it; sealed
+    /// entries always win.
+    sealed: Option<u32>,
 }
 
 /// One stripe: canonical encodings bucketed by their stable hash.
 type Stripe = HashMap<u64, Vec<Entry>>;
 
-/// The lock-striped visited store. See the module docs for the
+/// The lock-striped tier-0 visited store. See the module docs for the
 /// admission protocol.
 pub struct VisitedStore {
     stripes: Vec<Mutex<Stripe>>,
+    /// O(1) mirrors of the entry count and payload bytes, maintained on
+    /// every insert/drain — `len()`/`bytes()` run per level boundary
+    /// (spill checks) and must not scan every stripe.
+    count: AtomicUsize,
+    payload: AtomicUsize,
 }
 
 impl Default for VisitedStore {
@@ -89,6 +90,8 @@ impl VisitedStore {
             stripes: (0..stripes.max(1))
                 .map(|_| Mutex::new(Stripe::new()))
                 .collect(),
+            count: AtomicUsize::new(0),
+            payload: AtomicUsize::new(0),
         }
     }
 
@@ -108,16 +111,18 @@ impl VisitedStore {
         let bucket = stripe.entry(hash).or_default();
         for e in bucket.iter_mut() {
             if *e.enc == *enc {
-                if !e.sealed && rank < e.rank {
+                if e.sealed.is_none() && rank < e.rank {
                     e.rank = rank; // late-arriving smaller rank overrides
                 }
                 return;
             }
         }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.payload.fetch_add(enc.len(), Ordering::Relaxed);
         bucket.push(Entry {
             enc: enc.into(),
             rank,
-            sealed: false,
+            sealed: None,
         });
     }
 
@@ -130,86 +135,168 @@ impl VisitedStore {
         stripe
             .get(&hash)
             .and_then(|b| b.iter().find(|e| *e.enc == *enc))
-            .is_some_and(|e| !e.sealed && e.rank == rank)
+            .is_some_and(|e| e.sealed.is_none() && e.rank == rank)
     }
 
-    /// Fused [`VisitedStore::is_winner`] + [`VisitedStore::seal`]: seal
-    /// and return `true` iff `(enc, rank)` is the committed winner. One
-    /// lock acquisition and bucket scan instead of two — this is the
-    /// ordered commit's per-successor hot path.
-    pub fn seal_if_winner(&self, hash: u64, enc: &[u8], rank: Rank) -> bool {
-        let mut stripe = self.stripe(hash).lock().unwrap();
-        match stripe
-            .get_mut(&hash)
-            .and_then(|b| b.iter_mut().find(|e| *e.enc == *enc))
-        {
-            Some(e) if !e.sealed && e.rank == rank => {
-                e.sealed = true;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Whether the state encoded as `enc` is already **sealed** — i.e.
-    /// committed as a winner in an earlier round. This is the frontier
-    /// engine's ignoring-proviso probe: during a round's worker phase no
-    /// sealing happens (only admissions), so the sealed set is exactly
-    /// the states committed through the previous round's ordered commit
-    /// — a set fixed for the whole phase and independent of worker count
-    /// or timing, which keeps the proviso (and with it the whole report)
-    /// jobs-invariant.
-    pub fn contains_sealed(&self, hash: u64, enc: &[u8]) -> bool {
+    /// Whether the state encoded as `enc` is **sealed** with an epoch
+    /// `< epoch_bound` — i.e. committed as a winner in an earlier
+    /// frontier level. This is the frontier engine's ignoring-proviso
+    /// probe: during a level's worker phase only *this* level's commits
+    /// seal (with epoch == the bound), so the probe sees exactly the
+    /// states committed through the previous level — a set fixed for
+    /// the whole phase and independent of worker count, chunking, or
+    /// timing, which keeps the proviso (and with it the whole report)
+    /// jobs- and memory-limit-invariant.
+    pub fn contains_sealed_before(&self, hash: u64, enc: &[u8], epoch_bound: u32) -> bool {
         let stripe = self.stripe(hash).lock().unwrap();
-        stripe
-            .get(&hash)
-            .is_some_and(|b| b.iter().any(|e| e.sealed && *e.enc == *enc))
+        stripe.get(&hash).is_some_and(|b| {
+            b.iter()
+                .any(|e| e.sealed.is_some_and(|ep| ep < epoch_bound) && *e.enc == *enc)
+        })
     }
 
-    /// Seal a committed winner: from now on the state is *visited* and
-    /// every later-round candidate loses. Idempotent.
-    pub fn seal(&self, hash: u64, enc: &[u8]) {
+    /// Whether the state is sealed at any epoch.
+    pub fn contains_sealed(&self, hash: u64, enc: &[u8]) -> bool {
+        self.contains_sealed_before(hash, enc, u32::MAX)
+    }
+
+    /// Seal a committed winner at `epoch`: from now on the state is
+    /// *visited* and every later-round candidate loses. Idempotent (the
+    /// first epoch sticks).
+    pub fn seal(&self, hash: u64, enc: &[u8], epoch: u32) {
         let mut stripe = self.stripe(hash).lock().unwrap();
         if let Some(e) = stripe
             .get_mut(&hash)
             .and_then(|b| b.iter_mut().find(|e| *e.enc == *enc))
         {
-            e.sealed = true;
+            e.sealed.get_or_insert(epoch);
         }
+    }
+
+    /// Remove **all sealed** entries, returning `(hash, epoch, enc)`
+    /// triples sorted by `(epoch, hash, enc)` — a deterministic segment
+    /// layout regardless of `HashMap` iteration order. Candidates
+    /// (unsealed entries) are left untouched: their ranks are still
+    /// mutable and must stay in memory.
+    pub fn drain_sealed(&self) -> Vec<(u64, u32, Box<[u8]>)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let mut s = stripe.lock().unwrap();
+            for (hash, bucket) in s.iter_mut() {
+                let mut i = 0;
+                while i < bucket.len() {
+                    if let Some(epoch) = bucket[i].sealed {
+                        let e = bucket.swap_remove(i);
+                        self.count.fetch_sub(1, Ordering::Relaxed);
+                        self.payload.fetch_sub(e.enc.len(), Ordering::Relaxed);
+                        out.push((*hash, epoch, e.enc));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            s.retain(|_, b| !b.is_empty());
+        }
+        out.sort_unstable_by(|a, b| (a.1, a.0, &a.2).cmp(&(b.1, b.0, &b.2)));
+        out
+    }
+
+    /// Like [`VisitedStore::drain_sealed`] but non-destructive — the
+    /// checkpoint writer's snapshot of tier-0 sealed entries.
+    pub fn sealed_snapshot(&self) -> Vec<(u64, u32, Box<[u8]>)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let s = stripe.lock().unwrap();
+            for (hash, bucket) in s.iter() {
+                for e in bucket {
+                    if let Some(epoch) = e.sealed {
+                        out.push((*hash, epoch, e.enc.clone()));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by(|a, b| (a.1, a.0, &a.2).cmp(&(b.1, b.0, &b.2)));
+        out
+    }
+
+    /// Insert an entry already known to be sealed (resume path). The
+    /// rank is immaterial — sealed entries never lose it.
+    pub fn insert_sealed(&self, hash: u64, enc: Box<[u8]>, epoch: u32) {
+        let mut stripe = self.stripe(hash).lock().unwrap();
+        let bucket = stripe.entry(hash).or_default();
+        if bucket.iter().any(|e| *e.enc == *enc) {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.payload.fetch_add(enc.len(), Ordering::Relaxed);
+        bucket.push(Entry {
+            enc,
+            rank: 0,
+            sealed: Some(epoch),
+        });
     }
 
     /// Number of states currently stored (sealed or candidate).
     pub fn len(&self) -> usize {
-        self.stripes
-            .iter()
-            .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
-            .sum()
+        self.count.load(Ordering::Relaxed)
     }
 
-    /// True when no state was ever admitted.
+    /// True when no state is currently stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Total payload bytes held (the encodings themselves, excluding map
-    /// overhead) — the numerator of the bytes-per-visited-state stat.
+    /// overhead) — the numerator of the bytes-per-visited-state stat and
+    /// the quantity the tiered store's spill budget bounds.
     pub fn bytes(&self) -> usize {
-        self.stripes
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .unwrap()
-                    .values()
-                    .flatten()
-                    .map(|e| e.enc.len())
-                    .sum::<usize>()
-            })
-            .sum()
+        self.payload.load(Ordering::Relaxed)
+    }
+
+    /// Fused [`VisitedStore::is_winner`] + [`VisitedStore::seal`]: seal
+    /// at `epoch` and return `true` iff `(enc, rank)` is the committed
+    /// winner. One lock acquisition and bucket scan instead of two —
+    /// this is the ordered commit's per-successor hot path.
+    pub fn seal_if_winner(&self, hash: u64, enc: &[u8], rank: Rank, epoch: u32) -> bool {
+        let mut stripe = self.stripe(hash).lock().unwrap();
+        match stripe
+            .get_mut(&hash)
+            .and_then(|b| b.iter_mut().find(|e| *e.enc == *enc))
+        {
+            Some(e) if e.sealed.is_none() && e.rank == rank => {
+                e.sealed = Some(epoch);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl StateStore for VisitedStore {
+    fn admit(&self, hash: u64, enc: &[u8], rank: Rank) {
+        VisitedStore::admit(self, hash, enc, rank)
+    }
+
+    fn seal_if_winner(&self, hash: u64, enc: &[u8], rank: Rank, epoch: u32) -> bool {
+        VisitedStore::seal_if_winner(self, hash, enc, rank, epoch)
+    }
+
+    fn contains_sealed_before(&self, hash: u64, enc: &[u8], epoch_bound: u32) -> bool {
+        VisitedStore::contains_sealed_before(self, hash, enc, epoch_bound)
+    }
+
+    fn len(&self) -> usize {
+        VisitedStore::len(self)
+    }
+
+    fn bytes(&self) -> usize {
+        VisitedStore::bytes(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::rank;
     use super::*;
     use crate::state::{encode_state, GlobalState, ObjState};
 
@@ -247,7 +334,7 @@ mod tests {
         let store = VisitedStore::default();
         store.admit(h, &s, rank(1, 0));
         assert!(store.is_winner(h, &s, rank(1, 0)));
-        store.seal(h, &s);
+        store.seal(h, &s, 1);
         // A later round re-discovers the state with an even smaller
         // rank; the sealed entry must not budge.
         store.admit(h, &s, rank(0, 0));
@@ -263,11 +350,14 @@ mod tests {
         let store = VisitedStore::default();
         store.admit(h, &s, rank(2, 0));
         store.admit(h, &s, rank(1, 3));
-        assert!(!store.seal_if_winner(h, &s, rank(2, 0)), "not the minimum");
-        assert!(store.seal_if_winner(h, &s, rank(1, 3)));
+        assert!(
+            !store.seal_if_winner(h, &s, rank(2, 0), 1),
+            "not the minimum"
+        );
+        assert!(store.seal_if_winner(h, &s, rank(1, 3), 1));
         // Already sealed: every later candidate loses, like `is_winner`.
         store.admit(h, &s, rank(0, 0));
-        assert!(!store.seal_if_winner(h, &s, rank(0, 0)));
+        assert!(!store.seal_if_winner(h, &s, rank(0, 0), 2));
         assert_eq!(store.len(), 1);
     }
 
@@ -282,11 +372,26 @@ mod tests {
         assert!(!store.contains_sealed(h, &s), "empty store");
         store.admit(h, &s, rank(0, 0));
         assert!(!store.contains_sealed(h, &s), "candidate, not committed");
-        store.seal(h, &s);
+        store.seal(h, &s, 3);
         assert!(store.contains_sealed(h, &s));
         let o = other_state();
         let ho = crate::hash::stable_hash_bytes(&o);
         assert!(!store.contains_sealed(ho, &o), "distinct state unaffected");
+    }
+
+    #[test]
+    fn epoch_bound_hides_same_level_seals() {
+        // Chunked level processing seals mid-level with the *current*
+        // level's epoch; the proviso probe bounds by epoch so those
+        // seals stay invisible until the next level — exactly what a
+        // single-chunk (unbounded-memory) run observes.
+        let s = state();
+        let h = crate::hash::stable_hash_bytes(&s);
+        let store = VisitedStore::default();
+        store.admit(h, &s, rank(0, 0));
+        store.seal(h, &s, 5);
+        assert!(!store.contains_sealed_before(h, &s, 5), "same level");
+        assert!(store.contains_sealed_before(h, &s, 6), "next level");
     }
 
     #[test]
@@ -302,6 +407,35 @@ mod tests {
         assert!(store.is_winner(fake_hash, &b, rank(0, 1)));
         assert_eq!(store.len(), 2);
         assert_eq!(store.bytes(), a.len() + b.len());
+    }
+
+    #[test]
+    fn drain_sealed_takes_only_sealed_and_sorts() {
+        let a = state();
+        let b = other_state();
+        let (ha, hb) = (
+            crate::hash::stable_hash_bytes(&a),
+            crate::hash::stable_hash_bytes(&b),
+        );
+        let store = VisitedStore::new(2);
+        store.admit(ha, &a, rank(0, 0));
+        store.admit(hb, &b, rank(0, 1));
+        store.seal(ha, &a, 1);
+        let drained = store.drain_sealed();
+        assert_eq!(drained.len(), 1);
+        assert_eq!((drained[0].0, drained[0].1), (ha, 1));
+        assert_eq!(store.len(), 1, "candidate remains");
+        assert_eq!(store.bytes(), b.len());
+        // The snapshot variant leaves the store untouched.
+        store.seal(hb, &b, 2);
+        let snap = store.sealed_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(store.len(), 1);
+        // Reloading a drained entry restores membership at its epoch.
+        let (h, ep, enc) = drained.into_iter().next().unwrap();
+        store.insert_sealed(h, enc, ep);
+        assert!(store.contains_sealed_before(h, &a, 2));
+        assert_eq!(store.len(), 2);
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub trait Encode {
 }
 
 /// Append a LEB128 varint (minimal form — canonical by construction).
+/// Public: the on-disk store framing below reuses the same integer form.
 #[inline]
-pub(super) fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -61,7 +62,7 @@ pub(super) fn put_u64(out: &mut Vec<u8>, mut v: u64) {
 
 /// Append a zigzag-mapped signed varint.
 #[inline]
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     put_u64(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
@@ -182,20 +183,40 @@ pub fn encode_state(state: &GlobalState) -> Vec<u8> {
     out
 }
 
-/// Streaming decoder over one encoding.
-struct Cursor<'a> {
+/// Streaming reader over varint-framed bytes: the decoding side of
+/// [`put_u64`]/[`put_i64`]. Public so the tiered store's segment,
+/// spool, and checkpoint files (see [`crate::search::store`]) parse
+/// with the same integer forms the state encoding uses.
+pub struct ByteReader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Cursor<'a> {
-    fn byte(&mut self) -> Option<u8> {
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset from the start.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Read one raw byte.
+    pub fn byte(&mut self) -> Option<u8> {
         let b = *self.bytes.get(self.pos)?;
         self.pos += 1;
         Some(b)
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    /// Read a LEB128 varint.
+    pub fn u64(&mut self) -> Option<u64> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -211,9 +232,84 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn i64(&mut self) -> Option<i64> {
+    /// Read a zigzag-mapped signed varint.
+    pub fn i64(&mut self) -> Option<i64> {
         let z = self.u64()?;
         Some(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+}
+
+/// File-type magic of the tiered store's append-only state segments.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"RSEG";
+
+/// File-type magic of frontier spool (and spool snapshot) files.
+pub const SPOOL_MAGIC: [u8; 4] = *b"RSPL";
+
+/// File-type magic of the checkpoint manifest.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RCKP";
+
+/// Version stamped into every on-disk header this crate writes. Bump on
+/// any layout change; readers reject mismatches instead of guessing.
+pub const STORE_FORMAT_VERSION: u64 = 1;
+
+/// Append a versioned container header: 4 magic bytes + format version.
+pub fn put_header(out: &mut Vec<u8>, magic: [u8; 4]) {
+    out.extend_from_slice(&magic);
+    put_u64(out, STORE_FORMAT_VERSION);
+}
+
+/// Consume and validate a container header written by [`put_header`].
+pub fn check_header(r: &mut ByteReader<'_>, magic: [u8; 4]) -> bool {
+    r.take(4) == Some(&magic[..]) && r.u64() == Some(STORE_FORMAT_VERSION)
+}
+
+/// Append one framed state record: `[fingerprint][epoch][len][enc]`.
+/// The shared framing of segment files, checkpoint memory snapshots,
+/// and (with epoch 0) any future record stream over state encodings.
+pub fn put_record(out: &mut Vec<u8>, fp: u64, epoch: u32, enc: &[u8]) {
+    put_u64(out, fp);
+    put_u64(out, epoch as u64);
+    put_u64(out, enc.len() as u64);
+    out.extend_from_slice(enc);
+}
+
+/// Read one record written by [`put_record`]. Returns
+/// `(fingerprint, epoch, payload_offset, payload)` — the offset is the
+/// absolute position of the payload within the reader's byte slice, so
+/// segment scanners can build direct-read references.
+pub fn read_record<'a>(r: &mut ByteReader<'a>) -> Option<(u64, u32, usize, &'a [u8])> {
+    let fp = r.u64()?;
+    let epoch = u32::try_from(r.u64()?).ok()?;
+    let len = usize::try_from(r.u64()?).ok()?;
+    let off = r.pos();
+    let enc = r.take(len)?;
+    Some((fp, epoch, off, enc))
+}
+
+/// Streaming decoder over one encoding.
+struct Cursor<'a> {
+    r: ByteReader<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    fn byte(&mut self) -> Option<u8> {
+        self.r.byte()
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.r.u64()
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.r.i64()
     }
 
     fn u32(&mut self) -> Option<u32> {
@@ -319,7 +415,9 @@ impl<'a> Cursor<'a> {
 /// — it is an *eager clone*, which is exactly what the CoW-vs-eager
 /// oracle tests compare against.
 pub fn decode_state(bytes: &[u8]) -> Option<GlobalState> {
-    let mut c = Cursor { bytes, pos: 0 };
+    let mut c = Cursor {
+        r: ByteReader::new(bytes),
+    };
     let np = c.u64()? as usize;
     let mut procs = Vec::with_capacity(np.min(1024));
     for _ in 0..np {
@@ -330,7 +428,7 @@ pub fn decode_state(bytes: &[u8]) -> Option<GlobalState> {
     for _ in 0..no {
         objects.push(super::CowArc::new(c.obj_state()?));
     }
-    if c.pos != bytes.len() {
+    if c.r.remaining() != 0 {
         return None; // trailing garbage: not a canonical encoding
     }
     Some(GlobalState { procs, objects })
@@ -351,22 +449,40 @@ mod tests {
             if buf.len() > 1 {
                 assert_ne!(*buf.last().unwrap(), 0, "non-minimal varint for {v}");
             }
-            let mut c = Cursor {
-                bytes: &buf,
-                pos: 0,
-            };
+            let mut c = ByteReader::new(&buf);
             assert_eq!(c.u64(), Some(v));
-            assert_eq!(c.pos, buf.len());
+            assert_eq!(c.pos(), buf.len());
         }
         for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300] {
             let mut buf = Vec::new();
             put_i64(&mut buf, v);
-            let mut c = Cursor {
-                bytes: &buf,
-                pos: 0,
-            };
+            let mut c = ByteReader::new(&buf);
             assert_eq!(c.i64(), Some(v));
         }
+    }
+
+    #[test]
+    fn record_framing_roundtrips() {
+        let mut buf = Vec::new();
+        put_header(&mut buf, SEGMENT_MAGIC);
+        put_record(&mut buf, 0xdead_beef, 7, b"abc");
+        put_record(&mut buf, 42, 0, b"");
+        let mut r = ByteReader::new(&buf);
+        assert!(check_header(&mut r, SEGMENT_MAGIC));
+        let (fp, epoch, off, enc) = read_record(&mut r).unwrap();
+        assert_eq!((fp, epoch, enc), (0xdead_beef, 7, &b"abc"[..]));
+        assert_eq!(&buf[off..off + 3], b"abc");
+        let (fp2, epoch2, _, enc2) = read_record(&mut r).unwrap();
+        assert_eq!((fp2, epoch2, enc2.len()), (42, 0, 0));
+        assert_eq!(r.remaining(), 0);
+        assert!(read_record(&mut r).is_none(), "end of stream");
+        // Wrong magic and truncated payloads are rejected.
+        let mut wrong = ByteReader::new(&buf);
+        assert!(!check_header(&mut wrong, CHECKPOINT_MAGIC));
+        let mut cut = ByteReader::new(&buf[..buf.len() - 1]);
+        assert!(check_header(&mut cut, SEGMENT_MAGIC));
+        assert!(read_record(&mut cut).is_some());
+        assert!(read_record(&mut cut).is_none(), "truncated record");
     }
 
     #[test]

@@ -34,8 +34,9 @@ fn usage() -> String {
                                   pipeline metrics (runs, cache hits, facts, wall)\n\
          --refine                 partition input domains first (interface\n\
                                   simplification) where the analysis allows it\n\
-         --jobs N                 per-procedure solves on N threads; the output\n\
-                                  is byte-identical for any N\n\
+         --jobs N|auto            per-procedure solves on N threads (`auto`:\n\
+                                  one per hardware thread); the output is\n\
+                                  byte-identical for any N\n\
      explore <file> [options]     systematically explore the state space\n\
          --enumerate              run S x E_S by domain enumeration (open programs)\n\
          --close                  close the program first, then explore\n\
@@ -44,18 +45,33 @@ fn usage() -> String {
          --all                    report all violations, not just the first\n\
          --stateful               use the explicit-state engine\n\
          --bfs                    explicit-state breadth-first (shortest traces)\n\
-         --jobs N                 parallel search on N threads, deterministic:\n\
-                                  the report is byte-identical for any N.\n\
+         --jobs N|auto            parallel search on N threads (`auto`: one per\n\
+                                  hardware thread), deterministic: the report\n\
+                                  is byte-identical for any N.\n\
                                   Stateless runs the sharded work-stealing\n\
                                   search; with --stateful or --bfs it runs the\n\
                                   shared-visited-store frontier search\n\
+         --mem-limit BYTES        frontier engines: soft budget for resident\n\
+                                  search state (suffixes k/m/g); excess spills\n\
+                                  to disk, the report is byte-identical to an\n\
+                                  unbounded run\n\
+         --checkpoint-dir D       frontier engines: spill into D and write a\n\
+                                  resumable checkpoint at level boundaries\n\
+         --checkpoint-every N     checkpoint period in frontier levels\n\
+                                  (default 32)\n\
+         --resume D               continue a checkpointed run from D; the\n\
+                                  final report is byte-identical to an\n\
+                                  uninterrupted run, for any --jobs and any\n\
+                                  --mem-limit\n\
          --por / --no-por         enable (default) / disable partial-order\n\
                                   reduction. The stateful engines use\n\
                                   persistent sets with a cycle proviso; the\n\
                                   stateless engines add sleep sets\n\
          --stats                  print states/sec, visited-store bytes and\n\
-                                  state count, the CoW sharing ratio, and the\n\
-                                  POR reduction counters\n\
+                                  state count, the CoW sharing ratio, the POR\n\
+                                  reduction counters, and (frontier engines)\n\
+                                  peak resident store bytes, spilled entries,\n\
+                                  segment and checkpoint counts\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
                                   a schedule is decisions like P0 P1[2,0] P0\n\
@@ -89,6 +105,38 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parse a `--jobs` value: a thread count, or `auto` for one worker per
+/// hardware thread. Every engine is deterministic in the worker count,
+/// so `auto` never changes any output, only wall clock.
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    if v == "auto" {
+        Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    } else {
+        v.parse::<usize>().map_err(|e| format!("--jobs: {e}"))
+    }
+}
+
+/// Parse a byte count with optional `k`/`m`/`g` suffix (powers of 1024).
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let s = v.to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match s.as_bytes()[s.len() - 1] {
+                b'k' => 1usize << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            },
+        ),
+        None => (s.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .map_err(|e| format!("--mem-limit: {e}"))?
+        .checked_mul(mult)
+        .ok_or_else(|| "--mem-limit: overflows".to_string())
+}
+
 fn load(path: &str) -> Result<(String, CfgProgram), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let prog = compile(&src).map_err(|d| format!("{path}:\n{}", d.render(&src)))?;
@@ -119,7 +167,7 @@ fn close_cmd(args: &[String]) -> Result<(), String> {
         .iter()
         .position(|a| a == "--jobs")
         .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
+        .map(|v| parse_jobs(v))
         .transpose()?
         .unwrap_or(1);
     let mut pipeline = closer::Pipeline::new(closer::PipelineOptions {
@@ -185,26 +233,29 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(usage)?;
     let (_, mut prog) = load(path)?;
     let flag = |name: &str| args.iter().any(|a| a == name);
-    let opt = |name: &str| {
+    let opt_val = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
+    };
+    let opt = |name: &str| {
+        opt_val(name)
             .map(|v| v.parse::<usize>().map_err(|e| format!("{name}: {e}")))
             .transpose()
     };
     if flag("--close") {
         prog = closer::close(&prog, &analyze(&prog)).program;
     }
+    let jobs_arg = opt_val("--jobs").map(|v| parse_jobs(v)).transpose()?;
+    let resume_dir = opt_val("--resume").cloned();
+    let checkpoint_dir = opt_val("--checkpoint-dir").cloned().or(resume_dir.clone());
     let config = Config {
         env_mode: if flag("--enumerate") {
             EnvMode::Enumerate
         } else {
             EnvMode::Closed
         },
-        engine: match (
-            flag("--bfs") || flag("--stateful"),
-            opt("--jobs")?.is_some(),
-        ) {
+        engine: match (flag("--bfs") || flag("--stateful"), jobs_arg.is_some()) {
             (true, true) => Engine::StatefulParallel,
             (true, false) => {
                 if flag("--bfs") {
@@ -216,7 +267,7 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             (false, true) => Engine::Parallel,
             (false, false) => Engine::Stateless,
         },
-        jobs: opt("--jobs")?.unwrap_or(1),
+        jobs: jobs_arg.unwrap_or(1),
         // `--por` is the (default-on) positive form; `--no-por` wins if
         // both are given, so scripts can append an override.
         por: !flag("--no-por"),
@@ -225,6 +276,14 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         max_depth: opt("--depth")?.unwrap_or(2_000),
         max_transitions: opt("--max-transitions")?.unwrap_or(5_000_000),
         track_coverage: flag("--coverage"),
+        mem_limit: opt_val("--mem-limit")
+            .map(|v| parse_bytes(v))
+            .transpose()?
+            .unwrap_or(usize::MAX),
+        checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+        checkpoint_every: opt("--checkpoint-every")?.unwrap_or(32),
+        resume: resume_dir.is_some(),
+        abort_after_checkpoints: opt("--abort-after-checkpoints")?,
         ..Config::default()
     };
     if prog.has_env_reads() && config.env_mode == EnvMode::Closed {
@@ -232,6 +291,28 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             "program is open: pass --enumerate to compose with E_S, or --close to close it first"
                 .into(),
         );
+    }
+    let out_of_core = config.mem_limit != usize::MAX || config.checkpoint_dir.is_some();
+    if out_of_core && !matches!(config.engine, Engine::Bfs | Engine::StatefulParallel) {
+        return Err(
+            "--mem-limit/--checkpoint-dir/--resume need the frontier engine: \
+             pass --bfs, or --stateful with --jobs"
+                .into(),
+        );
+    }
+    if config.checkpoint_dir.is_some() && config.track_coverage {
+        return Err(
+            "--coverage cannot be combined with checkpointing (coverage maps are not \
+             part of the checkpoint format)"
+                .into(),
+        );
+    }
+    if config.resume {
+        verisoft::search::validate_checkpoint(
+            std::path::Path::new(config.checkpoint_dir.as_ref().unwrap()),
+            &prog,
+            &config,
+        )?;
     }
     let started = std::time::Instant::now();
     let report = explore(&prog, &config);
@@ -264,6 +345,17 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             println!(
                 "stats: POR: skipped {} process expansions, {} proviso fallbacks",
                 report.por_skipped_procs, report.por_proviso_fallbacks
+            );
+        }
+        if report.store_peak_mem_bytes > 0 {
+            println!(
+                "stats: store: peak resident {} bytes, {} spilled state(s), \
+                 {} frontier entry(ies) spooled, {} segment(s), {} checkpoint(s)",
+                report.store_peak_mem_bytes,
+                report.store_spilled_entries,
+                report.frontier_spilled_entries,
+                report.store_segments,
+                report.checkpoints_written
             );
         }
     }

@@ -1,0 +1,188 @@
+//! Out-of-core frontier search: spilling under a memory budget and
+//! kill/resume through checkpoints must both leave the report
+//! byte-identical to an unbounded, uninterrupted run — for any worker
+//! count and any memory limit.
+
+use reclose::prelude::*;
+
+fn workers_src() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/workers.mc"))
+        .expect("corpus/workers.mc")
+}
+
+fn frontier_config(jobs: usize) -> Config {
+    Config {
+        engine: if jobs > 1 {
+            Engine::StatefulParallel
+        } else {
+            Engine::Bfs
+        },
+        jobs,
+        ..Config::default()
+    }
+}
+
+/// The deterministic surface of a report: everything except the
+/// operational IO counters (peak bytes, spill/segment/checkpoint
+/// counts), which legitimately vary with the memory limit and with
+/// where a run was interrupted.
+fn surface(r: &Report) -> (String, usize, usize, usize, usize, usize, usize) {
+    (
+        r.to_string(),
+        r.visited_bytes,
+        r.visited_states,
+        r.shared_components,
+        r.total_components,
+        r.por_skipped_procs,
+        r.por_proviso_fallbacks,
+    )
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("reclose-ooc-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn spilling_never_changes_the_report() {
+    let prog = compile(&workers_src()).unwrap();
+    let baseline = explore(&prog, &frontier_config(1));
+    assert!(baseline.clean(), "workers.mc is violation-free");
+    assert!(baseline.states > 20, "the run is big enough to spill");
+    for jobs in [1, 2, 8] {
+        for mem_limit in [usize::MAX, 1 << 10, 256, 64] {
+            let config = Config {
+                mem_limit,
+                ..frontier_config(jobs)
+            };
+            let report = explore(&prog, &config);
+            assert_eq!(
+                surface(&report),
+                surface(&baseline),
+                "jobs={jobs} mem_limit={mem_limit}"
+            );
+            if mem_limit == 64 {
+                assert!(report.store_spilled_entries > 0, "tiny budget spills");
+                assert!(report.frontier_spilled_entries > 0, "and spools");
+            }
+            if mem_limit == usize::MAX {
+                assert_eq!(report.store_segments, 0, "unbounded never hits disk");
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_and_resumed_runs_complete_byte_identically() {
+    let prog = compile(&workers_src()).unwrap();
+    let baseline = explore(&prog, &frontier_config(1));
+    for (kill_jobs, resume_jobs) in [(1, 1), (2, 8), (8, 1)] {
+        for (kill_mem, resume_mem) in [
+            (usize::MAX, usize::MAX),
+            (300, usize::MAX),
+            (usize::MAX, 300),
+        ] {
+            let dir = temp_dir(&format!(
+                "kr-{kill_jobs}-{resume_jobs}-{kill_mem}-{resume_mem}"
+            ));
+            let killed = explore(
+                &prog,
+                &Config {
+                    mem_limit: kill_mem,
+                    checkpoint_dir: Some(dir.clone()),
+                    checkpoint_every: 1,
+                    abort_after_checkpoints: Some(2),
+                    ..frontier_config(kill_jobs)
+                },
+            );
+            assert!(killed.truncated, "the abort hook interrupts the run");
+            assert!(
+                killed.states < baseline.states,
+                "the kill happened mid-search"
+            );
+            assert_eq!(killed.checkpoints_written, 2);
+            // Resume — possibly under a different worker count and a
+            // different memory budget: neither is part of the
+            // checkpoint's config digest because neither influences
+            // the report.
+            let resumed = explore(
+                &prog,
+                &Config {
+                    mem_limit: resume_mem,
+                    checkpoint_dir: Some(dir.clone()),
+                    resume: true,
+                    ..frontier_config(resume_jobs)
+                },
+            );
+            assert_eq!(
+                surface(&resumed),
+                surface(&baseline),
+                "kill(jobs={kill_jobs},mem={kill_mem}) → resume(jobs={resume_jobs},mem={resume_mem})"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn resume_survives_repeated_kills() {
+    // Kill after every single checkpoint until the run finally
+    // completes — the worst-case crash pattern.
+    let prog = compile(&workers_src()).unwrap();
+    let baseline = explore(&prog, &frontier_config(1));
+    let dir = temp_dir("repeated");
+    let mut config = Config {
+        mem_limit: 300,
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        abort_after_checkpoints: Some(1),
+        ..frontier_config(2)
+    };
+    let mut report = explore(&prog, &config);
+    let mut kills = 0;
+    config.resume = true;
+    while report.truncated {
+        kills += 1;
+        assert!(kills < 100, "resume must make progress");
+        report = explore(&prog, &config);
+    }
+    assert!(kills > 2, "several kill/resume cycles actually happened");
+    assert_eq!(surface(&report), surface(&baseline));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_different_program_or_config() {
+    let prog = compile(&workers_src()).unwrap();
+    let dir = temp_dir("reject");
+    let config = Config {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        abort_after_checkpoints: Some(1),
+        ..frontier_config(1)
+    };
+    let killed = explore(&prog, &config);
+    assert!(killed.truncated);
+
+    let other = compile("chan c[1]; proc p() { send(c, 1); } process p();").unwrap();
+    let err = verisoft::validate_checkpoint(&dir, &other, &config).unwrap_err();
+    assert!(err.contains("different program"), "{err}");
+
+    let narrower = Config {
+        max_depth: 7,
+        ..config.clone()
+    };
+    let err = verisoft::validate_checkpoint(&dir, &prog, &narrower).unwrap_err();
+    assert!(err.contains("different exploration configuration"), "{err}");
+
+    // The knobs that are *excluded* from the digest validate fine.
+    let retuned = Config {
+        jobs: 64,
+        mem_limit: 128,
+        checkpoint_every: 9,
+        ..config.clone()
+    };
+    verisoft::validate_checkpoint(&dir, &prog, &retuned).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
