@@ -174,6 +174,20 @@ done
     || { echo "out-of-core smoke: a 64-byte budget did not spill"; exit 1; }
 echo "  workers.mc: jobs {1,2,8} x mem-limit {2k,64} byte-identical, spill engaged"
 
+echo "== compression smoke: --no-compress byte-identity on workers.mc =="
+# Collapse-style component interning is on by default; it changes only
+# how states are *stored*, never what the report says. The escape
+# hatch must produce byte-identical output, and --stats must show the
+# interner actually engaged in the default mode.
+"$BIN" explore corpus/workers.mc --stateful --all --jobs 2 --mem-limit 64 \
+    --no-compress > "$SMOKE/nc.txt"
+cmp -s "$SMOKE/ooc_ref.txt" "$SMOKE/nc.txt" \
+    || { echo "compression smoke: --no-compress changed the report"; exit 1; }
+"$BIN" explore corpus/workers.mc --stateful --all --jobs 2 --mem-limit 64 \
+    --stats 2>/dev/null | grep -q "compression:" \
+    || { echo "compression smoke: --stats shows no interner activity"; exit 1; }
+echo "  workers.mc: compression on/off byte-identical, interner engaged by default"
+
 echo "== out-of-core smoke: kill/resume on workers.mc =="
 # Kill the run right after its second level-boundary checkpoint, then
 # resume under a different worker count and an unbounded budget: the
@@ -218,7 +232,8 @@ RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
     || { cat "$SMOKE/state_ops.log"; exit 1; }
 J="$SMOKE/BENCH_state_ops.json"
 [ -f "$J" ] || { echo "state_ops: $J was not written"; exit 1; }
-for op in clone_successor fingerprint visited_insert encode_roundtrip; do
+for op in clone_successor fingerprint fingerprint_and_intern visited_insert \
+          encode_roundtrip; do
     grep -q "state_ops/$op" "$J" \
         || { echo "state_ops: record $op missing from JSON"; exit 1; }
 done
@@ -231,7 +246,7 @@ if grep -q '"elements": 0[,}]' "$J"; then
     echo "state_ops: a record reports zero elements"
     exit 1
 fi
-echo "  BENCH_state_ops.json: 4 records, schema complete"
+echo "  BENCH_state_ops.json: 5 records, schema complete"
 
 echo "== bench smoke: visited_store micro-benchmark + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
@@ -239,7 +254,8 @@ RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
     || { cat "$SMOKE/visited_store.log"; exit 1; }
 JV="$SMOKE/BENCH_visited_store.json"
 [ -f "$JV" ] || { echo "visited_store: $JV was not written"; exit 1; }
-for op in insert probe_hit_mem probe_hit_disk probe_miss spill; do
+for op in insert probe_hit_mem probe_hit_disk probe_hit_disk_compressed \
+          probe_miss spill compact; do
     grep -q "visited_store/$op" "$JV" \
         || { echo "visited_store: record $op missing from JSON"; exit 1; }
 done
@@ -252,7 +268,42 @@ if grep -q '"elements": 0[,}]' "$JV"; then
     echo "visited_store: a record reports zero elements"
     exit 1
 fi
-echo "  BENCH_visited_store.json: 5 records, schema complete"
+echo "  BENCH_visited_store.json: 7 records, schema complete"
+
+echo "== perf gate: fresh medians vs committed baselines =="
+# The bench smokes above just wrote fresh JSONs into $SMOKE; compare
+# each record's median_ns against the committed baseline at the repo
+# root and fail on a >2x regression. The micro-benchmarks are stable
+# enough per machine that 2x is a real cliff, not noise (wall-clock
+# variance is already bounded to 2x by the bench smoke above).
+perf_gate() {
+    # $1 = committed baseline JSON, $2 = freshly generated JSON
+    awk '
+        function rec(line) {
+            if (!match(line, /"name": "[^"]+"/)) return 0
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (!match(line, /"median_ns": [0-9]+/)) return 0
+            med = substr(line, RSTART + 13, RLENGTH - 13) + 0
+            return 1
+        }
+        NR == FNR { if (rec($0)) base[name] = med; next }
+        rec($0) && (name in base) && base[name] > 0 {
+            if (med > 2 * base[name]) {
+                printf "perf gate: %s regressed (median %dns > 2x baseline %dns)\n", \
+                    name, med, base[name]
+                bad = 1
+            } else {
+                printf "  %s: median %dns vs baseline %dns\n", name, med, base[name]
+            }
+        }
+        END { exit bad }
+    ' "$1" "$2"
+}
+perf_gate BENCH_state_ops.json "$SMOKE/BENCH_state_ops.json" \
+    || { echo "perf gate: state_ops regression (see above)"; exit 1; }
+perf_gate BENCH_visited_store.json "$SMOKE/BENCH_visited_store.json" \
+    || { echo "perf gate: visited_store regression (see above)"; exit 1; }
+echo "  no >2x median regression against committed baselines"
 
 echo "== bench smoke: close_pipeline + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \

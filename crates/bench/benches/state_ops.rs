@@ -16,7 +16,7 @@ use std::hint::black_box;
 use switchsim::SwitchConfig;
 use verisoft::search::store::{rank, VisitedStore};
 use verisoft::state::{decode_state, encode_state};
-use verisoft::{Config, ExecCtx, Executor, GlobalState, Scheduled, SuccOutcome};
+use verisoft::{ComponentInterner, Config, ExecCtx, Executor, GlobalState, Scheduled, SuccOutcome};
 
 /// How many distinct reachable states to collect for the sweep.
 const SAMPLE: usize = 2_000;
@@ -102,6 +102,22 @@ fn bench(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("fingerprint", n), &states, |b, ss| {
         b.iter(|| ss.iter().fold(0u64, |acc, s| acc ^ s.fingerprint()))
     });
+
+    // Fused fingerprint + collapse-style tuple production: after the
+    // first pass every unchanged component contributes one memoized
+    // (sub-hash, id, len) triple, so the tuple is a few u32 writes on
+    // top of the cached-combine fingerprint.
+    let interner = ComponentInterner::new();
+    g.bench_with_input(
+        BenchmarkId::new("fingerprint_and_intern", n),
+        &states,
+        |b, ss| {
+            b.iter(|| {
+                ss.iter()
+                    .fold(0u64, |acc, s| acc ^ s.fingerprint_and_intern(&interner).0)
+            })
+        },
+    );
 
     // Visited-store insertion of canonical encodings (admit + seal, the
     // parallel frontier's write path).

@@ -15,7 +15,7 @@ use std::hint::black_box;
 use switchsim::SwitchConfig;
 use verisoft::search::store::{rank, SpillDir, StateStore, TieredStore};
 use verisoft::state::encode_state;
-use verisoft::{Config, ExecCtx, Executor, GlobalState, Scheduled, SuccOutcome};
+use verisoft::{ComponentInterner, Config, ExecCtx, Executor, GlobalState, Scheduled, SuccOutcome};
 
 /// How many distinct reachable states to collect for the sweep.
 const SAMPLE: usize = 2_000;
@@ -134,6 +134,37 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The same probe over collapse-compressed tuples: the positional
+    // confirm reads and memcmps the compact component-ID tuple
+    // instead of the full canonical encoding.
+    let interner = ComponentInterner::new();
+    let cencs: Vec<(u64, Vec<u8>)> = states
+        .iter()
+        .map(|s| s.fingerprint_and_intern(&interner))
+        .collect();
+    let spilled_compressed = {
+        let dir = SpillDir::temp().expect("temp spill dir");
+        let store = TieredStore::new_with(0, Some(dir), true);
+        for (j, (h, e)) in cencs.iter().enumerate() {
+            store.admit(*h, e, rank(j, 0));
+            store.seal_if_winner(*h, e, rank(j, 0), 1);
+        }
+        store.end_of_level().expect("spill to segment");
+        store
+    };
+    g.bench_with_input(
+        BenchmarkId::new("probe_hit_disk_compressed", n),
+        &cencs,
+        |b, cencs| {
+            b.iter(|| {
+                cencs
+                    .iter()
+                    .filter(|(h, e)| spilled_compressed.contains_sealed_before(*h, e, 2))
+                    .count()
+            })
+        },
+    );
+
     // Misses against the spilled store never touch disk: the
     // fingerprint index answers in memory.
     let half = sealed_store(present, true);
@@ -154,6 +185,26 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let store = sealed_store(encs, true);
             black_box(store.spilled_entries())
+        })
+    });
+
+    // Checkpoint-time segment compaction: spill in four small levels,
+    // then merge the shards into one segment and remap their index
+    // refs (the cost the checkpoint writer pays to cap file handles).
+    g.bench_with_input(BenchmarkId::new("compact", n), &encs, |b, encs| {
+        b.iter(|| {
+            let dir = SpillDir::temp().expect("temp spill dir");
+            let store = TieredStore::new(0, Some(dir));
+            for chunk in encs.chunks(encs.len() / 4 + 1) {
+                for (j, (h, e)) in chunk.iter().enumerate() {
+                    store.admit(*h, e, rank(j, 0));
+                    store.seal_if_winner(*h, e, rank(j, 0), 1);
+                }
+                store.end_of_level().expect("spill to segment");
+            }
+            let retired = store.compact_segments().expect("compact");
+            assert_eq!(retired, 4, "all four shard segments merge");
+            black_box(store.segment_count())
         })
     });
 

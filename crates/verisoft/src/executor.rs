@@ -126,6 +126,12 @@ pub struct ExecCtx {
     pub total_components: usize,
     /// Executed-node coverage, when tracking is on.
     pub coverage: Option<Coverage>,
+    /// The run's component interner, when the stateful engines store
+    /// compressed ID tuples; `None` keeps [`ExecCtx::state_key`] on the
+    /// raw canonical encoding (`--no-compress`). The fingerprint half of
+    /// the key is bit-identical either way, so POR, ranks, and reports
+    /// cannot observe the choice.
+    pub interner: Option<std::sync::Arc<crate::state::ComponentInterner>>,
 }
 
 impl ExecCtx {
@@ -143,6 +149,7 @@ impl ExecCtx {
             } else {
                 None
             },
+            interner: None,
         }
     }
 
@@ -158,6 +165,18 @@ impl ExecCtx {
             shared_components: 0,
             total_components: 0,
             coverage,
+            interner: None,
+        }
+    }
+
+    /// The visited-store key for `state`: its fingerprint plus either
+    /// the compressed ID tuple ([`GlobalState::fingerprint_and_intern`])
+    /// or the raw canonical encoding, depending on whether a run
+    /// interner is installed.
+    pub fn state_key(&self, state: &GlobalState) -> (u64, Vec<u8>) {
+        match &self.interner {
+            Some(i) => state.fingerprint_and_intern(i),
+            None => state.fingerprint_and_encode(),
         }
     }
 }
@@ -454,7 +473,7 @@ impl<'a> Executor<'a> {
                            pid: usize| {
             for (choices, outcome) in self.successors(cx, state, pid) {
                 keys.push(match &outcome {
-                    SuccOutcome::State(s, _) => s.fingerprint_and_encode(),
+                    SuccOutcome::State(s, _) => cx.state_key(s),
                     SuccOutcome::Violation(..) => (0, Vec::new()),
                 });
                 children.push(ChildSucc {

@@ -69,7 +69,8 @@ pub use search::{
     VisitedStore,
 };
 pub use state::{
-    decode_state, encode_state, CowArc, Frame, GlobalState, ObjState, ProcState, Status,
+    decode_state, encode_state, ComponentInterner, CowArc, Frame, GlobalState, ObjState, ProcState,
+    Status,
 };
 pub use value::{Addr, Value};
 

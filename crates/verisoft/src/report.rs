@@ -135,6 +135,22 @@ pub struct Report {
     pub frontier_spilled_entries: usize,
     /// Checkpoints written during the run (operational).
     pub checkpoints_written: usize,
+    /// Bytes the visited store *actually* holds across tiers at the end
+    /// of the run — the compressed footprint when collapse compression
+    /// is on, equal to [`Report::visited_bytes`] when it is off
+    /// (operational; compare the two for the dedup ratio `--stats`
+    /// prints).
+    pub store_stored_bytes: usize,
+    /// Distinct state components interned over the run (0 with
+    /// compression off; operational).
+    pub interner_entries: usize,
+    /// Bytes of canonical component encodings the interner table holds
+    /// (operational) — the one-copy-per-distinct-component cost that
+    /// [`Report::store_stored_bytes`] amortises over every state.
+    pub interner_bytes: usize,
+    /// Tier-1 segments retired by checkpoint-time compaction
+    /// (operational).
+    pub store_segments_compacted: usize,
 }
 
 impl Report {
@@ -192,6 +208,10 @@ impl Report {
         self.store_segments += other.store_segments;
         self.frontier_spilled_entries += other.frontier_spilled_entries;
         self.checkpoints_written += other.checkpoints_written;
+        self.store_stored_bytes += other.store_stored_bytes;
+        self.interner_entries += other.interner_entries;
+        self.interner_bytes += other.interner_bytes;
+        self.store_segments_compacted += other.store_segments_compacted;
     }
 }
 

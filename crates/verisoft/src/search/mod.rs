@@ -170,6 +170,15 @@ pub struct Config {
     /// deterministically, at an instant where the checkpoint on disk is
     /// complete.
     pub abort_after_checkpoints: Option<usize>,
+    /// Disable collapse-style state compression in the stateful engines
+    /// (escape hatch; compression is on by default). With compression
+    /// the stores hold compact component-ID tuples interned by a
+    /// per-run [`crate::state::ComponentInterner`] instead of full
+    /// canonical encodings; reports are byte-identical either way.
+    /// Unlike `jobs`/`mem_limit`, this flag **is** part of the
+    /// checkpoint config digest — it changes the on-disk record format,
+    /// so resuming a checkpoint across compression modes is rejected.
+    pub no_compress: bool,
 }
 
 impl Default for Config {
@@ -193,6 +202,7 @@ impl Default for Config {
             checkpoint_every: 32,
             resume: false,
             abort_after_checkpoints: None,
+            no_compress: false,
         }
     }
 }

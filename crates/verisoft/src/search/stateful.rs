@@ -29,7 +29,7 @@ use crate::coverage::Coverage;
 use crate::executor::{ExecCtx, Executor, NodeExpansion, SuccOutcome};
 use crate::report::{Decision, Report, Violation, ViolationKind};
 use crate::state::encode::{put_u64, ByteReader};
-use crate::state::{decode_state, encode_state, GlobalState};
+use crate::state::{decode_state, encode_state, ComponentInterner, GlobalState};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -139,18 +139,29 @@ struct FrontierItem {
 }
 
 impl Spoolable for FrontierItem {
-    fn spool_encode(&self, out: &mut Vec<u8>) {
+    /// The engine's interner when collapse compression is on: spooled
+    /// states are then stored as component-ID tuples (the memoized
+    /// per-component cache makes re-encoding a pushed state's tuple a
+    /// table lookup, not a re-serialization). The record *length* is a
+    /// pure function of the entry either way, so chunk boundaries stay
+    /// deterministic.
+    type Cx = Option<Arc<ComponentInterner>>;
+
+    fn spool_encode(&self, cx: &Self::Cx, out: &mut Vec<u8>) {
         put_u64(out, self.depth as u64);
         let path = self.path.to_vec();
         put_u64(out, path.len() as u64);
         for d in &path {
             checkpoint::put_decision(out, d);
         }
-        // The state's canonical encoding takes the remaining bytes.
-        out.extend_from_slice(&encode_state(&self.state));
+        // The state's encoding takes the remaining bytes.
+        match cx {
+            Some(interner) => out.extend_from_slice(&self.state.fingerprint_and_intern(interner).1),
+            None => out.extend_from_slice(&encode_state(&self.state)),
+        }
     }
 
-    fn spool_decode(bytes: &[u8]) -> Option<Self> {
+    fn spool_decode(cx: &Self::Cx, bytes: &[u8]) -> Option<Self> {
         let mut r = ByteReader::new(bytes);
         let depth = usize::try_from(r.u64()?).ok()?;
         let n = usize::try_from(r.u64()?).ok()?;
@@ -161,7 +172,10 @@ impl Spoolable for FrontierItem {
         for _ in 0..n {
             path = path.push(checkpoint::read_decision(&mut r)?);
         }
-        let state = decode_state(&bytes[r.pos()..])?;
+        let state = match cx {
+            Some(interner) => interner.decode_compressed(&bytes[r.pos()..])?,
+            None => decode_state(&bytes[r.pos()..])?,
+        };
         Some(FrontierItem { state, depth, path })
     }
 }
@@ -243,7 +257,15 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
         let m = cfg.mem_limit;
         ((m / 2).max(1), (m / 4).max(1), (m / 4).max(1))
     };
-    let store = TieredStore::new(store_budget, dir.clone());
+    // The per-run component interner behind collapse compression: every
+    // store/spool/checkpoint record becomes a compact varint tuple of dense
+    // component IDs. IDs are assignment-order-dependent (and so may vary
+    // with worker timing), which is harmless — they never appear in a
+    // report, and checkpoints persist the assignment so resumed tuples
+    // keep meaning the same states.
+    let interner: Option<Arc<ComponentInterner>> =
+        (!cfg.no_compress).then(|| Arc::new(ComponentInterner::new()));
+    let store = TieredStore::new_with(store_budget, dir.clone(), interner.is_some());
     let every = if cfg.checkpoint_every == 0 {
         32
     } else {
@@ -269,20 +291,30 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
             .checkpoint_dir
             .as_deref()
             .expect("--resume requires a checkpoint directory");
-        let r = checkpoint::resume::<FrontierItem>(dirp, program_hash, config_digest, &store)
-            .unwrap_or_else(|e| panic!("resume failed: {e}"));
+        let r = checkpoint::resume::<FrontierItem>(
+            dirp,
+            program_hash,
+            config_digest,
+            &store,
+            &interner,
+            interner.as_deref(),
+        )
+        .unwrap_or_else(|e| panic!("resume failed: {e}"));
         level = r.level;
         checkpoints = r.checkpoints_written;
         report = r.report;
         resumed_level = Some(level);
-        frontier = FrontierSpool::new(spool_budget, dir.clone(), level as u64);
+        frontier = FrontierSpool::new(spool_budget, dir.clone(), level as u64, interner.clone());
         for (item, cost) in r.frontier {
             frontier.push(item, cost).expect("respool resumed frontier");
         }
     } else {
-        frontier = FrontierSpool::new(spool_budget, dir.clone(), 0);
+        frontier = FrontierSpool::new(spool_budget, dir.clone(), 0, interner.clone());
         let init = exec.initial();
-        let (h0, enc0) = init.fingerprint_and_encode();
+        let (h0, enc0) = match &interner {
+            Some(i) => init.fingerprint_and_intern(i),
+            None => init.fingerprint_and_encode(),
+        };
         store.admit(h0, &enc0, rank(0, 0));
         store.seal(h0, &enc0, 0);
         report.states = 1;
@@ -315,7 +347,7 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
                 &report,
                 checkpoints + 1,
                 (program_hash, config_digest),
-                &store,
+                (&store, interner.as_deref()),
                 &mut frontier,
             )
             .expect("write checkpoint");
@@ -345,7 +377,12 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
             break;
         }
         let epoch = (level + 1) as u32; // successors seal into the next level
-        let mut next = FrontierSpool::new(spool_budget, dir.clone(), (level + 1) as u64);
+        let mut next = FrontierSpool::new(
+            spool_budget,
+            dir.clone(),
+            (level + 1) as u64,
+            interner.clone(),
+        );
         let mut base = 0usize; // frontier offset of the current chunk
         while let Some(chunk) = frontier
             .next_chunk(chunk_budget)
@@ -362,6 +399,7 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let (chunk, store, cursor) = (&chunk, &store, &cursor);
+                        let interner = &interner;
                         scope.spawn(move || {
                             let mut out = Vec::new();
                             let mut cov = cfg.track_coverage.then(|| Coverage::new(exec.program()));
@@ -371,6 +409,7 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
                                     break;
                                 }
                                 let mut cx = ExecCtx::with_coverage(remaining, cov.take());
+                                cx.interner = interner.clone();
                                 let se = exec.expand_stateful(&mut cx, &chunk[i].state, |h, e| {
                                     store.contains_sealed_before(h, e, epoch)
                                 });
@@ -492,6 +531,10 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
     report.store_spilled_entries = store.spilled_entries();
     report.store_segments = store.segment_count();
     report.checkpoints_written = checkpoints;
+    report.store_stored_bytes = store.stored_bytes();
+    report.store_segments_compacted = store.segments_compacted();
+    report.interner_entries = interner.as_ref().map_or(0, |i| i.len());
+    report.interner_bytes = interner.as_ref().map_or(0, |i| i.bytes());
     report
 }
 
@@ -501,7 +544,10 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
 /// it is fully expanded and no enabled process is ignored forever.
 fn stateful_dfs(exec: &Executor<'_>) -> Report {
     let cfg = exec.config();
+    let interner: Option<Arc<ComponentInterner>> =
+        (!cfg.no_compress).then(|| Arc::new(ComponentInterner::new()));
     let mut cx = ExecCtx::new(exec, cfg.max_transitions);
+    cx.interner = interner.clone();
     let mut report = Report::default();
     let mut stop = false;
     let record = |report: &mut Report,
@@ -528,8 +574,9 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
     // and reused for the pop-time dedup instead of re-encoding.
     type DfsItem = (GlobalState, usize, Trace, u64, Box<[u8]>);
     let init = exec.initial();
-    let (h0, e0) = init.fingerprint_and_encode();
+    let (h0, e0) = cx.state_key(&init);
     let mut stack: Vec<DfsItem> = vec![(init, 0, Trace::default(), h0, e0.into_boxed_slice())];
+    let mut stored_bytes = 0usize;
     while let Some((state, depth, path, fp, enc)) = stack.pop() {
         if stop || cx.truncated {
             break;
@@ -538,7 +585,14 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
         if bucket.iter().any(|e| **e == *enc) {
             continue;
         }
-        report.visited_bytes += enc.len();
+        // `visited_bytes` is the *raw* logical total either way — a
+        // compressed entry carries its raw length in the tuple prefix —
+        // so the report is byte-identical across compression modes.
+        report.visited_bytes += match &interner {
+            Some(_) => crate::state::intern::raw_len_of(&enc).expect("compressed tuple prefix"),
+            None => enc.len(),
+        };
+        stored_bytes += enc.len();
         report.visited_states += 1;
         bucket.push(enc);
         report.states += 1;
@@ -590,5 +644,8 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
     report.shared_components = cx.shared_components;
     report.total_components = cx.total_components;
     report.coverage = cx.coverage;
+    report.store_stored_bytes = stored_bytes;
+    report.interner_entries = interner.as_ref().map_or(0, |i| i.len());
+    report.interner_bytes = interner.as_ref().map_or(0, |i| i.bytes());
     report
 }

@@ -49,9 +49,12 @@ pub const MANIFEST: &str = "checkpoint.bin";
 /// space. `jobs`, `mem_limit`, `shard_target`, and the checkpoint knobs
 /// themselves are excluded: they are determinism-invariant by
 /// construction, so resuming under different values is sound.
+/// `no_compress` is *included* even though it is report-invariant too —
+/// it changes the on-disk record format (ID tuples vs raw encodings),
+/// so a checkpoint must not be resumed across compression modes.
 pub(crate) fn config_digest(cfg: &crate::search::Config) -> u64 {
     let s = format!(
-        "{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+        "{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}",
         cfg.env_mode,
         cfg.limits,
         cfg.max_depth,
@@ -61,6 +64,7 @@ pub(crate) fn config_digest(cfg: &crate::search::Config) -> u64 {
         cfg.strict_termination_deadlock,
         cfg.collect_traces,
         cfg.track_coverage,
+        cfg.no_compress,
     );
     crate::hash::stable_hash_bytes(s.as_bytes())
 }
@@ -206,6 +210,9 @@ fn write_sync(path: &Path, bytes: &[u8]) -> io::Result<()> {
     f.sync_all()
 }
 
+/// The interner table file name inside a checkpoint directory.
+pub(crate) const INTERN_FILE: &str = "intern.bin";
+
 /// Write one checkpoint for the level boundary `level`. See the module
 /// docs for the crash-safety argument.
 pub(crate) fn write<T: Spoolable>(
@@ -214,9 +221,15 @@ pub(crate) fn write<T: Spoolable>(
     report: &Report,
     checkpoints_written: usize,
     (program_hash, config_digest): (u64, u64),
-    store: &TieredStore,
+    (store, interner): (&TieredStore, Option<&crate::state::ComponentInterner>),
     frontier: &mut FrontierSpool<T>,
 ) -> io::Result<()> {
+    // 0. Merge small segments before snapshotting their metadata: the
+    // previous manifest keeps referencing the victims' files, which are
+    // GC'd only after the new manifest commits (step 4) — crash-safe at
+    // every instant.
+    store.compact_segments()?;
+
     // 1. Tier-0 sealed entries, in segment record format.
     let mem = store.sealed_mem_snapshot();
     let mut buf = Vec::new();
@@ -233,6 +246,15 @@ pub(crate) fn write<T: Spoolable>(
     let fcount = frontier.snapshot(&mut fsnap)?;
     buf.extend_from_slice(&fsnap);
     write_sync(&dir.join(format!("frontier-{level}.bin")), &buf)?;
+
+    // 2b. The component interner table the compressed records refer
+    // into — appended incrementally and synced before the manifest
+    // records its committed length, so resume reconstructs exactly the
+    // per-run ID assignment the stored tuples were built under.
+    let (ientries, ibytes) = match interner {
+        Some(i) => i.persist(&dir.join(INTERN_FILE))?,
+        None => (0, 0),
+    };
 
     // 3. The manifest, atomically renamed into place.
     let segs = store.segment_meta();
@@ -251,6 +273,8 @@ pub(crate) fn write<T: Spoolable>(
     }
     put_u64(&mut buf, mem.len() as u64);
     put_u64(&mut buf, fcount as u64);
+    put_u64(&mut buf, ientries);
+    put_u64(&mut buf, ibytes);
     let tmp = dir.join("checkpoint.tmp");
     write_sync(&tmp, &buf)?;
     std::fs::rename(&tmp, dir.join(MANIFEST))?;
@@ -259,7 +283,10 @@ pub(crate) fn write<T: Spoolable>(
     }
 
     // 4. GC side files of older checkpoints (safe: the manifest no
-    // longer references them).
+    // longer references them). Segment files whose id is not in the
+    // live meta were retired by compaction — same rule.
+    let live: std::collections::HashSet<String> =
+        segs.iter().map(|s| format!("seg-{}.bin", s.id)).collect();
     if let Ok(entries) = std::fs::read_dir(dir) {
         for e in entries.flatten() {
             let name = e.file_name();
@@ -270,6 +297,9 @@ pub(crate) fn write<T: Spoolable>(
                         let _ = std::fs::remove_file(e.path());
                     }
                 }
+            }
+            if name.starts_with("seg-") && name.ends_with(".bin") && !live.contains(name.as_ref()) {
+                let _ = std::fs::remove_file(e.path());
             }
         }
     }
@@ -326,13 +356,19 @@ pub fn validate(dir: &Path, program_hash: u64, digest: u64) -> Result<(), String
     Ok(())
 }
 
-/// Load a checkpoint: rebuild the store's tiers and return the level,
-/// report, and frontier to continue from.
+/// Load a checkpoint: rebuild the store's tiers (and the component
+/// interner, when compression is on) and return the level, report, and
+/// frontier to continue from. `cx` is the spool decode context — the
+/// same `Option<Arc<ComponentInterner>>` the engine runs with, which
+/// must wrap `interner` itself so the decoded frontier and the future
+/// interning agree on IDs.
 pub(crate) fn resume<T: Spoolable>(
     dir: &Path,
     program_hash: u64,
     digest: u64,
     store: &TieredStore,
+    cx: &T::Cx,
+    interner: Option<&crate::state::ComponentInterner>,
 ) -> Result<Resumed<T>, String> {
     validate(dir, program_hash, digest)?;
     let buf = read_file(&dir.join(MANIFEST))?;
@@ -355,8 +391,30 @@ pub(crate) fn resume<T: Spoolable>(
     }
     let mem_count = r.u64().ok_or_else(bad)? as usize;
     let fcount = r.u64().ok_or_else(bad)? as usize;
+    let ientries = r.u64().ok_or_else(bad)?;
+    let ibytes = r.u64().ok_or_else(bad)?;
     if r.remaining() != 0 {
         return Err(bad());
+    }
+
+    // The interner table first: the stored records are ID tuples into
+    // it, and re-interning it in record order reproduces the exact
+    // per-run assignment they were written under.
+    match interner {
+        Some(i) => i
+            .load(&dir.join(INTERN_FILE), ientries, ibytes)
+            .map_err(|e| format!("{}: {e}", dir.join(INTERN_FILE).display()))?,
+        None => {
+            // The config digest already pins the compression mode; a
+            // nonzero table here means a hand-edited manifest.
+            if ientries != 0 {
+                return Err(format!(
+                    "{}: manifest references an interner table but \
+                     compression is off",
+                    dir.display()
+                ));
+            }
+        }
     }
 
     // Sealed segments: scan and index.
@@ -401,7 +459,7 @@ pub(crate) fn resume<T: Spoolable>(
         return Err(format!("{}: bad header", f_path.display()));
     }
     let rest = &fbuf[fr.pos()..];
-    let frontier = FrontierSpool::<T>::decode_snapshot(rest, fcount)
+    let frontier = FrontierSpool::<T>::decode_snapshot(cx, rest, fcount)
         .ok_or_else(|| format!("{}: torn frontier snapshot", f_path.display()))?;
 
     Ok(Resumed {

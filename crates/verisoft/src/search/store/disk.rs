@@ -37,8 +37,14 @@ pub struct DiskRef {
     pub seg: u32,
     /// Byte offset of the encoding within the segment file.
     pub off: u64,
-    /// Encoding length in bytes.
+    /// Stored record length in bytes (the compressed tuple's length
+    /// when the store compresses).
     pub len: u32,
+    /// The state's *raw* canonical-encoding length — equal to `len`
+    /// when the store is uncompressed; decoded from the tuple's prefix
+    /// otherwise. Keeps `Report::visited_bytes` a logical total
+    /// independent of the stored representation.
+    pub raw: u32,
     /// Frontier level the state was sealed in.
     pub epoch: u32,
 }
@@ -60,9 +66,15 @@ struct Segment {
 }
 
 /// The ordered collection of sealed segment files under one spill dir.
+/// Slots are `None` for segments retired by compaction — ids stay
+/// stable (they are baked into every [`DiskRef`] the index holds for
+/// *other* segments), only the retired slot's refs get remapped.
 pub(crate) struct SegmentStore {
     dir: Arc<SpillDir>,
-    segs: RwLock<Vec<Segment>>,
+    /// Whether records are compressed ID tuples (decides how a record's
+    /// raw length is derived).
+    compressed: bool,
+    segs: RwLock<Vec<Option<Segment>>>,
     /// Serializes positional reads on non-unix hosts (see [`pread`]).
     #[allow(dead_code)]
     read_lock: Mutex<()>,
@@ -84,9 +96,10 @@ fn pread(store: &SegmentStore, f: &File, buf: &mut [u8], off: u64) -> io::Result
 }
 
 impl SegmentStore {
-    pub(crate) fn new(dir: Arc<SpillDir>) -> Self {
+    pub(crate) fn new(dir: Arc<SpillDir>, compressed: bool) -> Self {
         SegmentStore {
             dir,
+            compressed,
             segs: RwLock::new(Vec::new()),
             read_lock: Mutex::new(()),
         }
@@ -94,6 +107,15 @@ impl SegmentStore {
 
     fn seg_path(&self, id: u32) -> PathBuf {
         self.dir.path().join(format!("seg-{id}.bin"))
+    }
+
+    /// The raw canonical-encoding length a stored record stands for.
+    fn raw_of(&self, enc: &[u8]) -> u32 {
+        if self.compressed {
+            crate::state::intern::raw_len_of(enc).expect("compressed tuple prefix") as u32
+        } else {
+            enc.len() as u32
+        }
     }
 
     /// Write `records` (`(fingerprint, epoch, enc)` triples, already in
@@ -119,6 +141,7 @@ impl SegmentStore {
                     seg: id,
                     off,
                     len: enc.len() as u32,
+                    raw: self.raw_of(enc),
                     epoch: *epoch,
                 },
             ));
@@ -135,14 +158,14 @@ impl SegmentStore {
         file.write_all(&buf)?;
         file.sync_all()?;
         let mut segs = self.segs.write().unwrap();
-        segs.push(Segment {
+        segs.push(Some(Segment {
             file,
             meta: SegmentMeta {
                 id,
                 byte_len: buf.len() as u64,
                 entries: records.len() as u64,
             },
-        });
+        }));
         Ok(refs)
     }
 
@@ -191,20 +214,26 @@ impl SegmentStore {
                     seg: id,
                     off: off as u64,
                     len: enc.len() as u32,
+                    raw: self.raw_of(enc),
                     epoch,
                 },
             ));
         }
         let mut segs = self.segs.write().unwrap();
-        assert_eq!(segs.len() as u32, id, "segments reopen in id order");
-        segs.push(Segment {
+        // Ids may be sparse after compaction retired predecessors; pad
+        // the gap with tombstones so ids stay slot indices.
+        assert!(segs.len() as u32 <= id, "segments reopen in id order");
+        while (segs.len() as u32) < id {
+            segs.push(None);
+        }
+        segs.push(Some(Segment {
             file,
             meta: SegmentMeta {
                 id,
                 byte_len,
                 entries: refs.len() as u64,
             },
-        });
+        }));
         Ok(refs)
     }
 
@@ -214,20 +243,98 @@ impl SegmentStore {
     pub(crate) fn confirm(&self, r: &DiskRef, enc: &[u8]) -> io::Result<bool> {
         debug_assert_eq!(r.len as usize, enc.len());
         let segs = self.segs.read().unwrap();
-        let seg = &segs[r.seg as usize];
+        let seg = segs[r.seg as usize]
+            .as_ref()
+            .expect("confirm against a retired segment (index ref not remapped?)");
         let mut buf = vec![0u8; r.len as usize];
         pread(self, &seg.file, &mut buf, r.off)?;
         Ok(buf == enc)
     }
 
-    /// Number of sealed segments.
-    pub(crate) fn count(&self) -> usize {
-        self.segs.read().unwrap().len()
+    /// Merge the given live segments into one new segment, returning
+    /// `((old seg, old off) -> new ref)` remap pairs for the index.
+    /// Victim slots are tombstoned in memory; their **files** stay on
+    /// disk untouched — the previous checkpoint manifest still
+    /// references them, so they may only be deleted after the next
+    /// manifest rename commits (the checkpoint writer's GC does that).
+    /// The merged segment is written and synced before any victim is
+    /// retired, so a crash at any instant leaves a fully valid store.
+    pub(crate) fn compact(&self, victims: &[u32]) -> io::Result<Vec<((u32, u64), DiskRef)>> {
+        let corrupt = |id: u32, what: &str| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("segment {id}: {what}"))
+        };
+        let mut segs = self.segs.write().unwrap();
+        let new_id = segs.len() as u32;
+        let mut buf = Vec::new();
+        put_header(&mut buf, SEGMENT_MAGIC);
+        let mut remap = Vec::new();
+        let mut entries = 0u64;
+        for &vid in victims {
+            let seg = segs[vid as usize]
+                .as_ref()
+                .expect("compacting a live segment");
+            let mut vbuf = vec![0u8; seg.meta.byte_len as usize];
+            pread(self, &seg.file, &mut vbuf, 0)?;
+            let mut r = ByteReader::new(&vbuf);
+            if !check_header(&mut r, SEGMENT_MAGIC) {
+                return Err(corrupt(vid, "bad header"));
+            }
+            while r.remaining() > 0 {
+                let Some((fp, epoch, old_off, enc)) = read_record(&mut r) else {
+                    return Err(corrupt(vid, "torn record"));
+                };
+                put_record(&mut buf, fp, epoch, enc);
+                let off = (buf.len() - enc.len()) as u64;
+                remap.push((
+                    (vid, old_off as u64),
+                    DiskRef {
+                        seg: new_id,
+                        off,
+                        len: enc.len() as u32,
+                        raw: self.raw_of(enc),
+                        epoch,
+                    },
+                ));
+                entries += 1;
+            }
+        }
+        let path = self.seg_path(new_id);
+        let mut file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        segs.push(Some(Segment {
+            file,
+            meta: SegmentMeta {
+                id: new_id,
+                byte_len: buf.len() as u64,
+                entries,
+            },
+        }));
+        for &vid in victims {
+            segs[vid as usize] = None;
+        }
+        Ok(remap)
     }
 
-    /// Metadata of every sealed segment, in id order.
+    /// Number of live (non-retired) segments.
+    pub(crate) fn count(&self) -> usize {
+        self.segs.read().unwrap().iter().flatten().count()
+    }
+
+    /// Metadata of every live segment, in id order.
     pub(crate) fn meta(&self) -> Vec<SegmentMeta> {
-        self.segs.read().unwrap().iter().map(|s| s.meta).collect()
+        self.segs
+            .read()
+            .unwrap()
+            .iter()
+            .flatten()
+            .map(|s| s.meta)
+            .collect()
     }
 }
 
@@ -247,13 +354,14 @@ mod tests {
     #[test]
     fn segment_roundtrip_and_confirm() {
         let dir = SpillDir::temp().unwrap();
-        let store = SegmentStore::new(dir);
+        let store = SegmentStore::new(dir, false);
         let rs = records(5);
         let refs = store.write_segment(&rs).unwrap();
         assert_eq!(store.count(), 1);
         for ((fp, epoch, enc), (ifp, r)) in rs.iter().zip(&refs) {
             assert_eq!(fp, ifp);
             assert_eq!(*epoch, r.epoch);
+            assert_eq!(r.raw, r.len, "uncompressed: raw == stored");
             assert!(store.confirm(r, enc).unwrap());
             let mut other = enc.to_vec();
             other[0] ^= 0xff;
@@ -262,10 +370,65 @@ mod tests {
     }
 
     #[test]
+    fn compaction_merges_and_remaps_without_deleting_victim_files() {
+        let dir = SpillDir::temp().unwrap();
+        let store = SegmentStore::new(dir.clone(), false);
+        let rs = records(6);
+        let refs_a = store.write_segment(&rs[..3]).unwrap();
+        let refs_b = store.write_segment(&rs[3..]).unwrap();
+        assert_eq!(store.count(), 2);
+        let remap = store.compact(&[0, 1]).unwrap();
+        assert_eq!(remap.len(), 6);
+        assert_eq!(store.count(), 1, "two victims retired, one merged");
+        assert_eq!(store.meta()[0].id, 2, "merged segment takes the next id");
+        assert_eq!(store.meta()[0].entries, 6);
+        // Every old ref remaps to a confirmable position in the merged
+        // segment, with epoch and lengths preserved.
+        let lookup: std::collections::HashMap<(u32, u64), DiskRef> = remap.into_iter().collect();
+        for ((_, r), (_, _, enc)) in refs_a.iter().chain(&refs_b).zip(&rs) {
+            let nr = lookup[&(r.seg, r.off)];
+            assert_eq!(
+                (nr.seg, nr.epoch, nr.len, nr.raw),
+                (2, r.epoch, r.len, r.raw)
+            );
+            assert!(store.confirm(&nr, enc).unwrap());
+        }
+        // Victim files survive until the checkpoint GC deletes them.
+        assert!(dir.path().join("seg-0.bin").exists());
+        assert!(dir.path().join("seg-1.bin").exists());
+        // The next write skips the retired slots' ids.
+        let refs_c = store.write_segment(&rs[..1]).unwrap();
+        assert_eq!(refs_c[0].1.seg, 3);
+    }
+
+    #[test]
+    fn reopen_pads_retired_slots_after_compaction() {
+        let dir = SpillDir::temp().unwrap();
+        let (meta, rs) = {
+            let store = SegmentStore::new(dir.clone(), false);
+            let rs = records(4);
+            store.write_segment(&rs[..2]).unwrap();
+            store.write_segment(&rs[2..]).unwrap();
+            store.compact(&[0, 1]).unwrap();
+            (store.meta()[0], rs)
+        };
+        // A manifest written after compaction references only seg-2.
+        let store = SegmentStore::new(dir, false);
+        let refs = store.reopen(meta.id, meta.byte_len).unwrap();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(store.count(), 1);
+        for ((_, r), (_, _, enc)) in refs.iter().zip(&rs) {
+            assert!(store.confirm(r, enc).unwrap());
+        }
+        // Ids keep growing past the reopened slot.
+        assert_eq!(store.write_segment(&rs[..1]).unwrap()[0].1.seg, 3);
+    }
+
+    #[test]
     fn reopen_rebuilds_refs_and_truncates_torn_tails() {
         let dir = SpillDir::temp().unwrap();
         let (path, meta, rs) = {
-            let store = SegmentStore::new(dir.clone());
+            let store = SegmentStore::new(dir.clone(), false);
             let rs = records(4);
             store.write_segment(&rs).unwrap();
             let meta = store.meta()[0];
@@ -278,7 +441,7 @@ mod tests {
             .unwrap()
             .write_all(&[0xab; 7])
             .unwrap();
-        let store = SegmentStore::new(dir);
+        let store = SegmentStore::new(dir, false);
         let refs = store.reopen(meta.id, meta.byte_len).unwrap();
         assert_eq!(refs.len(), rs.len());
         for ((_, _, enc), (_, r)) in rs.iter().zip(&refs) {

@@ -28,7 +28,12 @@ type IndexStripe = HashMap<u64, Vec<DiskRef>>;
 pub(crate) struct FpIndex {
     stripes: Vec<Mutex<IndexStripe>>,
     entries: AtomicUsize,
-    payload: AtomicUsize,
+    /// Raw canonical-encoding bytes the indexed records stand for (the
+    /// logical total behind `Report::visited_bytes`).
+    payload_raw: AtomicUsize,
+    /// Bytes the records actually occupy on disk (== raw when the
+    /// store is uncompressed).
+    payload_stored: AtomicUsize,
 }
 
 impl FpIndex {
@@ -38,7 +43,8 @@ impl FpIndex {
                 .map(|_| Mutex::new(IndexStripe::new()))
                 .collect(),
             entries: AtomicUsize::new(0),
-            payload: AtomicUsize::new(0),
+            payload_raw: AtomicUsize::new(0),
+            payload_stored: AtomicUsize::new(0),
         }
     }
 
@@ -56,7 +62,26 @@ impl FpIndex {
             .or_default()
             .push(r);
         self.entries.fetch_add(1, Ordering::Relaxed);
-        self.payload.fetch_add(r.len as usize, Ordering::Relaxed);
+        self.payload_raw
+            .fetch_add(r.raw as usize, Ordering::Relaxed);
+        self.payload_stored
+            .fetch_add(r.len as usize, Ordering::Relaxed);
+    }
+
+    /// Repoint refs into compacted-away segments at their new homes
+    /// (`(old seg, old off) -> new ref`). Totals are unchanged —
+    /// compaction moves records, it does not add or drop them.
+    pub(crate) fn remap(&self, moves: &std::collections::HashMap<(u32, u64), DiskRef>) {
+        for stripe in &self.stripes {
+            let mut s = stripe.lock().unwrap();
+            for refs in s.values_mut() {
+                for r in refs.iter_mut() {
+                    if let Some(nr) = moves.get(&(r.seg, r.off)) {
+                        *r = *nr;
+                    }
+                }
+            }
+        }
     }
 
     /// Whether any record under `fp` satisfies `pred` (which typically
@@ -73,9 +98,14 @@ impl FpIndex {
         self.entries.load(Ordering::Relaxed)
     }
 
-    /// Total payload bytes the indexed records occupy on disk.
+    /// Total *raw* payload bytes the indexed records stand for.
     pub(crate) fn bytes(&self) -> usize {
-        self.payload.load(Ordering::Relaxed)
+        self.payload_raw.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes the indexed records occupy on disk.
+    pub(crate) fn stored_bytes(&self) -> usize {
+        self.payload_stored.load(Ordering::Relaxed)
     }
 }
 
@@ -88,6 +118,7 @@ mod tests {
             seg,
             off,
             len,
+            raw: len * 3, // distinct from len, like a compressed record
             epoch,
         }
     }
@@ -100,7 +131,8 @@ mod tests {
         idx.insert(9, dref(0, 110, 50, 2)); // fingerprint collision
         idx.insert(u64::MAX, dref(1, 10, 7, 1));
         assert_eq!(idx.len(), 3);
-        assert_eq!(idx.bytes(), 157);
+        assert_eq!(idx.bytes(), 3 * 157, "logical total counts raw bytes");
+        assert_eq!(idx.stored_bytes(), 157);
         assert!(idx.candidates(9, |r| r.epoch == 2));
         assert!(!idx.candidates(9, |r| r.epoch == 3));
         assert!(!idx.candidates(8, |_| true), "no bucket, pred not run");
@@ -110,5 +142,21 @@ mod tests {
             false
         });
         assert_eq!(probes, 2, "colliding refs each get confirmed");
+    }
+
+    #[test]
+    fn remap_repoints_only_matching_refs() {
+        let idx = FpIndex::new(2);
+        idx.insert(1, dref(0, 10, 4, 1));
+        idx.insert(2, dref(1, 20, 8, 1));
+        let moves: std::collections::HashMap<(u32, u64), DiskRef> =
+            [((0, 10), dref(5, 99, 4, 1))].into_iter().collect();
+        idx.remap(&moves);
+        assert!(idx.candidates(1, |r| (r.seg, r.off) == (5, 99)));
+        assert!(
+            idx.candidates(2, |r| (r.seg, r.off) == (1, 20)),
+            "untouched"
+        );
+        assert_eq!((idx.len(), idx.stored_bytes()), (2, 12), "totals unchanged");
     }
 }

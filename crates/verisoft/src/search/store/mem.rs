@@ -70,11 +70,20 @@ type Stripe = HashMap<u64, Vec<Entry>>;
 /// admission protocol.
 pub struct VisitedStore {
     stripes: Vec<Mutex<Stripe>>,
+    /// Entries hold collapse-compressed component-ID tuples instead of
+    /// full canonical encodings (see [`crate::state::intern`]). Only the
+    /// byte accounting cares: membership is still `memcmp` either way,
+    /// because the tuple encoding is injective per interner.
+    compressed: bool,
     /// O(1) mirrors of the entry count and payload bytes, maintained on
     /// every insert/drain — `len()`/`bytes()` run per level boundary
     /// (spill checks) and must not scan every stripe.
     count: AtomicUsize,
+    /// *Raw* canonical-encoding bytes the entries stand for — the
+    /// logical total `bytes()` reports (== resident when uncompressed).
     payload: AtomicUsize,
+    /// Bytes the entries actually occupy in memory.
+    stored: AtomicUsize,
 }
 
 impl Default for VisitedStore {
@@ -84,14 +93,34 @@ impl Default for VisitedStore {
 }
 
 impl VisitedStore {
-    /// A store with `stripes` lock stripes (rounded up to at least 1).
+    /// A store with `stripes` lock stripes (rounded up to at least 1),
+    /// holding uncompressed canonical encodings.
     pub fn new(stripes: usize) -> Self {
+        VisitedStore::new_with(stripes, false)
+    }
+
+    /// A store whose entries are collapse-compressed tuples when
+    /// `compressed` is set.
+    pub fn new_with(stripes: usize, compressed: bool) -> Self {
         VisitedStore {
             stripes: (0..stripes.max(1))
                 .map(|_| Mutex::new(Stripe::new()))
                 .collect(),
+            compressed,
             count: AtomicUsize::new(0),
             payload: AtomicUsize::new(0),
+            stored: AtomicUsize::new(0),
+        }
+    }
+
+    /// The raw canonical-encoding length `enc` stands for (compressed
+    /// tuples carry it in their prefix; uncompressed entries *are* raw).
+    #[inline]
+    fn raw_of(&self, enc: &[u8]) -> usize {
+        if self.compressed {
+            crate::state::intern::raw_len_of(enc).expect("compressed tuple prefix")
+        } else {
+            enc.len()
         }
     }
 
@@ -118,7 +147,8 @@ impl VisitedStore {
             }
         }
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.payload.fetch_add(enc.len(), Ordering::Relaxed);
+        self.payload.fetch_add(self.raw_of(enc), Ordering::Relaxed);
+        self.stored.fetch_add(enc.len(), Ordering::Relaxed);
         bucket.push(Entry {
             enc: enc.into(),
             rank,
@@ -188,7 +218,9 @@ impl VisitedStore {
                     if let Some(epoch) = bucket[i].sealed {
                         let e = bucket.swap_remove(i);
                         self.count.fetch_sub(1, Ordering::Relaxed);
-                        self.payload.fetch_sub(e.enc.len(), Ordering::Relaxed);
+                        self.payload
+                            .fetch_sub(self.raw_of(&e.enc), Ordering::Relaxed);
+                        self.stored.fetch_sub(e.enc.len(), Ordering::Relaxed);
                         out.push((*hash, epoch, e.enc));
                     } else {
                         i += 1;
@@ -228,7 +260,8 @@ impl VisitedStore {
             return;
         }
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.payload.fetch_add(enc.len(), Ordering::Relaxed);
+        self.payload.fetch_add(self.raw_of(&enc), Ordering::Relaxed);
+        self.stored.fetch_add(enc.len(), Ordering::Relaxed);
         bucket.push(Entry {
             enc,
             rank: 0,
@@ -246,11 +279,19 @@ impl VisitedStore {
         self.len() == 0
     }
 
-    /// Total payload bytes held (the encodings themselves, excluding map
-    /// overhead) — the numerator of the bytes-per-visited-state stat and
-    /// the quantity the tiered store's spill budget bounds.
+    /// Total *raw* payload bytes the entries stand for (excluding map
+    /// overhead) — the numerator of the bytes-per-visited-state stat.
+    /// Deliberately the logical (uncompressed) total so the figure is
+    /// identical whether compression is on or off.
     pub fn bytes(&self) -> usize {
         self.payload.load(Ordering::Relaxed)
+    }
+
+    /// Bytes the entries actually occupy in memory — what the tiered
+    /// store's spill budget bounds (== [`VisitedStore::bytes`] when
+    /// uncompressed).
+    pub fn stored_bytes(&self) -> usize {
+        self.stored.load(Ordering::Relaxed)
     }
 
     /// Fused [`VisitedStore::is_winner`] + [`VisitedStore::seal`]: seal
@@ -436,6 +477,26 @@ mod tests {
         store.insert_sealed(h, enc, ep);
         assert!(store.contains_sealed_before(h, &a, 2));
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn compressed_mode_accounts_raw_and_stored_separately() {
+        let prog = cfgir::compile("chan c[1]; proc p() { send(c, 1); } process p();").unwrap();
+        let s = GlobalState::initial(&prog);
+        let interner = crate::state::ComponentInterner::new();
+        let (h, cenc) = s.fingerprint_and_intern(&interner);
+        let raw = encode_state(&s).len();
+        assert_ne!(cenc.len(), raw, "tuple and raw encoding differ");
+        let store = VisitedStore::new_with(2, true);
+        store.admit(h, &cenc, rank(0, 0));
+        assert_eq!(store.bytes(), raw, "logical total is the raw length");
+        assert_eq!(store.stored_bytes(), cenc.len());
+        store.seal(h, &cenc, 1);
+        let drained = store.drain_sealed();
+        assert_eq!((store.bytes(), store.stored_bytes()), (0, 0));
+        let (hh, ep, enc) = drained.into_iter().next().unwrap();
+        store.insert_sealed(hh, enc, ep);
+        assert_eq!((store.bytes(), store.stored_bytes()), (raw, cenc.len()));
     }
 
     #[test]

@@ -165,6 +165,7 @@ pub struct TieredStore {
     tier1: Option<Tier1>,
     peak_mem: AtomicUsize,
     spilled: AtomicUsize,
+    compacted: AtomicUsize,
 }
 
 impl TieredStore {
@@ -172,15 +173,27 @@ impl TieredStore {
     /// spilling sealed entries into segments under `dir`. With no
     /// `dir`, the budget is ignored and the store is purely in-memory.
     pub fn new(budget: usize, dir: Option<Arc<SpillDir>>) -> Self {
+        TieredStore::new_with(budget, dir, false)
+    }
+
+    /// Like [`TieredStore::new`], but when `compressed` is set the
+    /// entries handed to the store are collapse-compressed component-ID
+    /// tuples (see [`crate::state::intern`]): byte accounting then
+    /// splits into logical raw totals ([`StateStore::bytes`]) and the
+    /// resident footprint ([`TieredStore::stored_bytes`]), and the spill
+    /// budget bounds the latter. Membership logic is untouched — tuple
+    /// equality is state equality under a fixed interner.
+    pub fn new_with(budget: usize, dir: Option<Arc<SpillDir>>, compressed: bool) -> Self {
         TieredStore {
-            mem: VisitedStore::default(),
+            mem: VisitedStore::new_with(STRIPES, compressed),
             budget,
             tier1: dir.map(|d| Tier1 {
-                segs: SegmentStore::new(d),
+                segs: SegmentStore::new(d, compressed),
                 index: FpIndex::new(STRIPES),
             }),
             peak_mem: AtomicUsize::new(0),
             spilled: AtomicUsize::new(0),
+            compacted: AtomicUsize::new(0),
         }
     }
 
@@ -202,11 +215,15 @@ impl TieredStore {
     }
 
     /// Level-boundary maintenance: record the tier-0 peak and, when the
-    /// in-memory payload exceeds the budget, drain every sealed entry
-    /// into a fresh tier-1 segment.
+    /// in-memory footprint exceeds the budget, drain every sealed entry
+    /// into a fresh tier-1 segment. The budget bounds *resident* bytes
+    /// ([`VisitedStore::stored_bytes`]) — compression therefore defers
+    /// spilling, which is report-invisible by the same argument that
+    /// makes the budget itself report-invisible.
     pub fn end_of_level(&self) -> io::Result<()> {
-        self.peak_mem.fetch_max(self.mem.bytes(), Ordering::Relaxed);
-        if self.mem.bytes() <= self.budget {
+        self.peak_mem
+            .fetch_max(self.mem.stored_bytes(), Ordering::Relaxed);
+        if self.mem.stored_bytes() <= self.budget {
             return Ok(());
         }
         self.spill_sealed()
@@ -262,12 +279,13 @@ impl TieredStore {
 
     /// Tier-0 resident payload bytes right now.
     pub fn mem_bytes(&self) -> usize {
-        self.mem.bytes()
+        self.mem.stored_bytes()
     }
 
     /// Largest tier-0 resident payload observed at any level boundary.
     pub fn peak_mem_bytes(&self) -> usize {
-        self.peak_mem.fetch_max(self.mem.bytes(), Ordering::Relaxed);
+        self.peak_mem
+            .fetch_max(self.mem.stored_bytes(), Ordering::Relaxed);
         self.peak_mem.load(Ordering::Relaxed)
     }
 
@@ -276,11 +294,56 @@ impl TieredStore {
         self.spilled.load(Ordering::Relaxed)
     }
 
-    /// Number of tier-1 segment files.
+    /// Number of live tier-1 segment files.
     pub fn segment_count(&self) -> usize {
         self.tier1.as_ref().map_or(0, |t| t.segs.count())
     }
+
+    /// Bytes the store actually holds across tiers — equal to
+    /// [`StateStore::bytes`] when uncompressed, the compressed footprint
+    /// otherwise (the numerator of the `--stats` dedup ratio).
+    pub fn stored_bytes(&self) -> usize {
+        self.mem.stored_bytes() + self.tier1.as_ref().map_or(0, |t| t.index.stored_bytes())
+    }
+
+    /// Segments retired by [`TieredStore::compact_segments`] over the
+    /// store's life.
+    pub fn segments_compacted(&self) -> usize {
+        self.compacted.load(Ordering::Relaxed)
+    }
+
+    /// Merge small live segments (≤ [`COMPACT_MAX_BYTES`], when at least
+    /// two qualify) into one, remapping their index refs. Called by the
+    /// checkpoint writer before it snapshots segment metadata: spills
+    /// happen per level, so long out-of-core runs would otherwise
+    /// accumulate hundreds of tiny segment files (and file handles).
+    /// Victim *files* are left for the checkpoint GC — the previous
+    /// manifest still references them until the new one commits.
+    /// Returns the number of segments retired.
+    pub fn compact_segments(&self) -> io::Result<usize> {
+        let Some(t1) = &self.tier1 else { return Ok(0) };
+        let victims: Vec<u32> = t1
+            .segs
+            .meta()
+            .iter()
+            .filter(|m| m.byte_len <= COMPACT_MAX_BYTES)
+            .map(|m| m.id)
+            .collect();
+        if victims.len() < 2 {
+            return Ok(0);
+        }
+        let moves: std::collections::HashMap<(u32, u64), DiskRef> =
+            t1.segs.compact(&victims)?.into_iter().collect();
+        t1.index.remap(&moves);
+        self.compacted.fetch_add(victims.len(), Ordering::Relaxed);
+        Ok(victims.len())
+    }
 }
+
+/// Segments no larger than this are compaction candidates. Large
+/// segments are already IO-efficient; rewriting them would double the
+/// checkpoint's write amplification for no handle savings.
+pub(crate) const COMPACT_MAX_BYTES: u64 = 1 << 20;
 
 impl StateStore for TieredStore {
     fn admit(&self, hash: u64, enc: &[u8], rank: Rank) {
@@ -403,6 +466,76 @@ mod tests {
         store.admit(fake, b, rank(1, 0));
         assert!(store.seal_if_winner(fake, b, rank(1, 0), 2));
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn compressed_store_spills_tuples_and_keeps_raw_totals() {
+        let prog = cfgir::compile("chan c[9]; proc p() { send(c, 1); } process p();").unwrap();
+        let base = GlobalState::initial(&prog);
+        let interner = crate::state::ComponentInterner::new();
+        let ss: Vec<(u64, Vec<u8>, usize)> = (0..12)
+            .map(|i| {
+                let mut s = base.clone();
+                *s.object_mut(0) = crate::state::ObjState::Chan {
+                    queue: [crate::value::Value::Int(i as i64)].into(),
+                    cap: Some(9),
+                };
+                let (h, cenc) = s.fingerprint_and_intern(&interner);
+                let raw = encode_state(&s).len();
+                (h, cenc, raw)
+            })
+            .collect();
+        let dir = SpillDir::temp().unwrap();
+        let store = TieredStore::new_with(0, Some(dir), true);
+        for (i, (h, e, _)) in ss.iter().enumerate() {
+            store.admit(*h, e, rank(i, 0));
+            assert!(store.seal_if_winner(*h, e, rank(i, 0), 1));
+        }
+        let raw_total: usize = ss.iter().map(|(_, _, r)| r).sum();
+        let stored_total: usize = ss.iter().map(|(_, e, _)| e.len()).sum();
+        assert!(stored_total < raw_total, "tuples are smaller than raw");
+        assert_eq!(store.bytes(), raw_total);
+        assert_eq!(store.stored_bytes(), stored_total);
+        store.end_of_level().unwrap();
+        assert_eq!(store.mem_bytes(), 0);
+        // Spilling changes neither total nor membership.
+        assert_eq!(store.bytes(), raw_total);
+        assert_eq!(store.stored_bytes(), stored_total);
+        for (h, e, _) in &ss {
+            assert!(store.contains_sealed_before(*h, e, 2));
+            store.admit(*h, e, rank(0, 0));
+            assert!(!store.seal_if_winner(*h, e, rank(0, 0), 2));
+        }
+    }
+
+    #[test]
+    fn compact_segments_is_transparent_to_membership() {
+        let dir = SpillDir::temp().unwrap();
+        let store = TieredStore::new(0, Some(dir));
+        let ss = states(9);
+        for (level, chunk) in ss.chunks(3).enumerate() {
+            for (i, (h, e)) in chunk.iter().enumerate() {
+                store.admit(*h, e, rank(i, 0));
+                assert!(store.seal_if_winner(*h, e, rank(i, 0), level as u32 + 1));
+            }
+            store.end_of_level().unwrap(); // budget 0: one segment per level
+        }
+        assert_eq!(store.segment_count(), 3);
+        assert_eq!(store.compact_segments().unwrap(), 3);
+        assert_eq!(store.segment_count(), 1, "three victims, one merged");
+        assert_eq!(store.segments_compacted(), 3);
+        assert_eq!((store.len(), store.spilled_entries()), (9, 9));
+        for (level, chunk) in ss.chunks(3).enumerate() {
+            for (h, e) in chunk {
+                assert!(
+                    store.contains_sealed_before(*h, e, level as u32 + 2),
+                    "remapped refs confirm at the preserved epoch"
+                );
+                assert!(!store.contains_sealed_before(*h, e, level as u32 + 1));
+            }
+        }
+        // A second pass finds only the single merged segment: no-op.
+        assert_eq!(store.compact_segments().unwrap(), 0);
     }
 
     #[test]

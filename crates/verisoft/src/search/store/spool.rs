@@ -33,10 +33,15 @@ use std::sync::Arc;
 /// (`FrontierItem` rebuilds its persistent trace from the decision
 /// list; prefix sharing is lost, the decisions are not).
 pub trait Spoolable: Sized {
+    /// Encode/decode context threaded through every spool operation —
+    /// the frontier items use it to carry the run's component interner
+    /// (compressed items store ID tuples that only the interner can
+    /// expand). `()` for self-contained entries.
+    type Cx;
     /// Append the entry's spool encoding to `out`.
-    fn spool_encode(&self, out: &mut Vec<u8>);
+    fn spool_encode(&self, cx: &Self::Cx, out: &mut Vec<u8>);
     /// Decode one entry from its spool encoding.
-    fn spool_decode(bytes: &[u8]) -> Option<Self>;
+    fn spool_decode(cx: &Self::Cx, bytes: &[u8]) -> Option<Self>;
 }
 
 struct DiskPart {
@@ -51,7 +56,8 @@ struct DiskPart {
 /// a disk tail. `T` also carries a byte cost per entry (supplied at
 /// push — the state encoding length the committer already knows) that
 /// drives both the memory budget and chunk boundaries.
-pub struct FrontierSpool<T> {
+pub struct FrontierSpool<T: Spoolable> {
+    cx: T::Cx,
     ram: VecDeque<(T, usize)>,
     ram_bytes: usize,
     budget: usize,
@@ -65,9 +71,11 @@ pub struct FrontierSpool<T> {
 impl<T: Spoolable> FrontierSpool<T> {
     /// An empty spool keeping at most ~`budget` bytes of entries in
     /// memory; the overflow goes to `spool-<tag>.bin` under `dir`.
-    /// With no `dir`, the budget is ignored (fully in-memory).
-    pub fn new(budget: usize, dir: Option<Arc<SpillDir>>, tag: u64) -> Self {
+    /// With no `dir`, the budget is ignored (fully in-memory). `cx` is
+    /// the entry type's encode/decode context ([`Spoolable::Cx`]).
+    pub fn new(budget: usize, dir: Option<Arc<SpillDir>>, tag: u64, cx: T::Cx) -> Self {
         FrontierSpool {
+            cx,
             ram: VecDeque::new(),
             ram_bytes: 0,
             budget,
@@ -105,7 +113,7 @@ impl<T: Spoolable> FrontierSpool<T> {
             return Ok(());
         }
         self.scratch.clear();
-        item.spool_encode(&mut self.scratch);
+        item.spool_encode(&self.cx, &mut self.scratch);
         let d = match &mut self.disk {
             Some(d) => d,
             None => {
@@ -192,7 +200,7 @@ impl<T: Spoolable> FrontierSpool<T> {
         let mut buf = vec![0u8; len];
         reader.read_exact(&mut buf)?;
         d.pending -= 1;
-        let item = T::spool_decode(&buf)
+        let item = T::spool_decode(&self.cx, &buf)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "torn spool record"))?;
         Ok(Some((item, len)))
     }
@@ -206,7 +214,7 @@ impl<T: Spoolable> FrontierSpool<T> {
         let mut buf = Vec::new();
         for (item, _) in &self.ram {
             buf.clear();
-            item.spool_encode(&mut buf);
+            item.spool_encode(&self.cx, &mut buf);
             let mut frame = Vec::with_capacity(8);
             put_u64(&mut frame, buf.len() as u64);
             out.write_all(&frame)?;
@@ -233,13 +241,13 @@ impl<T: Spoolable> FrontierSpool<T> {
     /// Decode `count` length-prefixed records from `bytes` (a snapshot
     /// written by [`FrontierSpool::snapshot`]), yielding `(entry, cost)`
     /// pairs to re-push into a fresh spool.
-    pub fn decode_snapshot(bytes: &[u8], count: usize) -> Option<Vec<(T, usize)>> {
+    pub fn decode_snapshot(cx: &T::Cx, bytes: &[u8], count: usize) -> Option<Vec<(T, usize)>> {
         let mut r = ByteReader::new(bytes);
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let len = usize::try_from(r.u64()?).ok()?;
             let rec = r.take(len)?;
-            out.push((T::spool_decode(rec)?, len));
+            out.push((T::spool_decode(cx, rec)?, len));
         }
         (r.remaining() == 0).then_some(out)
     }
@@ -272,7 +280,7 @@ fn read_varint(r: &mut impl Read) -> io::Result<u64> {
     }
 }
 
-impl<T> Drop for FrontierSpool<T> {
+impl<T: Spoolable> Drop for FrontierSpool<T> {
     fn drop(&mut self) {
         if let Some(d) = &self.disk {
             let _ = std::fs::remove_file(&d.path);
@@ -288,10 +296,11 @@ mod tests {
     struct Item(Vec<u8>);
 
     impl Spoolable for Item {
-        fn spool_encode(&self, out: &mut Vec<u8>) {
+        type Cx = ();
+        fn spool_encode(&self, _cx: &(), out: &mut Vec<u8>) {
             out.extend_from_slice(&self.0);
         }
-        fn spool_decode(bytes: &[u8]) -> Option<Self> {
+        fn spool_decode(_cx: &(), bytes: &[u8]) -> Option<Self> {
             Some(Item(bytes.to_vec()))
         }
     }
@@ -305,7 +314,7 @@ mod tests {
         let dir = SpillDir::temp().unwrap();
         let all = items(40);
         // Budget fits only the first few entries; the rest hit disk.
-        let mut spool = FrontierSpool::new(6, Some(dir), 3);
+        let mut spool = FrontierSpool::new(6, Some(dir), 3, ());
         for it in &all {
             spool.push(it.clone(), it.0.len()).unwrap();
         }
@@ -322,7 +331,7 @@ mod tests {
 
     #[test]
     fn unbounded_spool_stays_in_memory() {
-        let mut spool: FrontierSpool<Item> = FrontierSpool::new(usize::MAX, None, 0);
+        let mut spool: FrontierSpool<Item> = FrontierSpool::new(usize::MAX, None, 0, ());
         for it in items(10) {
             let c = it.0.len();
             spool.push(it, c).unwrap();
@@ -336,7 +345,7 @@ mod tests {
 
     #[test]
     fn chunk_boundaries_are_cost_driven_and_nonempty() {
-        let mut spool: FrontierSpool<Item> = FrontierSpool::new(usize::MAX, None, 0);
+        let mut spool: FrontierSpool<Item> = FrontierSpool::new(usize::MAX, None, 0, ());
         for it in items(9) {
             let c = it.0.len();
             spool.push(it, c).unwrap();
@@ -354,7 +363,7 @@ mod tests {
     fn snapshot_roundtrips_without_consuming() {
         let dir = SpillDir::temp().unwrap();
         let all = items(25);
-        let mut spool = FrontierSpool::new(4, Some(dir), 7);
+        let mut spool = FrontierSpool::new(4, Some(dir), 7, ());
         for it in &all {
             spool.push(it.clone(), it.0.len()).unwrap();
         }
@@ -362,7 +371,7 @@ mod tests {
         let n = spool.snapshot(&mut snap).unwrap();
         assert_eq!(n, 25);
         assert_eq!(spool.len(), 25, "snapshot consumes nothing");
-        let decoded = FrontierSpool::<Item>::decode_snapshot(&snap, n).unwrap();
+        let decoded = FrontierSpool::<Item>::decode_snapshot(&(), &snap, n).unwrap();
         assert_eq!(
             decoded.iter().map(|(i, _)| i.clone()).collect::<Vec<_>>(),
             all

@@ -16,21 +16,29 @@ use super::encode::Encode;
 use std::ops::Deref;
 use std::sync::{Arc, OnceLock};
 
-/// Payload of a [`CowArc`]: the value plus its memoized sub-hash. The
-/// hash is computed at most once per allocation; [`CowArc::make_mut`]
-/// (and the clone it may perform) resets it.
+/// Payload of a [`CowArc`]: the value plus its memoized sub-hash and
+/// interner memo. Both caches are computed at most once per allocation;
+/// [`CowArc::make_mut`] (and the clone it may perform) resets them
+/// together, so neither can outlive a mutation.
 #[derive(Debug)]
 struct Inner<T> {
     hash: OnceLock<u64>,
+    /// `(interner token, component id, encoded len)` — the component's
+    /// dense ID under the run's [`super::intern::ComponentInterner`],
+    /// tagged with that interner's unique token so a memo from one run
+    /// can never satisfy another run's interner.
+    intern: OnceLock<(u64, u32, u32)>,
     value: T,
 }
 
 impl<T: Clone> Clone for Inner<T> {
     fn clone(&self) -> Self {
-        // A fresh allocation starts with no cached hash: the only caller
-        // is `Arc::make_mut`, whose borrower is about to mutate.
+        // A fresh allocation starts with no cached hash or interner
+        // memo: the only caller is `Arc::make_mut`, whose borrower is
+        // about to mutate.
         Inner {
             hash: OnceLock::new(),
+            intern: OnceLock::new(),
             value: self.value.clone(),
         }
     }
@@ -49,6 +57,7 @@ impl<T> CowArc<T> {
         CowArc {
             inner: Arc::new(Inner {
                 hash: OnceLock::new(),
+                intern: OnceLock::new(),
                 value,
             }),
         }
@@ -70,6 +79,7 @@ impl<T: Clone> CowArc<T> {
     pub fn make_mut(&mut self) -> &mut T {
         let inner = Arc::make_mut(&mut self.inner);
         inner.hash = OnceLock::new();
+        inner.intern = OnceLock::new();
         &mut inner.value
     }
 }
@@ -108,6 +118,36 @@ impl<T: Encode> CowArc<T> {
             .inner
             .hash
             .get_or_init(|| crate::hash::stable_hash_bytes(bytes))
+    }
+}
+
+impl<T: Encode> CowArc<T> {
+    /// The component's `(dense id, encoded len, sub-hash)` under
+    /// `interner`, memoized per allocation exactly like the sub-hash:
+    /// a warm memo (matching interner token) answers without touching
+    /// the encoding; a cold one encodes the component once into
+    /// `scratch`, seeds the sub-hash from those bytes, and interns
+    /// them. `make_mut` drops the memo with the hash, so a successor
+    /// re-encodes only the components its transition mutated.
+    pub(super) fn intern_with(
+        &self,
+        interner: &super::intern::ComponentInterner,
+        scratch: &mut Vec<u8>,
+    ) -> (u32, u32, u64) {
+        if let Some(&(token, id, len)) = self.inner.intern.get() {
+            if token == interner.token() {
+                return (id, len, self.sub_hash());
+            }
+        }
+        scratch.clear();
+        self.inner.value.encode(scratch);
+        let hash = self.sub_hash_from_encoding(scratch);
+        let id = interner.intern(scratch);
+        let _ = self
+            .inner
+            .intern
+            .set((interner.token(), id, scratch.len() as u32));
+        (id, scratch.len() as u32, hash)
     }
 }
 

@@ -66,6 +66,14 @@ pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     put_u64(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
+/// The number of bytes [`put_u64`] emits for `v` (without emitting
+/// them). The interner uses this to account for a state's raw encoded
+/// size without materializing the raw encoding.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
 #[inline]
 fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     match v {
@@ -256,9 +264,13 @@ pub const SPOOL_MAGIC: [u8; 4] = *b"RSPL";
 /// File-type magic of the checkpoint manifest.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RCKP";
 
+/// File-type magic of the persisted component-interner table.
+pub const INTERN_MAGIC: [u8; 4] = *b"RITN";
+
 /// Version stamped into every on-disk header this crate writes. Bump on
 /// any layout change; readers reject mismatches instead of guessing.
-pub const STORE_FORMAT_VERSION: u64 = 1;
+/// (v2: compressed ID-tuple records + the interner table side file.)
+pub const STORE_FORMAT_VERSION: u64 = 2;
 
 /// Append a versioned container header: 4 magic bytes + format version.
 pub fn put_header(out: &mut Vec<u8>, magic: [u8; 4]) {
@@ -410,6 +422,27 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decode one process component from exactly its canonical encoding
+/// (trailing bytes reject). The interner's compressed-tuple decoder
+/// reassembles states from per-component table entries with this.
+pub(crate) fn decode_proc_state(bytes: &[u8]) -> Option<ProcState> {
+    let mut c = Cursor {
+        r: ByteReader::new(bytes),
+    };
+    let p = c.proc_state()?;
+    (c.r.remaining() == 0).then_some(p)
+}
+
+/// Decode one object component from exactly its canonical encoding
+/// (trailing bytes reject).
+pub(crate) fn decode_obj_state(bytes: &[u8]) -> Option<ObjState> {
+    let mut c = Cursor {
+        r: ByteReader::new(bytes),
+    };
+    let o = c.obj_state()?;
+    (c.r.remaining() == 0).then_some(o)
+}
+
 /// Decode one canonical state encoding. Returns `None` on malformed or
 /// trailing bytes. The result shares no allocation with any other state
 /// — it is an *eager clone*, which is exactly what the CoW-vs-eager
@@ -452,6 +485,7 @@ mod tests {
             let mut c = ByteReader::new(&buf);
             assert_eq!(c.u64(), Some(v));
             assert_eq!(c.pos(), buf.len());
+            assert_eq!(varint_len(v), buf.len(), "varint_len({v})");
         }
         for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300] {
             let mut buf = Vec::new();

@@ -1,0 +1,421 @@
+//! Collapse-style component interning.
+//!
+//! Successive states share almost all of their components via
+//! [`CowArc`], yet the visited stores held a full canonical encoding
+//! per state — re-serializing and re-storing the same process/object
+//! bytes millions of times. A [`ComponentInterner`] assigns a dense
+//! `u32` ID to each distinct component *encoding* (one per distinct
+//! process state, one per distinct object state), and a state's stored
+//! form becomes a compact tuple of varint-coded component IDs
+//! ([`GlobalState::fingerprint_and_intern`]) instead of its encoding —
+//! typically under a dozen bytes regardless of stack depth or queue
+//! contents. Tuple *length* can differ between runs (ID magnitudes are
+//! timing-dependent under `--jobs`), which is harmless for the same
+//! reason spilling is: stored sizes only drive budget decisions, never
+//! the report surface.
+//!
+//! ## Why ID-tuple equality is state equality
+//!
+//! The interner is injective *within a run*: `intern` returns equal IDs
+//! iff the byte strings are equal, and the encoder itself is injective
+//! (see [`super::encode`]). So for two states compressed against the
+//! same interner, tuple equality ⟺ componentwise encoding equality ⟺
+//! state equality — the stores' collision-safety rule ("the fingerprint
+//! nominates, the bytes decide") carries over with the compressed bytes
+//! standing in for the raw encoding. IDs are **not** stable across runs
+//! (worker timing decides which thread interns a new component first),
+//! which is why they never appear in reports and why checkpoints must
+//! persist the table: `--resume` reloads the exact ID assignment the
+//! interrupted run used ([`ComponentInterner::load`]), reconstructing
+//! identical membership.
+//!
+//! Each interner carries a process-unique nonzero token; the per-
+//! allocation memo in [`CowArc`] is tagged with it, so a memo produced
+//! against one run's interner can never leak IDs into another run.
+//!
+//! [`CowArc`]: super::CowArc
+//! [`GlobalState`]: super::GlobalState
+//! [`GlobalState::fingerprint_and_intern`]: super::GlobalState::fingerprint_and_intern
+
+use super::encode::{
+    check_header, decode_obj_state, decode_proc_state, put_header, put_u64, ByteReader,
+    INTERN_MAGIC,
+};
+use super::{CowArc, GlobalState};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Lock stripes for the bytes→ID map, mirroring the visited store's
+/// striping so concurrent workers interning disjoint components rarely
+/// contend.
+const STRIPES: usize = 64;
+
+/// Source of process-unique interner tokens (nonzero, so a zeroed memo
+/// can never match).
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// How many table entries (and committed file bytes) a checkpoint has
+/// already persisted; appends continue from here.
+struct PersistCursor {
+    entries: u64,
+    bytes: u64,
+}
+
+/// A concurrent, lock-striped interner of component encodings: dense
+/// `u32` IDs, append-only ID→bytes table, crash-safe persistence for
+/// checkpoints. See the module docs for the injectivity contract.
+pub struct ComponentInterner {
+    /// Process-unique tag for per-allocation memos (see [`CowArc`]).
+    token: u64,
+    /// bytes → id, striped by a stable hash of the bytes.
+    stripes: Vec<Mutex<HashMap<Arc<[u8]>, u32>>>,
+    /// id → bytes. Appends are serialized by the writer lock (they are
+    /// rare: one per *distinct* component); probes by ID take the read
+    /// lock only.
+    table: RwLock<Vec<Arc<[u8]>>>,
+    /// Total bytes across table entries.
+    payload: AtomicUsize,
+    persisted: Mutex<PersistCursor>,
+}
+
+impl Default for ComponentInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ComponentInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentInterner")
+            .field("token", &self.token)
+            .field("entries", &self.len())
+            .field("bytes", &self.bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ComponentInterner {
+    /// A fresh, empty interner with a process-unique token.
+    pub fn new() -> Self {
+        ComponentInterner {
+            token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            table: RwLock::new(Vec::new()),
+            payload: AtomicUsize::new(0),
+            persisted: Mutex::new(PersistCursor {
+                entries: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// The interner's unique token (tags the per-allocation memos in
+    /// [`CowArc`]).
+    #[inline]
+    pub(super) fn token(&self) -> u64 {
+        self.token
+    }
+
+    #[inline]
+    fn stripe(&self, bytes: &[u8]) -> &Mutex<HashMap<Arc<[u8]>, u32>> {
+        let h = crate::hash::stable_hash_bytes(bytes);
+        &self.stripes[(h >> 32) as usize % self.stripes.len()]
+    }
+
+    /// The dense ID of `bytes`, assigning the next one on first sight.
+    /// Equal byte strings always return equal IDs (per interner).
+    pub fn intern(&self, bytes: &[u8]) -> u32 {
+        let mut map = self.stripe(bytes).lock().unwrap();
+        if let Some(&id) = map.get(bytes) {
+            return id;
+        }
+        let entry: Arc<[u8]> = Arc::from(bytes);
+        let id = {
+            // Stripe lock → table lock is the fixed acquisition order.
+            let mut table = self.table.write().unwrap();
+            let id = u32::try_from(table.len()).expect("more than 2^32 distinct components");
+            table.push(Arc::clone(&entry));
+            id
+        };
+        self.payload.fetch_add(bytes.len(), Ordering::Relaxed);
+        map.insert(entry, id);
+        id
+    }
+
+    /// The encoding interned under `id`, if assigned.
+    pub fn get(&self, id: u32) -> Option<Arc<[u8]>> {
+        self.table.read().unwrap().get(id as usize).cloned()
+    }
+
+    /// Number of distinct components interned.
+    pub fn len(&self) -> usize {
+        self.table.read().unwrap().len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes across interned component encodings (the table's
+    /// payload — what `--stats` reports as the interner size).
+    pub fn bytes(&self) -> usize {
+        self.payload.load(Ordering::Relaxed)
+    }
+
+    /// Rebuild the state a compressed ID tuple denotes (the spool's
+    /// decode path, and the debug oracle for
+    /// [`GlobalState::fingerprint_and_intern`]). `None` when the tuple
+    /// is malformed or references an unknown ID.
+    pub fn decode_compressed(&self, cenc: &[u8]) -> Option<GlobalState> {
+        let mut r = ByteReader::new(cenc);
+        let _raw_len = r.u64()?;
+        let table = self.table.read().unwrap();
+        let component = |r: &mut ByteReader<'_>| -> Option<Arc<[u8]>> {
+            let id = u32::try_from(r.u64()?).ok()?;
+            table.get(id as usize).cloned()
+        };
+        let np = usize::try_from(r.u64()?).ok()?;
+        let mut procs = Vec::with_capacity(np.min(1024));
+        for _ in 0..np {
+            procs.push(CowArc::new(decode_proc_state(&component(&mut r)?)?));
+        }
+        let no = usize::try_from(r.u64()?).ok()?;
+        let mut objects = Vec::with_capacity(no.min(1024));
+        for _ in 0..no {
+            objects.push(CowArc::new(decode_obj_state(&component(&mut r)?)?));
+        }
+        (r.remaining() == 0).then_some(GlobalState { procs, objects })
+    }
+
+    /// Append the table entries not yet on disk to the table file at
+    /// `path` (`[header][len][bytes]…`, IDs implicit in record order),
+    /// fsync, and return the committed `(entries, byte length)` for the
+    /// checkpoint manifest. Any torn tail a crash left beyond the
+    /// previously committed prefix is truncated before appending, so
+    /// the file's first `byte_len` bytes are always exactly the records
+    /// the manifest describes.
+    pub(crate) fn persist(&self, path: &Path) -> io::Result<(u64, u64)> {
+        let mut cur = self.persisted.lock().unwrap();
+        let fresh: Vec<Arc<[u8]>> = {
+            let table = self.table.read().unwrap();
+            table[cur.entries as usize..].to_vec()
+        };
+        let mut buf = Vec::new();
+        if cur.entries == 0 {
+            put_header(&mut buf, INTERN_MAGIC);
+        }
+        for e in &fresh {
+            put_u64(&mut buf, e.len() as u64);
+            buf.extend_from_slice(e);
+        }
+        if !buf.is_empty() {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
+            f.set_len(cur.bytes)?;
+            f.seek(SeekFrom::End(0))?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        cur.entries += fresh.len() as u64;
+        cur.bytes += buf.len() as u64;
+        Ok((cur.entries, cur.bytes))
+    }
+
+    /// Load a persisted table into this (empty) interner: read exactly
+    /// the manifest-committed prefix, truncating any torn post-crash
+    /// tail, and re-assign IDs in record order — which reproduces the
+    /// interrupted run's assignment exactly, because records were
+    /// appended in ID order.
+    pub(crate) fn load(&self, path: &Path, entries: u64, byte_len: u64) -> io::Result<()> {
+        use std::io::Read;
+        let corrupt = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        assert!(
+            self.is_empty(),
+            "interner tables load into a fresh interner"
+        );
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let actual = f.metadata()?.len();
+        if actual < byte_len {
+            return Err(corrupt("interner table shorter than its manifest length"));
+        }
+        if actual > byte_len {
+            f.set_len(byte_len)?; // torn post-crash tail
+        }
+        let mut bytes = vec![0u8; usize::try_from(byte_len).expect("table fits in memory")];
+        f.read_exact(&mut bytes)?;
+        let mut r = ByteReader::new(&bytes);
+        if !check_header(&mut r, INTERN_MAGIC) {
+            return Err(corrupt(
+                "not an interner table (or written by an incompatible store format version)",
+            ));
+        }
+        for i in 0..entries {
+            let len = r
+                .u64()
+                .and_then(|l| usize::try_from(l).ok())
+                .ok_or_else(|| corrupt("truncated interner record"))?;
+            let enc = r
+                .take(len)
+                .ok_or_else(|| corrupt("truncated interner record"))?;
+            let id = self.intern(enc);
+            assert_eq!(id as u64, i, "records re-intern in ID order");
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes inside the interner table prefix"));
+        }
+        let mut cur = self.persisted.lock().unwrap();
+        cur.entries = entries;
+        cur.bytes = byte_len;
+        Ok(())
+    }
+}
+
+/// The raw (uncompressed) encoded length a compressed tuple stands
+/// for — its leading varint. The stores use this to keep reporting
+/// logical byte totals (`Report::visited_bytes`) independent of the
+/// stored representation.
+pub fn raw_len_of(cenc: &[u8]) -> Option<usize> {
+    usize::try_from(ByteReader::new(cenc).u64()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{encode_state, ObjState};
+    use super::*;
+    use crate::value::Value;
+
+    fn enc(o: &ObjState) -> Vec<u8> {
+        use super::super::encode::Encode;
+        let mut out = Vec::new();
+        o.encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn interning_is_injective_and_dense() {
+        let i = ComponentInterner::new();
+        assert!(i.is_empty());
+        let a = enc(&ObjState::Sem(1));
+        let b = enc(&ObjState::Sem(2));
+        let id_a = i.intern(&a);
+        let id_b = i.intern(&b);
+        assert_ne!(id_a, id_b);
+        assert_eq!(i.intern(&a), id_a, "re-interning is stable");
+        assert_eq!((id_a.min(id_b), id_a.max(id_b)), (0, 1), "dense IDs");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.bytes(), a.len() + b.len());
+        assert_eq!(i.get(id_a).as_deref(), Some(&a[..]));
+        assert_eq!(i.get(2), None);
+    }
+
+    #[test]
+    fn tokens_are_unique_per_interner() {
+        assert_ne!(
+            ComponentInterner::new().token(),
+            ComponentInterner::new().token()
+        );
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_ids() {
+        let i = ComponentInterner::new();
+        let encs: Vec<Vec<u8>> = (0..64).map(|n| enc(&ObjState::Sem(n))).collect();
+        let ids: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| encs.iter().map(|e| i.intern(e)).collect::<Vec<u32>>()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for w in &ids[1..] {
+            assert_eq!(w, &ids[0], "every thread sees one assignment");
+        }
+        assert_eq!(i.len(), 64);
+    }
+
+    #[test]
+    fn compressed_tuple_roundtrips_through_the_interner() {
+        let prog = cfgir::compile(
+            "chan c[2]; sem s = 1; int g = 3; \
+             proc m() { send(c, g); sem_wait(s); g = g + 1; sem_signal(s); } \
+             process m(); process m();",
+        )
+        .unwrap();
+        let mut s = GlobalState::initial(&prog);
+        let i = ComponentInterner::new();
+        let (fp, cenc) = s.fingerprint_and_intern(&i);
+        assert_eq!(fp, s.fingerprint());
+        assert_eq!(raw_len_of(&cenc), Some(encode_state(&s).len()));
+        assert!(cenc.len() < encode_state(&s).len(), "tuples are smaller");
+        assert_eq!(i.decode_compressed(&cenc).as_ref(), Some(&s));
+        // Identical states compress to identical tuples; a mutation
+        // changes the tuple (injectivity both ways).
+        let (_, cenc2) = s.clone().fingerprint_and_intern(&i);
+        assert_eq!(cenc, cenc2);
+        *s.object_mut(1) = ObjState::Sem(0);
+        let (_, cenc3) = s.fingerprint_and_intern(&i);
+        assert_ne!(cenc, cenc3);
+        // The two tuples share every component but the mutated one.
+        assert_eq!(i.decode_compressed(&cenc3).as_ref(), Some(&s));
+    }
+
+    #[test]
+    fn persist_and_load_reconstruct_the_assignment() {
+        let dir = std::env::temp_dir().join(format!("reclose-intern-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("intern.bin");
+        let i = ComponentInterner::new();
+        let encs: Vec<Vec<u8>> = (0..5)
+            .map(|n| enc(&ObjState::Shared(Value::Int(n))))
+            .collect();
+        for e in &encs[..3] {
+            i.intern(e);
+        }
+        let (n1, b1) = i.persist(&path).unwrap();
+        assert_eq!(n1, 3);
+        for e in &encs[3..] {
+            i.intern(e);
+        }
+        // Incremental append, then a redundant persist with no growth.
+        let (n2, b2) = i.persist(&path).unwrap();
+        assert_eq!((n2, i.persist(&path).unwrap().0), (5, 5));
+        assert!(b2 > b1);
+        // A torn tail (crash mid-append) is truncated away on load.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"torn garbage").unwrap();
+        }
+        let j = ComponentInterner::new();
+        j.load(&path, n2, b2).unwrap();
+        assert_eq!(j.len(), 5);
+        for (want, e) in encs.iter().enumerate() {
+            assert_eq!(j.intern(e) as usize, want, "assignment reproduced");
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), b2, "tail gone");
+        // A manifest length pointing past the file is corruption.
+        let k = ComponentInterner::new();
+        assert!(k.load(&path, n2, b2 + 9).is_err());
+        // Garbage content under a correct length is rejected too.
+        std::fs::write(&path, b"not an interner table at all....").unwrap();
+        assert!(ComponentInterner::new().load(&path, 1, 20).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

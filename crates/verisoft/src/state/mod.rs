@@ -34,9 +34,11 @@
 
 mod cow;
 pub mod encode;
+pub mod intern;
 
 pub use cow::CowArc;
 pub use encode::{decode_state, encode_state};
+pub use intern::ComponentInterner;
 
 use crate::value::{Addr, Value};
 use cfgir::{CfgProgram, NodeId, ObjId, ProcId, VarId, VarKind};
@@ -347,6 +349,58 @@ impl GlobalState {
         (fp, out)
     }
 
+    /// [`Self::fingerprint`] fused with *compression* instead of
+    /// encoding: the returned bytes are the state's **compressed
+    /// tuple** — `[raw encoded len][nprocs][proc IDs…][nobjs][obj
+    /// IDs…]` with each component's dense `u32` ID (little-endian)
+    /// standing in for its encoding — under `interner`. The
+    /// fingerprint is bit-identical to [`Self::fingerprint`] /
+    /// [`Self::fingerprint_and_encode`], so stripe, shard, and rank
+    /// assignment cannot depend on whether compression is on. Each
+    /// component with a cold memo is encoded exactly once (seeding the
+    /// sub-hash cache from those bytes, as the fused encode does); a
+    /// warm memo answers from two cached words without touching bytes
+    /// at all, which is where the states/sec win over
+    /// [`Self::fingerprint_and_encode`] comes from.
+    pub fn fingerprint_and_intern(&self, interner: &ComponentInterner) -> (u64, Vec<u8>) {
+        let mut out = Vec::with_capacity(16 + 4 * (self.procs.len() + self.objects.len()));
+        let mut scratch = Vec::with_capacity(64);
+        let mut h = crate::hash::StableHasher::new();
+        // Raw encoded length first (see `intern::raw_len_of`): the
+        // stores report logical bytes, not stored bytes.
+        let mut raw = encode::varint_len(self.procs.len() as u64)
+            + encode::varint_len(self.objects.len() as u64);
+        let mut ids = Vec::with_capacity(self.procs.len() + self.objects.len());
+        h.write_u64(self.procs.len() as u64);
+        for p in &self.procs {
+            let (id, len, sub) = p.intern_with(interner, &mut scratch);
+            h.write_u64(sub);
+            raw += len as usize;
+            ids.push(id);
+        }
+        h.write_u64(self.objects.len() as u64);
+        for o in &self.objects {
+            let (id, len, sub) = o.intern_with(interner, &mut scratch);
+            h.write_u64(sub);
+            raw += len as usize;
+            ids.push(id);
+        }
+        encode::put_u64(&mut out, raw as u64);
+        encode::put_u64(&mut out, self.procs.len() as u64);
+        for id in &ids[..self.procs.len()] {
+            encode::put_u64(&mut out, u64::from(*id));
+        }
+        encode::put_u64(&mut out, self.objects.len() as u64);
+        for id in &ids[self.procs.len()..] {
+            encode::put_u64(&mut out, u64::from(*id));
+        }
+        let fp = h.finish();
+        debug_assert_eq!(fp, self.fingerprint_from_scratch());
+        debug_assert_eq!(raw, encode_state(self).len());
+        debug_assert_eq!(interner.decode_compressed(&out).as_ref(), Some(self));
+        (fp, out)
+    }
+
     /// The fingerprint with every sub-hash recomputed from the
     /// component's canonical encoding, bypassing the caches.
     fn fingerprint_from_scratch(&self) -> u64 {
@@ -558,5 +612,39 @@ mod tests {
         assert_eq!(enc2, encode_state(&s));
         // Warm caches: same answers again.
         assert_eq!(s.fingerprint_and_encode(), (fp2, enc2));
+    }
+
+    #[test]
+    fn fused_fingerprint_and_intern_matches_the_uncompressed_pass() {
+        let prog = compile(
+            "chan c[2]; sem s = 1; int g = 3; \
+             proc m() { send(c, g); sem_wait(s); g = g + 1; sem_signal(s); } \
+             process m(); process m();",
+        )
+        .unwrap();
+        let i = ComponentInterner::new();
+        let mut s = GlobalState::initial(&prog);
+        // Cold memos: same fingerprint as the uncompressed pass, and a
+        // tuple the interner decodes back to the state.
+        let (fp, cenc) = s.fingerprint_and_intern(&i);
+        assert_eq!(fp, s.fingerprint());
+        assert_eq!(i.decode_compressed(&cenc).as_ref(), Some(&s));
+        assert_eq!(intern::raw_len_of(&cenc), Some(encode_state(&s).len()));
+        // After a mutation, only the touched component re-interns.
+        let interned_before = i.len();
+        *s.object_mut(1) = ObjState::Sem(5);
+        let (fp2, cenc2) = s.fingerprint_and_intern(&i);
+        assert_eq!(fp2, s.fingerprint());
+        assert_ne!(cenc2, cenc);
+        assert_eq!(i.len(), interned_before + 1, "one new component");
+        // Warm memos: same answers again; equal states, equal tuples.
+        assert_eq!(s.fingerprint_and_intern(&i), (fp2, cenc2.clone()));
+        assert_eq!(s.clone().fingerprint_and_intern(&i).1, cenc2);
+        // A second interner sees the same fingerprints but assigns its
+        // own IDs — memos from `i` must not leak into it.
+        let j = ComponentInterner::new();
+        let (fpj, cencj) = s.fingerprint_and_intern(&j);
+        assert_eq!(fpj, fp2);
+        assert_eq!(j.decode_compressed(&cencj).as_ref(), Some(&s));
     }
 }

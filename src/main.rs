@@ -67,11 +67,17 @@ fn usage() -> String {
                                   reduction. The stateful engines use\n\
                                   persistent sets with a cycle proviso; the\n\
                                   stateless engines add sleep sets\n\
+         --no-compress            stateful engines: store full canonical\n\
+                                  encodings instead of collapse-compressed\n\
+                                  component-ID tuples (escape hatch; the\n\
+                                  report is byte-identical either way, but a\n\
+                                  checkpoint cannot be resumed across modes)\n\
          --stats                  print states/sec, visited-store bytes and\n\
-                                  state count, the CoW sharing ratio, the POR\n\
-                                  reduction counters, and (frontier engines)\n\
-                                  peak resident store bytes, spilled entries,\n\
-                                  segment and checkpoint counts\n\
+                                  state count, the compression ratio and\n\
+                                  interner size, the CoW sharing ratio, the\n\
+                                  POR reduction counters, and (frontier\n\
+                                  engines) peak resident store bytes, spilled\n\
+                                  entries, segment and checkpoint counts\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
                                   a schedule is decisions like P0 P1[2,0] P0\n\
@@ -284,6 +290,7 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         checkpoint_every: opt("--checkpoint-every")?.unwrap_or(32),
         resume: resume_dir.is_some(),
         abort_after_checkpoints: opt("--abort-after-checkpoints")?,
+        no_compress: flag("--no-compress"),
         ..Config::default()
     };
     if prog.has_env_reads() && config.env_mode == EnvMode::Closed {
@@ -333,6 +340,21 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 report.visited_bytes as f64 / report.visited_states as f64
             );
         }
+        if report.interner_entries > 0 {
+            // Dedup ratio: raw canonical bytes per byte actually stored
+            // (tuples + one copy of each distinct component).
+            let stored = report.store_stored_bytes + report.interner_bytes;
+            println!(
+                "stats: compression: {} stored + {} interner bytes \
+                 ({:.1} stored bytes/state, {} component(s) interned, \
+                 {:.2}x dedup)",
+                report.store_stored_bytes,
+                report.interner_bytes,
+                report.store_stored_bytes as f64 / report.visited_states.max(1) as f64,
+                report.interner_entries,
+                report.visited_bytes as f64 / stored.max(1) as f64
+            );
+        }
         if report.total_components > 0 {
             println!(
                 "stats: CoW sharing: {}/{} successor components shared ({:.1}%)",
@@ -350,11 +372,13 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         if report.store_peak_mem_bytes > 0 {
             println!(
                 "stats: store: peak resident {} bytes, {} spilled state(s), \
-                 {} frontier entry(ies) spooled, {} segment(s), {} checkpoint(s)",
+                 {} frontier entry(ies) spooled, {} segment(s) \
+                 ({} compacted away), {} checkpoint(s)",
                 report.store_peak_mem_bytes,
                 report.store_spilled_entries,
                 report.frontier_spilled_entries,
                 report.store_segments,
+                report.store_segments_compacted,
                 report.checkpoints_written
             );
         }

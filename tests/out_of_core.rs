@@ -51,7 +51,7 @@ fn spilling_never_changes_the_report() {
     assert!(baseline.clean(), "workers.mc is violation-free");
     assert!(baseline.states > 20, "the run is big enough to spill");
     for jobs in [1, 2, 8] {
-        for mem_limit in [usize::MAX, 1 << 10, 256, 64] {
+        for mem_limit in [usize::MAX, 1 << 10, 256, 32] {
             let config = Config {
                 mem_limit,
                 ..frontier_config(jobs)
@@ -62,7 +62,7 @@ fn spilling_never_changes_the_report() {
                 surface(&baseline),
                 "jobs={jobs} mem_limit={mem_limit}"
             );
-            if mem_limit == 64 {
+            if mem_limit == 32 {
                 assert!(report.store_spilled_entries > 0, "tiny budget spills");
                 assert!(report.frontier_spilled_entries > 0, "and spools");
             }
@@ -149,6 +149,130 @@ fn resume_survives_repeated_kills() {
     }
     assert!(kills > 2, "several kill/resume cycles actually happened");
     assert_eq!(surface(&report), surface(&baseline));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interner_table_survives_a_torn_tail() {
+    // A crash can tear the append-only interner table mid-record: the
+    // manifest records the committed (entries, bytes) prefix, so any
+    // trailing garbage past that point must be truncated on load and
+    // the resumed run must stay byte-identical.
+    let prog = compile(&workers_src()).unwrap();
+    let baseline = explore(&prog, &frontier_config(1));
+    let dir = temp_dir("torn-intern");
+    let killed = explore(
+        &prog,
+        &Config {
+            mem_limit: 300,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            abort_after_checkpoints: Some(2),
+            ..frontier_config(2)
+        },
+    );
+    assert!(killed.truncated);
+    assert!(killed.interner_entries > 0, "compression is on by default");
+    let intern = dir.join("intern.bin");
+    let committed = std::fs::metadata(&intern)
+        .expect("interner table persisted")
+        .len();
+    assert!(committed > 0);
+    // Simulate a crash mid-append: garbage past the committed prefix.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&intern)
+        .unwrap();
+    f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x7F]).unwrap();
+    drop(f);
+    assert!(std::fs::metadata(&intern).unwrap().len() > committed);
+
+    let resumed = explore(
+        &prog,
+        &Config {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..frontier_config(1)
+        },
+    );
+    assert_eq!(surface(&resumed), surface(&baseline));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_different_compression_mode() {
+    // Compression changes the on-disk encoding of every snapshot, so
+    // it is part of the config digest: a checkpoint written with the
+    // interner cannot be resumed with `--no-compress`, and vice versa.
+    let prog = compile(&workers_src()).unwrap();
+    for killed_no_compress in [false, true] {
+        let dir = temp_dir(&format!("mode-{killed_no_compress}"));
+        let config = Config {
+            no_compress: killed_no_compress,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            abort_after_checkpoints: Some(1),
+            ..frontier_config(1)
+        };
+        let killed = explore(&prog, &config);
+        assert!(killed.truncated);
+
+        let flipped = Config {
+            no_compress: !killed_no_compress,
+            ..config.clone()
+        };
+        let err = verisoft::validate_checkpoint(&dir, &prog, &flipped).unwrap_err();
+        assert!(err.contains("different exploration configuration"), "{err}");
+
+        // The matching mode still validates and completes.
+        let resumed = explore(
+            &prog,
+            &Config {
+                resume: true,
+                abort_after_checkpoints: None,
+                ..config
+            },
+        );
+        assert!(!resumed.truncated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn compaction_retires_segments_without_changing_membership() {
+    // Under a tiny budget every level spills a small segment; each
+    // checkpoint then compacts the accumulated shards into one merged
+    // segment and GCs the retired files after the manifest rename.
+    // None of this may leak into the report surface.
+    let prog = compile(&workers_src()).unwrap();
+    let baseline = explore(&prog, &frontier_config(1));
+    let dir = temp_dir("compact");
+    let killed = explore(
+        &prog,
+        &Config {
+            mem_limit: 16,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            abort_after_checkpoints: Some(3),
+            ..frontier_config(1)
+        },
+    );
+    assert!(killed.truncated);
+    assert!(
+        killed.store_segments_compacted > 0,
+        "several small segments accumulated and were merged"
+    );
+    let resumed = explore(
+        &prog,
+        &Config {
+            mem_limit: 16,
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..frontier_config(2)
+        },
+    );
+    assert_eq!(surface(&resumed), surface(&baseline));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
