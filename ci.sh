@@ -233,7 +233,7 @@ RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
 J="$SMOKE/BENCH_state_ops.json"
 [ -f "$J" ] || { echo "state_ops: $J was not written"; exit 1; }
 for op in clone_successor fingerprint fingerprint_and_intern visited_insert \
-          encode_roundtrip; do
+          visited_insert_batch encode_roundtrip; do
     grep -q "state_ops/$op" "$J" \
         || { echo "state_ops: record $op missing from JSON"; exit 1; }
 done
@@ -246,7 +246,7 @@ if grep -q '"elements": 0[,}]' "$J"; then
     echo "state_ops: a record reports zero elements"
     exit 1
 fi
-echo "  BENCH_state_ops.json: 5 records, schema complete"
+echo "  BENCH_state_ops.json: 6 records, schema complete"
 
 echo "== bench smoke: visited_store micro-benchmark + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
@@ -254,8 +254,8 @@ RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
     || { cat "$SMOKE/visited_store.log"; exit 1; }
 JV="$SMOKE/BENCH_visited_store.json"
 [ -f "$JV" ] || { echo "visited_store: $JV was not written"; exit 1; }
-for op in insert probe_hit_mem probe_hit_disk probe_hit_disk_compressed \
-          probe_miss spill compact; do
+for op in insert insert_batch probe_hit_mem probe_hit_disk \
+          probe_hit_disk_compressed probe_miss spill compact; do
     grep -q "visited_store/$op" "$JV" \
         || { echo "visited_store: record $op missing from JSON"; exit 1; }
 done
@@ -268,7 +268,7 @@ if grep -q '"elements": 0[,}]' "$JV"; then
     echo "visited_store: a record reports zero elements"
     exit 1
 fi
-echo "  BENCH_visited_store.json: 7 records, schema complete"
+echo "  BENCH_visited_store.json: 8 records, schema complete"
 
 echo "== perf gate: fresh medians vs committed baselines =="
 # The bench smokes above just wrote fresh JSONs into $SMOKE; compare
@@ -303,7 +303,27 @@ perf_gate BENCH_state_ops.json "$SMOKE/BENCH_state_ops.json" \
     || { echo "perf gate: state_ops regression (see above)"; exit 1; }
 perf_gate BENCH_visited_store.json "$SMOKE/BENCH_visited_store.json" \
     || { echo "perf gate: visited_store regression (see above)"; exit 1; }
+perf_gate BENCH_por.json "$SMOKE/BENCH_por.json" \
+    || { echo "perf gate: por_stateful regression (see above)"; exit 1; }
 echo "  no >2x median regression against committed baselines"
+
+echo "== bench smoke: precision micro-suite + JSON schema =="
+RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
+    --bench precision > "$SMOKE/precision.log" 2>&1 \
+    || { cat "$SMOKE/precision.log"; exit 1; }
+JR="$SMOKE/BENCH_precision.json"
+[ -f "$JR" ] || { echo "precision: $JR was not written"; exit 1; }
+for rec in "precision/analyze_fig2" "precision/refine_partition"; do
+    grep -q "$rec" "$JR" \
+        || { echo "precision: record $rec missing from JSON"; exit 1; }
+done
+for field in hardware_threads name min_ns median_ns mean_ns; do
+    grep -q "\"$field\"" "$JR" \
+        || { echo "precision: field $field missing from JSON"; exit 1; }
+done
+perf_gate BENCH_precision.json "$JR" \
+    || { echo "perf gate: precision regression (see above)"; exit 1; }
+echo "  BENCH_precision.json: front-end records present, schema complete"
 
 echo "== bench smoke: close_pipeline + JSON schema =="
 RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \

@@ -8,6 +8,11 @@
 //!   `b` is semantically constant, so a dependent branch becomes a toss;
 //! - **finite variance** — a node reached both with and without
 //!   environment influence is removed wholesale.
+//!
+//! Alongside the human tables the run writes `BENCH_precision.json`
+//! with the timed records (analysis and refinement-partition wall
+//! times), so CI can track the closing front-end's cost like every
+//! other bench.
 
 use reclose_bench::harness::Criterion;
 use reclose_bench::{close, compile, enumerate_config, trace_config, FIG2_P};
@@ -177,7 +182,7 @@ fn bench(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion::default().sample_size(20).emit_json("precision");
     targets = bench
 }
 criterion_main!(benches);

@@ -132,6 +132,32 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The same write path through the batched commit entry points: one
+    // stripe-grouped `insert_batch` for the admits and one `seal_batch`
+    // for the winner flags, as the frontier engines issue per chunk.
+    g.bench_with_input(
+        BenchmarkId::new("visited_insert_batch", n),
+        &encs,
+        |b, encs| {
+            b.iter(|| {
+                let store = VisitedStore::default();
+                let mut items: Vec<(u64, u64, &[u8])> = encs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, (h, e))| (*h, rank(j, 0), e.as_slice()))
+                    .collect();
+                store.insert_batch(&mut items);
+                let probes: Vec<(u64, u64, &[u8])> = encs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, (h, e))| (*h, rank(j, 0), e.as_slice()))
+                    .collect();
+                black_box(store.seal_batch(&probes, 1));
+                black_box(store.len())
+            })
+        },
+    );
+
     // Canonical encode→decode roundtrip (decode doubles as the
     // eager-clone oracle used by the tests).
     g.bench_with_input(BenchmarkId::new("encode_roundtrip", n), &states, |b, ss| {

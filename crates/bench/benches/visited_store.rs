@@ -113,6 +113,28 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The same write path through the batched commit entry points the
+    // frontier engines use per chunk: one stripe-grouped `insert_batch`
+    // plus one `seal_batch`, instead of two locked calls per state.
+    g.bench_with_input(BenchmarkId::new("insert_batch", n), &encs, |b, encs| {
+        b.iter(|| {
+            let store = TieredStore::new(usize::MAX, None);
+            let mut items: Vec<(u64, u64, &[u8])> = encs
+                .iter()
+                .enumerate()
+                .map(|(j, (h, e))| (*h, rank(j, 0), e.as_slice()))
+                .collect();
+            store.insert_batch(&mut items);
+            let probes: Vec<(u64, u64, &[u8])> = encs
+                .iter()
+                .enumerate()
+                .map(|(j, (h, e))| (*h, rank(j, 0), e.as_slice()))
+                .collect();
+            black_box(store.seal_batch(&probes, 1));
+            black_box(store.len())
+        })
+    });
+
     // The POR-proviso probe against memory-resident sealed states.
     let mem = sealed_store(&encs, false);
     g.bench_with_input(BenchmarkId::new("probe_hit_mem", n), &encs, |b, encs| {

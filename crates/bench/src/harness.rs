@@ -74,6 +74,9 @@ struct Record {
     median: Duration,
     mean: Duration,
     throughput: Option<(&'static str, u64)>,
+    /// Extra numeric fields attached via [`Criterion::annotate`],
+    /// emitted verbatim into the record's JSON object.
+    annotations: Vec<(String, f64)>,
 }
 
 /// The top-level timer: a drop-in for the slice of `criterion::Criterion`
@@ -164,7 +167,30 @@ impl Criterion {
             median,
             mean,
             throughput: self.current_throughput,
+            annotations: Vec::new(),
         });
+    }
+
+    /// Attach a derived numeric field to an already-recorded benchmark
+    /// (matched by its full `group/function/param` name); it is emitted
+    /// as an extra `"key": value` pair in that record's JSON object.
+    /// Lets benches report quantities computed *across* measurements —
+    /// e.g. parallel efficiency, which needs the single-job median too.
+    /// Unknown names are ignored (the record may have been skipped).
+    pub fn annotate(&mut self, name: &str, key: &str, value: f64) {
+        if let Some(r) = self.records.iter_mut().rev().find(|r| r.name == name) {
+            r.annotations.push((key.to_string(), value));
+        }
+    }
+
+    /// The median wall time of an already-recorded benchmark, by full
+    /// name — the cross-measurement input for [`Criterion::annotate`].
+    pub fn median_of(&self, name: &str) -> Option<Duration> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.name == name)
+            .map(|r| r.median)
     }
 
     /// Render the collected records as the `BENCH_*.json` document.
@@ -190,6 +216,9 @@ impl Criterion {
                 out.push_str(&format!(
                     ", \"{unit}\": {amount}, \"{unit}_per_sec\": {per_sec:.1}"
                 ));
+            }
+            for (key, value) in &r.annotations {
+                out.push_str(&format!(", \"{}\": {value}", json_escape(key)));
             }
             out.push_str(if i + 1 < self.records.len() {
                 "},\n"
@@ -364,6 +393,21 @@ mod tests {
         assert!(json.contains("\"elements\": 1000"));
         assert!(json.contains("\"elements_per_sec\""));
         // Avoid writing a file from the test.
+        c.json_path = None;
+    }
+
+    #[test]
+    fn annotations_reach_the_matching_record() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("grp/jobs/1", |b| b.iter(|| 1 + 1));
+        c.bench_function("grp/jobs/2", |b| b.iter(|| 2 + 2));
+        assert!(c.median_of("grp/jobs/1").is_some());
+        assert!(c.median_of("grp/jobs/9").is_none());
+        c.annotate("grp/jobs/2", "parallelism_efficiency", 0.5);
+        c.annotate("grp/jobs/9", "ignored", 1.0); // unknown name: dropped
+        let json = c.render_json();
+        assert!(json.contains("\"parallelism_efficiency\": 0.5"), "{json}");
+        assert!(!json.contains("ignored"));
         c.json_path = None;
     }
 

@@ -96,6 +96,43 @@ impl Hasher for StableHasher {
     }
 }
 
+/// A pass-through [`Hasher`] for keys that *are already* 64-bit digests
+/// (state fingerprints, content hashes): the key is used as the hash
+/// verbatim, skipping a redundant mixing round per map operation.
+///
+/// Only sound for keys whose bits are uniformly mixed — which a
+/// [`StableHasher`] output is, by construction (its finalizer is the
+/// invertible SplitMix64 mixer). The visited stores key their stripe
+/// maps by fingerprint, so with the default SipHash they would pay a
+/// full keyed hash on every admit/seal/probe just to re-mix an already
+/// mixed value.
+#[derive(Debug, Clone, Default)]
+pub struct FpHasher(u64);
+
+/// `BuildHasher` for [`FpHasher`], for fingerprint-keyed map aliases.
+pub type FpBuildHasher = BuildHasherDefault<FpHasher>;
+
+impl Hasher for FpHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Non-u64 keys land here (e.g. tuple keys); fold them through
+        // the stable mixer so the type stays usable, just not free.
+        for &b in bytes {
+            self.0 = mix64(self.0.wrapping_add(b as u64).wrapping_add(GOLDEN));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Hash any `Hash` value through [`StableHasher`].
 pub fn stable_hash<T: std::hash::Hash>(value: &T) -> u64 {
     let mut h = StableHasher::new();
@@ -150,6 +187,20 @@ mod tests {
         b.write(&[0, 0, 0, 0]);
         assert_ne!(a.finish(), b.finish());
         assert_ne!(StableHasher::new().finish(), a.finish());
+    }
+
+    #[test]
+    fn fp_hasher_is_pass_through_for_u64_keys() {
+        use std::hash::BuildHasher;
+        let bh = FpBuildHasher::default();
+        assert_eq!(bh.hash_one(0xDEAD_BEEF_u64), 0xDEAD_BEEF);
+        // Same key, same hash — the map contract — and maps built on it
+        // behave like any other map.
+        let mut m: std::collections::HashMap<u64, u32, FpBuildHasher> =
+            std::collections::HashMap::default();
+        m.insert(7, 1);
+        m.insert(u64::MAX, 2);
+        assert_eq!((m.get(&7), m.get(&u64::MAX)), (Some(&1), Some(&2)));
     }
 
     #[test]

@@ -61,6 +61,61 @@ pub struct ChildSucc {
     pub sleep: BTreeSet<usize>,
 }
 
+/// Arena-backed visited-store keys for one expansion: every child's
+/// `(fingerprint, encoding)` pair lives as a span of one shared byte
+/// buffer instead of a `Vec<u8>` of its own. The stateful engines
+/// compute ~one key per transition, so the flattening removes a heap
+/// allocation from the hottest per-successor path; all consumers read
+/// keys by reference, and violation children hold `(0, empty)` spans
+/// exactly as the per-key vectors did.
+#[derive(Debug, Default)]
+pub struct KeyArena {
+    /// Per child: fingerprint + `(start, end)` span into `bytes`.
+    index: Vec<(u64, u32, u32)>,
+    /// The shared encoding arena.
+    bytes: Vec<u8>,
+}
+
+impl KeyArena {
+    /// Number of keys (one per child, in child order).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no child has been keyed yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The `j`-th child's key; the encoding slice is empty for
+    /// violation children.
+    pub fn get(&self, j: usize) -> (u64, &[u8]) {
+        let (h, s, e) = self.index[j];
+        (h, &self.bytes[s as usize..e as usize])
+    }
+
+    /// All keys in child order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.index
+            .iter()
+            .map(|&(h, s, e)| (h, &self.bytes[s as usize..e as usize]))
+    }
+
+    /// Append a key whose encoding `f` writes onto the arena, returning
+    /// the fingerprint.
+    pub fn push_with(&mut self, f: impl FnOnce(&mut Vec<u8>) -> u64) {
+        let start = self.bytes.len() as u32;
+        let h = f(&mut self.bytes);
+        self.index.push((h, start, self.bytes.len() as u32));
+    }
+
+    /// Append the `(0, empty)` placeholder a violation child carries.
+    pub fn push_violation(&mut self) {
+        let end = self.bytes.len() as u32;
+        self.index.push((0, end, end));
+    }
+}
+
 /// One level of POR-aware expansion for the stateful engines
 /// ([`Executor::expand_stateful`]): the children, their visited-store
 /// keys, and the partial-order-reduction bookkeeping the drivers fold
@@ -73,9 +128,9 @@ pub struct StatefulExpansion {
     pub expansion: NodeExpansion,
     /// Per child, aligned with the child list: the successor state's
     /// stable fingerprint and canonical encoding (`(0, empty)` for
-    /// violation outcomes; empty vector for dead ends). Computed here so
+    /// violation outcomes; empty arena for dead ends). Computed here so
     /// drivers admit/dedup by comparing bytes without re-encoding.
-    pub keys: Vec<(u64, Vec<u8>)>,
+    pub keys: KeyArena,
     /// Enabled processes whose expansion POR skipped at this state
     /// (after any proviso fallback; 0 when the fallback fired).
     pub por_skipped: usize,
@@ -177,6 +232,16 @@ impl ExecCtx {
         match &self.interner {
             Some(i) => state.fingerprint_and_intern(i),
             None => state.fingerprint_and_encode(),
+        }
+    }
+
+    /// [`ExecCtx::state_key`] appending the encoding to a shared arena
+    /// (see [`KeyArena`]) instead of allocating a vector; returns the
+    /// fingerprint.
+    pub fn state_key_into(&self, state: &GlobalState, out: &mut Vec<u8>) -> u64 {
+        match &self.interner {
+            Some(i) => state.fingerprint_and_intern_into(i, out),
+            None => state.fingerprint_and_encode_into(out),
         }
     }
 }
@@ -466,24 +531,24 @@ impl<'a> Executor<'a> {
     ) -> StatefulExpansion {
         let (sched, skipped) = self.schedule_por(state);
         let mut children = Vec::new();
-        let mut keys: Vec<(u64, Vec<u8>)> = Vec::new();
-        let expand_proc = |cx: &mut ExecCtx,
-                           children: &mut Vec<ChildSucc>,
-                           keys: &mut Vec<(u64, Vec<u8>)>,
-                           pid: usize| {
-            for (choices, outcome) in self.successors(cx, state, pid) {
-                keys.push(match &outcome {
-                    SuccOutcome::State(s, _) => cx.state_key(s),
-                    SuccOutcome::Violation(..) => (0, Vec::new()),
-                });
-                children.push(ChildSucc {
-                    process: pid,
-                    choices,
-                    outcome,
-                    sleep: BTreeSet::new(),
-                });
-            }
-        };
+        let mut keys = KeyArena::default();
+        let expand_proc =
+            |cx: &mut ExecCtx, children: &mut Vec<ChildSucc>, keys: &mut KeyArena, pid: usize| {
+                for (choices, outcome) in self.successors(cx, state, pid) {
+                    match &outcome {
+                        SuccOutcome::State(s, _) => {
+                            keys.push_with(|out| cx.state_key_into(s, out));
+                        }
+                        SuccOutcome::Violation(..) => keys.push_violation(),
+                    }
+                    children.push(ChildSucc {
+                        process: pid,
+                        choices,
+                        outcome,
+                        sleep: BTreeSet::new(),
+                    });
+                }
+            };
         match sched {
             Scheduled::DeadEnd { deadlock } => StatefulExpansion {
                 expansion: NodeExpansion::DeadEnd { deadlock },
@@ -516,7 +581,7 @@ impl<'a> Executor<'a> {
                     && !cx.truncated
                     && keys
                         .iter()
-                        .any(|(h, e)| !e.is_empty() && closes_cycle(*h, e))
+                        .any(|(h, e)| !e.is_empty() && closes_cycle(h, e))
                 {
                     por_fallback = true;
                     por_skipped = 0;

@@ -11,4 +11,6 @@
 //! compares full states, per the collision-safety rule in
 //! [`crate::state`].
 
-pub use stablehash::{stable_hash, stable_hash_bytes, StableBuildHasher, StableHasher};
+pub use stablehash::{
+    stable_hash, stable_hash_bytes, FpBuildHasher, FpHasher, StableBuildHasher, StableHasher,
+};

@@ -24,7 +24,19 @@
 use crate::interp::{enabled, next_op_object};
 use crate::state::{GlobalState, Status};
 use cfgir::{CfgProgram, NodeKind, ObjId};
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+
+/// Per-thread scratch for [`persistent_set`]: (fut masks, next-op
+/// objects, closure membership, member next-object mask). Reused
+/// across calls so the per-state hot path performs no allocation
+/// beyond its result vector.
+type PsScratch = (Vec<u64>, Vec<Option<ObjId>>, Vec<bool>, Vec<u64>);
+
+thread_local! {
+    static SCRATCH: RefCell<PsScratch> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+}
 
 /// Static per-procedure information used by the reduction.
 #[derive(Debug, Clone)]
@@ -32,6 +44,13 @@ pub struct StaticInfo {
     /// For each procedure: every communication object it (or a transitive
     /// callee) may operate on.
     pub proc_objects: Vec<BTreeSet<ObjId>>,
+    /// `proc_objects` as bitmasks — one row of `words` u64 words per
+    /// procedure, row-major. [`persistent_set`] runs its conflict
+    /// closure over these (word-wise AND/OR) instead of allocating
+    /// `BTreeSet`s in the per-state hot path.
+    masks: Vec<u64>,
+    /// Words per mask row: `ceil(object count / 64)`, at least 1.
+    words: usize,
 }
 
 impl StaticInfo {
@@ -79,7 +98,18 @@ impl StaticInfo {
                 }
             }
         }
-        StaticInfo { proc_objects }
+        let words = (prog.objects.len() / 64) + 1;
+        let mut masks = vec![0u64; n * words];
+        for (p, objs) in proc_objects.iter().enumerate() {
+            for o in objs {
+                masks[p * words + o.index() / 64] |= 1u64 << (o.index() % 64);
+            }
+        }
+        StaticInfo {
+            proc_objects,
+            masks,
+            words,
+        }
     }
 
     /// All objects the given process might still touch: the union of the
@@ -93,6 +123,14 @@ impl StaticInfo {
             out.extend(self.proc_objects[f.proc.index()].iter().copied());
         }
         out
+    }
+
+    /// OR procedure `p`'s footprint mask into `dst` (`words` words).
+    #[inline]
+    fn or_footprint(&self, p: usize, dst: &mut [u64]) {
+        for (d, s) in dst.iter_mut().zip(&self.masks[p * self.words..]) {
+            *d |= s;
+        }
     }
 }
 
@@ -109,42 +147,81 @@ pub fn persistent_set(
         return enabled_pids.to_vec();
     }
     let nprocs = state.procs.len();
-    let mut best: Option<Vec<usize>> = None;
-    for &seed in enabled_pids {
-        let mut in_c = vec![false; nprocs];
-        in_c[seed] = true;
-        // Objects of next visible operations of members.
-        let mut next_objs: BTreeSet<ObjId> =
-            next_op_object(prog, state, seed).into_iter().collect();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for (q, q_in_c) in in_c.iter_mut().enumerate() {
-                if *q_in_c || state.procs[q].status == Status::Terminated {
-                    continue;
-                }
-                let fut = info.future_objects(state, q);
-                if fut.iter().any(|o| next_objs.contains(o)) {
-                    *q_in_c = true;
-                    next_objs.extend(next_op_object(prog, state, q));
-                    changed = true;
+    let w = info.words;
+    SCRATCH.with(|scratch| {
+        let (fut, next_obj, in_c, next_objs) = &mut *scratch.borrow_mut();
+        // Per-state tables, computed once and shared by every seed's
+        // closure: each live process's future-footprint mask (union over
+        // its call stack) and the object of its next visible operation.
+        // These used to be rebuilt as `BTreeSet`s inside the fixpoint loop,
+        // which dominated the stateful engines' scheduling cost.
+        fut.clear();
+        fut.resize(nprocs * w, 0);
+        next_obj.clear();
+        for q in 0..nprocs {
+            next_obj.push(next_op_object(prog, state, q));
+            if state.procs[q].status != Status::Terminated {
+                for f in &state.procs[q].frames {
+                    info.or_footprint(f.proc.index(), &mut fut[q * w..(q + 1) * w]);
                 }
             }
         }
-        let members: Vec<usize> = enabled_pids.iter().copied().filter(|p| in_c[*p]).collect();
-        debug_assert!(!members.is_empty(), "seed is enabled and in its own set");
-        if best
-            .as_ref()
-            .map(|b| members.len() < b.len())
-            .unwrap_or(true)
-        {
-            best = Some(members);
+        let set_bit = |mask: &mut [u64], o: ObjId| mask[o.index() / 64] |= 1u64 << (o.index() % 64);
+        in_c.clear();
+        in_c.resize(nprocs, false);
+        next_objs.clear();
+        next_objs.resize(w, 0);
+        let mut best: Option<Vec<usize>> = None;
+        for &seed in enabled_pids {
+            in_c.fill(false);
+            in_c[seed] = true;
+            // Objects of next visible operations of members.
+            next_objs.fill(0);
+            if let Some(o) = next_obj[seed] {
+                set_bit(next_objs, o);
+            }
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for q in 0..nprocs {
+                    if in_c[q] || state.procs[q].status == Status::Terminated {
+                        continue;
+                    }
+                    let row = &fut[q * w..(q + 1) * w];
+                    if row.iter().zip(next_objs.iter()).any(|(a, b)| a & b != 0) {
+                        in_c[q] = true;
+                        if let Some(o) = next_obj[q] {
+                            set_bit(next_objs, o);
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            let members: Vec<usize> = enabled_pids.iter().copied().filter(|p| in_c[*p]).collect();
+            debug_assert!(!members.is_empty(), "seed is enabled and in its own set");
+            debug_assert!(
+                members.iter().all(|&q| {
+                    let fut_set = info.future_objects(state, q);
+                    q == seed
+                        || fut_set
+                            .iter()
+                            .any(|o| next_objs[o.index() / 64] & (1 << (o.index() % 64)) != 0)
+                }),
+                "mask closure must agree with the set-based footprints"
+            );
+            if best
+                .as_ref()
+                .map(|b| members.len() < b.len())
+                .unwrap_or(true)
+            {
+                best = Some(members);
+            }
+            if best.as_ref().map(|b| b.len() == 1).unwrap_or(false) {
+                break; // cannot do better
+            }
         }
-        if best.as_ref().map(|b| b.len() == 1).unwrap_or(false) {
-            break; // cannot do better
-        }
-    }
-    best.unwrap_or_else(|| enabled_pids.to_vec())
+        best.unwrap_or_else(|| enabled_pids.to_vec())
+    })
 }
 
 /// True when the next operations of the two processes are independent:

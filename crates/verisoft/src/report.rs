@@ -151,6 +151,39 @@ pub struct Report {
     /// Tier-1 segments retired by checkpoint-time compaction
     /// (operational).
     pub store_segments_compacted: usize,
+    /// Batched store/interner operations the frontier engines issued —
+    /// one `insert_batch`/`seal_batch`/`intern_batch` call each
+    /// (operational, like [`Report::store_peak_mem_bytes`]: batch
+    /// boundaries follow chunking and so may differ across resumed
+    /// runs).
+    pub store_batch_ops: usize,
+    /// Items carried by those batched operations (operational).
+    pub store_batch_items: usize,
+    /// Lock acquisitions the batched paths saved versus the scalar
+    /// one-lock-per-item reference path: items sharing a stripe run take
+    /// the stripe lock once, and interner batches take one table write
+    /// lock per run instead of one per fresh component (operational).
+    pub store_lock_acquisitions_avoided: usize,
+    /// Tier-1 disk probes screened by the per-segment Bloom prefilter
+    /// (operational — probe counts depend on spill timing).
+    pub prefilter_probes: usize,
+    /// Prefilter probes answered "definitely absent", skipping the
+    /// fingerprint-index walk and any segment reads (operational). A
+    /// Bloom filter has no false negatives, so a miss is exact for any
+    /// epoch bound.
+    pub prefilter_hits: usize,
+    /// Persisted per-segment Bloom filters that failed validation on
+    /// resume (missing, torn, or stale) and were rebuilt from the
+    /// segment's own fingerprints (operational). Rebuilds are safe by
+    /// construction — a filter is only ever trusted after containment
+    /// of every live fingerprint is verified.
+    pub prefilter_rebuilds: usize,
+    /// Frontier chunks committed by the stateful engines (operational).
+    pub pipeline_chunks: usize,
+    /// Chunks whose commit overlapped the next chunk's parallel
+    /// expansion under the double-buffered pipeline (operational;
+    /// 0 when pipelining is off or every level fit in one chunk).
+    pub pipeline_overlapped_chunks: usize,
 }
 
 impl Report {
@@ -212,6 +245,14 @@ impl Report {
         self.interner_entries += other.interner_entries;
         self.interner_bytes += other.interner_bytes;
         self.store_segments_compacted += other.store_segments_compacted;
+        self.store_batch_ops += other.store_batch_ops;
+        self.store_batch_items += other.store_batch_items;
+        self.store_lock_acquisitions_avoided += other.store_lock_acquisitions_avoided;
+        self.prefilter_probes += other.prefilter_probes;
+        self.prefilter_hits += other.prefilter_hits;
+        self.prefilter_rebuilds += other.prefilter_rebuilds;
+        self.pipeline_chunks += other.pipeline_chunks;
+        self.pipeline_overlapped_chunks += other.pipeline_overlapped_chunks;
     }
 }
 

@@ -179,6 +179,16 @@ pub struct Config {
     /// checkpoint config digest — it changes the on-disk record format,
     /// so resuming a checkpoint across compression modes is rejected.
     pub no_compress: bool,
+    /// Force the stateful frontier engines onto the scalar reference
+    /// commit path: per-successor store admission inside the workers and
+    /// per-child `seal_if_winner` in the ordered commit, with no batching
+    /// and no chunk pipelining. The batched path is result-equivalent by
+    /// construction (see [`stateful`]); this escape hatch exists so the
+    /// differential oracle tests (and a worried user) can check that
+    /// claim on any workload. Also settable via the
+    /// `RECLOSE_SCALAR_COMMIT=1` environment variable. Excluded from the
+    /// checkpoint config digest — it cannot change any result.
+    pub scalar_commit: bool,
 }
 
 impl Default for Config {
@@ -203,6 +213,7 @@ impl Default for Config {
             resume: false,
             abort_after_checkpoints: None,
             no_compress: false,
+            scalar_commit: false,
         }
     }
 }

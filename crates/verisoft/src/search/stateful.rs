@@ -26,7 +26,7 @@
 
 use super::store::{checkpoint, rank, FrontierSpool, SpillDir, Spoolable, StateStore, TieredStore};
 use crate::coverage::Coverage;
-use crate::executor::{ExecCtx, Executor, NodeExpansion, SuccOutcome};
+use crate::executor::{ExecCtx, Executor, KeyArena, NodeExpansion, SuccOutcome};
 use crate::report::{Decision, Report, Violation, ViolationKind};
 use crate::state::encode::{put_u64, ByteReader};
 use crate::state::{decode_state, encode_state, ComponentInterner, GlobalState};
@@ -185,9 +185,9 @@ struct Expanded {
     expansion: NodeExpansion,
     /// Per child, aligned with the expansion's child list: the state's
     /// stable fingerprint and canonical encoding (`(0, empty)` for
-    /// violation outcomes). Computed worker-side so the sequential
-    /// commit only compares bytes.
-    keys: Vec<(u64, Vec<u8>)>,
+    /// violation outcomes), arena-flattened. Computed worker-side so
+    /// the sequential commit only compares bytes.
+    keys: KeyArena,
     transitions: usize,
     truncated: bool,
     /// CoW sharing counters folded from the item's [`ExecCtx`].
@@ -238,6 +238,22 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
     // noise. The clamp is invisible in the report — worker count never
     // influences results (the determinism argument above).
     let hw = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+    // Commit-path selection. `scalar_commit` forces the historical
+    // reference path (per-successor admits in the workers, per-child
+    // seals in the commit loop); the batched path is the default and is
+    // result-identical by construction — the differential oracle tests
+    // flip this switch to check exactly that. Pipelining (expanding
+    // chunk c+1 while chunk c commits) requires the batched path: only
+    // deferred admits make a discarded prefetch side-effect-free.
+    let scalar_commit =
+        cfg.scalar_commit || std::env::var("RECLOSE_SCALAR_COMMIT").is_ok_and(|v| v == "1");
+    let pipeline = match std::env::var("RECLOSE_PIPELINE").ok().as_deref() {
+        Some("0") => false,
+        Some("1") => true,
+        _ => !scalar_commit && hw >= 2,
+    };
+    let mut chunks_committed = 0usize;
+    let mut chunks_overlapped = 0usize;
     let checkpointing = cfg.checkpoint_dir.is_some();
     assert!(
         !(checkpointing && cfg.track_coverage),
@@ -384,21 +400,26 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
             interner.clone(),
         );
         let mut base = 0usize; // frontier offset of the current chunk
-        while let Some(chunk) = frontier
-            .next_chunk(chunk_budget)
-            .expect("read frontier spool")
-        {
-            if stop {
-                break;
-            }
+
+        // One chunk's parallel expansion. On the batched path this has
+        // **no store writes at all**: successors are only admitted by
+        // the sequential phase below, after the previous chunk's commit
+        // completed without a stop cut. That deferral is what makes
+        // pipelining safe — a chunk expanded ahead of time and then
+        // discarded leaves zero trace in the store (interner ID
+        // assignments aside, which are documented timing-dependent and
+        // report-invisible). Scalar mode keeps the historical inline
+        // admits for the differential oracle.
+        let expand_chunk = |chunk: &[FrontierItem], chunk_base: usize| {
             let n = chunk.len();
             let cursor = AtomicUsize::new(0);
             let workers = jobs.min(n).min(hw).max(1);
             let mut slots: Vec<Option<Expanded>> = (0..n).map(|_| None).collect();
+            let mut chunk_cov: Option<Coverage> = None;
             let per_worker: Vec<WorkerBatch> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
-                        let (chunk, store, cursor) = (&chunk, &store, &cursor);
+                        let (store, cursor) = (&store, &cursor);
                         let interner = &interner;
                         scope.spawn(move || {
                             let mut out = Vec::new();
@@ -413,9 +434,11 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
                                 let se = exec.expand_stateful(&mut cx, &chunk[i].state, |h, e| {
                                     store.contains_sealed_before(h, e, epoch)
                                 });
-                                for (j, (h, enc)) in se.keys.iter().enumerate() {
-                                    if !enc.is_empty() {
-                                        store.admit(*h, enc, rank(base + i, j));
+                                if scalar_commit {
+                                    for (j, (h, enc)) in se.keys.iter().enumerate() {
+                                        if !enc.is_empty() {
+                                            store.admit(h, enc, rank(chunk_base + i, j));
+                                        }
                                     }
                                 }
                                 cov = cx.coverage.take();
@@ -443,77 +466,150 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
                 for (i, e) in out {
                     slots[i] = Some(e);
                 }
-                if let (Some(mine), Some(theirs)) = (&mut coverage, cov.as_ref()) {
-                    mine.merge(theirs);
+                if let Some(theirs) = cov {
+                    match &mut chunk_cov {
+                        Some(mine) => mine.merge(&theirs),
+                        None => chunk_cov = Some(theirs),
+                    }
                 }
             }
+            (slots, chunk_cov)
+        };
 
-            // Ordered commit: fold items in rank order; only winning
-            // occurrences enter the next frontier, and the violation cap
-            // cuts at the same rank for every worker count.
-            for (i, slot) in slots.into_iter().enumerate() {
-                if stop {
-                    break;
+        // The chunk loop, double-buffered: while the main thread commits
+        // chunk c, the workers may already be expanding chunk c+1
+        // (`pending`). Determinism is untouched because everything an
+        // expansion reads is frozen for the whole level — the per-item
+        // budget is the level-start remainder, and the proviso probe is
+        // bounded by this level's epoch, a set this level's own seals
+        // can never enter. Pipelining stays within the level: the next
+        // chunk only exists once this level's spool has it.
+        type PendingChunk = (Vec<FrontierItem>, Vec<Option<Expanded>>, Option<Coverage>);
+        let mut pending: Option<PendingChunk> = None;
+        loop {
+            let (chunk, slots, chunk_cov) = match pending.take() {
+                Some(p) => p,
+                None => {
+                    let Some(chunk) = frontier
+                        .next_chunk(chunk_budget)
+                        .expect("read frontier spool")
+                    else {
+                        break;
+                    };
+                    let (slots, cov) = expand_chunk(&chunk, base);
+                    (chunk, slots, cov)
                 }
-                let item = &chunk[i];
-                let e = slot.expect("every frontier item is expanded");
-                report.transitions += e.transitions;
-                report.truncated |= e.truncated;
-                report.shared_components += e.shared_components;
-                report.total_components += e.total_components;
-                report.por_skipped_procs += e.por_skipped;
-                report.por_proviso_fallbacks += e.por_fallback as usize;
-                match e.expansion {
-                    NodeExpansion::DeadEnd { deadlock } => {
-                        if deadlock {
-                            report.violations.push(Violation {
-                                kind: ViolationKind::Deadlock,
-                                process: None,
-                                trace: item.path.to_vec(),
-                            });
-                            stop |= report.violations.len() >= cfg.max_violations;
+            };
+            if stop {
+                // A prefetched chunk is discarded here with zero store
+                // side effects: its admits never happened.
+                break;
+            }
+            let n = chunk.len();
+            chunks_committed += 1;
+
+            // Sequential batched admission (the scalar path admitted
+            // inline in the workers): every successor of the chunk in
+            // one store call, grouped by stripe. Arrival order within
+            // the batch is immaterial — admission keeps the minimum
+            // rank — so this equals the scalar admits exactly.
+            if !scalar_commit {
+                let cap: usize = slots
+                    .iter()
+                    .map(|s| s.as_ref().map_or(0, |e| e.keys.len()))
+                    .sum();
+                let mut admits: Vec<(u64, u64, &[u8])> = Vec::with_capacity(cap);
+                for (i, slot) in slots.iter().enumerate() {
+                    let e = slot.as_ref().expect("every frontier item is expanded");
+                    for (j, (h, enc)) in e.keys.iter().enumerate() {
+                        if !enc.is_empty() {
+                            admits.push((h, rank(base + i, j), enc));
                         }
                     }
-                    NodeExpansion::Children(cs) => {
-                        for (j, c) in cs.into_iter().enumerate() {
-                            if stop {
-                                break;
-                            }
-                            let decision = Decision {
-                                process: c.process,
-                                choices: c.choices,
-                            };
-                            match c.outcome {
-                                SuccOutcome::State(s, _) => {
-                                    let (h, enc) = &e.keys[j];
-                                    if store.seal_if_winner(*h, enc, rank(base + i, j), epoch) {
-                                        report.states += 1;
-                                        report.max_depth_seen =
-                                            report.max_depth_seen.max(item.depth + 1);
-                                        if item.depth + 1 >= cfg.max_depth {
-                                            report.truncated = true;
-                                        } else {
-                                            let cost = enc.len();
-                                            let fi = FrontierItem {
-                                                state: *s,
-                                                depth: item.depth + 1,
-                                                path: item.path.push(decision),
-                                            };
-                                            next.push(fi, cost).expect("spool next frontier");
-                                        }
-                                    }
-                                }
-                                SuccOutcome::Violation(kind, process) => {
-                                    report.violations.push(Violation {
-                                        kind,
-                                        process,
-                                        trace: item.path.pushed_vec(decision),
-                                    });
-                                    stop |= report.violations.len() >= cfg.max_violations;
-                                }
+                }
+                store.insert_batch(&mut admits);
+            }
+            if let (Some(mine), Some(theirs)) = (&mut coverage, chunk_cov.as_ref()) {
+                mine.merge(theirs);
+            }
+
+            // Winner flags for the whole chunk in one batched pre-pass.
+            // Valid because winners are final once the chunk's admits
+            // are in: every rank that could beat a stored one was
+            // admitted by this or an earlier chunk (later chunks only
+            // carry larger ranks), and at most one probe per state holds
+            // the stored minimum, so per-stripe batching cannot change
+            // any verdict. Flags past a stop cut are simply never read;
+            // the extra seals they performed are report-invisible (seals
+            // only gate spill contents and later-level probes, and the
+            // run is stopping). Scalar mode seals per child instead.
+            let flags: Vec<bool> = if scalar_commit {
+                Vec::new()
+            } else {
+                let cap: usize = slots
+                    .iter()
+                    .map(|s| s.as_ref().map_or(0, |e| e.keys.len()))
+                    .sum();
+                let mut probes: Vec<(u64, u64, &[u8])> = Vec::with_capacity(cap);
+                for (i, slot) in slots.iter().enumerate() {
+                    let e = slot.as_ref().expect("every frontier item is expanded");
+                    if let NodeExpansion::Children(cs) = &e.expansion {
+                        for (j, c) in cs.iter().enumerate() {
+                            if matches!(c.outcome, SuccOutcome::State(..)) {
+                                let (h, enc) = e.keys.get(j);
+                                probes.push((h, rank(base + i, j), enc));
                             }
                         }
                     }
+                }
+                store.seal_batch(&probes, epoch)
+            };
+
+            // Commit this chunk — overlapped with the next chunk's
+            // expansion when pipelining is on and the level has one.
+            let next_chunk = if pipeline {
+                frontier
+                    .next_chunk(chunk_budget)
+                    .expect("read frontier spool")
+            } else {
+                None
+            };
+            match next_chunk {
+                Some(nc) => {
+                    let prefetched = std::thread::scope(|scope| {
+                        let handle = scope.spawn(|| expand_chunk(&nc, base + n));
+                        commit_chunk(
+                            &chunk,
+                            slots,
+                            &flags,
+                            base,
+                            epoch,
+                            scalar_commit,
+                            cfg,
+                            &store,
+                            &mut report,
+                            &mut next,
+                            &mut stop,
+                        );
+                        handle.join().unwrap()
+                    });
+                    chunks_overlapped += 1;
+                    pending = Some((nc, prefetched.0, prefetched.1));
+                }
+                None => {
+                    commit_chunk(
+                        &chunk,
+                        slots,
+                        &flags,
+                        base,
+                        epoch,
+                        scalar_commit,
+                        cfg,
+                        &store,
+                        &mut report,
+                        &mut next,
+                        &mut stop,
+                    );
                 }
             }
             base += n;
@@ -535,7 +631,118 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
     report.store_segments_compacted = store.segments_compacted();
     report.interner_entries = interner.as_ref().map_or(0, |i| i.len());
     report.interner_bytes = interner.as_ref().map_or(0, |i| i.bytes());
+    // Batched-commit-path observability (also operational): how much the
+    // batch grouping and the tier-1 prefilter actually saved, and how
+    // often the pipeline found a chunk to overlap.
+    let (m_ops, m_items, m_avoided) = store.batch_stats();
+    let (i_ops, i_items, i_avoided) = interner.as_ref().map_or((0, 0, 0), |i| i.batch_stats());
+    report.store_batch_ops = m_ops + i_ops;
+    report.store_batch_items = m_items + i_items;
+    report.store_lock_acquisitions_avoided = m_avoided + i_avoided;
+    let (pf_probes, pf_hits, pf_rebuilds) = store.prefilter_stats();
+    report.prefilter_probes = pf_probes;
+    report.prefilter_hits = pf_hits;
+    report.prefilter_rebuilds = pf_rebuilds;
+    report.pipeline_chunks = chunks_committed;
+    report.pipeline_overlapped_chunks = chunks_overlapped;
     report
+}
+
+/// The sequential ordered commit of one expanded chunk: fold items in
+/// rank order; only winning occurrences enter the next frontier, and the
+/// violation cap cuts at the same rank for every worker count. On the
+/// batched path the winner verdicts were precomputed by
+/// [`TieredStore::seal_batch`] into `flags`, consumed here in the same
+/// child order they were built in (`flags` is empty — and unread — in
+/// scalar mode, which seals per child instead). Extracted from
+/// [`frontier_search`] so the pipeline can run it on the main thread
+/// while a scoped worker expands the next chunk.
+#[allow(clippy::too_many_arguments)]
+fn commit_chunk(
+    chunk: &[FrontierItem],
+    slots: Vec<Option<Expanded>>,
+    flags: &[bool],
+    base: usize,
+    epoch: u32,
+    scalar_commit: bool,
+    cfg: &super::Config,
+    store: &TieredStore,
+    report: &mut Report,
+    next: &mut FrontierSpool<FrontierItem>,
+    stop: &mut bool,
+) {
+    let mut fx = 0usize; // running index into `flags`, one per State child
+    for (i, slot) in slots.into_iter().enumerate() {
+        if *stop {
+            break;
+        }
+        let item = &chunk[i];
+        let e = slot.expect("every frontier item is expanded");
+        report.transitions += e.transitions;
+        report.truncated |= e.truncated;
+        report.shared_components += e.shared_components;
+        report.total_components += e.total_components;
+        report.por_skipped_procs += e.por_skipped;
+        report.por_proviso_fallbacks += e.por_fallback as usize;
+        match e.expansion {
+            NodeExpansion::DeadEnd { deadlock } => {
+                if deadlock {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::Deadlock,
+                        process: None,
+                        trace: item.path.to_vec(),
+                    });
+                    *stop |= report.violations.len() >= cfg.max_violations;
+                }
+            }
+            NodeExpansion::Children(cs) => {
+                for (j, c) in cs.into_iter().enumerate() {
+                    if *stop {
+                        break;
+                    }
+                    let decision = Decision {
+                        process: c.process,
+                        choices: c.choices,
+                    };
+                    match c.outcome {
+                        SuccOutcome::State(s, _) => {
+                            let (h, enc) = e.keys.get(j);
+                            let won = if scalar_commit {
+                                store.seal_if_winner(h, enc, rank(base + i, j), epoch)
+                            } else {
+                                let f = flags[fx];
+                                fx += 1;
+                                f
+                            };
+                            if won {
+                                report.states += 1;
+                                report.max_depth_seen = report.max_depth_seen.max(item.depth + 1);
+                                if item.depth + 1 >= cfg.max_depth {
+                                    report.truncated = true;
+                                } else {
+                                    let cost = enc.len();
+                                    let fi = FrontierItem {
+                                        state: *s,
+                                        depth: item.depth + 1,
+                                        path: item.path.push(decision),
+                                    };
+                                    next.push(fi, cost).expect("spool next frontier");
+                                }
+                            }
+                        }
+                        SuccOutcome::Violation(kind, process) => {
+                            report.violations.push(Violation {
+                                kind,
+                                process,
+                                trace: item.path.pushed_vec(decision),
+                            });
+                            *stop |= report.violations.len() >= cfg.max_violations;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Explicit-state depth-first search. The POR proviso probes the visited
@@ -566,8 +773,10 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
     };
     // The visited set: canonical encodings bucketed by the (cheap,
     // incrementally combined) fingerprint; membership compares bytes,
-    // per the collision-safety rule in [`crate::state::encode`].
-    let mut visited: HashMap<u64, Vec<Box<[u8]>>> = HashMap::new();
+    // per the collision-safety rule in [`crate::state::encode`]. Keyed
+    // by an already-mixed fingerprint, so the pass-through hasher
+    // applies here too.
+    let mut visited: HashMap<u64, Vec<Box<[u8]>>, crate::hash::FpBuildHasher> = HashMap::default();
     // Work items carry their depth, (persistent) reproducing path, and
     // the state's fingerprint + canonical encoding — computed once at
     // discovery (`expand_stateful` needs them for the proviso anyway)
@@ -619,7 +828,7 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
                 }
             }
             NodeExpansion::Children(cs) => {
-                for (c, (h, e)) in cs.into_iter().zip(se.keys) {
+                for (c, (h, e)) in cs.into_iter().zip(se.keys.iter()) {
                     if stop {
                         break;
                     }
@@ -629,7 +838,7 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
                     };
                     match c.outcome {
                         SuccOutcome::State(s, _) => {
-                            stack.push((*s, depth + 1, path.push(d), h, e.into_boxed_slice()))
+                            stack.push((*s, depth + 1, path.push(d), h, Box::from(e)))
                         }
                         SuccOutcome::Violation(k, pr) => {
                             record(&mut report, &mut stop, k, pr, path.pushed_vec(d));

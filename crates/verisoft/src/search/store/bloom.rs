@@ -1,0 +1,391 @@
+//! A fingerprint Bloom prefilter in front of the tier-1 index.
+//!
+//! Once a run spills, *every* admission and proviso probe consults the
+//! on-disk side ([`super::TieredStore`]): a stripe lock and a hash-map
+//! lookup in [`super::index::FpIndex`] per probe, even though the
+//! overwhelming majority of probes miss (most successors are new
+//! states). The prefilter answers those misses from a lock-free Bloom
+//! filter — `k` atomic word reads, no lock — and only probes that
+//! *might* be on disk proceed to the index. Bloom semantics make this
+//! sound: false positives merely fall through to the index (which
+//! confirms against the stored bytes, as always), and false negatives
+//! are impossible by construction, so a prefilter "no" can never turn
+//! into a wrong probe-miss. Epoch-bounded probes are covered by the
+//! same argument — "not on disk at all" implies "not on disk before
+//! any epoch".
+//!
+//! Two kinds of filter exist:
+//!
+//! - the **union filter**, covering every fingerprint on disk, is what
+//!   probes consult; it is rebuilt (doubled) from the index when
+//!   saturated, which only ever happens in the sequential spill/resume
+//!   phases — never while workers probe.
+//! - **per-segment filters** mirror each live segment and exist for
+//!   persistence: a checkpoint writes each as `seg-<id>.bloom` next to
+//!   its segment, and `--resume` reloads them instead of re-deriving.
+//!   They are an *advisory cache*: the resume path validates magic,
+//!   segment id, entry count, whole-file checksum, and containment of
+//!   every fingerprint the segment scan produced, and silently rebuilds
+//!   on any mismatch (a torn tail, a stale file from an older
+//!   checkpoint generation, or plain corruption). A bad filter file can
+//!   therefore cost a rebuild, never an answer.
+
+use super::index::FpIndex;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Filter bits budgeted per expected entry (~0.2% false-positive rate
+/// at [`K`] hashes before the doubling rebuild kicks in).
+const BITS_PER_ENTRY: usize = 12;
+
+/// Probe bits set/checked per fingerprint.
+const K: u32 = 4;
+
+/// `seg-<id>.bloom` header magic (version-bearing: bump on layout
+/// change and old files fail validation into a rebuild).
+const BLOOM_MAGIC: &[u8; 8] = b"RBLF0001";
+
+/// A second, independent mix of the fingerprint for double hashing
+/// (SplitMix64 finalizer). The fingerprint itself is already uniformly
+/// mixed, so `fp` and `remix(fp)` give `K` well-spread probe positions
+/// via `fp + i * remix(fp)`.
+#[inline]
+fn remix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fixed-size Bloom filter over 64-bit fingerprints. Inserts and
+/// probes are lock-free (`fetch_or` / relaxed loads); resizing is
+/// replacement, handled by the owner.
+pub(crate) struct Bloom {
+    bits: Vec<AtomicU64>,
+    /// `nbits - 1`; the bit count is a power of two.
+    mask: u64,
+    entries: AtomicUsize,
+}
+
+impl Bloom {
+    /// A filter sized for ~`n` entries ([`BITS_PER_ENTRY`] bits each,
+    /// rounded up to a power of two, at least 1024 bits).
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        let nbits = (n.max(1) * BITS_PER_ENTRY).next_power_of_two().max(1024);
+        Bloom {
+            bits: (0..nbits / 64).map(|_| AtomicU64::new(0)).collect(),
+            mask: nbits as u64 - 1,
+            entries: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn slots(&self, fp: u64) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let step = remix(fp) | 1;
+        (0..K).map(move |i| {
+            let bit = fp.wrapping_add(u64::from(i).wrapping_mul(step)) & self.mask;
+            ((bit / 64) as usize, 1u64 << (bit % 64))
+        })
+    }
+
+    pub(crate) fn insert(&self, fp: u64) {
+        for (word, bit) in self.slots(fp) {
+            self.bits[word].fetch_or(bit, Ordering::Relaxed);
+        }
+        self.entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `false` means *definitely absent*; `true` means "ask the index".
+    #[inline]
+    pub(crate) fn may_contain(&self, fp: u64) -> bool {
+        self.slots(fp)
+            .all(|(word, bit)| self.bits[word].load(Ordering::Relaxed) & bit != 0)
+    }
+
+    /// Inserts performed (duplicates counted — this drives the
+    /// saturation heuristic, not any user-visible total).
+    fn entries(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// More inserts than the sizing budget planned for.
+    fn saturated(&self) -> bool {
+        self.entries() * BITS_PER_ENTRY > self.mask as usize + 1
+    }
+
+    /// Serialize as a `seg-<id>.bloom` file image:
+    /// `[magic][seg][k][nbits][entries][words…][checksum]`, everything
+    /// little-endian, checksum = stable hash of all preceding bytes.
+    fn to_file_bytes(&self, seg: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + self.bits.len() * 8);
+        out.extend_from_slice(BLOOM_MAGIC);
+        out.extend_from_slice(&seg.to_le_bytes());
+        out.extend_from_slice(&K.to_le_bytes());
+        out.extend_from_slice(&(self.mask + 1).to_le_bytes());
+        out.extend_from_slice(&(self.entries() as u64).to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.load(Ordering::Relaxed).to_le_bytes());
+        }
+        let sum = crate::hash::stable_hash_bytes(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize and validate a file image against the segment it
+    /// claims to cover. `None` on any structural mismatch — wrong
+    /// magic/version, wrong segment id, torn or padded length, checksum
+    /// failure — in which case the caller rebuilds.
+    fn from_file_bytes(bytes: &[u8], seg: u32) -> Option<Bloom> {
+        let fixed = 8 + 4 + 4 + 8 + 8;
+        if bytes.len() < fixed + 8 || &bytes[..8] != BLOOM_MAGIC {
+            return None;
+        }
+        let (body, sum) = bytes.split_at(bytes.len() - 8);
+        if crate::hash::stable_hash_bytes(body) != u64::from_le_bytes(sum.try_into().ok()?) {
+            return None;
+        }
+        let u32_at = |o: usize| Some(u32::from_le_bytes(bytes.get(o..o + 4)?.try_into().ok()?));
+        let u64_at = |o: usize| Some(u64::from_le_bytes(bytes.get(o..o + 8)?.try_into().ok()?));
+        if u32_at(8)? != seg || u32_at(12)? != K {
+            return None;
+        }
+        let nbits = u64_at(16)?;
+        let entries = u64_at(24)?;
+        if !nbits.is_power_of_two() || body.len() != fixed + (nbits as usize / 8) {
+            return None;
+        }
+        let bits = body[fixed..]
+            .chunks_exact(8)
+            .map(|c| AtomicU64::new(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        Some(Bloom {
+            bits,
+            mask: nbits - 1,
+            entries: AtomicUsize::new(usize::try_from(entries).ok()?),
+        })
+    }
+}
+
+/// One live segment's filter plus whether it still needs persisting.
+struct SegBloom {
+    bloom: Bloom,
+    dirty: bool,
+}
+
+/// The tier-1 probe prefilter: the union filter probes consult, the
+/// per-segment filters checkpoints persist, and the observability
+/// counters `--stats` reports.
+pub(crate) struct Prefilter {
+    union: RwLock<Bloom>,
+    per_seg: Mutex<HashMap<u32, SegBloom>>,
+    probes: AtomicUsize,
+    /// Probes the filter answered definitively ("absent"), i.e. index
+    /// lookups avoided.
+    hits: AtomicUsize,
+    /// Per-segment filters rebuilt at resume because the persisted file
+    /// was missing, torn, stale, or corrupt.
+    rebuilds: AtomicUsize,
+}
+
+impl Prefilter {
+    pub(crate) fn new() -> Self {
+        Prefilter {
+            union: RwLock::new(Bloom::with_capacity(4096)),
+            per_seg: Mutex::new(HashMap::new()),
+            probes: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            rebuilds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether `fp` might be on disk. Counted; a `false` is a prefilter
+    /// hit (an index lookup avoided).
+    #[inline]
+    pub(crate) fn may_contain(&self, fp: u64) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let maybe = self.union.read().unwrap().may_contain(fp);
+        if !maybe {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        maybe
+    }
+
+    /// Register a freshly written segment (spill path): build its
+    /// filter from `fps`, mark it for persistence, and fold the
+    /// fingerprints into the union filter.
+    pub(crate) fn add_segment(&self, seg: u32, fps: &[u64], index: &FpIndex) {
+        let bloom = Bloom::with_capacity(fps.len());
+        for &fp in fps {
+            bloom.insert(fp);
+        }
+        self.per_seg
+            .lock()
+            .unwrap()
+            .insert(seg, SegBloom { bloom, dirty: true });
+        self.union_insert(fps, index);
+    }
+
+    /// Register a reopened segment (resume path): reuse the persisted
+    /// `seg-<id>.bloom` when it validates — structural checks plus
+    /// containment of every fingerprint the segment scan produced —
+    /// and rebuild from `fps` otherwise. Either way the union filter
+    /// ends up covering the segment, so a bad file can never cause a
+    /// wrong probe-miss.
+    pub(crate) fn load_segment(&self, seg: u32, fps: &[u64], dir: &Path, index: &FpIndex) {
+        let loaded = std::fs::read(bloom_path(dir, seg))
+            .ok()
+            .and_then(|b| Bloom::from_file_bytes(&b, seg))
+            .filter(|b| b.entries() == fps.len() && fps.iter().all(|&fp| b.may_contain(fp)));
+        let (bloom, dirty) = match loaded {
+            Some(b) => (b, false),
+            None => {
+                self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                let b = Bloom::with_capacity(fps.len());
+                for &fp in fps {
+                    b.insert(fp);
+                }
+                (b, true)
+            }
+        };
+        self.per_seg
+            .lock()
+            .unwrap()
+            .insert(seg, SegBloom { bloom, dirty });
+        self.union_insert(fps, index);
+    }
+
+    /// Fold fingerprints into the union filter, first doubling it from
+    /// the index when saturated. Only called from the sequential
+    /// spill/resume phases, so the write lock never blocks a worker.
+    fn union_insert(&self, fps: &[u64], index: &FpIndex) {
+        let need_grow = {
+            let u = self.union.read().unwrap();
+            u.saturated() || (u.entries() + fps.len()) * BITS_PER_ENTRY > (u.mask as usize + 1)
+        };
+        if need_grow {
+            let grown = Bloom::with_capacity((index.len() + fps.len()).max(4096) * 2);
+            index.for_each_fp(|fp| grown.insert(fp));
+            *self.union.write().unwrap() = grown;
+        }
+        let u = self.union.read().unwrap();
+        for &fp in fps {
+            u.insert(fp);
+        }
+    }
+
+    /// Retire compaction victims and register the merged segment,
+    /// rebuilding its filter from the post-remap index. The union
+    /// filter is untouched: compaction moves records, membership is
+    /// unchanged.
+    pub(crate) fn replace_segments(&self, victims: &[u32], merged: u32, index: &FpIndex) {
+        let mut fps = Vec::new();
+        index.for_each_ref(|fp, r| {
+            if r.seg == merged {
+                fps.push(fp);
+            }
+        });
+        let bloom = Bloom::with_capacity(fps.len());
+        for &fp in &fps {
+            bloom.insert(fp);
+        }
+        let mut per_seg = self.per_seg.lock().unwrap();
+        for v in victims {
+            per_seg.remove(v);
+        }
+        per_seg.insert(merged, SegBloom { bloom, dirty: true });
+    }
+
+    /// Persist every dirty per-segment filter as `seg-<id>.bloom`
+    /// (write-then-rename, like the checkpoint manifest). Returns how
+    /// many files were written; clean filters are skipped, so repeated
+    /// checkpoints rewrite nothing.
+    pub(crate) fn persist(&self, dir: &Path) -> io::Result<usize> {
+        let mut per_seg = self.per_seg.lock().unwrap();
+        let mut written = 0;
+        for (&seg, sb) in per_seg.iter_mut() {
+            if !sb.dirty {
+                continue;
+            }
+            let tmp = dir.join(format!("seg-{seg}.bloom.tmp"));
+            std::fs::write(&tmp, sb.bloom.to_file_bytes(seg))?;
+            std::fs::rename(&tmp, bloom_path(dir, seg))?;
+            sb.dirty = false;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// `(probes, hits, rebuilds)` — see the field docs.
+    pub(crate) fn stats(&self) -> (usize, usize, usize) {
+        (
+            self.probes.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.rebuilds.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Where segment `seg`'s persisted filter lives.
+pub(crate) fn bloom_path(dir: &Path, seg: u32) -> std::path::PathBuf {
+    dir.join(format!("seg-{seg}.bloom"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_and_few_false_positives() {
+        let b = Bloom::with_capacity(1000);
+        let present: Vec<u64> = (0..1000u64).map(|n| crate::hash::stable_hash(&n)).collect();
+        for &fp in &present {
+            b.insert(fp);
+        }
+        assert!(
+            present.iter().all(|&fp| b.may_contain(fp)),
+            "no false negatives"
+        );
+        let fps = (10_000..30_000u64)
+            .map(|n| crate::hash::stable_hash(&n))
+            .filter(|&fp| b.may_contain(fp))
+            .count();
+        assert!(
+            fps < 200,
+            "false positive rate ~0.2% expected, got {fps}/20000"
+        );
+        assert!(!b.saturated());
+    }
+
+    #[test]
+    fn file_roundtrip_validates_and_rejects_damage() {
+        let b = Bloom::with_capacity(64);
+        for fp in 0..64u64 {
+            b.insert(crate::hash::stable_hash(&fp));
+        }
+        let img = b.to_file_bytes(7);
+        let back = Bloom::from_file_bytes(&img, 7).expect("clean image loads");
+        assert_eq!(back.entries(), 64);
+        for fp in 0..64u64 {
+            assert!(back.may_contain(crate::hash::stable_hash(&fp)));
+        }
+        // Wrong segment, torn tail, flipped bit, wrong magic: all rejected.
+        assert!(
+            Bloom::from_file_bytes(&img, 8).is_none(),
+            "stale segment id"
+        );
+        assert!(
+            Bloom::from_file_bytes(&img[..img.len() - 3], 7).is_none(),
+            "torn"
+        );
+        let mut flipped = img.clone();
+        flipped[40] ^= 1;
+        assert!(Bloom::from_file_bytes(&flipped, 7).is_none(), "checksum");
+        let mut magic = img.clone();
+        magic[0] = b'X';
+        assert!(Bloom::from_file_bytes(&magic, 7).is_none(), "magic");
+    }
+}

@@ -256,6 +256,13 @@ pub(crate) fn write<T: Spoolable>(
         None => (0, 0),
     };
 
+    // 2c. Per-segment Bloom prefilters (`seg-<id>.bloom`) — an advisory
+    // cache, written after the data they mirror but deliberately *not*
+    // recorded in the manifest: resume validates each file against the
+    // segment scan and rebuilds on any mismatch, so a filter torn by a
+    // crash here costs a rebuild, never correctness.
+    store.persist_prefilters()?;
+
     // 3. The manifest, atomically renamed into place.
     let segs = store.segment_meta();
     buf.clear();
@@ -299,6 +306,14 @@ pub(crate) fn write<T: Spoolable>(
                 }
             }
             if name.starts_with("seg-") && name.ends_with(".bin") && !live.contains(name.as_ref()) {
+                let _ = std::fs::remove_file(e.path());
+            }
+            // Bloom filters of retired segments (and torn `.tmp` files)
+            // go with them; live filters are validated at resume anyway.
+            if name.starts_with("seg-")
+                && (name.ends_with(".bloom") || name.ends_with(".bloom.tmp"))
+                && !live.contains(&name.replace(".bloom.tmp", ".bin").replace(".bloom", ".bin"))
+            {
                 let _ = std::fs::remove_file(e.path());
             }
         }

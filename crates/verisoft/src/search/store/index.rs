@@ -15,11 +15,14 @@
 //! keeps only fixed-size handles.
 
 use super::disk::DiskRef;
+use crate::hash::FpBuildHasher;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-type IndexStripe = HashMap<u64, Vec<DiskRef>>;
+/// Fingerprint-keyed, so the pass-through hasher applies (see
+/// [`super::mem`]'s stripe maps).
+type IndexStripe = HashMap<u64, Vec<DiskRef>, FpBuildHasher>;
 
 /// The striped fingerprint index. Concurrency mirrors tier 0: workers
 /// probe concurrently during the frontier phase; inserts happen only in
@@ -40,7 +43,7 @@ impl FpIndex {
     pub(crate) fn new(stripes: usize) -> Self {
         FpIndex {
             stripes: (0..stripes.max(1))
-                .map(|_| Mutex::new(IndexStripe::new()))
+                .map(|_| Mutex::new(IndexStripe::default()))
                 .collect(),
             entries: AtomicUsize::new(0),
             payload_raw: AtomicUsize::new(0),
@@ -91,6 +94,35 @@ impl FpIndex {
     pub(crate) fn candidates(&self, fp: u64, mut pred: impl FnMut(&DiskRef) -> bool) -> bool {
         let stripe = self.stripe(fp).lock().unwrap();
         stripe.get(&fp).is_some_and(|b| b.iter().any(&mut pred))
+    }
+
+    /// Append `fp`'s candidate refs to `out` (copied out under the
+    /// stripe lock, so the caller can confirm against disk without
+    /// holding it — the batch path sorts confirms by position first).
+    pub(crate) fn collect_refs(&self, fp: u64, out: &mut Vec<DiskRef>) {
+        let stripe = self.stripe(fp).lock().unwrap();
+        if let Some(b) = stripe.get(&fp) {
+            out.extend_from_slice(b);
+        }
+    }
+
+    /// Visit every indexed fingerprint, once per record (a colliding
+    /// fingerprint is visited once per ref). Sequential-phase only
+    /// (prefilter rebuilds): takes each stripe lock in turn.
+    pub(crate) fn for_each_fp(&self, mut f: impl FnMut(u64)) {
+        self.for_each_ref(|fp, _| f(fp));
+    }
+
+    /// Visit every `(fingerprint, ref)` pair. Sequential-phase only.
+    pub(crate) fn for_each_ref(&self, mut f: impl FnMut(u64, &DiskRef)) {
+        for stripe in &self.stripes {
+            let s = stripe.lock().unwrap();
+            for (&fp, refs) in s.iter() {
+                for r in refs {
+                    f(fp, r);
+                }
+            }
+        }
     }
 
     /// Total records indexed (== states resident on disk).

@@ -46,6 +46,7 @@
 //! fingerprint index only nominates candidates, the stored bytes decide.
 
 use super::{Rank, StateStore};
+use crate::hash::FpBuildHasher;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -63,8 +64,11 @@ struct Entry {
     sealed: Option<u32>,
 }
 
-/// One stripe: canonical encodings bucketed by their stable hash.
-type Stripe = HashMap<u64, Vec<Entry>>;
+/// One stripe: canonical encodings bucketed by their stable hash. The
+/// fingerprint key is already a SplitMix64-mixed digest, so the map uses
+/// the pass-through [`FpBuildHasher`] — SipHash would re-mix an already
+/// uniform value on every admit/seal/probe of the hot path.
+type Stripe = HashMap<u64, Vec<Entry>, FpBuildHasher>;
 
 /// The lock-striped tier-0 visited store. See the module docs for the
 /// admission protocol.
@@ -84,6 +88,12 @@ pub struct VisitedStore {
     payload: AtomicUsize,
     /// Bytes the entries actually occupy in memory.
     stored: AtomicUsize,
+    /// Batch-path observability (operational, never in the deterministic
+    /// report surface): batch calls, items they carried, and stripe-lock
+    /// acquisitions the grouping avoided versus the per-item protocol.
+    batch_ops: AtomicUsize,
+    batch_items: AtomicUsize,
+    locks_avoided: AtomicUsize,
 }
 
 impl Default for VisitedStore {
@@ -104,12 +114,15 @@ impl VisitedStore {
     pub fn new_with(stripes: usize, compressed: bool) -> Self {
         VisitedStore {
             stripes: (0..stripes.max(1))
-                .map(|_| Mutex::new(Stripe::new()))
+                .map(|_| Mutex::new(Stripe::default()))
                 .collect(),
             compressed,
             count: AtomicUsize::new(0),
             payload: AtomicUsize::new(0),
             stored: AtomicUsize::new(0),
+            batch_ops: AtomicUsize::new(0),
+            batch_items: AtomicUsize::new(0),
+            locks_avoided: AtomicUsize::new(0),
         }
     }
 
@@ -137,6 +150,11 @@ impl VisitedStore {
     /// outcome (minimal rank per state) is independent of arrival order.
     pub fn admit(&self, hash: u64, enc: &[u8], rank: Rank) {
         let mut stripe = self.stripe(hash).lock().unwrap();
+        self.admit_locked(&mut stripe, hash, enc, rank);
+    }
+
+    /// [`VisitedStore::admit`]'s body under an already-held stripe lock.
+    fn admit_locked(&self, stripe: &mut Stripe, hash: u64, enc: &[u8], rank: Rank) {
         let bucket = stripe.entry(hash).or_default();
         for e in bucket.iter_mut() {
             if *e.enc == *enc {
@@ -154,6 +172,95 @@ impl VisitedStore {
             rank,
             sealed: None,
         });
+    }
+
+    /// Admit a worker batch of successors, acquiring each stripe lock
+    /// once per run instead of once per successor: `items` is reordered
+    /// by `(stripe, rank)` and admitted run by run. Byte-identical to
+    /// per-item [`VisitedStore::admit`] calls in any order, because
+    /// admission is min-rank-wins and therefore arrival-order-free.
+    pub fn insert_batch(&self, items: &mut [(u64, Rank, &[u8])]) {
+        if items.is_empty() {
+            return;
+        }
+        let nstripes = self.stripes.len();
+        items.sort_unstable_by_key(|&(h, r, _)| ((h >> 32) as usize % nstripes, r));
+        let mut runs = 0usize;
+        let mut i = 0;
+        while i < items.len() {
+            let si = (items[i].0 >> 32) as usize % nstripes;
+            let mut stripe = self.stripes[si].lock().unwrap();
+            runs += 1;
+            while i < items.len() && (items[i].0 >> 32) as usize % nstripes == si {
+                let (h, r, enc) = items[i];
+                self.admit_locked(&mut stripe, h, enc, r);
+                i += 1;
+            }
+        }
+        self.batch_ops.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(items.len(), Ordering::Relaxed);
+        self.locks_avoided
+            .fetch_add(items.len() - runs, Ordering::Relaxed);
+    }
+
+    /// The ordered commit's batched winner pass: for each probe
+    /// `(hash, rank, enc)` — the chunk's successor list in commit order
+    /// — seal it at `epoch` iff it is the committed winner, returning
+    /// the per-probe verdicts aligned with the input.
+    ///
+    /// Equal to calling [`VisitedStore::seal_if_winner`] per probe in
+    /// input order: within one probe's bucket the stored rank is the
+    /// minimum of all admitted ranks, so at most one probe of the batch
+    /// carries a matching rank — sealing one probe can never flip
+    /// another probe's verdict, and the stripe-grouped evaluation order
+    /// is unobservable. Call only after every candidate of the round was
+    /// admitted (the ordered commit provides that barrier) and before
+    /// any further admission.
+    pub fn seal_batch(&self, probes: &[(u64, Rank, &[u8])], epoch: u32) -> Vec<bool> {
+        let mut flags = vec![false; probes.len()];
+        if probes.is_empty() {
+            return flags;
+        }
+        let nstripes = self.stripes.len();
+        let mut order: Vec<u32> = (0..probes.len() as u32).collect();
+        // Stable: input (commit) order is preserved within a stripe run.
+        order.sort_by_key(|&ix| (probes[ix as usize].0 >> 32) as usize % nstripes);
+        let mut runs = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            let si = (probes[order[i] as usize].0 >> 32) as usize % nstripes;
+            let mut stripe = self.stripes[si].lock().unwrap();
+            runs += 1;
+            while i < order.len() && (probes[order[i] as usize].0 >> 32) as usize % nstripes == si {
+                let ix = order[i] as usize;
+                let (h, r, enc) = probes[ix];
+                if let Some(e) = stripe
+                    .get_mut(&h)
+                    .and_then(|b| b.iter_mut().find(|e| *e.enc == *enc))
+                {
+                    if e.sealed.is_none() && e.rank == r {
+                        e.sealed = Some(epoch);
+                        flags[ix] = true;
+                    }
+                }
+                i += 1;
+            }
+        }
+        self.batch_ops.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(probes.len(), Ordering::Relaxed);
+        self.locks_avoided
+            .fetch_add(probes.len() - runs, Ordering::Relaxed);
+        flags
+    }
+
+    /// Batch-path observability counters:
+    /// `(batch calls, items batched, stripe locks avoided)`.
+    pub fn batch_stats(&self) -> (usize, usize, usize) {
+        (
+            self.batch_ops.load(Ordering::Relaxed),
+            self.batch_items.load(Ordering::Relaxed),
+            self.locks_avoided.load(Ordering::Relaxed),
+        )
     }
 
     /// Whether `(enc, rank)` is the committed winner: the stored
@@ -497,6 +604,84 @@ mod tests {
         let (hh, ep, enc) = drained.into_iter().next().unwrap();
         store.insert_sealed(hh, enc, ep);
         assert_eq!((store.bytes(), store.stored_bytes()), (raw, cenc.len()));
+    }
+
+    #[test]
+    fn insert_batch_matches_scalar_admission() {
+        let a = state();
+        let b = other_state();
+        let (ha, hb) = (
+            crate::hash::stable_hash_bytes(&a),
+            crate::hash::stable_hash_bytes(&b),
+        );
+        let scalar = VisitedStore::new(4);
+        let batched = VisitedStore::new(4);
+        // Duplicates inside one batch, out-of-order ranks, two states.
+        let offers = [
+            (ha, rank(3, 1)),
+            (hb, rank(0, 0)),
+            (ha, rank(1, 2)),
+            (ha, rank(5, 0)),
+        ];
+        for (h, r) in offers {
+            let enc = if h == ha { &a } else { &b };
+            scalar.admit(h, enc, r);
+        }
+        let mut items: Vec<(u64, Rank, &[u8])> = offers
+            .iter()
+            .map(|&(h, r)| (h, r, if h == ha { a.as_slice() } else { b.as_slice() }))
+            .collect();
+        batched.insert_batch(&mut items);
+        assert_eq!(scalar.len(), batched.len());
+        assert_eq!(scalar.bytes(), batched.bytes());
+        for (h, enc, min) in [(ha, &a, rank(1, 2)), (hb, &b, rank(0, 0))] {
+            assert_eq!(
+                scalar.is_winner(h, enc, min),
+                batched.is_winner(h, enc, min)
+            );
+            assert!(batched.is_winner(h, enc, min));
+        }
+        let (ops, items_n, avoided) = batched.batch_stats();
+        assert_eq!((ops, items_n), (1, 4));
+        assert!(avoided <= 3, "at most items - 1 locks can be avoided");
+    }
+
+    #[test]
+    fn seal_batch_matches_scalar_protocol() {
+        let a = state();
+        let b = other_state();
+        let (ha, hb) = (
+            crate::hash::stable_hash_bytes(&a),
+            crate::hash::stable_hash_bytes(&b),
+        );
+        for stripes in [1, 4] {
+            let scalar = VisitedStore::new(stripes);
+            let batched = VisitedStore::new(stripes);
+            for s in [&scalar, &batched] {
+                s.admit(ha, &a, rank(2, 0));
+                s.admit(ha, &a, rank(1, 3)); // the winner
+                s.admit(hb, &b, rank(0, 1));
+            }
+            // Probes in commit order: a loser, the winner, a duplicate
+            // probe of an already-sealed state, and a second state.
+            let probes: Vec<(u64, Rank, &[u8])> = vec![
+                (ha, rank(2, 0), &a),
+                (ha, rank(1, 3), &a),
+                (ha, rank(1, 3), &a),
+                (hb, rank(0, 1), &b),
+            ];
+            let want: Vec<bool> = probes
+                .iter()
+                .map(|&(h, r, enc)| scalar.seal_if_winner(h, enc, r, 7))
+                .collect();
+            let got = batched.seal_batch(&probes, 7);
+            assert_eq!(want, got);
+            assert_eq!(got, [false, true, false, true]);
+            assert_eq!(
+                scalar.contains_sealed_before(ha, &a, 8),
+                batched.contains_sealed_before(ha, &a, 8)
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! - [`index`] — the per-stripe in-memory fingerprint index over tier 1:
 //!   membership probes stay O(1) hash lookups; a disk read happens only
 //!   when a fingerprint actually matches.
+//! - [`bloom`] — the lock-free Bloom prefilter in front of the index:
+//!   the common probe-miss is answered without taking any lock, and the
+//!   per-segment filters are persisted (and validated) across
+//!   checkpoints.
 //! - [`spool`] — bounded-memory FIFO spooling of the level-synchronous
 //!   frontier: excess entries spill to disk in rank order and are
 //!   re-admitted deterministically.
@@ -34,6 +38,7 @@
 //! so even `Report::visited_bytes`/`visited_states` match the unbounded
 //! run byte for byte.
 
+pub mod bloom;
 pub mod checkpoint;
 pub mod disk;
 pub mod index;
@@ -43,6 +48,7 @@ pub mod spool;
 pub use mem::{VisitedStore, STRIPES};
 pub use spool::{FrontierSpool, Spoolable};
 
+use bloom::Prefilter;
 use disk::{DiskRef, SegmentStore};
 use index::FpIndex;
 use std::io;
@@ -150,6 +156,8 @@ impl Drop for SpillDir {
 struct Tier1 {
     segs: SegmentStore,
     index: FpIndex,
+    prefilter: Prefilter,
+    dir: Arc<SpillDir>,
 }
 
 /// The two-tier visited store: tier 0 is the lock-striped in-memory
@@ -188,8 +196,10 @@ impl TieredStore {
             mem: VisitedStore::new_with(STRIPES, compressed),
             budget,
             tier1: dir.map(|d| Tier1 {
-                segs: SegmentStore::new(d, compressed),
+                segs: SegmentStore::new(Arc::clone(&d), compressed),
                 index: FpIndex::new(STRIPES),
+                prefilter: Prefilter::new(),
+                dir: d,
             }),
             peak_mem: AtomicUsize::new(0),
             spilled: AtomicUsize::new(0),
@@ -202,6 +212,11 @@ impl TieredStore {
     /// only to confirm a fingerprint match against the full encoding.
     fn on_disk(&self, hash: u64, enc: &[u8], epoch_bound: Option<u32>) -> bool {
         let Some(t1) = &self.tier1 else { return false };
+        // The prefilter answers the common miss lock-free; a "no" is
+        // definitive for any epoch bound (false negatives impossible).
+        if !t1.prefilter.may_contain(hash) {
+            return false;
+        }
         t1.index.candidates(hash, |r: &DiskRef| {
             epoch_bound.is_none_or(|b| r.epoch < b)
                 && r.len as usize == enc.len()
@@ -238,8 +253,13 @@ impl TieredStore {
             return Ok(());
         }
         let refs = t1.segs.write_segment(&records)?;
+        let seg = refs.first().map(|(_, r)| r.seg);
+        let fps: Vec<u64> = refs.iter().map(|&(fp, _)| fp).collect();
         for (fp, r) in refs {
             t1.index.insert(fp, r);
+        }
+        if let Some(seg) = seg {
+            t1.prefilter.add_segment(seg, &fps, &t1.index);
         }
         self.spilled.fetch_add(records.len(), Ordering::Relaxed);
         Ok(())
@@ -254,9 +274,12 @@ impl TieredStore {
             .expect("resume requires a spill directory");
         let refs = t1.segs.reopen(id, byte_len)?;
         let n = refs.len();
+        let fps: Vec<u64> = refs.iter().map(|&(fp, _)| fp).collect();
         for (fp, r) in refs {
             t1.index.insert(fp, r);
         }
+        t1.prefilter
+            .load_segment(id, &fps, t1.dir.path(), &t1.index);
         self.spilled.fetch_add(n, Ordering::Relaxed);
         Ok(n)
     }
@@ -306,6 +329,71 @@ impl TieredStore {
         self.mem.stored_bytes() + self.tier1.as_ref().map_or(0, |t| t.index.stored_bytes())
     }
 
+    /// Batch [`StateStore::admit`] over one worker batch's successors.
+    /// Disk-resident states are filtered exactly like scalar `admit`
+    /// (a spilled state is sealed by definition), but the batch shape
+    /// pays off twice: the prefilter dismisses most items without an
+    /// index lookup, and the few disk confirms that remain are read in
+    /// `(segment, offset)` order — sequential positional reads instead
+    /// of a random walk. The survivors go through
+    /// [`VisitedStore::insert_batch`], which groups them by stripe so
+    /// each stripe lock is taken once per run instead of once per
+    /// successor. Result-equivalent to scalar admission in any order
+    /// because admission keeps the *minimum* rank per state.
+    pub fn insert_batch(&self, items: &mut Vec<(u64, Rank, &[u8])>) {
+        if let Some(t1) = &self.tier1 {
+            let mut cands: Vec<(u32, DiskRef)> = Vec::new();
+            let mut refs = Vec::new();
+            for (ix, &(h, _, e)) in items.iter().enumerate() {
+                if !t1.prefilter.may_contain(h) {
+                    continue;
+                }
+                refs.clear();
+                t1.index.collect_refs(h, &mut refs);
+                cands.extend(
+                    refs.iter()
+                        .filter(|r| r.len as usize == e.len())
+                        .map(|&r| (ix as u32, r)),
+                );
+            }
+            if !cands.is_empty() {
+                cands.sort_unstable_by_key(|&(_, r)| (r.seg, r.off));
+                let mut dead = vec![false; items.len()];
+                for (ix, r) in cands {
+                    let ix = ix as usize;
+                    if !dead[ix]
+                        && t1
+                            .segs
+                            .confirm(&r, items[ix].2)
+                            .expect("tier-1 segment read")
+                    {
+                        dead[ix] = true;
+                    }
+                }
+                let mut ix = 0;
+                items.retain(|_| {
+                    ix += 1;
+                    !dead[ix - 1]
+                });
+            }
+        }
+        self.mem.insert_batch(items);
+    }
+
+    /// Batch [`StateStore::seal_if_winner`] over one chunk's commit
+    /// probes, preserving commit order per stripe. Winners are always
+    /// tier-0 residents (disk-sealed states are filtered at admission),
+    /// so this delegates to [`VisitedStore::seal_batch`].
+    pub fn seal_batch(&self, probes: &[(u64, Rank, &[u8])], epoch: u32) -> Vec<bool> {
+        self.mem.seal_batch(probes, epoch)
+    }
+
+    /// Tier-0 batch-path observability counters:
+    /// `(batch calls, items batched, lock acquisitions avoided)`.
+    pub fn batch_stats(&self) -> (usize, usize, usize) {
+        self.mem.batch_stats()
+    }
+
     /// Segments retired by [`TieredStore::compact_segments`] over the
     /// store's life.
     pub fn segments_compacted(&self) -> usize {
@@ -335,8 +423,28 @@ impl TieredStore {
         let moves: std::collections::HashMap<(u32, u64), DiskRef> =
             t1.segs.compact(&victims)?.into_iter().collect();
         t1.index.remap(&moves);
+        if let Some(merged) = moves.values().next().map(|r| r.seg) {
+            t1.prefilter.replace_segments(&victims, merged, &t1.index);
+        }
         self.compacted.fetch_add(victims.len(), Ordering::Relaxed);
         Ok(victims.len())
+    }
+
+    /// Persist every dirty per-segment Bloom filter next to its segment
+    /// (`seg-<id>.bloom`) — part of the checkpoint write. No-op without
+    /// a spill directory.
+    pub(crate) fn persist_prefilters(&self) -> io::Result<usize> {
+        let Some(t1) = &self.tier1 else { return Ok(0) };
+        t1.prefilter.persist(t1.dir.path())
+    }
+
+    /// Prefilter observability: `(probes, hits, rebuilds)` where a hit
+    /// is a probe answered "definitely absent" without an index lookup
+    /// and a rebuild is a persisted filter rejected at resume.
+    pub fn prefilter_stats(&self) -> (usize, usize, usize) {
+        self.tier1
+            .as_ref()
+            .map_or((0, 0, 0), |t| t.prefilter.stats())
     }
 }
 
@@ -397,6 +505,41 @@ mod tests {
                 (crate::hash::stable_hash_bytes(&enc), enc)
             })
             .collect()
+    }
+
+    #[test]
+    fn tiered_batches_filter_disk_residents_like_scalar_admission() {
+        let dir = SpillDir::temp().unwrap();
+        let store = TieredStore::new(0, Some(dir));
+        let ss = states(8);
+        // Seal and spill the first half, so the batch mixes disk
+        // residents (must be filtered) with genuinely new states.
+        for (i, (h, e)) in ss[..4].iter().enumerate() {
+            store.admit(*h, e, rank(i, 0));
+            store.seal_if_winner(*h, e, rank(i, 0), 1);
+        }
+        store.end_of_level().unwrap();
+        assert_eq!(store.spilled_entries(), 4);
+        let mut batch: Vec<(u64, Rank, &[u8])> = ss
+            .iter()
+            .enumerate()
+            .map(|(i, (h, e))| (*h, rank(10 + i, 0), e.as_slice()))
+            .collect();
+        store.insert_batch(&mut batch);
+        assert_eq!(store.len(), 8, "disk residents not re-admitted");
+        assert_eq!(store.mem.len(), 4, "only the new states are tier-0");
+        let probes: Vec<(u64, Rank, &[u8])> = ss[4..]
+            .iter()
+            .enumerate()
+            .map(|(i, (h, e))| (*h, rank(14 + i, 0), e.as_slice()))
+            .collect();
+        let flags = store.seal_batch(&probes, 2);
+        assert_eq!(flags, vec![true; 4], "stored ranks all win");
+        for (h, e) in &ss {
+            assert!(store.contains_sealed_before(*h, e, 3));
+        }
+        let (ops, items, _) = store.batch_stats();
+        assert_eq!((ops, items), (2, 8), "4 admits + 4 seals batched");
     }
 
     #[test]

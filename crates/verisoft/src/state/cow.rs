@@ -122,32 +122,38 @@ impl<T: Encode> CowArc<T> {
 }
 
 impl<T: Encode> CowArc<T> {
-    /// The component's `(dense id, encoded len, sub-hash)` under
-    /// `interner`, memoized per allocation exactly like the sub-hash:
-    /// a warm memo (matching interner token) answers without touching
-    /// the encoding; a cold one encodes the component once into
-    /// `scratch`, seeds the sub-hash from those bytes, and interns
-    /// them. `make_mut` drops the memo with the hash, so a successor
-    /// re-encodes only the components its transition mutated.
-    pub(super) fn intern_with(
-        &self,
-        interner: &super::intern::ComponentInterner,
-        scratch: &mut Vec<u8>,
-    ) -> (u32, u32, u64) {
-        if let Some(&(token, id, len)) = self.inner.intern.get() {
-            if token == interner.token() {
-                return (id, len, self.sub_hash());
-            }
+    /// The warm half of the component-interning protocol (see
+    /// [`super::GlobalState::fingerprint_and_intern`]): `(id, len)` when
+    /// the memo matches `token`, without touching any bytes. A `None`
+    /// means the caller should encode the component
+    /// ([`CowArc::encode_for_intern`]) and batch-intern it. `make_mut`
+    /// drops the memo with the hash, so a successor re-encodes only the
+    /// components its transition mutated.
+    #[inline]
+    pub(super) fn intern_memo(&self, token: u64) -> Option<(u32, u32)> {
+        match self.inner.intern.get() {
+            Some(&(t, id, len)) if t == token => Some((id, len)),
+            _ => None,
         }
-        scratch.clear();
-        self.inner.value.encode(scratch);
-        let hash = self.sub_hash_from_encoding(scratch);
-        let id = interner.intern(scratch);
-        let _ = self
-            .inner
-            .intern
-            .set((interner.token(), id, scratch.len() as u32));
-        (id, scratch.len() as u32, hash)
+    }
+
+    /// The cold half, step one: append the component's canonical
+    /// encoding to `flat` (a shared arena, so a state's cold components
+    /// cost one buffer instead of one allocation each), seed the
+    /// sub-hash cache from those bytes, and return the span's start and
+    /// the sub-hash.
+    pub(super) fn encode_for_intern(&self, flat: &mut Vec<u8>) -> (usize, u64) {
+        let start = flat.len();
+        self.inner.value.encode(flat);
+        let hash = self.sub_hash_from_encoding(&flat[start..]);
+        (start, hash)
+    }
+
+    /// The cold half, step two: memoize the batch-assigned `(id, len)`
+    /// under `token` (first writer wins, like the sub-hash cache).
+    #[inline]
+    pub(super) fn set_intern_memo(&self, token: u64, id: u32, len: u32) {
+        let _ = self.inner.intern.set((token, id, len));
     }
 }
 

@@ -328,25 +328,35 @@ impl GlobalState {
     /// halves the encoding work on the components a transition changed.
     pub fn fingerprint_and_encode(&self) -> (u64, Vec<u8>) {
         let mut out = Vec::with_capacity(64 * self.procs.len() + 16 * self.objects.len());
+        let fp = self.fingerprint_and_encode_into(&mut out);
+        (fp, out)
+    }
+
+    /// [`Self::fingerprint_and_encode`] appending to a caller-supplied
+    /// buffer (the key-arena entry point: one shared allocation holds
+    /// every successor key of an expansion). Returns the fingerprint;
+    /// the encoding is `out[start..]` for the caller's recorded start.
+    pub fn fingerprint_and_encode_into(&self, out: &mut Vec<u8>) -> u64 {
+        let base = out.len();
         let mut h = crate::hash::StableHasher::new();
         h.write_u64(self.procs.len() as u64);
-        encode::put_u64(&mut out, self.procs.len() as u64);
+        encode::put_u64(out, self.procs.len() as u64);
         for p in &self.procs {
             let start = out.len();
-            p.encode(&mut out);
+            p.encode(out);
             h.write_u64(p.sub_hash_from_encoding(&out[start..]));
         }
         h.write_u64(self.objects.len() as u64);
-        encode::put_u64(&mut out, self.objects.len() as u64);
+        encode::put_u64(out, self.objects.len() as u64);
         for o in &self.objects {
             let start = out.len();
-            o.encode(&mut out);
+            o.encode(out);
             h.write_u64(o.sub_hash_from_encoding(&out[start..]));
         }
         let fp = h.finish();
         debug_assert_eq!(fp, self.fingerprint_from_scratch());
-        debug_assert_eq!(out, encode_state(self));
-        (fp, out)
+        debug_assert_eq!(out[base..], encode_state(self));
+        fp
     }
 
     /// [`Self::fingerprint`] fused with *compression* instead of
@@ -364,41 +374,90 @@ impl GlobalState {
     /// [`Self::fingerprint_and_encode`] comes from.
     pub fn fingerprint_and_intern(&self, interner: &ComponentInterner) -> (u64, Vec<u8>) {
         let mut out = Vec::with_capacity(16 + 4 * (self.procs.len() + self.objects.len()));
-        let mut scratch = Vec::with_capacity(64);
+        let fp = self.fingerprint_and_intern_into(interner, &mut out);
+        (fp, out)
+    }
+
+    /// [`Self::fingerprint_and_intern`] appending to a caller-supplied
+    /// buffer (the key-arena entry point). All per-call working state —
+    /// the ID vector, the cold-component encoding arena, and the span
+    /// list — lives in thread-local scratch reused across the millions
+    /// of successor keys a run computes, so the only allocations left
+    /// on this path are genuinely new interner table entries.
+    pub fn fingerprint_and_intern_into(
+        &self,
+        interner: &ComponentInterner,
+        out: &mut Vec<u8>,
+    ) -> u64 {
+        /// `(ids, flat, cold)` scratch for the two-pass intern.
+        type InternScratch = (Vec<u32>, Vec<u8>, Vec<(usize, usize, usize)>);
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<InternScratch> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+        }
+        let base = out.len();
+        let token = interner.token();
+        let nprocs = self.procs.len();
         let mut h = crate::hash::StableHasher::new();
         // Raw encoded length first (see `intern::raw_len_of`): the
         // stores report logical bytes, not stored bytes.
         let mut raw = encode::varint_len(self.procs.len() as u64)
             + encode::varint_len(self.objects.len() as u64);
-        let mut ids = Vec::with_capacity(self.procs.len() + self.objects.len());
-        h.write_u64(self.procs.len() as u64);
-        for p in &self.procs {
-            let (id, len, sub) = p.intern_with(interner, &mut scratch);
-            h.write_u64(sub);
-            raw += len as usize;
-            ids.push(id);
-        }
-        h.write_u64(self.objects.len() as u64);
-        for o in &self.objects {
-            let (id, len, sub) = o.intern_with(interner, &mut scratch);
-            h.write_u64(sub);
-            raw += len as usize;
-            ids.push(id);
-        }
-        encode::put_u64(&mut out, raw as u64);
-        encode::put_u64(&mut out, self.procs.len() as u64);
-        for id in &ids[..self.procs.len()] {
-            encode::put_u64(&mut out, u64::from(*id));
-        }
-        encode::put_u64(&mut out, self.objects.len() as u64);
-        for id in &ids[self.procs.len()..] {
-            encode::put_u64(&mut out, u64::from(*id));
-        }
+        SCRATCH.with(|sc| {
+            let (ids, flat, cold) = &mut *sc.borrow_mut();
+            ids.clear();
+            ids.resize(nprocs + self.objects.len(), 0);
+            flat.clear();
+            cold.clear(); // (slot, start, end) spans into `flat`
+                          // Two-pass batched interning: pass one answers warm memos
+                          // from cached words and encodes every cold component into
+                          // the shared arena; the cold spans then go through
+                          // `intern_batch_spans` in a single call (one stripe lock per
+                          // stripe run, one table lock per run with new entries)
+                          // instead of one `intern` each. The fingerprint folds
+                          // sub-hashes in component order either way.
+            h.write_u64(self.procs.len() as u64);
+            intern_scan(&self.procs, 0, token, &mut h, &mut raw, ids, flat, cold);
+            h.write_u64(self.objects.len() as u64);
+            intern_scan(
+                &self.objects,
+                nprocs,
+                token,
+                &mut h,
+                &mut raw,
+                ids,
+                flat,
+                cold,
+            );
+            if !cold.is_empty() {
+                interner.intern_batch_spans(flat, cold, ids);
+                for &(slot, s, e) in cold.iter() {
+                    let (id, len) = (ids[slot], (e - s) as u32);
+                    if slot < nprocs {
+                        self.procs[slot].set_intern_memo(token, id, len);
+                    } else {
+                        self.objects[slot - nprocs].set_intern_memo(token, id, len);
+                    }
+                }
+            }
+            encode::put_u64(out, raw as u64);
+            encode::put_u64(out, self.procs.len() as u64);
+            for id in &ids[..self.procs.len()] {
+                encode::put_u64(out, u64::from(*id));
+            }
+            encode::put_u64(out, self.objects.len() as u64);
+            for id in &ids[self.procs.len()..] {
+                encode::put_u64(out, u64::from(*id));
+            }
+        });
         let fp = h.finish();
         debug_assert_eq!(fp, self.fingerprint_from_scratch());
         debug_assert_eq!(raw, encode_state(self).len());
-        debug_assert_eq!(interner.decode_compressed(&out).as_ref(), Some(self));
-        (fp, out)
+        debug_assert_eq!(
+            interner.decode_compressed(&out[base..]).as_ref(),
+            Some(self)
+        );
+        fp
     }
 
     /// The fingerprint with every sub-hash recomputed from the
@@ -435,6 +494,38 @@ impl GlobalState {
                 .filter(|(a, b)| CowArc::ptr_eq(a, b))
                 .count();
         (shared, self.procs.len() + self.objects.len())
+    }
+}
+
+/// Pass one of [`GlobalState::fingerprint_and_intern`] over one
+/// component array (`base` = its slot offset in the combined ID
+/// vector): warm memos answer from cached words; cold components append
+/// their canonical encoding to the shared `flat` arena and record their
+/// `(slot, start, end)` span in `cold` for the batch-intern step. Folds
+/// each component's sub-hash into `h` and its encoded length into `raw`
+/// either way.
+#[allow(clippy::too_many_arguments)]
+fn intern_scan<T: encode::Encode>(
+    comps: &[CowArc<T>],
+    base: usize,
+    token: u64,
+    h: &mut crate::hash::StableHasher,
+    raw: &mut usize,
+    ids: &mut [u32],
+    flat: &mut Vec<u8>,
+    cold: &mut Vec<(usize, usize, usize)>,
+) {
+    for (k, c) in comps.iter().enumerate() {
+        if let Some((id, len)) = c.intern_memo(token) {
+            h.write_u64(c.sub_hash());
+            *raw += len as usize;
+            ids[base + k] = id;
+        } else {
+            let (start, sub) = c.encode_for_intern(flat);
+            h.write_u64(sub);
+            *raw += flat.len() - start;
+            cold.push((base + k, start, flat.len()));
+        }
     }
 }
 

@@ -72,12 +72,19 @@ fn usage() -> String {
                                   component-ID tuples (escape hatch; the\n\
                                   report is byte-identical either way, but a\n\
                                   checkpoint cannot be resumed across modes)\n\
+         --scalar-commit          frontier engines: force the scalar reference\n\
+                                  commit path (per-successor store calls, no\n\
+                                  batching or chunk pipelining); the report is\n\
+                                  byte-identical either way — this exists so\n\
+                                  you can check that claim\n\
          --stats                  print states/sec, visited-store bytes and\n\
                                   state count, the compression ratio and\n\
                                   interner size, the CoW sharing ratio, the\n\
                                   POR reduction counters, and (frontier\n\
                                   engines) peak resident store bytes, spilled\n\
-                                  entries, segment and checkpoint counts\n\
+                                  entries, segment and checkpoint counts,\n\
+                                  batched-commit and Bloom-prefilter savings,\n\
+                                  and the pipeline overlap ratio\n\
          --explain                replay and pretty-print each violation\n\
      run <file> <schedule...>     replay a schedule and print its events;\n\
                                   a schedule is decisions like P0 P1[2,0] P0\n\
@@ -291,6 +298,7 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         resume: resume_dir.is_some(),
         abort_after_checkpoints: opt("--abort-after-checkpoints")?,
         no_compress: flag("--no-compress"),
+        scalar_commit: flag("--scalar-commit"),
         ..Config::default()
     };
     if prog.has_env_reads() && config.env_mode == EnvMode::Closed {
@@ -380,6 +388,35 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 report.store_segments,
                 report.store_segments_compacted,
                 report.checkpoints_written
+            );
+        }
+        if report.store_batch_ops > 0 {
+            println!(
+                "stats: batched commit: {} batch(es) carrying {} item(s) \
+                 ({:.1} items/batch), {} lock acquisition(s) avoided",
+                report.store_batch_ops,
+                report.store_batch_items,
+                report.store_batch_items as f64 / report.store_batch_ops as f64,
+                report.store_lock_acquisitions_avoided
+            );
+        }
+        if report.prefilter_probes > 0 {
+            println!(
+                "stats: prefilter: {}/{} tier-1 probe(s) screened ({:.1}%), \
+                 {} filter(s) rebuilt on resume",
+                report.prefilter_hits,
+                report.prefilter_probes,
+                100.0 * report.prefilter_hits as f64 / report.prefilter_probes as f64,
+                report.prefilter_rebuilds
+            );
+        }
+        if report.pipeline_chunks > 0 {
+            println!(
+                "stats: pipeline: {}/{} chunk(s) overlapped with the next \
+                 chunk's expansion ({:.1}%)",
+                report.pipeline_overlapped_chunks,
+                report.pipeline_chunks,
+                100.0 * report.pipeline_overlapped_chunks as f64 / report.pipeline_chunks as f64
             );
         }
     }

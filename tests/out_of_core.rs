@@ -277,6 +277,70 @@ fn compaction_retires_segments_without_changing_membership() {
 }
 
 #[test]
+fn stale_or_torn_bloom_prefilters_are_rebuilt_on_resume() {
+    // Per-segment Bloom prefilter files (`seg-<id>.bloom`) are an
+    // advisory cache: they are deliberately *not* in the checkpoint
+    // manifest, so a crash can leave them missing, torn, or stale. On
+    // resume every filter is validated (format checksum + exact entry
+    // count + containment of every live fingerprint) and rebuilt from
+    // the segment's own fingerprints on any mismatch — a damaged file
+    // may cost a rebuild but can never produce a wrong probe miss.
+    let prog = compile(&workers_src()).unwrap();
+    let baseline = explore(&prog, &frontier_config(1));
+    let dir = temp_dir("bloom");
+    let killed = explore(
+        &prog,
+        &Config {
+            mem_limit: 16,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            abort_after_checkpoints: Some(3),
+            ..frontier_config(2)
+        },
+    );
+    assert!(killed.truncated);
+    assert!(killed.store_segments > 0, "the tiny budget spilled");
+    let mut blooms: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (name.starts_with("seg-") && name.ends_with(".bloom")).then_some(p)
+        })
+        .collect();
+    blooms.sort();
+    // Checkpoint-time compaction merges small segments, so a single
+    // filter may be all that survives the kill — damage whatever is
+    // there, each file a different way: garbage, torn tail, gone.
+    assert!(!blooms.is_empty(), "a per-segment filter was persisted");
+    std::fs::write(&blooms[0], b"not a bloom filter at all").unwrap();
+    if let Some(second) = blooms.get(1) {
+        let torn = std::fs::read(second).unwrap();
+        std::fs::write(second, &torn[..torn.len() / 2]).unwrap();
+    }
+    if let Some(third) = blooms.get(2) {
+        std::fs::remove_file(third).unwrap();
+    }
+
+    let resumed = explore(
+        &prog,
+        &Config {
+            mem_limit: 16,
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..frontier_config(1)
+        },
+    );
+    assert_eq!(surface(&resumed), surface(&baseline));
+    assert!(
+        resumed.prefilter_rebuilds >= blooms.len().min(3),
+        "every damaged filter was rebuilt, not trusted: {} rebuilds",
+        resumed.prefilter_rebuilds
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn resume_rejects_a_different_program_or_config() {
     let prog = compile(&workers_src()).unwrap();
     let dir = temp_dir("reject");
