@@ -124,6 +124,20 @@ if [ "$sf_max" -gt $((sf_min * 2)) ]; then
     exit 1
 fi
 
+echo "== fuzz smoke: 300-seed differential sweep =="
+# The adversarial corpus engine: generate open programs over a fixed
+# seed range, close each one, and cross-check every engine x POR x jobs
+# configuration against the full-interleaving baseline. Deterministic
+# (fixed seeds, no time-derived input); exits nonzero on any
+# divergence, panic, or generator-produced compile failure. The
+# wall-clock budget only bounds a pathological machine — the sweep
+# normally finishes in seconds.
+"$BIN" fuzz --seeds 300 --budget 120 > "$SMOKE/fuzz.txt" 2>&1 \
+    || { echo "fuzz smoke: divergence or panic"; cat "$SMOKE/fuzz.txt"; exit 1; }
+grep -q "no divergences" "$SMOKE/fuzz.txt" \
+    || { echo "fuzz smoke: summary does not report a clean run"; cat "$SMOKE/fuzz.txt"; exit 1; }
+sed 's/^/  /' "$SMOKE/fuzz.txt"
+
 echo "== POR smoke: differential verdict oracle on two corpus programs =="
 # POR must not change *verdicts*: strip the schedule suffix (" after
 # [...]" — representatives legitimately differ under reduction) and the
@@ -343,5 +357,25 @@ for field in hardware_threads name min_ns median_ns mean_ns \
         || { echo "close_pipeline: field $field missing from JSON"; exit 1; }
 done
 echo "  BENCH_close_pipeline.json: cold/warm records present, schema complete"
+
+echo "== bench smoke: corpus_fuzz sweep + JSON schema =="
+RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
+    --bench corpus_fuzz > "$SMOKE/corpus_bench.log" 2>&1 \
+    || { cat "$SMOKE/corpus_bench.log"; exit 1; }
+JF="$SMOKE/BENCH_corpus.json"
+[ -f "$JF" ] || { echo "corpus_fuzz: $JF was not written"; exit 1; }
+for rec in "corpus/sweep/48" "corpus/generate/48" "corpus/close_and_check/1"; do
+    grep -q "$rec" "$JF" \
+        || { echo "corpus_fuzz: record $rec missing from JSON"; exit 1; }
+done
+for field in hardware_threads name min_ns median_ns mean_ns \
+             elements elements_per_sec \
+             generated_per_sec closed_per_sec checked_per_sec; do
+    grep -q "\"$field\"" "$JF" \
+        || { echo "corpus_fuzz: field $field missing from JSON"; exit 1; }
+done
+perf_gate BENCH_corpus.json "$JF" \
+    || { echo "perf gate: corpus_fuzz regression (see above)"; exit 1; }
+echo "  BENCH_corpus.json: sweep/stage records present, rates annotated"
 
 echo "ci: all green"

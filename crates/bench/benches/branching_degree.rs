@@ -20,9 +20,16 @@ fn report() {
     let mut grew = 0usize;
     let mut total_before = 0usize;
     let mut total_after = 0usize;
+    // Distinct seeds can collide on structurally identical programs;
+    // closing a duplicate would double-count its degree deltas, so the
+    // sweep dedupes on the span-independent content hash.
+    let mut dedupe = progen::Dedupe::new();
     for shape in [Shape::Straight, Shape::Branchy, Shape::Loopy] {
         for seed in 0..30u64 {
             let open = progen::compile(shape, 48, seed);
+            if !dedupe.admit(&open) {
+                continue;
+            }
             let closed = close(&open);
             for r in closer::compare(&open, &closed.program) {
                 total_before += r.degree_before;
@@ -36,7 +43,10 @@ fn report() {
         }
     }
     println!("reduced: {reduced}, preserved: {equal}, grew (shared-region duplication): {grew}");
-    println!("total degree: {total_before} -> {total_after}");
+    println!(
+        "total degree: {total_before} -> {total_after} ({} duplicate program(s) skipped)",
+        dedupe.duplicates
+    );
 }
 
 fn bench(c: &mut Criterion) {

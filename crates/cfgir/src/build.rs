@@ -94,10 +94,18 @@ struct LoopCtx {
     continues: Pending,
 }
 
+/// What a local name is bound to: a scalar variable or a fixed-size array
+/// laid out as `len` consecutive variable slots starting at the base.
+#[derive(Clone, Copy)]
+enum Binding {
+    Var(VarId),
+    Array(VarId, i64),
+}
+
 struct ProcBuilder<'a> {
     decl: &'a ast::ProcDecl,
     cfg: CfgProc,
-    scopes: Vec<HashMap<String, VarId>>,
+    scopes: Vec<HashMap<String, Binding>>,
     global_cache: HashMap<GlobalId, VarId>,
     table: &'a SymbolTable,
     proc_ids: &'a HashMap<String, ProcId>,
@@ -129,7 +137,7 @@ impl<'a> ProcBuilder<'a> {
                 kind: VarKind::Param(i),
             });
             cfg.params.push(v);
-            scope.insert(p.name.name.clone(), v);
+            scope.insert(p.name.name.clone(), Binding::Var(v));
         }
         ProcBuilder {
             decl,
@@ -184,8 +192,42 @@ impl<'a> ProcBuilder<'a> {
         self.scopes
             .last_mut()
             .expect("scope stack never empty")
-            .insert(name.to_owned(), v);
+            .insert(name.to_owned(), Binding::Var(v));
         v
+    }
+
+    /// Declare a fixed-size array as `len` consecutive scalar slots named
+    /// `a[0]` .. `a[len-1]`. Elements start at 0 like any local.
+    fn declare_array(&mut self, name: &str, len: i64) -> VarId {
+        let base = self.cfg.push_var(VarInfo {
+            name: format!("{name}[0]"),
+            ty: ast::Ty::Int,
+            kind: VarKind::Local,
+        });
+        for k in 1..len {
+            self.cfg.push_var(VarInfo {
+                name: format!("{name}[{k}]"),
+                ty: ast::Ty::Int,
+                kind: VarKind::Local,
+            });
+        }
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), Binding::Array(base, len));
+        base
+    }
+
+    /// Resolve an array name to its base slot and length.
+    fn resolve_array(&self, name: &str) -> (VarId, i64) {
+        for s in self.scopes.iter().rev() {
+            match s.get(name) {
+                Some(Binding::Array(base, len)) => return (*base, *len),
+                Some(Binding::Var(_)) => break,
+                None => {}
+            }
+        }
+        panic!("sema guarantees `{name}` is an array")
     }
 
     fn fresh_temp(&mut self, ty: ast::Ty) -> VarId {
@@ -200,8 +242,12 @@ impl<'a> ProcBuilder<'a> {
 
     fn resolve(&mut self, name: &str) -> VarId {
         for s in self.scopes.iter().rev() {
-            if let Some(v) = s.get(name) {
-                return *v;
+            match s.get(name) {
+                Some(Binding::Var(v)) => return *v,
+                Some(Binding::Array(..)) => {
+                    panic!("sema rejects scalar use of array `{name}`")
+                }
+                None => {}
             }
         }
         let gid = GlobalId(
@@ -311,12 +357,46 @@ impl<'a> ProcBuilder<'a> {
                     }
                 }
             }
-            Stmt::Assign { lhs, rhs, span } => {
-                let place = match lhs {
-                    LValue::Var(i) => Place::Var(self.resolve(&i.name)),
-                    LValue::Deref(i, _) => Place::Deref(self.resolve(&i.name)),
-                };
-                self.lower_assign_to_place(rhs, *span, pending, place)
+            Stmt::Assign { lhs, rhs, span } => match lhs {
+                LValue::Var(i) => {
+                    let place = Place::Var(self.resolve(&i.name));
+                    self.lower_assign_to_place(rhs, *span, pending, place)
+                }
+                LValue::Deref(i, _) => {
+                    let place = Place::Deref(self.resolve(&i.name));
+                    self.lower_assign_to_place(rhs, *span, pending, place)
+                }
+                LValue::Index { base, index, .. } => {
+                    self.lower_array_store(base, index, rhs, *span, pending)
+                }
+            },
+            Stmt::ArrayDecl { name, len, .. } => {
+                self.declare_array(&name.name, (*len).max(1));
+                pending
+            }
+            Stmt::Spawn { proc, args, span } => {
+                let callee = *self
+                    .proc_ids
+                    .get(&proc.name)
+                    .expect("sema checked spawn targets");
+                let arg_vars: Vec<VarId> = args
+                    .iter()
+                    .map(|a| {
+                        let Expr::Var(i) = a else {
+                            panic!("spawn arguments are variables after normalization")
+                        };
+                        self.resolve(&i.name)
+                    })
+                    .collect();
+                let (_, p) = self.node(
+                    NodeKind::Spawn {
+                        callee,
+                        args: arg_vars,
+                    },
+                    *span,
+                    pending,
+                );
+                p
             }
             Stmt::If {
                 cond,
@@ -461,6 +541,79 @@ impl<'a> ProcBuilder<'a> {
         self.emit_classified(lowered, place, span, pending)
     }
 
+    /// An always-failing assertion node, used for out-of-bounds array
+    /// accesses: reaching it reports an assertion violation.
+    fn oob_node(&mut self, span: Span, pending: Pending) -> Pending {
+        let (_, p) = self.node(
+            NodeKind::Visible {
+                op: VisOp::Assert {
+                    cond: Some(Operand::Const(0)),
+                },
+                dst: None,
+            },
+            span,
+            pending,
+        );
+        p
+    }
+
+    /// Lower `a[i] = rhs`. A constant index stores directly into the
+    /// element slot; a variable index expands to a `Switch` over the index
+    /// with one store per element and an always-failing assert on the
+    /// out-of-bounds arm.
+    fn lower_array_store(
+        &mut self,
+        base: &ast::Ident,
+        index: &Expr,
+        rhs: &Expr,
+        span: Span,
+        pending: Pending,
+    ) -> Pending {
+        let (base_v, len) = self.resolve_array(&base.name);
+        let rhs = self.pure_expr(rhs);
+        match self.operand(index) {
+            Operand::Const(k) => {
+                if k < 0 || k >= len {
+                    return self.oob_node(span, pending);
+                }
+                let slot = VarId(base_v.0 + k as u32);
+                let (_, p) = self.node(
+                    NodeKind::Assign {
+                        dst: Place::Var(slot),
+                        src: Rvalue::Pure(rhs),
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
+            Operand::Var(iv) => {
+                let (sw, _) = self.node(
+                    NodeKind::Switch {
+                        expr: PureExpr::var(iv),
+                    },
+                    span,
+                    pending,
+                );
+                let mut out = Vec::new();
+                for k in 0..len {
+                    let slot = VarId(base_v.0 + k as u32);
+                    let (_, p) = self.node(
+                        NodeKind::Assign {
+                            dst: Place::Var(slot),
+                            src: Rvalue::Pure(rhs.clone()),
+                        },
+                        span,
+                        vec![(sw, Guard::CaseEq(k))],
+                    );
+                    out.extend(p);
+                }
+                out.extend(self.oob_node(span, vec![(sw, Guard::CaseElse)]));
+                out
+            }
+        }
+    }
+
     fn lower_call(
         &mut self,
         callee: &ast::Ident,
@@ -544,6 +697,18 @@ impl<'a> ProcBuilder<'a> {
                 );
                 p
             }
+            Some(Builtin::ChanLen) => {
+                let chan = self.obj_id(&args[0]);
+                let (_, p) = self.node(
+                    NodeKind::Visible {
+                        op: VisOp::ChanLen(chan),
+                        dst,
+                    },
+                    span,
+                    pending,
+                );
+                p
+            }
             Some(Builtin::VsAssert) => {
                 let cond = Some(self.operand(&args[0]));
                 let (_, p) = self.node(
@@ -618,6 +783,15 @@ impl<'a> ProcBuilder<'a> {
             },
             Expr::Deref { var, .. } => ClassifiedRhs::Load(self.resolve(&var.name)),
             Expr::AddrOf { var, .. } => ClassifiedRhs::AddrOf(self.resolve(&var.name)),
+            Expr::Index { base, index, .. } => {
+                let (base_v, len) = self.resolve_array(&base.name);
+                let index = self.operand(index);
+                ClassifiedRhs::IndexLoad {
+                    base: base_v,
+                    len,
+                    index,
+                }
+            }
             other => ClassifiedRhs::Pure(self.pure_expr(other)),
         }
     }
@@ -669,15 +843,64 @@ impl<'a> ProcBuilder<'a> {
                 );
                 pd
             }
+            ClassifiedRhs::IndexLoad { base, len, index } => match index {
+                Operand::Const(k) => {
+                    if k < 0 || k >= len {
+                        return self.oob_node(span, pending);
+                    }
+                    let slot = VarId(base.0 + k as u32);
+                    let (_, pd) = self.node(
+                        NodeKind::Assign {
+                            dst: place,
+                            src: Rvalue::Pure(PureExpr::var(slot)),
+                        },
+                        span,
+                        pending,
+                    );
+                    pd
+                }
+                Operand::Var(iv) => {
+                    let (sw, _) = self.node(
+                        NodeKind::Switch {
+                            expr: PureExpr::var(iv),
+                        },
+                        span,
+                        pending,
+                    );
+                    let mut out = Vec::new();
+                    for k in 0..len {
+                        let slot = VarId(base.0 + k as u32);
+                        let (_, p) = self.node(
+                            NodeKind::Assign {
+                                dst: place,
+                                src: Rvalue::Pure(PureExpr::var(slot)),
+                            },
+                            span,
+                            vec![(sw, Guard::CaseEq(k))],
+                        );
+                        out.extend(p);
+                    }
+                    out.extend(self.oob_node(span, vec![(sw, Guard::CaseElse)]));
+                    out
+                }
+            },
         }
     }
 }
 
 enum ClassifiedRhs {
-    Call { callee: ast::Ident, args: Vec<Expr> },
+    Call {
+        callee: ast::Ident,
+        args: Vec<Expr>,
+    },
     Load(VarId),
     AddrOf(VarId),
     Pure(PureExpr),
+    IndexLoad {
+        base: VarId,
+        len: i64,
+        index: Operand,
+    },
 }
 
 #[cfg(test)]

@@ -156,6 +156,7 @@ pub(crate) fn render_kind(kind: &NodeKind, vn: &impl Fn(VarId) -> String) -> Str
                     None => format!("sh_write(o{}, <opaque>)", var.index()),
                 },
                 VisOp::ShRead(o) => format!("sh_read(o{})", o.index()),
+                VisOp::ChanLen(o) => format!("chan_len(o{})", o.index()),
                 VisOp::Assert { cond } => match cond {
                     Some(c) => format!("VS_assert({})", render_operand(c, vn)),
                     None => "VS_assert(<vacuous>)".into(),
@@ -170,6 +171,10 @@ pub(crate) fn render_kind(kind: &NodeKind, vn: &impl Fn(VarId) -> String) -> Str
             Some(e) => format!("return {}", render_pure(e, vn)),
             None => "return".into(),
         },
+        NodeKind::Spawn { callee, args } => {
+            let a: Vec<String> = args.iter().map(|v| vn(*v)).collect();
+            format!("spawn p{}({})", callee.index(), a.join(", "))
+        }
     }
 }
 

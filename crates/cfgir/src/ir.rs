@@ -253,6 +253,9 @@ pub enum VisOp {
         /// Asserted value; `None` when eliminated.
         cond: Option<Operand>,
     },
+    /// `chan_len(c)` — observe the queue length of internal channel `c`.
+    /// Never blocks.
+    ChanLen(ObjId),
 }
 
 impl VisOp {
@@ -262,6 +265,7 @@ impl VisOp {
             VisOp::Send { chan, .. } | VisOp::Recv { chan } => Some(*chan),
             VisOp::SemWait(o) | VisOp::SemSignal(o) => Some(*o),
             VisOp::ShWrite { var, .. } | VisOp::ShRead(var) => Some(*var),
+            VisOp::ChanLen(c) => Some(*c),
             VisOp::Assert { .. } => None,
         }
     }
@@ -277,9 +281,12 @@ impl VisOp {
         }
     }
 
-    /// True when the operation produces a value (recv, sh_read).
+    /// True when the operation produces a value (recv, sh_read, chan_len).
     pub fn has_result(&self) -> bool {
-        matches!(self, VisOp::Recv { .. } | VisOp::ShRead(_))
+        matches!(
+            self,
+            VisOp::Recv { .. } | VisOp::ShRead(_) | VisOp::ChanLen(_)
+        )
     }
 }
 
@@ -332,6 +339,16 @@ pub enum NodeKind {
         /// Destination of the result, for `recv`/`sh_read`.
         dst: Option<VarId>,
     },
+    /// Dynamic process creation: start a new process running `callee` with
+    /// the given argument variables. Invisible — the spawned process shares
+    /// only communication objects with its parent, so creating it is not an
+    /// operation on a communication object.
+    Spawn {
+        /// The procedure the new process runs.
+        callee: ProcId,
+        /// Argument variables, one per remaining callee parameter.
+        args: Vec<VarId>,
+    },
     /// A termination statement. No out-arcs. Top-level returns block
     /// forever (§2: the number of processes is constant).
     Return {
@@ -359,7 +376,7 @@ impl NodeKind {
             }
             NodeKind::Cond { expr } | NodeKind::Switch { expr } => expr.vars(),
             NodeKind::TossCond { .. } => vec![],
-            NodeKind::Call { args, .. } => {
+            NodeKind::Call { args, .. } | NodeKind::Spawn { args, .. } => {
                 let mut vs = Vec::new();
                 for a in args {
                     if !vs.contains(a) {

@@ -239,6 +239,24 @@ fn validate_kind(prog: &CfgProgram, p: &CfgProc, nid: NodeId) -> Result<(), Vali
                 ));
             }
         }
+        NodeKind::Spawn { callee, args } => {
+            if callee.index() >= prog.procs.len() {
+                return Err(err(p, Some(nid), "spawn of out-of-range procedure"));
+            }
+            let target = prog.proc(*callee);
+            if target.params.len() != args.len() {
+                return Err(err(
+                    p,
+                    Some(nid),
+                    format!(
+                        "spawn passes {} args to `{}` which takes {}",
+                        args.len(),
+                        target.name,
+                        target.params.len()
+                    ),
+                ));
+            }
+        }
         NodeKind::Visible { op, dst } => {
             if let Some(o) = op.object() {
                 if o.index() >= prog.objects.len() {

@@ -145,11 +145,12 @@ pub fn close_source(src: &str) -> Result<Closed, minic::Diagnostics> {
 fn is_marked(proc: &CfgProc, taint: &Taint, n: NodeId) -> bool {
     let taint = taint.proc(proc.id);
     match &proc.node(n).kind {
-        // Start nodes, termination statements, procedure calls, and
-        // visible operations are always preserved.
+        // Start nodes, termination statements, procedure calls, spawns,
+        // and visible operations are always preserved.
         NodeKind::Start
         | NodeKind::Return { .. }
         | NodeKind::Call { .. }
+        | NodeKind::Spawn { .. }
         | NodeKind::Visible { .. } => true,
         // Reading the environment is the interface being eliminated.
         NodeKind::Assign {
@@ -328,6 +329,21 @@ fn rewrite_kind(kind: &NodeKind, proc: &CfgProc, n: NodeId, taint: &Taint) -> No
                 dst,
             }
         }
+        NodeKind::Spawn { callee, args } => {
+            // Environment-defined parameters are removed from the spawned
+            // procedure's signature, so drop the matching arguments.
+            let removed = &taint.tainted_params[callee.index()];
+            let args: Vec<VarId> = args
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, a)| *a)
+                .collect();
+            NodeKind::Spawn {
+                callee: *callee,
+                args,
+            }
+        }
         NodeKind::Visible { op, dst } => {
             let op = match op {
                 VisOp::Send { chan, val } => VisOp::Send {
@@ -348,6 +364,7 @@ fn rewrite_kind(kind: &NodeKind, proc: &CfgProc, n: NodeId, taint: &Taint) -> No
             let dst = match &op {
                 VisOp::Recv { chan } if taint.tainted_objects.contains(chan) => None,
                 VisOp::ShRead(var) if taint.tainted_objects.contains(var) => None,
+                VisOp::ChanLen(chan) if taint.tainted_objects.contains(chan) => None,
                 _ => *dst,
             };
             NodeKind::Visible { op, dst }
@@ -376,9 +393,12 @@ fn lemma5_holds(out: &CfgProc, orig: &CfgProc, marked: &[bool], pt: &dataflow::P
             continue;
         }
         match &orig.node(n).kind {
-            // Calls and visible ops may have had tainted operands — those
-            // were erased by rewrite_kind.
-            NodeKind::Call { .. } | NodeKind::Visible { .. } | NodeKind::Return { .. } => {}
+            // Calls, spawns, and visible ops may have had tainted
+            // operands — those were erased by rewrite_kind.
+            NodeKind::Call { .. }
+            | NodeKind::Spawn { .. }
+            | NodeKind::Visible { .. }
+            | NodeKind::Return { .. } => {}
             kind => {
                 if pt.in_n_i(n) {
                     return false;

@@ -259,6 +259,13 @@ fn intraproc(
                 op: VisOp::ShRead(var),
                 dst: Some(_),
             } => st.tainted_objects.contains(var),
+            // Queue lengths on tainted channels are conservatively treated
+            // as environment-dependent (the environment may influence how
+            // many payloads are in flight).
+            NodeKind::Visible {
+                op: VisOp::ChanLen(chan),
+                dst: Some(_),
+            } => st.tainted_objects.contains(chan),
             NodeKind::Call { callee, dst, .. } => {
                 // The returned value may be environment-dependent, and the
                 // callee's side effects may taint weakly-defined variables.
@@ -362,6 +369,15 @@ fn intraproc(
                     // A pointer argument whose pointees are tainted exposes
                     // the taint to the callee via tainted_locs, which is
                     // already global state — nothing to add here.
+                }
+            }
+            NodeKind::Spawn { callee, args } => {
+                // Spawn arguments bind the callee's parameters exactly like
+                // call arguments do.
+                for (i, a) in args.iter().enumerate() {
+                    if v_i[nid.index()].contains(a) {
+                        contrib.tainted_params.push((*callee, i));
+                    }
                 }
             }
             NodeKind::Return { value: Some(e) }

@@ -285,6 +285,27 @@ pub enum Stmt {
         /// Source location.
         span: Span,
     },
+    /// `int a[N];` — a fixed-size local integer array (all elements start 0).
+    ArrayDecl {
+        /// Array name.
+        name: Ident,
+        /// Declared element count (validated by sema: 1..=64).
+        len: i64,
+        /// Source location.
+        span: Span,
+    },
+    /// `spawn f(a, b);` — dynamic process creation. The new process starts
+    /// at `f` with the evaluated arguments and runs concurrently; like
+    /// statically instantiated processes it gets its own copy of the
+    /// per-process globals and shares only communication objects.
+    Spawn {
+        /// The procedure the spawned process runs.
+        proc: Ident,
+        /// Spawn arguments (evaluated in the parent before the spawn).
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
     /// `lhs = rhs;`
     Assign {
         /// Assignment target.
@@ -378,6 +399,8 @@ impl Stmt {
     pub fn span(&self) -> Span {
         match self {
             Stmt::Local { span, .. }
+            | Stmt::ArrayDecl { span, .. }
+            | Stmt::Spawn { span, .. }
             | Stmt::Assign { span, .. }
             | Stmt::If { span, .. }
             | Stmt::While { span, .. }
@@ -411,6 +434,15 @@ pub enum LValue {
     Var(Ident),
     /// A store through a pointer variable: `*p = ...`.
     Deref(Ident, Span),
+    /// A store into an array element: `a[i] = ...`.
+    Index {
+        /// The array variable.
+        base: Ident,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
 }
 
 impl LValue {
@@ -419,14 +451,17 @@ impl LValue {
         match self {
             LValue::Var(i) => i.span,
             LValue::Deref(_, s) => *s,
+            LValue::Index { span, .. } => *span,
         }
     }
 
-    /// The variable named by the lvalue (the pointer for a deref).
+    /// The variable named by the lvalue (the pointer for a deref, the
+    /// array for an indexed store).
     pub fn base(&self) -> &Ident {
         match self {
             LValue::Var(i) => i,
             LValue::Deref(i, _) => i,
+            LValue::Index { base, .. } => base,
         }
     }
 }
@@ -576,6 +611,15 @@ pub enum Expr {
         /// Source location.
         span: Span,
     },
+    /// Array element read: `a[i]`.
+    Index {
+        /// The array variable.
+        base: Ident,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
 }
 
 impl Expr {
@@ -588,7 +632,8 @@ impl Expr {
             | Expr::Binary { span, .. }
             | Expr::Call { span, .. }
             | Expr::AddrOf { span, .. }
-            | Expr::Deref { span, .. } => *span,
+            | Expr::Deref { span, .. }
+            | Expr::Index { span, .. } => *span,
         }
     }
 
@@ -596,6 +641,7 @@ impl Expr {
     pub fn is_call_free(&self) -> bool {
         match self {
             Expr::Int(..) | Expr::Var(_) | Expr::AddrOf { .. } | Expr::Deref { .. } => true,
+            Expr::Index { index, .. } => index.is_call_free(),
             Expr::Unary { expr, .. } => expr.is_call_free(),
             Expr::Binary { lhs, rhs, .. } => lhs.is_call_free() && rhs.is_call_free(),
             Expr::Call { .. } => false,
@@ -621,6 +667,10 @@ impl Expr {
             }
             Expr::AddrOf { .. } => {}
             Expr::Deref { var, .. } => f(var),
+            Expr::Index { base, index, .. } => {
+                f(base);
+                index.for_each_use(f);
+            }
         }
     }
 }

@@ -35,6 +35,9 @@ pub enum Builtin {
     /// `env_input(x)` — invisible read of a fresh environment-supplied value
     /// from declared input `x`. This is what makes a program *open*.
     EnvInput,
+    /// `chan_len(c)` — number of values queued in internal channel `c`.
+    /// Visible (it observes a communication object) and never blocks.
+    ChanLen,
 }
 
 impl Builtin {
@@ -50,6 +53,7 @@ impl Builtin {
             "VS_toss" => Builtin::VsToss,
             "VS_assert" => Builtin::VsAssert,
             "env_input" => Builtin::EnvInput,
+            "chan_len" => Builtin::ChanLen,
             _ => return None,
         })
     }
@@ -66,6 +70,7 @@ impl Builtin {
             Builtin::VsToss => "VS_toss",
             Builtin::VsAssert => "VS_assert",
             Builtin::EnvInput => "env_input",
+            Builtin::ChanLen => "chan_len",
         }
     }
 
@@ -79,7 +84,8 @@ impl Builtin {
             | Builtin::ShRead
             | Builtin::VsToss
             | Builtin::VsAssert
-            | Builtin::EnvInput => 1,
+            | Builtin::EnvInput
+            | Builtin::ChanLen => 1,
         }
     }
 
@@ -93,7 +99,11 @@ impl Builtin {
     pub fn has_result(&self) -> bool {
         matches!(
             self,
-            Builtin::Recv | Builtin::ShRead | Builtin::VsToss | Builtin::EnvInput
+            Builtin::Recv
+                | Builtin::ShRead
+                | Builtin::VsToss
+                | Builtin::EnvInput
+                | Builtin::ChanLen
         )
     }
 
@@ -107,11 +117,12 @@ impl Builtin {
                 | Builtin::SemSignal
                 | Builtin::ShWrite
                 | Builtin::ShRead
+                | Builtin::ChanLen
         )
     }
 
     /// All builtins, for exhaustive testing.
-    pub fn all() -> [Builtin; 9] {
+    pub fn all() -> [Builtin; 10] {
         [
             Builtin::Send,
             Builtin::Recv,
@@ -122,6 +133,7 @@ impl Builtin {
             Builtin::VsToss,
             Builtin::VsAssert,
             Builtin::EnvInput,
+            Builtin::ChanLen,
         ]
     }
 }

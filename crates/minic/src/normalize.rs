@@ -107,6 +107,28 @@ impl Normalizer {
                 });
             }
             Stmt::Assign { lhs, rhs, span } => {
+                // An array store is expanded per element by the CFG builder,
+                // which duplicates the RHS: it must be pure, and the index
+                // an atom.
+                if let LValue::Index {
+                    base,
+                    index,
+                    span: lspan,
+                } = lhs
+                {
+                    let index = self.atom(index, true, out);
+                    let rhs = self.pure(rhs, out);
+                    out.push(Stmt::Assign {
+                        lhs: LValue::Index {
+                            base: base.clone(),
+                            index: Box::new(index),
+                            span: *lspan,
+                        },
+                        rhs,
+                        span: *span,
+                    });
+                    return;
+                }
                 let mut rhs = self.rhs(rhs, out);
                 // A store through a pointer receives the value of a call via
                 // a temp, so call results are always defined into a plain
@@ -118,6 +140,23 @@ impl Normalizer {
                 out.push(Stmt::Assign {
                     lhs: lhs.clone(),
                     rhs,
+                    span: *span,
+                });
+            }
+            Stmt::ArrayDecl { name, len, span } => {
+                out.push(Stmt::ArrayDecl {
+                    name: name.clone(),
+                    len: *len,
+                    span: *span,
+                });
+            }
+            Stmt::Spawn { proc, args, span } => {
+                // Spawn arguments follow the user-call discipline: each
+                // becomes a plain variable.
+                let args = args.iter().map(|a| self.atom(a, false, out)).collect();
+                out.push(Stmt::Spawn {
+                    proc: proc.clone(),
+                    args,
                     span: *span,
                 });
             }
@@ -306,6 +345,12 @@ impl Normalizer {
                 }
             }
             Expr::Deref { .. } | Expr::AddrOf { .. } => e.clone(),
+            // An array read may remain the entire RHS, with an atom index.
+            Expr::Index { base, index, span } => Expr::Index {
+                base: base.clone(),
+                index: Box::new(self.atom(index, true, out)),
+                span: *span,
+            },
             _ => self.pure(e, out),
         }
     }
@@ -338,6 +383,16 @@ impl Normalizer {
             }
             Expr::Deref { .. } => {
                 let t = self.fresh(Ty::Int, e.clone(), out);
+                Expr::Var(t)
+            }
+            Expr::Index { base, index, span } => {
+                let index = self.atom(index, true, out);
+                let read = Expr::Index {
+                    base: base.clone(),
+                    index: Box::new(index),
+                    span: *span,
+                };
+                let t = self.fresh(Ty::Int, read, out);
                 Expr::Var(t)
             }
             Expr::AddrOf { .. } => {
@@ -407,7 +462,7 @@ pub fn is_pure(e: &Expr) -> bool {
         Expr::Int(..) | Expr::Var(_) => true,
         Expr::Unary { expr, .. } => is_pure(expr),
         Expr::Binary { lhs, rhs, .. } => is_pure(lhs) && is_pure(rhs),
-        Expr::Call { .. } | Expr::Deref { .. } | Expr::AddrOf { .. } => false,
+        Expr::Call { .. } | Expr::Deref { .. } | Expr::AddrOf { .. } | Expr::Index { .. } => false,
     }
 }
 
@@ -444,7 +499,25 @@ fn verify_stmt(s: &Stmt) -> Result<(), String> {
             if matches!(lhs, LValue::Deref(..)) && matches!(rhs, Expr::Call { .. }) {
                 return Err("call result stored through a pointer without a temp".into());
             }
+            if let LValue::Index { index, .. } = lhs {
+                if !matches!(&**index, Expr::Var(_) | Expr::Int(..)) {
+                    return Err("array store index is not an atom".into());
+                }
+                if !is_pure(rhs) {
+                    return Err("array store RHS is not pure".into());
+                }
+                return Ok(());
+            }
             verify_rhs(rhs)
+        }
+        Stmt::ArrayDecl { .. } => Ok(()),
+        Stmt::Spawn { args, .. } => {
+            for (i, a) in args.iter().enumerate() {
+                if !matches!(a, Expr::Var(_)) {
+                    return Err(format!("argument {i} of spawn is not a variable"));
+                }
+            }
+            Ok(())
         }
         Stmt::If {
             cond,
@@ -525,6 +598,13 @@ fn verify_rhs(e: &Expr) -> Result<(), String> {
     match e {
         Expr::Call { callee, args, .. } => verify_call(callee, args),
         Expr::Deref { .. } | Expr::AddrOf { .. } => Ok(()),
+        Expr::Index { index, .. } => {
+            if matches!(&**index, Expr::Var(_) | Expr::Int(..)) {
+                Ok(())
+            } else {
+                Err("array read index is not an atom".into())
+            }
+        }
         _ if is_pure(e) => Ok(()),
         _ => Err("assignment RHS mixes a call/load/address-of into a larger expression".into()),
     }

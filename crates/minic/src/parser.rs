@@ -397,6 +397,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
+            TokenKind::Keyword(Keyword::Spawn) => self.spawn_stmt(),
             _ => self.simple_stmt(true),
         }
     }
@@ -409,6 +410,18 @@ impl Parser {
             Ty::Int
         };
         let name = self.ident()?;
+        // `int a[N];` — a fixed-size array declaration.
+        if ty == Ty::Int && self.at(&TokenKind::LBracket) {
+            self.bump();
+            let (len, _) = self.int_const()?;
+            self.expect(TokenKind::RBracket)?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(Stmt::ArrayDecl {
+                name,
+                len,
+                span: start.to(end),
+            });
+        }
         let init = if self.eat(&TokenKind::Assign) {
             Some(self.expr()?)
         } else {
@@ -444,6 +457,32 @@ impl Parser {
                 span: start.to(end),
             });
         }
+        // `a[i] = e;` — identifier followed by `[`.
+        if matches!(self.peek_kind(), TokenKind::Ident(_))
+            && *self.peek2_kind() == TokenKind::LBracket
+        {
+            let base = self.ident()?;
+            self.expect(TokenKind::LBracket)?;
+            let index = self.expr()?;
+            let rb = self.expect(TokenKind::RBracket)?.span;
+            self.expect(TokenKind::Assign)?;
+            let rhs = self.expr()?;
+            let end = if want_semi {
+                self.expect(TokenKind::Semi)?.span
+            } else {
+                rhs.span()
+            };
+            let lspan = base.span.to(rb);
+            return Ok(Stmt::Assign {
+                lhs: LValue::Index {
+                    base,
+                    index: Box::new(index),
+                    span: lspan,
+                },
+                rhs,
+                span: start.to(end),
+            });
+        }
         // `x = e;` — identifier followed by `=` (not `==`).
         if matches!(self.peek_kind(), TokenKind::Ident(_))
             && *self.peek2_kind() == TokenKind::Assign
@@ -471,6 +510,29 @@ impl Parser {
         };
         Ok(Stmt::Expr {
             expr,
+            span: start.to(end),
+        })
+    }
+
+    /// `spawn f(a, b);` — dynamic process creation.
+    fn spawn_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.expect_kw(Keyword::Spawn)?.span;
+        let proc = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(Stmt::Spawn {
+            proc,
+            args,
             span: start.to(end),
         })
     }
@@ -708,6 +770,16 @@ impl Parser {
                     Ok(Expr::Call {
                         callee: name,
                         args,
+                        span,
+                    })
+                } else if self.at(&TokenKind::LBracket) {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect(TokenKind::RBracket)?.span;
+                    let span = name.span.to(end);
+                    Ok(Expr::Index {
+                        base: name,
+                        index: Box::new(index),
                         span,
                     })
                 } else {

@@ -127,10 +127,29 @@ impl Printer {
                     None => self.line(&format!("{head};")),
                 }
             }
+            Stmt::ArrayDecl { name, len, .. } => {
+                self.line(&format!("int {name}[{len}];"));
+            }
+            Stmt::Spawn { proc, args, .. } => {
+                let astrs: Vec<String> = args
+                    .iter()
+                    .map(|a| {
+                        let mut p = Printer::new();
+                        p.expr(a, 0);
+                        p.out
+                    })
+                    .collect();
+                self.line(&format!("spawn {}({});", proc.name, astrs.join(", ")));
+            }
             Stmt::Assign { lhs, rhs, .. } => {
                 let l = match lhs {
                     LValue::Var(v) => v.name.clone(),
                     LValue::Deref(v, _) => format!("*{}", v.name),
+                    LValue::Index { base, index, .. } => {
+                        let mut p = Printer::new();
+                        p.expr(index, 0);
+                        format!("{}[{}]", base.name, p.out)
+                    }
                 };
                 let mut p = Printer::new();
                 p.expr(rhs, 0);
@@ -323,6 +342,12 @@ impl Printer {
             }
             Expr::Deref { var, .. } => {
                 let _ = write!(self.out, "*{}", var.name);
+            }
+            Expr::Index { base, index, .. } => {
+                self.out.push_str(&base.name);
+                self.out.push('[');
+                self.expr(index, 0);
+                self.out.push(']');
             }
         }
     }

@@ -167,6 +167,16 @@ enum NameRef {
     Proc(usize),
 }
 
+/// The type of a local binding: a scalar or a fixed-size array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LocalTy {
+    Scalar(Ty),
+    Array(i64),
+}
+
+/// Maximum declared length of a MiniC array.
+pub const MAX_ARRAY_LEN: i64 = 64;
+
 /// Run semantic analysis on `prog`.
 ///
 /// # Errors
@@ -387,7 +397,7 @@ impl Checker {
                     ),
                     param.name.span,
                 );
-            } else if !scopes.declare(&param.name.name, param.ty) {
+            } else if !scopes.declare(&param.name.name, LocalTy::Scalar(param.ty)) {
                 self.err(
                     format!("duplicate parameter `{}`", param.name.name),
                     param.name.span,
@@ -423,11 +433,72 @@ impl Checker {
                         format!("local `{}` uses the reserved `__` prefix", name.name),
                         name.span,
                     );
-                } else if !scopes.declare(&name.name, *ty) {
+                } else if !scopes.declare(&name.name, LocalTy::Scalar(*ty)) {
                     self.err(
                         format!("duplicate local `{}` in this scope", name.name),
                         name.span,
                     );
+                }
+            }
+            Stmt::ArrayDecl { name, len, span } => {
+                if *len < 1 || *len > MAX_ARRAY_LEN {
+                    self.err(
+                        format!(
+                            "bad array bounds: `{}[{}]` (length must be 1..={MAX_ARRAY_LEN})",
+                            name.name, len
+                        ),
+                        *span,
+                    );
+                }
+                if self.shadows_toplevel(&name.name) {
+                    self.err(
+                        format!("local `{}` shadows a top-level name", name.name),
+                        name.span,
+                    );
+                } else if name.name.starts_with("__") {
+                    self.err(
+                        format!("local `{}` uses the reserved `__` prefix", name.name),
+                        name.span,
+                    );
+                } else if !scopes.declare(&name.name, LocalTy::Array((*len).max(1))) {
+                    self.err(
+                        format!("duplicate local `{}` in this scope", name.name),
+                        name.span,
+                    );
+                }
+            }
+            Stmt::Spawn { proc, args, span } => {
+                let Some(NameRef::Proc(pidx)) = self.toplevel.get(&proc.name).copied() else {
+                    self.err(format!("spawn of unknown proc `{}`", proc.name), proc.span);
+                    for a in args {
+                        self.check_expr(a, scopes, true);
+                    }
+                    return;
+                };
+                let sig = self.table.procs[pidx].clone();
+                if sig.params.len() != args.len() {
+                    self.err(
+                        format!(
+                            "spawn of `{}` which takes {} parameter(s), but {} argument(s) given",
+                            sig.name,
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        *span,
+                    );
+                }
+                if sig.params.iter().any(|t| *t != Ty::Int) {
+                    self.err(
+                        format!(
+                            "procedure `{}` has pointer parameters and cannot be spawned",
+                            sig.name
+                        ),
+                        *span,
+                    );
+                }
+                for a in args {
+                    let got = self.check_expr(a, scopes, true);
+                    self.require_ty(Ty::Int, got, a.span());
                 }
             }
             Stmt::Assign { lhs, rhs, .. } => {
@@ -449,6 +520,10 @@ impl Checker {
                             }
                             None => {}
                         }
+                        self.require_ty(Ty::Int, rty, rhs.span());
+                    }
+                    LValue::Index { base, index, .. } => {
+                        self.check_index(base, index, scopes);
                         self.require_ty(Ty::Int, rty, rhs.span());
                     }
                 }
@@ -565,8 +640,19 @@ impl Checker {
     }
 
     fn resolve_var(&mut self, id: &Ident, scopes: &ScopeStack) -> Option<Ty> {
-        if let Some(ty) = scopes.lookup(&id.name) {
-            return Some(ty);
+        match scopes.lookup(&id.name) {
+            Some(LocalTy::Scalar(ty)) => return Some(ty),
+            Some(LocalTy::Array(_)) => {
+                self.err(
+                    format!(
+                        "array `{}` cannot be used as a scalar value; index it with `{}[i]`",
+                        id.name, id.name
+                    ),
+                    id.span,
+                );
+                return None;
+            }
+            None => {}
         }
         match self.toplevel.get(&id.name).copied() {
             Some(NameRef::Global(_)) => Some(Ty::Int),
@@ -657,7 +743,36 @@ impl Checker {
             Expr::Call { callee, args, span } => {
                 self.check_call(callee, args, *span, as_value, scopes)
             }
+            Expr::Index { base, index, .. } => {
+                self.check_index(base, index, scopes);
+                Some(Ty::Int)
+            }
         }
+    }
+
+    /// Check an array access `base[index]`: the base must be a local array
+    /// and a constant index must be in bounds.
+    fn check_index(&mut self, base: &Ident, index: &Expr, scopes: &ScopeStack) {
+        match scopes.lookup(&base.name) {
+            Some(LocalTy::Array(len)) => {
+                if let Expr::Int(k, kspan) = index {
+                    if *k < 0 || *k >= len {
+                        self.err(
+                            format!("array index {k} out of bounds for `{}[{len}]`", base.name),
+                            *kspan,
+                        );
+                    }
+                }
+            }
+            Some(LocalTy::Scalar(_)) => {
+                self.err(format!("cannot index non-array `{}`", base.name), base.span);
+            }
+            None => {
+                self.err(format!("unknown array `{}`", base.name), base.span);
+            }
+        }
+        let ity = self.check_expr(index, scopes, true);
+        self.require_ty(Ty::Int, ity, index.span());
     }
 
     fn check_call(
@@ -738,6 +853,10 @@ impl Checker {
                         Builtin::Send | Builtin::Recv => {
                             matches!(kind, ObjectKind::Chan | ObjectKind::ExternChan)
                         }
+                        // chan_len observes the queue, which external
+                        // channels (modelling the most general environment)
+                        // do not have.
+                        Builtin::ChanLen => kind == ObjectKind::Chan,
                         Builtin::SemWait | Builtin::SemSignal => kind == ObjectKind::Sem,
                         Builtin::ShWrite | Builtin::ShRead => kind == ObjectKind::Shared,
                         _ => unreachable!("takes_object covers exactly the object builtins"),
@@ -791,7 +910,7 @@ impl Checker {
 
 /// Lexical scope stack for locals and parameters.
 struct ScopeStack {
-    scopes: Vec<HashMap<String, Ty>>,
+    scopes: Vec<HashMap<String, LocalTy>>,
 }
 
 impl ScopeStack {
@@ -808,12 +927,12 @@ impl ScopeStack {
     }
 
     /// Declare in the innermost scope; false when already present there.
-    fn declare(&mut self, name: &str, ty: Ty) -> bool {
+    fn declare(&mut self, name: &str, ty: LocalTy) -> bool {
         let top = self.scopes.last_mut().expect("scope stack is never empty");
         top.insert(name.to_owned(), ty).is_none()
     }
 
-    fn lookup(&self, name: &str) -> Option<Ty> {
+    fn lookup(&self, name: &str) -> Option<LocalTy> {
         for s in self.scopes.iter().rev() {
             if let Some(t) = s.get(name) {
                 return Some(*t);

@@ -168,6 +168,8 @@ pub enum Keyword {
     Process,
     /// `extern` — marks a channel as environment-facing.
     Extern,
+    /// `spawn` — dynamic process creation.
+    Spawn,
 }
 
 impl Keyword {
@@ -194,6 +196,7 @@ impl Keyword {
             "input" => Keyword::Input,
             "process" => Keyword::Process,
             "extern" => Keyword::Extern,
+            "spawn" => Keyword::Spawn,
             _ => return None,
         })
     }
@@ -219,6 +222,7 @@ impl Keyword {
             Keyword::Input => "input",
             Keyword::Process => "process",
             Keyword::Extern => "extern",
+            Keyword::Spawn => "spawn",
         }
     }
 }
@@ -254,6 +258,7 @@ mod tests {
             Keyword::Input,
             Keyword::Process,
             Keyword::Extern,
+            Keyword::Spawn,
         ] {
             assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
         }

@@ -120,3 +120,47 @@ fn diagnostics_accumulate_multiple_errors() {
     let ds = check_err("proc m() { a = 1; b = 2; c = 3; } process m();");
     assert!(ds.len() >= 3, "all three unknowns reported: {ds}");
 }
+
+#[test]
+fn rejects_bad_array_bounds() {
+    for bad in ["int a[0];", "int a[-3];", "int a[65];"] {
+        let src = format!("proc m() {{ {bad} }} process m();");
+        let ds = check_err(&src);
+        assert!(format!("{ds}").contains("bad array bounds"), "{bad}: {ds}");
+    }
+    // The boundary itself is fine.
+    let ok = parse("proc m() { int a[64]; a[0] = 1; } process m();").unwrap();
+    sema::check(&ok).unwrap();
+}
+
+#[test]
+fn rejects_channel_builtin_arity_mismatch() {
+    let ds = check_err("chan c[1]; proc m() { send(c); } process m();");
+    assert!(
+        format!("{ds}").contains("takes 2 argument(s)"),
+        "send arity: {ds}"
+    );
+    let ds = check_err("chan c[1]; proc m() { int x = recv(c, 1); } process m();");
+    assert!(
+        format!("{ds}").contains("takes 1 argument(s)"),
+        "recv arity: {ds}"
+    );
+    // `chan_len` needs a queue to observe: external channels (the most
+    // general environment) do not have one.
+    let ds = check_err("extern chan e : 0..3; proc m() { int x = chan_len(e); } process m();");
+    assert!(
+        format!("{ds}").contains("cannot operate on"),
+        "chan_len on extern: {ds}"
+    );
+}
+
+#[test]
+fn rejects_spawn_of_unknown_proc() {
+    let ds = check_err("proc m() { spawn ghost(); } process m();");
+    assert!(format!("{ds}").contains("spawn of unknown proc"), "{ds}");
+    let ds = check_err("proc w(int k) { } proc m() { spawn w(); } process m();");
+    assert!(
+        format!("{ds}").contains("takes 1 parameter(s), but 0 argument(s)"),
+        "spawn arity: {ds}"
+    );
+}

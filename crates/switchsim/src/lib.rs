@@ -40,6 +40,7 @@
 
 use std::fmt::Write as _;
 
+pub mod corpus;
 pub mod progen;
 pub mod rng;
 

@@ -7,7 +7,42 @@
 //! and `branching_degree` can sweep a corpus.
 
 use crate::rng::SplitMix64;
+use std::collections::HashSet;
 use std::fmt::Write as _;
+
+/// Content-hash deduplication for generated-program sweeps.
+///
+/// Random generation wastes work on collisions: distinct seeds can
+/// produce structurally identical programs (small parameter spaces
+/// collide readily), and sweeping the same program twice measures or
+/// checks nothing new. `Dedupe` keys on
+/// [`cfgir::program_content_hash`] — the span-independent structural
+/// hash the close pipeline already uses for caching — so renamed or
+/// re-seeded duplicates are caught, not just byte-identical sources.
+#[derive(Debug, Default)]
+pub struct Dedupe {
+    seen: HashSet<u64>,
+    /// Programs rejected as duplicates so far.
+    pub duplicates: usize,
+}
+
+impl Dedupe {
+    /// An empty set.
+    pub fn new() -> Self {
+        Dedupe::default()
+    }
+
+    /// True the first time a program with this content hash is seen;
+    /// false (and counted) for every repeat.
+    pub fn admit(&mut self, prog: &cfgir::CfgProgram) -> bool {
+        if self.seen.insert(cfgir::program_content_hash(prog)) {
+            true
+        } else {
+            self.duplicates += 1;
+            false
+        }
+    }
+}
 
 /// Shape of a generated procedure body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -349,7 +349,7 @@ impl<'a> Executor<'a> {
         let mut any_nondaemon = false;
         let mut stuck_nondaemon = false;
         for p in &state.procs {
-            if self.prog.processes[p.spec].daemon {
+            if crate::state::spec_daemon(self.prog, p.spec) {
                 continue;
             }
             any_nondaemon = true;
@@ -451,7 +451,8 @@ impl<'a> Executor<'a> {
         sleep: Option<&BTreeSet<usize>>,
     ) -> NodeExpansion {
         let mut children = Vec::new();
-        match self.schedule(state) {
+        let (sched, skipped) = self.schedule_por(state);
+        match sched {
             Scheduled::DeadEnd { deadlock } => return NodeExpansion::DeadEnd { deadlock },
             Scheduled::Init(pid) => {
                 for (choices, outcome) in self.successors(cx, state, pid) {
@@ -468,7 +469,12 @@ impl<'a> Executor<'a> {
                 let empty = BTreeSet::new();
                 let sleep = sleep.unwrap_or(&empty);
                 let mut done: Vec<usize> = Vec::new();
-                for t in procs {
+                let mut queue = procs;
+                let mut fell_back = false;
+                let mut i = 0;
+                while i < queue.len() {
+                    let t = queue[i];
+                    i += 1;
                     if cx.truncated {
                         break;
                     }
@@ -485,6 +491,7 @@ impl<'a> Executor<'a> {
                     } else {
                         BTreeSet::new()
                     };
+                    let before = children.len();
                     for (choices, outcome) in self.successors(cx, state, t) {
                         children.push(ChildSucc {
                             process: t,
@@ -493,7 +500,30 @@ impl<'a> Executor<'a> {
                             sleep: child_sleep.clone(),
                         });
                     }
-                    done.push(t);
+                    // Sleep sets may treat `t` as "explored here" only if
+                    // its whole subtree really was: a Violation outcome
+                    // cuts the branch, so `t` must keep appearing in the
+                    // siblings' subtrees.
+                    if !children[before..]
+                        .iter()
+                        .any(|c| matches!(c.outcome, SuccOutcome::Violation(..)))
+                    {
+                        done.push(t);
+                    }
+                    // A Violation child cuts its path short, voiding the
+                    // persistent-set assumption that the search keeps
+                    // running past every selected transition — expand the
+                    // skipped processes too (see `expand_stateful`).
+                    if !fell_back
+                        && i == queue.len()
+                        && !skipped.is_empty()
+                        && children
+                            .iter()
+                            .any(|c| matches!(c.outcome, SuccOutcome::Violation(..)))
+                    {
+                        fell_back = true;
+                        queue.extend(skipped.iter().copied());
+                    }
                 }
             }
         }
@@ -574,14 +604,27 @@ impl<'a> Executor<'a> {
                 }
                 let mut por_skipped = skipped.len();
                 let mut por_fallback = false;
-                // The proviso: a State child (nonempty encoding) already
-                // known to the driver's store may close a cycle — fall
-                // back to full expansion so nothing is ignored around it.
+                // Two fallbacks to full expansion. (1) The proviso: a
+                // State child (nonempty encoding) already known to the
+                // driver's store may close a cycle — expand everything so
+                // nothing is ignored around it. (2) A Violation child:
+                // the persistent-set argument assumes every selected
+                // transition leads to a successor the search keeps
+                // exploring, but a violating transition *cuts* its path —
+                // a skipped process whose own violation was simultaneously
+                // enabled (e.g. two processes both at failing assertions)
+                // would be masked for good. Violating states are rare, so
+                // expanding them fully costs almost nothing and restores
+                // verdict-set completeness.
+                let cuts_path = children
+                    .iter()
+                    .any(|c| matches!(c.outcome, SuccOutcome::Violation(..)));
                 if !skipped.is_empty()
                     && !cx.truncated
-                    && keys
-                        .iter()
-                        .any(|(h, e)| !e.is_empty() && closes_cycle(h, e))
+                    && (cuts_path
+                        || keys
+                            .iter()
+                            .any(|(h, e)| !e.is_empty() && closes_cycle(h, e)))
                 {
                     por_fallback = true;
                     por_skipped = 0;

@@ -33,6 +33,9 @@ fn render_op(prog: &CfgProgram, op: &EventOp) -> String {
         EventOp::ShRead(o, v) => {
             format!("sh_read({}) = {}", obj_name(prog, *o), render_value(*v))
         }
+        EventOp::ChanLen(o, v) => {
+            format!("chan_len({}) = {}", obj_name(prog, *o), render_value(*v))
+        }
         EventOp::AssertPass => "VS_assert(...) passed".to_string(),
     }
 }
@@ -55,7 +58,7 @@ pub fn explain_violation(
         if let Some(state) = state {
             let _ = writeln!(out, "  final state: all processes blocked:");
             for (pid, ps) in state.procs.iter().enumerate() {
-                let pname = &prog.processes[ps.spec].name;
+                let pname = crate::state::spec_display_name(prog, ps.spec);
                 let status = match ps.status {
                     crate::state::Status::Terminated => "terminated".to_string(),
                     crate::state::Status::AtNode(n) => {
@@ -88,11 +91,13 @@ pub fn render_schedule(
     let mut out = String::new();
     let mut state = GlobalState::initial(prog);
     for (i, d) in trace.iter().enumerate() {
-        let pname = prog
-            .processes
+        // Name via the process's spec in the *current* state, so
+        // dynamically spawned instances render as `proc*`.
+        let pname = state
+            .procs
             .get(d.process)
-            .map(|p| p.name.as_str())
-            .unwrap_or("?");
+            .map(|p| crate::state::spec_display_name(prog, p.spec))
+            .unwrap_or_else(|| "?".to_string());
         let choices = if d.choices.is_empty() {
             String::new()
         } else {

@@ -12,7 +12,7 @@
 //! scheduler observes and controls `VS_toss` operations.
 
 use crate::coverage::Coverage;
-use crate::state::{Frame, GlobalState, ObjState, ProcState, Status};
+use crate::state::{CowArc, Frame, GlobalState, ObjState, ProcState, Status};
 use crate::value::{bin_op, un_op, EvalError, Value};
 use cfgir::{
     CfgProgram, Guard, NodeId, NodeKind, ObjId, Operand, ProcId, PureExpr, Rvalue, SpawnArg, VisOp,
@@ -45,6 +45,10 @@ pub struct ExecLimits {
     pub invisible_step_bound: usize,
     /// Maximum call-stack depth.
     pub max_stack_depth: usize,
+    /// Maximum live processes (static plus dynamically spawned); a
+    /// `spawn` past this bound is a runtime error, which keeps state
+    /// spaces of spawn-in-a-loop programs finite.
+    pub max_procs: usize,
 }
 
 impl Default for ExecLimits {
@@ -52,6 +56,7 @@ impl Default for ExecLimits {
         ExecLimits {
             invisible_step_bound: 10_000,
             max_stack_depth: 256,
+            max_procs: 64,
         }
     }
 }
@@ -84,6 +89,8 @@ pub enum RtError {
     StackOverflow,
     /// `VS_assert` applied to a non-integer value.
     AssertOnNonInt,
+    /// `spawn` would exceed [`ExecLimits::max_procs`].
+    TooManyProcesses,
 }
 
 impl std::fmt::Display for RtError {
@@ -101,6 +108,7 @@ impl std::fmt::Display for RtError {
             RtError::DomainTooLarge => "input domain too large to enumerate",
             RtError::StackOverflow => "call stack overflow",
             RtError::AssertOnNonInt => "VS_assert on a non-integer value",
+            RtError::TooManyProcesses => "process limit exceeded by spawn",
         };
         f.write_str(s)
     }
@@ -134,6 +142,8 @@ pub enum EventOp {
     ShWrite(ObjId, Value),
     /// Shared-variable read.
     ShRead(ObjId, Value),
+    /// A channel-length query.
+    ChanLen(ObjId, Value),
     /// A passing assertion.
     AssertPass,
 }
@@ -360,7 +370,11 @@ impl<'a> Exec<'a> {
         // Borrow the spec through a copied-out program reference so the
         // binding loop below can mutate `self` while reading the args.
         let prog = self.prog;
-        let spec = &prog.processes[spec_idx];
+        // Dynamically spawned processes have no static spec: their
+        // arguments were bound at the spawn site.
+        let Some(spec) = prog.processes.get(spec_idx) else {
+            return Ok(());
+        };
         // Already bound? Detect via a bound marker: the first transition is
         // the only one starting at the Start node with frames.len() == 1.
         let proc = prog.proc(spec.proc);
@@ -596,6 +610,36 @@ impl<'a> Exec<'a> {
                     }
                 }
             }
+            NodeKind::Spawn { callee, args } => {
+                if self.state.procs.len() >= self.limits.max_procs {
+                    return Err(TransitionResult::RuntimeError(RtError::TooManyProcesses));
+                }
+                let target = prog.proc(*callee);
+                let arg_values: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.state.procs[self.pid].read(self.prog, *a))
+                    .collect();
+                let mut locals = vec![Value::default(); target.vars.len()];
+                for (pv, v) in target.params.iter().zip(arg_values) {
+                    locals[pv.index()] = v;
+                }
+                // The child gets its own per-process globals at their
+                // initial values, like every statically declared process.
+                let globals: Arc<Vec<Value>> =
+                    Arc::new(prog.globals.iter().map(|g| Value::Int(g.initial)).collect());
+                self.state.procs.push(CowArc::new(ProcState {
+                    spec: crate::state::dynamic_spec(prog, *callee),
+                    globals,
+                    frames: vec![Arc::new(Frame {
+                        proc: *callee,
+                        locals,
+                        ret_dst: None,
+                        cont: None,
+                    })],
+                    status: Status::AtNode(target.start),
+                }));
+                Ok(Flow::Continue(self.advance(proc_id, node)?))
+            }
             NodeKind::Visible { .. } => Ok(Flow::StopAtVisible(node)),
         }
     }
@@ -688,6 +732,17 @@ impl<'a> Exec<'a> {
                     self.ps().write(prog, d, v);
                 }
                 EventOp::ShRead(var, v)
+            }
+            VisOp::ChanLen(chan) => {
+                let v = match self.state.object(chan) {
+                    ObjState::Chan { queue, .. } => Value::Int(queue.len() as i64),
+                    _ => unreachable!("chan_len targets a channel"),
+                };
+                if let Some(d) = dst {
+                    let prog = self.prog;
+                    self.ps().write(prog, d, v);
+                }
+                EventOp::ChanLen(chan, v)
             }
             VisOp::Assert { cond } => {
                 match cond {

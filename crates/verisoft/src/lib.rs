@@ -69,8 +69,8 @@ pub use search::{
     VisitedStore,
 };
 pub use state::{
-    decode_state, encode_state, ComponentInterner, CowArc, Frame, GlobalState, ObjState, ProcState,
-    Status,
+    decode_state, dynamic_spec, encode_state, spec_daemon, spec_display_name, spec_proc,
+    ComponentInterner, CowArc, Frame, GlobalState, ObjState, ProcState, Status,
 };
 pub use value::{Addr, Value};
 
@@ -219,6 +219,7 @@ mod tests {
                 limits: ExecLimits {
                     invisible_step_bound: 100,
                     max_stack_depth: 16,
+                    ..ExecLimits::default()
                 },
                 ..Config::default()
             },

@@ -68,7 +68,10 @@ impl StaticInfo {
                 }
             }
         }
-        // Transitive closure over calls. Caller and callee footprints
+        // Transitive closure over calls and spawns (a spawner's future
+        // includes everything its children may touch, which is what keeps
+        // the persistent-set condition sound for processes that create
+        // processes). Caller and callee footprints
         // live in the same vector, so borrow the two entries disjointly
         // via `split_at_mut` — no per-iteration clone of the callee set,
         // and nothing is touched at all once the caller already covers
@@ -78,7 +81,9 @@ impl StaticInfo {
             changed = false;
             for p in &prog.procs {
                 for nid in p.node_ids() {
-                    if let NodeKind::Call { callee, .. } = &p.node(nid).kind {
+                    if let NodeKind::Call { callee, .. } | NodeKind::Spawn { callee, .. } =
+                        &p.node(nid).kind
+                    {
                         let (ci, pi) = (callee.index(), p.id.index());
                         if ci == pi {
                             continue;

@@ -93,7 +93,8 @@ impl<'e, 'a> StatelessWalk<'e, 'a> {
             self.record_trace_end();
             return;
         }
-        match self.exec.schedule(&state) {
+        let (sched, skipped) = self.exec.schedule_por(&state);
+        match sched {
             Scheduled::DeadEnd { deadlock } => {
                 self.record_trace_end();
                 if deadlock {
@@ -121,50 +122,77 @@ impl<'e, 'a> StatelessWalk<'e, 'a> {
                 }
             }
             Scheduled::Procs(procs) => {
+                let mut queue = procs;
                 let mut done: Vec<usize> = Vec::new();
-                for t in procs {
+                let mut saw_violation = false;
+                let mut fell_back = false;
+                let mut i = 0;
+                while i < queue.len() {
+                    let t = queue[i];
+                    i += 1;
                     if self.stop || self.cx.truncated {
                         self.stop = true;
                         return;
                     }
-                    if cfg.sleep_sets && sleep.contains(&t) {
-                        continue;
-                    }
-                    let child_sleep: BTreeSet<usize> = if cfg.sleep_sets {
-                        sleep
-                            .iter()
-                            .chain(done.iter())
-                            .copied()
-                            .filter(|u| self.exec.independent(&state, *u, t))
-                            .collect()
-                    } else {
-                        BTreeSet::new()
-                    };
-                    for (choices, outcome) in self.exec.successors(&mut self.cx, &state, t) {
-                        if self.stop || self.cx.truncated {
-                            self.stop = true;
-                            return;
-                        }
-                        self.path.push(Decision {
-                            process: t,
-                            choices,
-                        });
-                        match outcome {
-                            SuccOutcome::State(s, ev) => {
-                                let pushed = ev.is_some();
-                                if let Some(ev) = ev {
-                                    self.events.push(ev);
+                    if !(cfg.sleep_sets && sleep.contains(&t)) {
+                        let child_sleep: BTreeSet<usize> = if cfg.sleep_sets {
+                            sleep
+                                .iter()
+                                .chain(done.iter())
+                                .copied()
+                                .filter(|u| self.exec.independent(&state, *u, t))
+                                .collect()
+                        } else {
+                            BTreeSet::new()
+                        };
+                        let mut t_violated = false;
+                        for (choices, outcome) in self.exec.successors(&mut self.cx, &state, t) {
+                            if self.stop || self.cx.truncated {
+                                self.stop = true;
+                                return;
+                            }
+                            self.path.push(Decision {
+                                process: t,
+                                choices,
+                            });
+                            match outcome {
+                                SuccOutcome::State(s, ev) => {
+                                    let pushed = ev.is_some();
+                                    if let Some(ev) = ev {
+                                        self.events.push(ev);
+                                    }
+                                    self.walk(*s, depth + 1, child_sleep.clone());
+                                    if pushed {
+                                        self.events.pop();
+                                    }
                                 }
-                                self.walk(*s, depth + 1, child_sleep.clone());
-                                if pushed {
-                                    self.events.pop();
+                                SuccOutcome::Violation(k, p) => {
+                                    saw_violation = true;
+                                    t_violated = true;
+                                    self.record_violation(k, p);
                                 }
                             }
-                            SuccOutcome::Violation(k, p) => self.record_violation(k, p),
+                            self.path.pop();
                         }
-                        self.path.pop();
+                        // Sleep sets may treat `t` as "explored here"
+                        // only if its whole subtree really was: a
+                        // violation cut the branch, so `t` must keep
+                        // appearing in the siblings' subtrees.
+                        if !t_violated {
+                            done.push(t);
+                        }
                     }
-                    done.push(t);
+                    // A violation transition has no successor state, so
+                    // persistent-set reasoning (which assumes exploration
+                    // continues past every selected transition) cannot
+                    // justify dropping the skipped processes: a distinct
+                    // violation simultaneously enabled in another process
+                    // would be masked forever. Fall back to the full
+                    // enabled set, mirroring the stateful drivers.
+                    if !fell_back && i == queue.len() && saw_violation && !skipped.is_empty() {
+                        fell_back = true;
+                        queue.extend(skipped.iter().copied());
+                    }
                 }
                 // When everything was pruned by sleep sets the path ends
                 // here but is covered elsewhere; not a trace end.

@@ -100,6 +100,7 @@ fn rt_error_tag(e: &crate::interp::RtError) -> u64 {
         DomainTooLarge => 7,
         StackOverflow => 8,
         AssertOnNonInt => 9,
+        TooManyProcesses => 10,
     }
 }
 
@@ -116,6 +117,7 @@ fn rt_error_from_tag(t: u64) -> Option<crate::interp::RtError> {
         7 => DomainTooLarge,
         8 => StackOverflow,
         9 => AssertOnNonInt,
+        10 => TooManyProcesses,
         _ => return None,
     })
 }
@@ -546,11 +548,11 @@ mod tests {
             (rep.por_skipped_procs, rep.por_proviso_fallbacks)
         );
         // Every RtError variant has a stable tag.
-        for tag in 0..10 {
+        for tag in 0..11 {
             let e = rt_error_from_tag(tag).unwrap();
             assert_eq!(rt_error_tag(&e), tag);
         }
-        assert!(rt_error_from_tag(10).is_none());
+        assert!(rt_error_from_tag(11).is_none());
     }
 
     #[test]

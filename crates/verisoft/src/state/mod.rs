@@ -48,6 +48,36 @@ use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::sync::Arc;
 
+/// The `ProcState::spec` value for a dynamically spawned instance of
+/// `proc`: indices at or past `prog.processes.len()` have no static
+/// [`cfgir::ProcessSpec`] — their arguments were bound at the spawn site
+/// and they are never daemons.
+pub fn dynamic_spec(prog: &CfgProgram, proc: ProcId) -> usize {
+    prog.processes.len() + proc.index()
+}
+
+/// The procedure a `spec` value instantiates (static or dynamic).
+pub fn spec_proc(prog: &CfgProgram, spec: usize) -> ProcId {
+    match prog.processes.get(spec) {
+        Some(ps) => ps.proc,
+        None => ProcId((spec - prog.processes.len()) as u32),
+    }
+}
+
+/// Whether `spec` names a daemon process. Dynamic instances never are.
+pub fn spec_daemon(prog: &CfgProgram, spec: usize) -> bool {
+    prog.processes.get(spec).is_some_and(|ps| ps.daemon)
+}
+
+/// Display name for `spec`: the static process name, or `proc*` for a
+/// dynamically spawned instance.
+pub fn spec_display_name(prog: &CfgProgram, spec: usize) -> String {
+    match prog.processes.get(spec) {
+        Some(ps) => ps.name.clone(),
+        None => format!("{}*", prog.proc(spec_proc(prog, spec)).name),
+    }
+}
+
 /// One stack frame.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Frame {

@@ -8,6 +8,7 @@
 //! reclose graph <file.mc>                      Graphviz DOT of the CFGs
 //! reclose envgen <file.mc>                     explicit most-general-environment synthesis
 //! reclose switchgen [--lines N] [...]          emit the synthetic switch source
+//! reclose fuzz [--seeds N] [...]               differential fuzzing of the whole toolchain
 //! ```
 
 use reclose::prelude::*;
@@ -25,7 +26,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: reclose <check|close|explore|graph|envgen|switchgen> [args]\n\
+    "usage: reclose <check|close|explore|graph|envgen|switchgen|fuzz> [args]\n\
      \n\
      check <file>                 parse and semantically check a MiniC program\n\
      close <file> [options]       close the open interface (prints listings by default)\n\
@@ -94,7 +95,20 @@ fn usage() -> String {
      envgen <file>                synthesize the explicit most general environment\n\
      switchgen [--lines N] [--events N] [--trunks N]\n\
                [--seed-deadlock] [--seed-assert] [--stub]\n\
-                                  emit the synthetic switch application source"
+                                  emit the synthetic switch application source\n\
+     fuzz [options]               adversarial corpus engine: generate random open\n\
+                                  programs, close them, and cross-check every\n\
+                                  engine x POR x jobs configuration; exits\n\
+                                  nonzero on any divergence, panic, or\n\
+                                  generator-produced compile failure\n\
+         --seeds N                seeds to try (default 200)\n\
+         --seed-start N           first seed (default 0); a divergence at seed\n\
+                                  K reproduces with --seed-start K --seeds 1\n\
+         --budget SECS            wall-clock budget; stops cleanly at the next\n\
+                                  seed boundary once exceeded\n\
+         --out DIR                write each divergence's reproducer to\n\
+                                  DIR/seed_<K>.mc (minimized when enabled)\n\
+         --no-minimize            keep divergent programs unminimized"
         .to_string()
 }
 
@@ -110,6 +124,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "graph" => graph(args.get(1).ok_or_else(usage)?),
         "envgen" => envgen_cmd(args.get(1).ok_or_else(usage)?),
         "switchgen" => switchgen(&args[1..]),
+        "fuzz" => fuzz_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -473,7 +488,12 @@ fn run_schedule(args: &[String]) -> Result<(), String> {
             } else {
                 let names: Vec<String> = enabled
                     .iter()
-                    .map(|p| format!("P{p} ({})", prog.processes[s.procs[*p].spec].name))
+                    .map(|p| {
+                        format!(
+                            "P{p} ({})",
+                            verisoft::spec_display_name(&prog, s.procs[*p].spec)
+                        )
+                    })
                     .collect();
                 println!("end: enabled next: {}", names.join(", "));
             }
@@ -527,6 +547,60 @@ fn envgen_cmd(path: &str) -> Result<(), String> {
         println!("{}", cfgir::proc_to_listing(p));
     }
     Ok(())
+}
+
+fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+    let opt_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let num = |name: &str| {
+        opt_val(name)
+            .map(|v| v.parse::<u64>().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+    };
+    let opts = switchsim::corpus::FuzzOptions {
+        seed_start: num("--seed-start")?.unwrap_or(0),
+        seeds: num("--seeds")?.unwrap_or(200),
+        budget: num("--budget")?.map(std::time::Duration::from_secs),
+        minimize: !args.iter().any(|a| a == "--no-minimize"),
+        limits: switchsim::corpus::OracleLimits::default(),
+    };
+    let summary = switchsim::corpus::fuzz(&opts);
+    println!("{summary}");
+    let out_dir = opt_val("--out").map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        if !summary.divergences.is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
+        }
+    }
+    for d in &summary.divergences {
+        eprintln!(
+            "\n== seed {}: {}",
+            d.seed,
+            d.detail.lines().next().unwrap_or("")
+        );
+        let repro = d.minimized.as_deref().unwrap_or(&d.source);
+        match &out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("seed_{}.mc", d.seed));
+                std::fs::write(&path, repro).map_err(|e| format!("{}: {e}", path.display()))?;
+                eprintln!("   reproducer: {}", path.display());
+            }
+            None => eprintln!("{repro}"),
+        }
+    }
+    if summary.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} divergence(s), {} panic(s), {} compile failure(s)",
+            summary.divergences.len(),
+            summary.panics,
+            summary.compile_failures
+        ))
+    }
 }
 
 fn switchgen(args: &[String]) -> Result<(), String> {

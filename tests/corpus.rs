@@ -20,6 +20,52 @@ fn corpus_files() -> Vec<(String, String)> {
     out
 }
 
+/// `corpus/regressions/` holds pinned reproducers for divergences found
+/// by `reclose fuzz` (deliberately *not* picked up by [`corpus_files`]:
+/// unlike the main corpus these programs are allowed to contain failing
+/// assertions — what they pin is cross-engine agreement, not cleanness).
+fn regression_files() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join("regressions");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("regressions dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "mc").unwrap_or(false) {
+            out.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&path).unwrap(),
+            ));
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 4, "regressions populated");
+    out
+}
+
+#[test]
+fn corpus_regressions_agree_across_the_oracle_matrix() {
+    use switchsim::corpus::{close_and_check, CheckOutcome, OracleLimits};
+    let limits = OracleLimits::default();
+    for (name, src) in regression_files() {
+        match close_and_check(&src, &limits) {
+            Ok(CheckOutcome::Agreement { verdicts, .. }) => {
+                // The twin reproducers pin the POR violation-masking
+                // fix: the buggy schedulers reported only one of the
+                // two simultaneous per-process verdicts.
+                if name.contains("twin") {
+                    assert!(
+                        verdicts.len() >= 2,
+                        "{name}: expected both per-process verdicts, got {verdicts:?}"
+                    );
+                }
+            }
+            Ok(CheckOutcome::TooBig) => panic!("{name}: regression too big for the oracle"),
+            Err(detail) => panic!("{name}: {detail}"),
+        }
+    }
+}
+
 #[test]
 fn corpus_compiles_and_closes() {
     for (name, src) in corpus_files() {

@@ -119,6 +119,25 @@ fn por_preserves_verdicts_on_generated_programs() {
 }
 
 #[test]
+fn por_preserves_verdicts_on_corpus_engine_programs() {
+    // Fixed seeds through the *adversarial* corpus engine
+    // (`switchsim::corpus`): open programs mixing arrays, `chan_len`,
+    // dynamic `spawn`, extern channels, and deliberately failing
+    // assertions — the generator family that exposed the POR
+    // violation-masking bug (see `corpus/regressions/`). Each program
+    // is closed through the full pipeline first, then put through the
+    // same POR-on/POR-off verdict oracle as the hand-written corpus.
+    for seed in 0..30u64 {
+        let src = switchsim::corpus::generate(seed);
+        let open = cfgir::compile(&src)
+            .unwrap_or_else(|d| panic!("seed {seed}: generated program invalid:\n{d}\n{src}"));
+        let closed = closer::close(&open, &dataflow::analyze(&open)).program;
+        let name = format!("corpus-engine seed={seed}\n{src}");
+        assert_por_preserves_verdicts(&name, &closed);
+    }
+}
+
+#[test]
 fn ignoring_proviso_catches_the_ring_prober() {
     // The cyclic token ring: the prober's assertion violation is only
     // reachable through states a pure persistent-set search would never
