@@ -158,6 +158,37 @@ for p in corpus/workers.mc corpus/cyclic/ring.mc; do
     fi
     echo "  $p: verdicts identical with and without POR"
 done
+echo "== refine-cex smoke: verdict equality + state reduction =="
+# Counterexample-guided toss refinement prunes outcomes no concrete
+# environment can realise. It may shrink the closed state space but
+# must never change the verdict set: compare the sorted distinct
+# violation lines of refined and unrefined closed explorations (the
+# schedule suffix legitimately differs, as under POR).
+for p in corpus/*.mc corpus/regressions/*.mc; do
+    for mode in "" "--refine-cex"; do
+        "$BIN" explore "$p" --close $mode --stateful --all \
+            > "$SMOKE/cex_raw.txt" 2>/dev/null || :
+        sed -n 's/ after \[.*\]//; s/^  //p' "$SMOKE/cex_raw.txt" \
+            | sort -u > "$SMOKE/cex_$mode.txt"
+    done
+    if ! cmp -s "$SMOKE/cex_.txt" "$SMOKE/cex_--refine-cex.txt"; then
+        echo "refine-cex smoke: $p verdicts differ with and without refinement"
+        diff "$SMOKE/cex_.txt" "$SMOKE/cex_--refine-cex.txt" || :
+        exit 1
+    fi
+done
+echo "  corpus + regressions: verdicts identical with and without --refine-cex"
+# The precision-gap programs must actually shrink.
+for p in corpus/gate.mc corpus/clamp.mc corpus/pair.mc; do
+    ref_states=$("$BIN" explore "$p" --close --refine-cex --stateful --all --no-por \
+        | sed -n 's/^states: \([0-9]*\),.*/\1/p')
+    raw_states=$("$BIN" explore "$p" --close --stateful --all --no-por \
+        | sed -n 's/^states: \([0-9]*\),.*/\1/p')
+    [ "$ref_states" -lt "$raw_states" ] \
+        || { echo "refine-cex smoke: no reduction on $p ($ref_states vs $raw_states)"; exit 1; }
+    echo "  $p: $ref_states states refined vs $raw_states unrefined"
+done
+
 por_states=$("$BIN" explore corpus/workers.mc --stateful --all \
     | sed -n 's/^states: \([0-9]*\),.*/\1/p')
 full_states=$("$BIN" explore corpus/workers.mc --stateful --all --no-por \
@@ -327,11 +358,14 @@ RECLOSE_BENCH_DIR="$SMOKE" cargo bench -q --offline -p reclose-bench \
     || { cat "$SMOKE/precision.log"; exit 1; }
 JR="$SMOKE/BENCH_precision.json"
 [ -f "$JR" ] || { echo "precision: $JR was not written"; exit 1; }
-for rec in "precision/analyze_fig2" "precision/refine_partition"; do
+for rec in "precision/analyze_fig2" "precision/refine_partition" \
+           "precision/refine_cex/gate" "precision/refine_cex/clamp" \
+           "precision/refine_cex/pair"; do
     grep -q "$rec" "$JR" \
         || { echo "precision: record $rec missing from JSON"; exit 1; }
 done
-for field in hardware_threads name min_ns median_ns mean_ns; do
+for field in hardware_threads name min_ns median_ns mean_ns \
+             toss_count explored_states explored_states_unrefined; do
     grep -q "\"$field\"" "$JR" \
         || { echo "precision: field $field missing from JSON"; exit 1; }
 done

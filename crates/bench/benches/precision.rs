@@ -178,6 +178,38 @@ fn bench(c: &mut Criterion) {
     c.bench_function("precision/refine_partition", |b| {
         b.iter(|| closer::refine(black_box(&prog), &closer::RefineOptions::default()))
     });
+
+    // E9: counterexample-guided toss refinement over the precision-gap
+    // corpus programs. Each record carries the refined program's residual
+    // toss-site count and the explored-state counts before/after, so CI
+    // can watch both the cost and the recovered precision.
+    for name in ["gate", "clamp", "pair"] {
+        let path = format!("{}/../../corpus/{}.mc", env!("CARGO_MANIFEST_DIR"), name);
+        let src = std::fs::read_to_string(&path).expect("corpus program exists");
+        let open = compile(&src);
+        let closed = close(&open);
+        let id = format!("precision/refine_cex/{name}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                closer::refine_cex(
+                    black_box(&open),
+                    black_box(&closed),
+                    &closer::CexOptions::default(),
+                )
+            })
+        });
+        let (refined, rep) = closer::refine_cex(&open, &closed, &closer::CexOptions::default());
+        assert!(!rep.reverted, "{name}: refinement reverted");
+        let tosses = refined
+            .procs
+            .iter()
+            .flat_map(|p| p.nodes.iter())
+            .filter(|n| matches!(n.kind, cfgir::NodeKind::TossCond { .. }))
+            .count();
+        c.annotate(&id, "toss_count", tosses as f64);
+        c.annotate(&id, "explored_states", rep.states_after as f64);
+        c.annotate(&id, "explored_states_unrefined", rep.states_before as f64);
+    }
 }
 
 criterion_group! {

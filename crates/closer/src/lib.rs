@@ -51,6 +51,7 @@
 pub mod metrics;
 pub mod partition;
 pub mod pipeline;
+pub mod refine_cex;
 pub mod semantic;
 pub mod transform;
 
@@ -59,8 +60,9 @@ pub use partition::{
     close_with_refinement, reduce_tosses, refine, RefineOptions, RefineReport, RefinedKind,
 };
 pub use pipeline::{close_source_jobs, PassMetrics, Pipeline, PipelineOptions, PipelineRun};
+pub use refine_cex::{classify_trace, refine_cex, verdict_set, CexOptions, CexReport, TraceClass};
 pub use semantic::{refine_semantic, SemanticOptions};
-pub use transform::{close, close_source, Closed, ProcReport};
+pub use transform::{close, close_source, Closed, ProcReport, TossSite};
 
 #[cfg(test)]
 mod tests {

@@ -30,6 +30,7 @@
 //! notes.
 
 use crate::partition::{refine, RefineOptions, RefineReport};
+use crate::refine_cex::{refine_cex, CexOptions, CexReport};
 use crate::semantic::{refine_semantic, SemanticOptions};
 use crate::transform::{assemble, close_proc, Closed, ProcReport};
 use cfgir::{proc_content_hash, program_content_hash, CfgProc, CfgProgram};
@@ -42,7 +43,7 @@ use std::time::{Duration, Instant};
 
 /// The pass names, in execution order. `--stats` and the benchmark emit
 /// one metrics row per name, in this order, for every run.
-pub const PASSES: [&str; 11] = [
+pub const PASSES: [&str; 12] = [
     "parse",
     "sema",
     "normalize",
@@ -54,6 +55,7 @@ pub const PASSES: [&str; 11] = [
     "defuse",
     "taint",
     "transform",
+    "refine-cex",
 ];
 
 /// The front-half passes share one artifact (see [`Frontend`]).
@@ -72,6 +74,14 @@ pub struct PipelineOptions {
     pub refine_options: RefineOptions,
     /// Options for the semantic refinement (when `refine` is set).
     pub semantic_options: SemanticOptions,
+    /// Run counterexample-guided toss refinement
+    /// ([`crate::refine_cex`]) on the closed program. The refined
+    /// program replaces [`Closed::program`] in the run result; the
+    /// per-procedure [`ProcReport`]s keep describing the raw transform.
+    pub refine_cex: bool,
+    /// Budgets for the counterexample refinement (when `refine_cex` is
+    /// set).
+    pub cex_options: CexOptions,
 }
 
 impl Default for PipelineOptions {
@@ -81,6 +91,8 @@ impl Default for PipelineOptions {
             refine: false,
             refine_options: RefineOptions::default(),
             semantic_options: SemanticOptions::default(),
+            refine_cex: false,
+            cex_options: CexOptions::default(),
         }
     }
 }
@@ -114,6 +126,9 @@ pub struct PipelineRun {
     pub program: CfgProgram,
     /// Refinement reports (empty unless `refine` is set).
     pub refine_reports: Vec<RefineReport>,
+    /// Counterexample-refinement report (`None` unless
+    /// [`PipelineOptions::refine_cex`] is set).
+    pub cex_report: Option<CexReport>,
     /// One row per pass, in [`PASSES`] order.
     pub passes: Vec<PassMetrics>,
 }
@@ -161,6 +176,7 @@ pub struct Pipeline {
     taint: HashMap<u64, Arc<Taint>>,
     defuse: HashMap<u64, Arc<DefUse>>,
     transform: HashMap<u64, Arc<(CfgProc, ProcReport)>>,
+    refinecex: HashMap<u64, Arc<(CfgProgram, CexReport)>>,
 }
 
 /// Per-run metrics accumulator: a fixed row per pass, in order.
@@ -231,7 +247,10 @@ fn pts_slice_key(proc: &CfgProc, pts: &PointsTo) -> u64 {
             (!s.is_empty()).then_some((vi as u32, s))
         })
         .collect();
-    stable_hash(&("pts-slice", entries))
+    // The "-v2" tag invalidates artifacts computed from the
+    // flow-insensitive points-to domain that predates
+    // [`dataflow::flowpts`].
+    stable_hash(&("pts-slice-v2", entries))
 }
 
 /// A stable key of the slice of the MOD/REF solution `proc`'s
@@ -268,8 +287,10 @@ fn taint_slice_key(proc: &CfgProc, taint: &Taint) -> u64 {
             )
         })
         .collect();
+    // "-v2": the flow-sensitive taint rewrite changed what the facts
+    // mean; stale flow-insensitive artifacts must not be served.
     stable_hash(&(
-        "taint-slice",
+        "taint-slice-v2",
         &pt.n_i,
         &pt.v_i,
         &pt.reads_env_mem,
@@ -291,6 +312,7 @@ impl Pipeline {
             taint: HashMap::new(),
             defuse: HashMap::new(),
             transform: HashMap::new(),
+            refinecex: HashMap::new(),
         }
     }
 
@@ -538,7 +560,7 @@ impl Pipeline {
             .iter()
             .map(|k| (**self.transform.get(k).expect("just inserted")).clone())
             .collect();
-        let closed = assemble(prog, taint, pairs);
+        let mut closed = assemble(prog, taint, pairs);
         let tr_facts: u64 = closed
             .reports
             .iter()
@@ -552,6 +574,39 @@ impl Pipeline {
             t.elapsed(),
         );
 
+        // --- refine-cex (optional) ------------------------------------
+        let cex_report = if self.opts.refine_cex {
+            let key = stable_hash(&(
+                "refine-cex",
+                prog_hash,
+                program_content_hash(&closed.program),
+            ));
+            let art = match self.refinecex.get(&key) {
+                Some(a) => {
+                    m.add(
+                        "refine-cex",
+                        0,
+                        1,
+                        a.1.outcomes_pruned as u64,
+                        Duration::ZERO,
+                    );
+                    a.clone()
+                }
+                None => {
+                    let t = Instant::now();
+                    let (refined, rep) = refine_cex(prog, &closed, &self.opts.cex_options);
+                    m.add("refine-cex", 1, 0, rep.outcomes_pruned as u64, t.elapsed());
+                    let a = Arc::new((refined, rep));
+                    self.refinecex.insert(key, a.clone());
+                    a
+                }
+            };
+            closed.program = art.0.clone();
+            Some(art.1.clone())
+        } else {
+            None
+        };
+
         Ok(PipelineRun {
             closed,
             program: prog.clone(),
@@ -559,6 +614,7 @@ impl Pipeline {
                 .as_ref()
                 .map(|a| a.reports.clone())
                 .unwrap_or_default(),
+            cex_report,
             passes: m.rows,
         })
     }
@@ -646,7 +702,7 @@ mod tests {
             listings(&warm.closed.program)
         );
         for r in &warm.passes {
-            if r.name == "refine" {
+            if r.name == "refine" || r.name == "refine-cex" {
                 continue; // disabled in default options
             }
             assert_eq!(r.invocations, 0, "{} recomputed on a clean rerun", r.name);
@@ -700,6 +756,41 @@ mod tests {
         assert_eq!(
             listings(&cold.closed.program),
             listings(&warm.closed.program)
+        );
+    }
+
+    #[test]
+    fn refine_cex_pass_runs_caches_and_prunes() {
+        // `x > 10` is infeasible under the declared domain: the pass
+        // bypasses the toss; a warm rerun serves the refined program
+        // from the store.
+        let src = r#"
+            extern chan out;
+            input x : 0..3;
+            proc p(int x) { if (x > 10) send(out, 99); else send(out, 1); }
+            process p(x);
+        "#;
+        let mut pl = Pipeline::new(PipelineOptions {
+            refine_cex: true,
+            ..PipelineOptions::default()
+        });
+        let cold = pl.close(src).unwrap();
+        assert_eq!(row(&cold, "refine-cex").invocations, 1);
+        let rep = cold.cex_report.as_ref().expect("report present");
+        assert!(rep.outcomes_pruned >= 1, "{rep:?}");
+        let plain = close_source_jobs(src, 1).unwrap();
+        assert_ne!(
+            listings(&cold.closed.program),
+            listings(&plain.closed.program),
+            "refinement changed the closed program"
+        );
+        let warm = pl.close(src).unwrap();
+        assert_eq!(row(&warm, "refine-cex").invocations, 0);
+        assert_eq!(row(&warm, "refine-cex").cache_hits, 1);
+        assert_eq!(warm.cex_report, cold.cex_report);
+        assert_eq!(
+            listings(&warm.closed.program),
+            listings(&cold.closed.program)
         );
     }
 

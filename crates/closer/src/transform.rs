@@ -35,6 +35,25 @@ use dataflow::{Analysis, Taint};
 use minic::span::Span;
 use std::collections::BTreeSet;
 
+/// Provenance for one `VS_toss` conditional inserted by Step 4: which
+/// marked node and out-arc of the *open* procedure it abstracts, and the
+/// open-program node each toss outcome resumes at. The
+/// counterexample-guided refinement pass ([`crate::refine_cex`]) uses
+/// this to ask, per outcome, whether the open program can actually reach
+/// that resume point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TossSite {
+    /// The toss node in the closed procedure.
+    pub closed_node: NodeId,
+    /// The marked open-program node whose out-arc was rewired.
+    pub orig_node: NodeId,
+    /// Index of that out-arc in the open procedure's arc list.
+    pub orig_arc: usize,
+    /// `succ(a)` — open-program resume node of outcome `i` is
+    /// `targets[i]`, matching the `Guard::TossEq(i)` arc order.
+    pub targets: Vec<NodeId>,
+}
+
 /// Statistics about one procedure's transformation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProcReport {
@@ -51,6 +70,8 @@ pub struct ProcReport {
     /// Arcs that entered eliminated-only cycles (divergences not
     /// preserved).
     pub divergent_arcs: usize,
+    /// Provenance for each inserted toss, in insertion order.
+    pub toss_sites: Vec<TossSite>,
 }
 
 /// The result of closing a program.
@@ -229,6 +250,7 @@ pub(crate) fn close_proc(
         toss_nodes_inserted: 0,
         params_removed: removed_params.len(),
         divergent_arcs: 0,
+        toss_sites: Vec::new(),
     };
 
     // --- Step 4: rewire arcs through eliminated regions. ---------------
@@ -237,7 +259,7 @@ pub(crate) fn close_proc(
             continue;
         }
         let new_n = map[n.index()].expect("marked nodes are mapped");
-        for arc in proc.arcs(n) {
+        for (ai, arc) in proc.arcs(n).iter().enumerate() {
             let succs = succ_set(proc, &marked, *arc);
             match succs.len() {
                 0 => {
@@ -260,6 +282,12 @@ pub(crate) fn close_proc(
                         proc.node(n).span,
                     );
                     report.toss_nodes_inserted += 1;
+                    report.toss_sites.push(TossSite {
+                        closed_node: toss,
+                        orig_node: n,
+                        orig_arc: ai,
+                        targets: succs.clone(),
+                    });
                     out.add_arc(new_n, arc.guard, toss);
                     for (i, t) in succs.iter().enumerate() {
                         out.add_arc(

@@ -1,0 +1,439 @@
+//! Flow-sensitive points-to refinement.
+//!
+//! [`pointsto`](crate::pointsto) computes the classic Andersen solution:
+//! one points-to set per pointer *location*, merged over the whole
+//! program. This module refines it per procedure and per program point as
+//! another instance of the generic [`framework`](crate::framework)
+//! monotone solver: the fact at a CFG node is, for every pointer variable
+//! of the procedure, the set of locations it may point to *on entry to
+//! that node*.
+//!
+//! MiniC's pointer language keeps the transfer function simple — there is
+//! no `int **`, no pointer returns, no pointer globals, and arrays are
+//! lowered to per-element scalar slots (so element classes are ordinary
+//! locations) — which means:
+//!
+//! - `p = &x` is a **strong update**: afterwards `p` points exactly to
+//!   `{x}`;
+//! - `p = q` (pointer copy) is a strong update to `q`'s current set;
+//! - no other statement can change a pointer variable: calls copy pointer
+//!   values *into* the callee frame but can never write the caller's
+//!   pointer slots back, and stores only write `int` values.
+//!
+//! Pointer parameters are seeded from the Andersen solution (the join
+//! over all call sites), so every per-node fact refines the
+//! flow-insensitive set: `fact(n, p) ⊆ andersen(p)` whenever the fact is
+//! non-empty. An empty fact means no assignment to `p` reaches `n`; users
+//! fall back to the Andersen set there ([`ProcFlowPts::targets`]).
+
+use crate::bitset::BitSet;
+use crate::framework::{self, Direction, SolveStats};
+use crate::loc::loc_of;
+use crate::pointsto::PointsTo;
+use cfgir::{CfgProc, NodeId, NodeKind, Operand, Place, PureExpr, Rvalue, VarId};
+use minic::ast::Ty;
+
+/// Flow-sensitive points-to facts for one procedure.
+///
+/// Facts are bitsets over the program-wide [`crate::loc::LocTable`] dense
+/// indices (the same universe the Andersen solution uses).
+#[derive(Debug, Clone)]
+pub struct ProcFlowPts {
+    /// The procedure's pointer variables, in [`VarId`] order.
+    ptr_vars: Vec<VarId>,
+    /// `var.index() -> position in ptr_vars` (None for non-pointers).
+    ptr_idx: Vec<Option<usize>>,
+    /// `facts[node][ptr] = ` locations `ptr_vars[ptr]` may point to on
+    /// entry to `node`.
+    facts: Vec<Vec<BitSet>>,
+    /// Andersen fallback, per pointer var (same indexing as `ptr_vars`).
+    andersen: Vec<BitSet>,
+    /// Worklist counters from the solve.
+    pub stats: SolveStats,
+}
+
+impl ProcFlowPts {
+    /// The may-point-to set of pointer `var` on entry to `node`, as
+    /// dense location indices. Falls back to the Andersen set when no
+    /// assignment reaches the node (entry facts of unassigned pointers).
+    pub fn targets(&self, node: NodeId, var: VarId) -> &BitSet {
+        let pi = self.ptr_idx[var.index()]
+            .unwrap_or_else(|| panic!("{var:?} is not a pointer variable"));
+        let f = &self.facts[node.index()][pi];
+        if f.is_empty() {
+            &self.andersen[pi]
+        } else {
+            f
+        }
+    }
+
+    /// The procedure's pointer variables, in [`VarId`] order (the fact
+    /// rows of [`ProcFlowPts::targets`] are indexed by position here).
+    pub fn ptr_vars(&self) -> &[VarId] {
+        &self.ptr_vars
+    }
+
+    /// True when `var` is one of the procedure's pointer variables.
+    pub fn is_ptr(&self, var: VarId) -> bool {
+        self.ptr_idx
+            .get(var.index())
+            .map(|o| o.is_some())
+            .unwrap_or(false)
+    }
+}
+
+/// The per-variable pointer effect of one CFG node.
+enum PtrEffect {
+    /// Pointer facts pass through unchanged.
+    None,
+    /// `dst = &x`: `dst` now points exactly to the location index.
+    Singleton(usize, usize),
+    /// `dst = src` (both pointers): `dst` takes `src`'s current fact.
+    Copy(usize, usize),
+    /// `dst` redefined some other way: fall back to the Andersen set.
+    Havoc(usize),
+}
+
+/// Compute flow-sensitive points-to facts for `proc`, refining the
+/// Andersen solution `pts`.
+pub fn analyze(proc: &CfgProc, pts: &PointsTo) -> ProcFlowPts {
+    let table = pts.loc_table();
+    let nlocs = table.len();
+    let nnodes = proc.nodes.len();
+
+    let mut ptr_vars = Vec::new();
+    let mut ptr_idx = vec![None; proc.vars.len()];
+    for v in 0..proc.vars.len() as u32 {
+        let v = VarId(v);
+        if proc.var(v).ty == Ty::IntPtr {
+            ptr_idx[v.index()] = Some(ptr_vars.len());
+            ptr_vars.push(v);
+        }
+    }
+    let nptrs = ptr_vars.len();
+
+    let andersen: Vec<BitSet> = ptr_vars
+        .iter()
+        .map(|v| {
+            let mut s = BitSet::new(nlocs);
+            for l in pts.of_loc(loc_of(proc, *v)) {
+                s.insert(table.idx(l));
+            }
+            s
+        })
+        .collect();
+
+    if nptrs == 0 {
+        return ProcFlowPts {
+            ptr_vars,
+            ptr_idx,
+            facts: vec![Vec::new(); nnodes],
+            andersen,
+            stats: SolveStats {
+                nodes: nnodes,
+                ..SolveStats::default()
+            },
+        };
+    }
+
+    // Per-node pointer effect, resolved once up front.
+    let effects: Vec<PtrEffect> = proc
+        .node_ids()
+        .map(|nid| match &proc.node(nid).kind {
+            NodeKind::Assign {
+                dst: Place::Var(d),
+                src,
+            } if proc.var(*d).ty == Ty::IntPtr => {
+                let di = ptr_idx[d.index()].expect("pointer var indexed");
+                match src {
+                    Rvalue::AddrOf(x) => PtrEffect::Singleton(di, table.idx(loc_of(proc, *x))),
+                    Rvalue::Pure(PureExpr::Atom(Operand::Var(q)))
+                        if proc.var(*q).ty == Ty::IntPtr =>
+                    {
+                        PtrEffect::Copy(di, ptr_idx[q.index()].expect("pointer var indexed"))
+                    }
+                    _ => PtrEffect::Havoc(di),
+                }
+            }
+            _ => PtrEffect::None,
+        })
+        .collect();
+
+    struct Fs<'a> {
+        proc: &'a CfgProc,
+        effects: &'a [PtrEffect],
+        andersen: &'a [BitSet],
+        entry: Vec<BitSet>,
+        nptrs: usize,
+        nlocs: usize,
+    }
+    impl framework::Analysis for Fs<'_> {
+        /// Per pointer var, the locations it may point to on node entry.
+        type Fact = Vec<BitSet>;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn init(&self, node: usize) -> Vec<BitSet> {
+            if node == self.proc.start.index() {
+                self.entry.clone()
+            } else {
+                vec![BitSet::new(self.nlocs); self.nptrs]
+            }
+        }
+        fn transfer(&self, node: usize, fact: &Vec<BitSet>) -> Vec<BitSet> {
+            let mut out = fact.clone();
+            match &self.effects[node] {
+                PtrEffect::None => {}
+                PtrEffect::Singleton(d, xi) => {
+                    out[*d] = BitSet::new(self.nlocs);
+                    out[*d].insert(*xi);
+                }
+                PtrEffect::Copy(d, q) => {
+                    let src = if fact[*q].is_empty() {
+                        &self.andersen[*q]
+                    } else {
+                        &fact[*q]
+                    };
+                    out[*d] = src.clone();
+                }
+                PtrEffect::Havoc(d) => out[*d] = self.andersen[*d].clone(),
+            }
+            out
+        }
+        fn join(&self, into: &mut Vec<BitSet>, from: &Vec<BitSet>) -> bool {
+            let mut changed = false;
+            for (a, b) in into.iter_mut().zip(from.iter()) {
+                changed |= a.union_with(b);
+            }
+            changed
+        }
+    }
+
+    // Pointer parameters start at their Andersen sets (join over call
+    // sites); locals start empty (no assignment reached yet).
+    let entry: Vec<BitSet> = ptr_vars
+        .iter()
+        .zip(andersen.iter())
+        .map(|(v, a)| {
+            if matches!(proc.var(*v).kind, cfgir::VarKind::Param(_)) {
+                a.clone()
+            } else {
+                BitSet::new(nlocs)
+            }
+        })
+        .collect();
+
+    let edges: Vec<Vec<usize>> = proc
+        .node_ids()
+        .map(|n| proc.arcs(n).iter().map(|a| a.target.index()).collect())
+        .collect();
+    let fs = Fs {
+        proc,
+        effects: &effects,
+        andersen: &andersen,
+        entry,
+        nptrs,
+        nlocs,
+    };
+    // Seed every node so each transfer's generated facts propagate even
+    // from all-bottom entry facts.
+    let sol = framework::solve(&fs, &edges, 0..nnodes);
+
+    ProcFlowPts {
+        ptr_vars,
+        ptr_idx,
+        facts: sol.facts,
+        andersen,
+        stats: sol.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+    use crate::pointsto;
+    use cfgir::{compile, CfgProgram};
+    use std::collections::BTreeSet;
+
+    fn var(prog: &CfgProgram, proc: &str, name: &str) -> VarId {
+        let p = prog.proc_by_name(proc).unwrap();
+        VarId(p.vars.iter().position(|v| v.name == name).unwrap() as u32)
+    }
+
+    fn names_at(
+        prog: &CfgProgram,
+        fp: &ProcFlowPts,
+        pts: &PointsTo,
+        proc: &str,
+        node: NodeId,
+        v: VarId,
+    ) -> BTreeSet<String> {
+        let _ = proc;
+        fp.targets(node, v)
+            .iter()
+            .map(|i| match pts.loc_table().loc(i) {
+                Loc::Global(g) => prog.globals[g.index()].name.clone(),
+                Loc::Slot(p, v) => format!("{}.{}", prog.proc(p).name, prog.proc(p).var(v).name),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reassignment_is_a_strong_update() {
+        // Andersen says p ∈ {x, y}; flow-sensitively the deref after
+        // `p = &y` sees only {y}.
+        let prog = compile(
+            r#"proc m() {
+                int x = 0; int y = 0;
+                int *p = &x;
+                *p = 1;
+                p = &y;
+                *p = 2;
+            } process m();"#,
+        )
+        .unwrap();
+        let pts = pointsto::analyze(&prog);
+        let m = prog.proc_by_name("m").unwrap();
+        let p = var(&prog, "m", "p");
+        assert_eq!(
+            pts.of(&prog, m.id, p).len(),
+            2,
+            "Andersen merges both targets"
+        );
+        let fp = analyze(m, &pts);
+        let stores: Vec<NodeId> = m
+            .node_ids()
+            .filter(|n| {
+                matches!(
+                    m.node(*n).kind,
+                    NodeKind::Assign {
+                        dst: Place::Deref(_),
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(stores.len(), 2);
+        let (first, second) = (stores[0].min(stores[1]), stores[0].max(stores[1]));
+        assert_eq!(
+            names_at(&prog, &fp, &pts, "m", first, p),
+            ["m.x".to_string()].into()
+        );
+        assert_eq!(
+            names_at(&prog, &fp, &pts, "m", second, p),
+            ["m.y".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn merge_points_join_facts() {
+        let prog = compile(
+            r#"proc m(int c) {
+                int x = 0; int y = 0;
+                int *p = &x;
+                if (c) p = &y;
+                *p = 5;
+            } process m(1);"#,
+        )
+        .unwrap();
+        let pts = pointsto::analyze(&prog);
+        let m = prog.proc_by_name("m").unwrap();
+        let p = var(&prog, "m", "p");
+        let fp = analyze(m, &pts);
+        let store = m
+            .node_ids()
+            .find(|n| {
+                matches!(
+                    m.node(*n).kind,
+                    NodeKind::Assign {
+                        dst: Place::Deref(_),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            names_at(&prog, &fp, &pts, "m", store, p),
+            ["m.x".to_string(), "m.y".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn params_fall_back_to_andersen() {
+        let prog = compile(
+            r#"
+            proc callee(int *r) { *r = 9; }
+            proc m() { int a = 0; int *pa = &a; callee(pa); }
+            process m();
+            "#,
+        )
+        .unwrap();
+        let pts = pointsto::analyze(&prog);
+        let callee = prog.proc_by_name("callee").unwrap();
+        let r = var(&prog, "callee", "r");
+        let fp = analyze(callee, &pts);
+        let store = callee
+            .node_ids()
+            .find(|n| {
+                matches!(
+                    callee.node(*n).kind,
+                    NodeKind::Assign {
+                        dst: Place::Deref(_),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            names_at(&prog, &fp, &pts, "callee", store, r),
+            ["m.a".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn copy_takes_current_fact_not_andersen() {
+        // q is reassigned after the copy; p keeps q's fact from the copy
+        // point.
+        let prog = compile(
+            r#"proc m() {
+                int x = 0; int y = 0;
+                int *q = &x;
+                int *p = q;
+                q = &y;
+                *p = 1;
+            } process m();"#,
+        )
+        .unwrap();
+        let pts = pointsto::analyze(&prog);
+        let m = prog.proc_by_name("m").unwrap();
+        let p = var(&prog, "m", "p");
+        let fp = analyze(m, &pts);
+        let store = m
+            .node_ids()
+            .find(|n| {
+                matches!(
+                    m.node(*n).kind,
+                    NodeKind::Assign {
+                        dst: Place::Deref(_),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            names_at(&prog, &fp, &pts, "m", store, p),
+            ["m.x".to_string()].into()
+        );
+    }
+
+    #[test]
+    fn procedures_without_pointers_are_cheap() {
+        let prog = compile("proc m() { int x = 1; int y = x; } process m();").unwrap();
+        let pts = pointsto::analyze(&prog);
+        let m = prog.proc_by_name("m").unwrap();
+        let fp = analyze(m, &pts);
+        assert_eq!(fp.stats.visits, 0);
+        assert!(!fp.is_ptr(var(&prog, "m", "x")));
+    }
+}

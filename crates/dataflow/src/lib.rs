@@ -38,6 +38,7 @@
 
 pub mod bitset;
 pub mod defuse;
+pub mod flowpts;
 pub mod framework;
 pub mod loc;
 pub mod modref;
@@ -48,6 +49,7 @@ pub mod taint;
 
 pub use bitset::BitSet;
 pub use defuse::DefUse;
+pub use flowpts::ProcFlowPts;
 // `framework::Analysis` (the solver trait) is deliberately not
 // re-exported at the root: the name is taken by the result bundle below.
 pub use framework::{Direction, Solution, SolveStats, Worklist};
@@ -527,6 +529,113 @@ mod taint_tests {
         // preserved by the transformation.
         let (_, a) = setup("chan c[1]; proc m() { int v = VS_toss(3); send(c, v); } process m();");
         assert!(a.taint.is_clean());
+    }
+
+    #[test]
+    fn flow_sensitive_load_after_strong_kill_is_clean() {
+        // The tainted value in x is overwritten before the load; the old
+        // flow-insensitive tainted_locs lattice reported the load tainted.
+        let (prog, a) = setup(
+            r#"
+            input q : 0..7;
+            proc m() {
+                int x = env_input(q);
+                x = 3;
+                int *p = &x;
+                int y = *p;
+            }
+            process m();
+            "#,
+        );
+        let m = prog.proc_by_name("m").unwrap();
+        let t = a.taint.proc(m.id);
+        let load = m
+            .node_ids()
+            .find(|n| {
+                matches!(
+                    m.node(*n).kind,
+                    NodeKind::Assign {
+                        src: Rvalue::Load(_),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert!(
+            !t.in_n_i(load),
+            "x = 3 strongly kills the memory taint before the load"
+        );
+    }
+
+    #[test]
+    fn flow_sensitive_global_read_before_taint_is_clean() {
+        // g is read before writer() can taint it; flow-insensitively both
+        // reads were tainted, flow-sensitively only the second is.
+        let (prog, a) = setup(
+            r#"
+            input q : 0..7;
+            chan c[1];
+            int g = 0;
+            proc writer() { g = env_input(q); }
+            proc m() {
+                int a = g + 1;
+                writer();
+                int b = g + 1;
+                send(c, a);
+            }
+            process m();
+            "#,
+        );
+        let m = prog.proc_by_name("m").unwrap();
+        let t = a.taint.proc(m.id);
+        let a_var = var(&prog, "m", "a");
+        let b_var = var(&prog, "m", "b");
+        for n in m.node_ids() {
+            match &m.node(n).kind {
+                NodeKind::Assign { dst, .. } if *dst == cfgir::Place::Var(a_var) => {
+                    assert!(!t.in_n_i(n), "read of g before the tainting call is clean");
+                }
+                NodeKind::Assign { dst, .. } if *dst == cfgir::Place::Var(b_var) => {
+                    assert!(t.in_n_i(n), "read of g after writer() is tainted");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn store_effect_is_per_callee() {
+        // reset() never taints anything, so its call clobber of g must not
+        // resurrect taint the way the global tainted_locs lattice did.
+        let (prog, a) = setup(
+            r#"
+            input q : 0..7;
+            chan c[1];
+            int g = 0;
+            proc evil() { g = env_input(q); }
+            proc clean_reader() { int t = g + 1; send(c, t); }
+            proc m() { evil(); }
+            process m();
+            process clean_reader();
+            "#,
+        );
+        // clean_reader runs as its own process with fresh globals: its
+        // entry memory is pristine even though evil() taints g in m's
+        // process.
+        let r = prog.proc_by_name("clean_reader").unwrap();
+        let t_var = var(&prog, "clean_reader", "t");
+        let t_node = r
+            .node_ids()
+            .find(|n| matches!(&r.node(*n).kind, NodeKind::Assign { dst, .. } if *dst == cfgir::Place::Var(t_var)))
+            .unwrap();
+        assert!(
+            !a.taint.proc(r.id).in_n_i(t_node),
+            "per-process globals: taint in m's process does not leak"
+        );
+        // And the summaries are per-procedure.
+        let evil = prog.proc_by_name("evil").unwrap();
+        assert!(!a.taint.store_effect[evil.id.index()].is_empty());
+        assert!(a.taint.store_effect[r.id.index()].is_empty());
     }
 
     #[test]

@@ -751,7 +751,34 @@ pub fn close_and_check(src: &str, limits: &OracleLimits) -> Result<CheckOutcome,
         if !run.closed.program.is_closed() {
             return Err("closing left an open interface".to_string());
         }
-        cross_check(&run.closed.program, &limits)
+        let out = cross_check(&run.closed.program, &limits)?;
+        // Refinement leg: counterexample-guided toss refinement must be
+        // invisible to the oracle — same violation-kind set (its
+        // documented contract; traversal, schedules, and per-process
+        // attribution legitimately differ when outcomes are pruned).
+        if let CheckOutcome::Agreement { verdicts: want, .. } = &out {
+            let opts = closer::CexOptions {
+                max_depth: limits.max_depth,
+                max_transitions: limits.max_transitions,
+                ..closer::CexOptions::default()
+            };
+            let (refined, _) = closer::refine_cex(&run.program, &run.closed, &opts);
+            let r = explore(&refined, &base_config(&limits, Engine::Bfs, false, 1));
+            if r.truncated {
+                return Err(format!(
+                    "refined close: truncated while the unrefined baseline completed\n{r}"
+                ));
+            }
+            let got: BTreeSet<String> = verdicts(&r).into_iter().map(|(k, _)| k).collect();
+            let want_kinds: BTreeSet<String> = want.iter().map(|(k, _)| k.clone()).collect();
+            if got != want_kinds {
+                return Err(format!(
+                    "refined close: verdict kinds differ from the unrefined oracle\n\
+                     refined: {got:?}\nunrefined: {want_kinds:?}\n{r}"
+                ));
+            }
+        }
+        Ok(out)
     }));
     match result {
         Ok(r) => r,

@@ -1,21 +1,32 @@
-//! Node coverage of an exploration.
+//! Node and arc coverage of an exploration.
 //!
 //! Records, per procedure, which CFG nodes the interpreter actually
-//! executed. Useful for two things:
+//! executed — and, for guarded branch nodes, which out-arcs it actually
+//! took. Useful for three things:
 //!
 //! - **exploration quality** — how much of the program a bounded search
 //!   reached;
 //! - **transformation quality** — a node of a closed program that no
 //!   exhaustive exploration can reach is dead weight the closing
 //!   transformation could have removed (the tests use this to confirm
-//!   the paper's examples close with no dead code).
+//!   the paper's examples close with no dead code);
+//! - **refinement evidence** — an out-arc of a branch that a *complete*
+//!   exploration of the open program never takes is an infeasible
+//!   behavior; [`closer`'s] counterexample refinement uses exactly this
+//!   to prune the matching `VS_toss` outcomes of the closed program.
+//!
+//! [`closer`'s]: crate::Executor::replay
 
 use cfgir::{CfgProgram, NodeId, ProcId};
 
-/// Per-procedure sets of executed nodes.
+/// Per-procedure sets of executed nodes and taken arcs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coverage {
     visited: Vec<Vec<bool>>,
+    /// `arcs[proc][node][i]`: out-arc `i` of the node was taken. Only
+    /// guard-dispatched nodes (`Cond`/`Switch`/`TossCond`) are recorded;
+    /// single-`Always`-arc fallthroughs are skipped on the hot path.
+    arcs: Vec<Vec<Vec<bool>>>,
 }
 
 impl Coverage {
@@ -27,12 +38,27 @@ impl Coverage {
                 .iter()
                 .map(|p| vec![false; p.nodes.len()])
                 .collect(),
+            arcs: prog
+                .procs
+                .iter()
+                .map(|p| p.node_ids().map(|n| vec![false; p.arcs(n).len()]).collect())
+                .collect(),
         }
     }
 
     /// Record execution of `node` in `proc`.
     pub fn visit(&mut self, proc: ProcId, node: NodeId) {
         self.visited[proc.index()][node.index()] = true;
+    }
+
+    /// Record traversal of out-arc `arc` (by position) of `node`.
+    pub fn visit_arc(&mut self, proc: ProcId, node: NodeId, arc: usize) {
+        self.arcs[proc.index()][node.index()][arc] = true;
+    }
+
+    /// True when out-arc `arc` of `node` was taken at least once.
+    pub fn arc_covered(&self, proc: ProcId, node: NodeId, arc: usize) -> bool {
+        self.arcs[proc.index()][node.index()][arc]
     }
 
     /// True when the node was executed at least once.
@@ -71,6 +97,13 @@ impl Coverage {
         for (a, b) in self.visited.iter_mut().zip(other.visited.iter()) {
             for (x, y) in a.iter_mut().zip(b.iter()) {
                 *x |= *y;
+            }
+        }
+        for (a, b) in self.arcs.iter_mut().zip(other.arcs.iter()) {
+            for (na, nb) in a.iter_mut().zip(b.iter()) {
+                for (x, y) in na.iter_mut().zip(nb.iter()) {
+                    *x |= *y;
+                }
             }
         }
     }

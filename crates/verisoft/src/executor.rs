@@ -168,6 +168,10 @@ pub struct ExecCtx {
     pub budget: usize,
     /// Set when the budget cut enumeration short.
     pub truncated: bool,
+    /// Nondeterministic choices consumed by completed successor
+    /// transitions — toss outcomes plus (under enumeration) environment
+    /// values. `explore --stats` reports the fold as "tosses taken".
+    pub tosses_taken: usize,
     /// Over completed successor transitions, components the successor
     /// still shares with its parent (see
     /// [`GlobalState::sharing_with`]). Deterministic: during
@@ -197,6 +201,7 @@ impl ExecCtx {
             transitions: 0,
             budget,
             truncated: false,
+            tosses_taken: 0,
             shared_components: 0,
             total_components: 0,
             coverage: if exec.config().track_coverage {
@@ -217,6 +222,7 @@ impl ExecCtx {
             transitions: 0,
             budget,
             truncated: false,
+            tosses_taken: 0,
             shared_components: 0,
             total_components: 0,
             coverage,
@@ -397,6 +403,7 @@ impl<'a> Executor<'a> {
                     let (shared, total) = s.sharing_with(state);
                     cx.shared_components += shared;
                     cx.total_components += total;
+                    cx.tosses_taken += choices.len();
                     out.push((choices, SuccOutcome::State(Box::new(s), event)));
                 }
                 TransitionResult::NeedChoice { bound } => {

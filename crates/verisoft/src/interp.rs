@@ -308,6 +308,12 @@ impl<'a> Exec<'a> {
         }
     }
 
+    fn cover_arc(&mut self, proc: ProcId, node: NodeId, arc: usize) {
+        if let Some(c) = self.coverage.as_deref_mut() {
+            c.visit_arc(proc, node, arc);
+        }
+    }
+
     fn run(&mut self) -> TransitionResult {
         // Bind environment-supplied spawn parameters on first activation.
         if let Err(r) = self.bind_pending_inputs() {
@@ -432,14 +438,16 @@ impl<'a> Exec<'a> {
         Ok(arcs[0].target)
     }
 
-    fn pick_arc(&self, proc: ProcId, node: NodeId, guard: Guard) -> NodeId {
-        self.prog
+    fn pick_arc(&mut self, proc: ProcId, node: NodeId, guard: Guard) -> NodeId {
+        let i = self
+            .prog
             .proc(proc)
             .arcs(node)
             .iter()
-            .find(|a| a.guard == guard)
-            .unwrap_or_else(|| panic!("validated graphs cover guard {guard}"))
-            .target
+            .position(|a| a.guard == guard)
+            .unwrap_or_else(|| panic!("validated graphs cover guard {guard}"));
+        self.cover_arc(proc, node, i);
+        self.prog.proc(proc).arcs(node)[i].target
     }
 
     fn eval_operand(&mut self, op: &Operand) -> Value {
@@ -551,14 +559,14 @@ impl<'a> Exec<'a> {
                 let Some(v) = v.as_int() else {
                     return Err(TransitionResult::RuntimeError(RtError::BranchOnOpaque));
                 };
-                let target = proc
-                    .arcs(node)
+                let arcs = proc.arcs(node);
+                let i = arcs
                     .iter()
-                    .find(|a| a.guard == Guard::CaseEq(v))
-                    .or_else(|| proc.arcs(node).iter().find(|a| a.guard == Guard::CaseElse))
-                    .expect("validated switches have an else arc")
-                    .target;
-                Ok(Flow::Continue(target))
+                    .position(|a| a.guard == Guard::CaseEq(v))
+                    .or_else(|| arcs.iter().position(|a| a.guard == Guard::CaseElse))
+                    .expect("validated switches have an else arc");
+                self.cover_arc(proc_id, node, i);
+                Ok(Flow::Continue(arcs[i].target))
             }
             NodeKind::TossCond { bound } => {
                 let c = self.take_choice(*bound)?;

@@ -108,6 +108,12 @@ pub struct Report {
     /// The denominator of the sharing ratio: total components over the
     /// same successor transitions.
     pub total_components: usize,
+    /// Nondeterministic choices consumed by completed transitions over
+    /// the run — `VS_toss` outcomes plus (under enumeration) environment
+    /// values. A precision lens on the closed program: fewer toss sites
+    /// (or fewer surviving outcomes per site) mean fewer choices taken
+    /// for the same coverage. Surfaced by `explore --stats`.
+    pub tosses_taken: usize,
     /// Enabled-process expansions the stateful engines skipped under
     /// persistent-set partial-order reduction, summed over expanded
     /// states (after proviso fallbacks; 0 for the stateless engines,
@@ -229,6 +235,7 @@ impl Report {
         self.visited_states += other.visited_states;
         self.shared_components += other.shared_components;
         self.total_components += other.total_components;
+        self.tosses_taken += other.tosses_taken;
         self.por_skipped_procs += other.por_skipped_procs;
         self.por_proviso_fallbacks += other.por_proviso_fallbacks;
         match (&mut self.coverage, other.coverage) {

@@ -174,6 +174,7 @@ impl<'e, 'a> Sharder<'e, 'a> {
         s.root.truncated |= s.cx.truncated;
         s.root.shared_components = s.cx.shared_components;
         s.root.total_components = s.cx.total_components;
+        s.root.tosses_taken = s.cx.tosses_taken;
         s.root.coverage = s.cx.coverage;
         (items, s.root)
     }
@@ -545,6 +546,7 @@ impl<'e, 'a, 'p> StealWalk<'e, 'a, 'p> {
         w.fragment.truncated |= w.cx.truncated;
         w.fragment.shared_components = w.cx.shared_components;
         w.fragment.total_components = w.cx.total_components;
+        w.fragment.tosses_taken = w.cx.tosses_taken;
         w.fragment.coverage = w.cx.coverage.take();
         Some(w.fragment)
     }

@@ -193,6 +193,7 @@ struct Expanded {
     /// CoW sharing counters folded from the item's [`ExecCtx`].
     shared_components: usize,
     total_components: usize,
+    tosses_taken: usize,
     /// POR reduction counters from the item's expansion.
     por_skipped: usize,
     por_fallback: bool,
@@ -451,6 +452,7 @@ fn frontier_search(exec: &Executor<'_>, jobs: usize) -> Report {
                                         truncated: cx.truncated,
                                         shared_components: cx.shared_components,
                                         total_components: cx.total_components,
+                                        tosses_taken: cx.tosses_taken,
                                         por_skipped: se.por_skipped,
                                         por_fallback: se.por_fallback,
                                     },
@@ -682,6 +684,7 @@ fn commit_chunk(
         report.truncated |= e.truncated;
         report.shared_components += e.shared_components;
         report.total_components += e.total_components;
+        report.tosses_taken += e.tosses_taken;
         report.por_skipped_procs += e.por_skipped;
         report.por_proviso_fallbacks += e.por_fallback as usize;
         match e.expansion {
@@ -852,6 +855,7 @@ fn stateful_dfs(exec: &Executor<'_>) -> Report {
     report.truncated |= cx.truncated;
     report.shared_components = cx.shared_components;
     report.total_components = cx.total_components;
+    report.tosses_taken = cx.tosses_taken;
     report.coverage = cx.coverage;
     report.store_stored_bytes = stored_bytes;
     report.interner_entries = interner.as_ref().map_or(0, |i| i.len());

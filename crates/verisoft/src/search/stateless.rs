@@ -60,6 +60,7 @@ impl<'e, 'a> StatelessWalk<'e, 'a> {
         self.report.truncated |= self.cx.truncated;
         self.report.shared_components = self.cx.shared_components;
         self.report.total_components = self.cx.total_components;
+        self.report.tosses_taken = self.cx.tosses_taken;
         self.report.coverage = self.cx.coverage;
         self.report
     }

@@ -179,6 +179,7 @@ fn put_report(out: &mut Vec<u8>, rep: &Report) {
     put_u64(out, rep.truncated as u64);
     put_u64(out, rep.shared_components as u64);
     put_u64(out, rep.total_components as u64);
+    put_u64(out, rep.tosses_taken as u64);
     put_u64(out, rep.por_skipped_procs as u64);
     put_u64(out, rep.por_proviso_fallbacks as u64);
     put_u64(out, rep.violations.len() as u64);
@@ -197,6 +198,7 @@ fn read_report(r: &mut ByteReader<'_>) -> Option<Report> {
     rep.truncated = r.u64()? != 0;
     rep.shared_components = usize::try_from(r.u64()?).ok()?;
     rep.total_components = usize::try_from(r.u64()?).ok()?;
+    rep.tosses_taken = usize::try_from(r.u64()?).ok()?;
     rep.por_skipped_procs = usize::try_from(r.u64()?).ok()?;
     rep.por_proviso_fallbacks = usize::try_from(r.u64()?).ok()?;
     let n = usize::try_from(r.u64()?).ok()?;
@@ -501,6 +503,7 @@ mod tests {
             truncated: true,
             shared_components: 5,
             total_components: 9,
+            tosses_taken: 7,
             por_skipped_procs: 3,
             por_proviso_fallbacks: 1,
             violations: vec![
@@ -547,6 +550,7 @@ mod tests {
             (back.por_skipped_procs, back.por_proviso_fallbacks),
             (rep.por_skipped_procs, rep.por_proviso_fallbacks)
         );
+        assert_eq!(back.tosses_taken, rep.tosses_taken);
         // Every RtError variant has a stable tag.
         for tag in 0..11 {
             let e = rt_error_from_tag(tag).unwrap();

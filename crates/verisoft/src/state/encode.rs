@@ -269,8 +269,9 @@ pub const INTERN_MAGIC: [u8; 4] = *b"RITN";
 
 /// Version stamped into every on-disk header this crate writes. Bump on
 /// any layout change; readers reject mismatches instead of guessing.
-/// (v2: compressed ID-tuple records + the interner table side file.)
-pub const STORE_FORMAT_VERSION: u64 = 2;
+/// (v2: compressed ID-tuple records + the interner table side file;
+// v3: `tosses_taken` counter in the checkpointed report.)
+pub const STORE_FORMAT_VERSION: u64 = 3;
 
 /// Append a versioned container header: 4 magic bytes + format version.
 pub fn put_header(out: &mut Vec<u8>, magic: [u8; 4]) {

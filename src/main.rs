@@ -35,12 +35,23 @@ fn usage() -> String {
                                   pipeline metrics (runs, cache hits, facts, wall)\n\
          --refine                 partition input domains first (interface\n\
                                   simplification) where the analysis allows it\n\
+         --refine-cex             counterexample-guided toss refinement: replay\n\
+                                  closed-program violations against the open\n\
+                                  program, prune toss outcomes no concrete\n\
+                                  environment can realise, and keep the result\n\
+                                  only if the verdict set is unchanged\n\
          --jobs N|auto            per-procedure solves on N threads (`auto`:\n\
                                   one per hardware thread); the output is\n\
                                   byte-identical for any N\n\
      explore <file> [options]     systematically explore the state space\n\
          --enumerate              run S x E_S by domain enumeration (open programs)\n\
          --close                  close the program first, then explore\n\
+         --refine-cex             with --close: counterexample-guided toss\n\
+                                  refinement before exploring (verdict set is\n\
+                                  identical; the state space may be smaller)\n\
+         --classify-violations    with --close: replay each violation against\n\
+                                  the original open program and label it\n\
+                                  real / spurious / unknown\n\
          --depth N                maximum path length (default 2000)\n\
          --max-transitions N      transition cap (default 5000000)\n\
          --all                    report all violations, not just the first\n\
@@ -78,7 +89,8 @@ fn usage() -> String {
                                   batching or chunk pipelining); the report is\n\
                                   byte-identical either way — this exists so\n\
                                   you can check that claim\n\
-         --stats                  print states/sec, visited-store bytes and\n\
+         --stats                  print states/sec, toss choices taken,\n\
+                                  visited-store bytes and\n\
                                   state count, the compression ratio and\n\
                                   interner size, the CoW sharing ratio, the\n\
                                   POR reduction counters, and (frontier\n\
@@ -201,6 +213,7 @@ fn close_cmd(args: &[String]) -> Result<(), String> {
     let mut pipeline = closer::Pipeline::new(closer::PipelineOptions {
         jobs,
         refine: args.iter().any(|a| a == "--refine"),
+        refine_cex: args.iter().any(|a| a == "--refine-cex"),
         ..closer::PipelineOptions::default()
     });
     let run = pipeline
@@ -229,14 +242,36 @@ fn close_cmd(args: &[String]) -> Result<(), String> {
             .zip(closer::compare(&run.program, &closed.program))
         {
             println!(
-                "{}: nodes {} -> {} (+{} toss), params removed {}, branching {} -> {}",
+                "{}: nodes {} -> {} (+{} toss over {} site(s)), params removed {}, branching {} -> {}",
                 r.name,
                 r.nodes_before,
                 r.nodes_kept,
                 r.toss_nodes_inserted,
+                r.toss_sites.len(),
                 r.params_removed,
                 cmp.degree_before,
                 cmp.degree_after
+            );
+        }
+        if let Some(cex) = &run.cex_report {
+            println!(
+                "refine-cex: {} iteration(s), {} trace(s) classified \
+                 ({} real, {} spurious, {} unknown), {} outcome(s) pruned, \
+                 {} site(s) bypassed, states {} -> {}{}",
+                cex.iterations,
+                cex.classified,
+                cex.real,
+                cex.spurious,
+                cex.unknown,
+                cex.outcomes_pruned,
+                cex.sites_bypassed,
+                cex.states_before,
+                cex.states_after,
+                if cex.reverted {
+                    " (a batch prune was reverted)"
+                } else {
+                    ""
+                }
             );
         }
         for p in &run.passes {
@@ -271,8 +306,27 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             .map(|v| v.parse::<usize>().map_err(|e| format!("{name}: {e}")))
             .transpose()
     };
+    // The pre-close program is kept around so `--classify-violations`
+    // can replay closed-program traces against the open semantics.
+    let mut open_prog = None;
     if flag("--close") {
-        prog = closer::close(&prog, &analyze(&prog)).program;
+        let open = prog.clone();
+        let closed = closer::close(&prog, &analyze(&prog));
+        prog = if flag("--refine-cex") {
+            closer::refine_cex(&open, &closed, &closer::CexOptions::default()).0
+        } else {
+            closed.program
+        };
+        open_prog = Some(open);
+    } else if flag("--refine-cex") {
+        return Err("--refine-cex needs --close (it refines the closing transformation)".into());
+    }
+    if flag("--classify-violations") && open_prog.is_none() {
+        return Err(
+            "--classify-violations needs --close (it compares the closed \
+                    program's violations against the open original)"
+                .into(),
+        );
     }
     let jobs_arg = opt_val("--jobs").map(|v| parse_jobs(v)).transpose()?;
     let resume_dir = opt_val("--resume").cloned();
@@ -355,6 +409,7 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
             rate,
             wall.as_secs_f64()
         );
+        println!("stats: tosses taken: {}", report.tosses_taken);
         if report.visited_states > 0 {
             println!(
                 "stats: visited store: {} states, {} bytes ({:.1} bytes/state)",
@@ -449,6 +504,18 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 "\n{}",
                 verisoft::explain_violation(&prog, v, config.env_mode, &config.limits)
             );
+        }
+    }
+    if flag("--classify-violations") {
+        let open = open_prog.as_ref().unwrap();
+        let opts = closer::CexOptions::default();
+        for (i, v) in report.violations.iter().enumerate() {
+            let label = match closer::classify_trace(open, v, &opts) {
+                closer::TraceClass::Real => "real",
+                closer::TraceClass::Spurious => "spurious",
+                closer::TraceClass::Unknown => "unknown",
+            };
+            println!("classify: violation {i} ({:?}): {label}", v.kind);
         }
     }
     if report.clean() {
